@@ -1,0 +1,27 @@
+//! Criterion bench for the 6.1 channel study grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svt_sim::CostModel;
+use svt_workloads::{channel_study, default_workloads};
+
+fn bench_channel(c: &mut Criterion) {
+    let cost = CostModel::default();
+    for cell in channel_study(&cost, &[0, 4096]) {
+        println!(
+            "Channel {} @ {} w={}: latency {:.0}ns round {:.0}ns",
+            cell.mechanism.label(),
+            cell.placement,
+            cell.workload_increments,
+            cell.latency_ns,
+            cell.round_ns
+        );
+    }
+    let mut g = c.benchmark_group("channel");
+    g.bench_function("full_grid", |b| {
+        b.iter(|| std::hint::black_box(channel_study(&cost, &default_workloads())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_channel);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for Fig. 10: video playback drops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svt_core::SwitchMode;
+use svt_workloads::video_playback;
+
+fn bench_fig10(c: &mut Criterion) {
+    for mode in [SwitchMode::Baseline, SwitchMode::SwSvt] {
+        let r = video_playback(mode, 120, 60);
+        println!(
+            "Fig10 {} @120fps/60s: {} dropped of {} (paper 5min: 40 baseline / 26 SVt)",
+            mode.label(),
+            r.dropped,
+            r.played
+        );
+    }
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("video_120fps_10s", |b| {
+        b.iter(|| std::hint::black_box(video_playback(SwitchMode::Baseline, 120, 10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

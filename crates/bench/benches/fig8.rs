@@ -1,0 +1,27 @@
+//! Criterion bench for Fig. 8: one memcached sweep point per engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svt_core::SwitchMode;
+use svt_workloads::memcached_point;
+
+fn bench_fig8(c: &mut Criterion) {
+    for mode in [SwitchMode::Baseline, SwitchMode::SwSvt] {
+        let p = memcached_point(mode, 6_000.0, 300);
+        println!(
+            "Fig8 {} @6kQPS: tput {:.2}kQPS avg {:.1}us p99 {:.1}us",
+            mode.label(),
+            p.throughput / 1000.0,
+            p.avg_ns / 1000.0,
+            p.p99_ns / 1000.0
+        );
+    }
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("memcached_6kqps_x200", |b| {
+        b.iter(|| std::hint::black_box(memcached_point(SwitchMode::Baseline, 6_000.0, 200)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Fig. 9: TPC-C throughput per engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svt_core::SwitchMode;
+use svt_workloads::tpcc_tpm;
+
+fn bench_fig9(c: &mut Criterion) {
+    let b0 = tpcc_tpm(SwitchMode::Baseline, 60);
+    let s = tpcc_tpm(SwitchMode::SwSvt, 60);
+    println!(
+        "Fig9 baseline {:.0} tpm, SVt {:.0} tpm ({:.2}x; paper 6370 tpm, 1.18x)",
+        b0,
+        s,
+        s / b0
+    );
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("tpcc_baseline_x40", |b| {
+        b.iter(|| std::hint::black_box(tpcc_tpm(SwitchMode::Baseline, 40)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! VMCS shadowing, the SW-SVt channel wait mechanism and placement, and
+//! cross-context register access granularity.
+
+use svt_bench::{print_header, rule};
+use svt_core::{machine_with, BypassReflector, HwSvtReflector, SwitchMode, SwSvtReflector, WaitMode};
+use svt_hv::{GuestOp, Level, Machine, MachineConfig, OpLoop};
+use svt_sim::{Placement, SimDuration};
+
+fn cpuid_us(m: &mut Machine, iters: u64) -> f64 {
+    let mut warm = OpLoop::new(GuestOp::Cpuid, 1, 0, SimDuration::ZERO);
+    m.run(&mut warm).expect("cpuid runs");
+    let base = m.clock.snapshot();
+    let mut prog = OpLoop::new(GuestOp::Cpuid, iters, 0, SimDuration::ZERO);
+    m.run(&mut prog).expect("cpuid runs");
+    m.clock.since_snapshot(&base).busy_time().as_us() / iters as f64
+}
+
+fn main() {
+    print_header("Ablations");
+
+    println!("\n[1] VMCS shadowing (baseline nested cpuid)");
+    rule();
+    for (label, shadowing) in [("shadowing on", true), ("shadowing off", false)] {
+        let mut cfg = MachineConfig::at_level(Level::L2);
+        cfg.shadowing = shadowing;
+        let mut m = Machine::baseline(cfg);
+        println!("  {label:<16}{:>10.2} us/cpuid", cpuid_us(&mut m, 100));
+    }
+
+    println!("\n[2] SW SVt channel wait mechanism (SMT placement)");
+    rule();
+    for (label, wait) in [
+        ("mwait", WaitMode::Mwait),
+        ("polling", WaitMode::Poll),
+        ("mutex", WaitMode::Mutex),
+    ] {
+        let cfg = MachineConfig::at_level(Level::L2);
+        let r = Box::new(SwSvtReflector::with_channel(wait, Placement::SmtSibling));
+        let mut m = Machine::with_reflector(cfg, r);
+        println!("  {label:<16}{:>10.2} us/cpuid", cpuid_us(&mut m, 100));
+    }
+
+    println!("\n[3] SW SVt thread placement (mwait channel)");
+    rule();
+    for p in Placement::ALL_REMOTE {
+        let cfg = MachineConfig::at_level(Level::L2);
+        let r = Box::new(SwSvtReflector::with_channel(WaitMode::Mwait, p));
+        let mut m = Machine::with_reflector(cfg, r);
+        println!("  {:<16}{:>10.2} us/cpuid", p.to_string(), cpuid_us(&mut m, 100));
+    }
+
+    println!("\n[4] SVt context multiplexing (3.1: fewer contexts than levels)");
+    rule();
+    for contexts in [3u8, 2] {
+        let cfg = MachineConfig::at_level(Level::L2);
+        let mut m =
+            Machine::with_reflector(cfg, Box::new(HwSvtReflector::with_contexts(contexts)));
+        println!(
+            "  {contexts} contexts      {:>10.2} us/cpuid",
+            cpuid_us(&mut m, 100)
+        );
+    }
+
+    println!("\n[5] Design-point spectrum (single-level HW .. full nested HW)");
+    rule();
+    for mode in SwitchMode::ALL {
+        let mut m = machine_with(mode, MachineConfig::at_level(Level::L2));
+        println!("  {:<16}{:>10.2} us/cpuid", mode.label(), cpuid_us(&mut m, 100));
+    }
+    let cfg = MachineConfig::at_level(Level::L2);
+    let mut m = Machine::with_reflector(cfg, Box::new(BypassReflector::new()));
+    println!(
+        "  {:<16}{:>10.2} us/cpuid   (3.1's level-bypass extension)",
+        "Bypass",
+        cpuid_us(&mut m, 100)
+    );
+}

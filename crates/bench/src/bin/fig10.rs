@@ -1,0 +1,32 @@
+//! Regenerates Fig. 10: video-playback dropped frames.
+
+use svt_bench::{print_header, rule};
+use svt_core::SwitchMode;
+use svt_workloads::video_playback;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let secs = if quick { 60 } else { 300 };
+    print_header("Fig. 10 - dropped frames vs frame rate (5 min playback)");
+    println!(
+        "{:<8}{:>18}{:>14}{:>22}",
+        "FPS", "Baseline drops", "SVt drops", "Paper (base / SVt)"
+    );
+    rule();
+    let paper = [(24, 0, 0), (60, 3, 0), (120, 40, 26)];
+    for (fps, pb, ps) in paper {
+        let b = video_playback(SwitchMode::Baseline, fps, secs);
+        let s = video_playback(SwitchMode::SwSvt, fps, secs);
+        let scale = 300 / secs;
+        println!(
+            "{:<8}{:>18}{:>14}{:>15} / {:<6}",
+            fps,
+            b.dropped * scale,
+            s.dropped * scale,
+            pb,
+            ps
+        );
+    }
+    rule();
+    println!("(drop counts scaled to 5 minutes when run with --quick)");
+}

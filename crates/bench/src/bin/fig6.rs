@@ -1,0 +1,23 @@
+//! Regenerates Fig. 6: cpuid latency on L0/L1/L2/SW SVt/HW SVt.
+
+use svt_bench::{print_header, rule};
+
+fn main() {
+    print_header("Fig. 6 - execution time of a cpuid instruction");
+    let bars = svt_workloads::fig6(200);
+    println!("{:<10}{:>12}{:>14}{:>16}", "System", "Time [us]", "Speedup", "Paper speedup");
+    rule();
+    for b in &bars {
+        let paper = match b.label {
+            "SW SVt" => "1.23x".to_string(),
+            "HW SVt" => "1.94x".to_string(),
+            _ => "-".to_string(),
+        };
+        let speedup = if b.speedup > 1.0 {
+            format!("{:.2}x", b.speedup)
+        } else {
+            "-".to_string()
+        };
+        println!("{:<10}{:>12.3}{:>14}{:>16}", b.label, b.time_us, speedup, paper);
+    }
+}

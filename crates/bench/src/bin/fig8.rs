@@ -1,0 +1,47 @@
+//! Regenerates Fig. 8: memcached latency under Facebook's ETC load.
+
+use svt_bench::{print_header, rule};
+use svt_core::SwitchMode;
+use svt_workloads::{default_rates, fig8_series, SLA_NS};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let requests = if quick { 400 } else { 2000 };
+    print_header("Fig. 8 - memcached (ETC) latency vs load, SLA 500 usec on p99");
+    let rates = default_rates();
+    let mut within = Vec::new();
+    for mode in [SwitchMode::Baseline, SwitchMode::SwSvt] {
+        let series = fig8_series(mode, &rates, requests);
+        println!("\n[{}]", series.name);
+        println!(
+            "{:>12}{:>16}{:>14}{:>14}",
+            "load [kQPS]", "tput [kQPS]", "avg [us]", "p99 [us]"
+        );
+        rule();
+        for p in series.points() {
+            let marker = if p.p99_ns <= SLA_NS { "" } else { "  > SLA" };
+            println!(
+                "{:>12.1}{:>16.2}{:>14.1}{:>14.1}{}",
+                p.load / 1000.0,
+                p.throughput / 1000.0,
+                p.avg_ns / 1000.0,
+                p.p99_ns / 1000.0,
+                marker
+            );
+        }
+        within.push((
+            series.name.clone(),
+            series.max_throughput_within_sla(SLA_NS).unwrap_or(0.0),
+        ));
+    }
+    rule();
+    let base = within[0].1;
+    for (name, t) in &within {
+        let speedup = t / base;
+        println!(
+            "{name}: max throughput within SLA = {:.2} kQPS ({speedup:.2}x vs baseline)",
+            t / 1000.0
+        );
+    }
+    println!("Paper: SVt delivers 2.2x p99-within-SLA throughput, 1.43x on average latency");
+}

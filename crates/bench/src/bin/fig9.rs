@@ -1,0 +1,21 @@
+//! Regenerates Fig. 9: TPC-C throughput.
+
+use svt_bench::{print_header, rule, vs_paper};
+use svt_core::SwitchMode;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let txns = if quick { 60 } else { 300 };
+    print_header("Fig. 9 - TPC-C (sysbench-style, WAL on virtio-blk) throughput");
+    let baseline = svt_workloads::tpcc_tpm(SwitchMode::Baseline, txns);
+    let svt = svt_workloads::tpcc_tpm(SwitchMode::SwSvt, txns);
+    println!("{:<12}{:>40}", "System", "Throughput [tpm]");
+    rule();
+    println!("{:<12}{:>40}", "Baseline", vs_paper(baseline, 6370.0));
+    println!("{:<12}{:>40}", "SVt", vs_paper(svt, 6370.0 * 1.18));
+    rule();
+    println!(
+        "Speedup: {:.2}x (paper: 1.18x)",
+        svt / baseline
+    );
+}

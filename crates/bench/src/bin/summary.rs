@@ -1,0 +1,70 @@
+//! One-page digest: every headline number of the paper next to this
+//! reproduction's measurement. Uses reduced iteration counts; the
+//! per-figure binaries produce the full-fidelity versions.
+
+use svt_bench::{print_header, rule};
+use svt_core::SwitchMode;
+use svt_hv::Level;
+
+fn main() {
+    print_header("SVt reproduction - headline summary (quick settings)");
+
+    // Table 1 / Fig. 6.
+    let t1: f64 = svt_workloads::table1(50).iter().map(|r| r.time_us).sum();
+    let bars = svt_workloads::fig6(50);
+    println!("Table 1  nested cpuid total        paper 10.40us   measured {t1:.2}us");
+    for b in &bars {
+        if b.label == "SW SVt" || b.label == "HW SVt" {
+            let paper = if b.label == "SW SVt" { 1.23 } else { 1.94 };
+            println!(
+                "Fig. 6   {:<8} cpuid speedup     paper {paper:.2}x     measured {:.2}x",
+                b.label, b.speedup
+            );
+        }
+    }
+    rule();
+
+    // Fig. 7 (scaled down).
+    for r in svt_workloads::fig7(8) {
+        println!(
+            "Fig. 7   {:<22} paper {:>8.0} {:<5} SW {:.2}x/{:.2}x  HW {:.2}x/{:.2}x  base {:.0}",
+            r.name, r.paper.0, r.unit, r.sw_speedup, r.paper.1, r.hw_speedup, r.paper.2, r.baseline
+        );
+    }
+    rule();
+
+    // Fig. 8 at one moderate load point.
+    let b = svt_workloads::memcached_point(SwitchMode::Baseline, 10_000.0, 400);
+    let s = svt_workloads::memcached_point(SwitchMode::SwSvt, 10_000.0, 400);
+    println!(
+        "Fig. 8   avg latency @10kQPS       paper 1.43x     measured {:.2}x ({:.0}us -> {:.0}us)",
+        b.avg_ns / s.avg_ns,
+        b.avg_ns / 1000.0,
+        s.avg_ns / 1000.0
+    );
+
+    // Fig. 9.
+    let tb = svt_workloads::tpcc_tpm(SwitchMode::Baseline, 60);
+    let ts = svt_workloads::tpcc_tpm(SwitchMode::SwSvt, 60);
+    println!(
+        "Fig. 9   TPC-C speedup             paper 1.18x     measured {:.2}x ({tb:.0} -> {ts:.0} tpm)",
+        ts / tb
+    );
+
+    // Fig. 10 at 120 FPS, 60s scaled.
+    let vb = svt_workloads::video_playback(SwitchMode::Baseline, 120, 60);
+    let vs = svt_workloads::video_playback(SwitchMode::SwSvt, 120, 60);
+    println!(
+        "Fig. 10  drops @120FPS (5min est)  paper 40 / 26   measured {} / {}",
+        vb.dropped * 5,
+        vs.dropped * 5
+    );
+    rule();
+    println!(
+        "Native L0 cpuid {:.2}us | single-level L1 {:.2}us | nested L2 {:.2}us",
+        svt_workloads::cpuid_us(Level::L0, SwitchMode::Baseline, 20),
+        svt_workloads::cpuid_us(Level::L1, SwitchMode::Baseline, 20),
+        svt_workloads::cpuid_us(Level::L2, SwitchMode::Baseline, 20),
+    );
+    println!("See EXPERIMENTS.md for full-fidelity runs and the deviation discussion.");
+}

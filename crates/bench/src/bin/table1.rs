@@ -1,0 +1,25 @@
+//! Regenerates Table 1: the time breakdown of one `cpuid` in a nested VM.
+
+use svt_bench::{print_header, rule, vs_paper};
+
+fn main() {
+    print_header("Table 1 - cpuid breakdown in a nested VM (baseline)");
+    let rows = svt_workloads::table1(200);
+    println!("{:<4}{:<26}{:>34}   {:>7}", "Part", "Stage", "Time [us]", "Perc.");
+    rule();
+    let mut total = 0.0;
+    let mut paper_total = 0.0;
+    for r in &rows {
+        println!(
+            "{:<4}{:<26}{:>34}   {:>6.2}%",
+            r.part,
+            r.label,
+            vs_paper(r.time_us, r.paper_us),
+            r.percent
+        );
+        total += r.time_us;
+        paper_total += r.paper_us;
+    }
+    rule();
+    println!("{:<30}{:>34}", "Total", vs_paper(total, paper_total));
+}

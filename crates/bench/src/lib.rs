@@ -1,0 +1,59 @@
+//! Report helpers shared by the benchmark binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! and prints it in a paper-comparable layout; the functions here keep the
+//! output format consistent.
+
+#![warn(missing_docs)]
+
+use svt_sim::{MachineSpec, VmSpec};
+
+/// Prints the standard header with the simulated platform (Table 4).
+pub fn print_header(title: &str) {
+    let m = MachineSpec::isca19();
+    let v = VmSpec::isca19();
+    println!("================================================================");
+    println!("{title}");
+    println!("----------------------------------------------------------------");
+    println!(
+        "Simulated platform (Table 4): {}x{} cores, {}-SMT @ {:.1} GHz, {} GiB RAM, {} Gb NIC",
+        m.sockets,
+        m.cores_per_socket,
+        m.smt_per_core,
+        m.freq_mhz as f64 / 1000.0,
+        m.ram_mib / 1024,
+        m.nic_mbps / 1000,
+    );
+    println!(
+        "L1: {} vCPUs, {} GiB | L2: {} vCPUs, {} GiB",
+        v.l1_vcpus,
+        v.l1_ram_mib / 1024,
+        v.l2_vcpus,
+        v.l2_ram_mib / 1024
+    );
+    println!("================================================================");
+}
+
+/// Formats a measured-vs-paper pair with the relative deviation.
+pub fn vs_paper(measured: f64, paper: f64) -> String {
+    let dev = 100.0 * (measured - paper) / paper;
+    format!("{measured:>9.2} (paper {paper:>8.2}, {dev:+5.1}%)")
+}
+
+/// A thin separator line.
+pub fn rule() {
+    println!("----------------------------------------------------------------");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vs_paper_formats_deviation() {
+        let s = vs_paper(11.0, 10.0);
+        assert!(s.contains("+10.0%"), "{s}");
+        let s = vs_paper(9.0, 10.0);
+        assert!(s.contains("-10.0%"), "{s}");
+    }
+}

@@ -1,0 +1,112 @@
+//! SW-SVt command encoding.
+//!
+//! The software prototype sends VM-trap and VM-resume commands over the
+//! shared-memory rings (paper Fig. 5). A command carries the encoded exit
+//! reason and the general-purpose register file of the trapped vCPU —
+//! "the necessary information together with the commands on the shared
+//! memory channels" (§ 5.2).
+
+use svt_cpu::{Gpr, GprState};
+
+/// Command: L0 tells L1's SVt-thread an L2 trap needs handling.
+pub const CMD_VM_TRAP: u32 = 1;
+/// Command: the SVt-thread tells L0 that handling finished; resume L2.
+pub const CMD_VM_RESUME: u32 = 2;
+
+/// Encoded size of a command payload in bytes.
+pub const PAYLOAD_LEN: usize = 4 + 8 + 8 + 8 * Gpr::COUNT;
+
+/// A trap/resume command with its register payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    /// [`CMD_VM_TRAP`] or [`CMD_VM_RESUME`].
+    pub kind: u32,
+    /// Encoded exit-reason code.
+    pub code: u64,
+    /// Encoded exit qualification.
+    pub qual: u64,
+    /// The vCPU's general-purpose registers.
+    pub gprs: GprState,
+}
+
+impl Command {
+    /// Serializes to the ring-payload byte layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(PAYLOAD_LEN);
+        out.extend_from_slice(&self.kind.to_le_bytes());
+        out.extend_from_slice(&self.code.to_le_bytes());
+        out.extend_from_slice(&self.qual.to_le_bytes());
+        for (_, v) in self.gprs.iter() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from a ring payload.
+    ///
+    /// Returns `None` if the payload is malformed.
+    pub fn decode(bytes: &[u8]) -> Option<Command> {
+        if bytes.len() != PAYLOAD_LEN {
+            return None;
+        }
+        let kind = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+        let code = u64::from_le_bytes(bytes[4..12].try_into().ok()?);
+        let qual = u64::from_le_bytes(bytes[12..20].try_into().ok()?);
+        let mut gprs = GprState::default();
+        for (i, r) in Gpr::ALL.iter().enumerate() {
+            let off = 20 + i * 8;
+            gprs.set(*r, u64::from_le_bytes(bytes[off..off + 8].try_into().ok()?));
+        }
+        Some(Command {
+            kind,
+            code,
+            qual,
+            gprs,
+        })
+    }
+
+    /// Number of 64-byte cache lines the payload dirties in the shared
+    /// channel (what the receiving sibling must pull across).
+    pub fn cache_lines(&self) -> u64 {
+        (PAYLOAD_LEN as u64).div_ceil(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Command {
+        let mut gprs = GprState::default();
+        for (i, r) in Gpr::ALL.iter().enumerate() {
+            gprs.set(*r, 0x1000 + i as u64);
+        }
+        Command {
+            kind: CMD_VM_TRAP,
+            code: 10,
+            qual: 0,
+            gprs,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let c = sample();
+        let bytes = c.encode();
+        assert_eq!(bytes.len(), PAYLOAD_LEN);
+        assert_eq!(Command::decode(&bytes), Some(c));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let bytes = sample().encode();
+        assert_eq!(Command::decode(&bytes[..PAYLOAD_LEN - 1]), None);
+        assert_eq!(Command::decode(&[]), None);
+    }
+
+    #[test]
+    fn payload_spans_three_cache_lines() {
+        // 148 bytes -> 3 lines: the cost the channel model charges.
+        assert_eq!(sample().cache_lines(), 3);
+    }
+}

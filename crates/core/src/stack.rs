@@ -1,0 +1,80 @@
+//! Convenience constructors for the three switch engines.
+
+use svt_hv::{BaselineReflector, Level, Machine, MachineConfig, Reflector};
+
+use crate::hw::HwSvtReflector;
+use crate::sw::SwSvtReflector;
+
+/// Which mechanics run the nested stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchMode {
+    /// Prevailing single-hardware-thread virtualization.
+    Baseline,
+    /// The paper's hardware proposal (§§ 3–4).
+    HwSvt,
+    /// The software-only prototype on existing SMT (§ 5.2).
+    SwSvt,
+}
+
+impl SwitchMode {
+    /// All modes, in the order the paper's figures present them.
+    pub const ALL: [SwitchMode; 3] = [SwitchMode::Baseline, SwitchMode::SwSvt, SwitchMode::HwSvt];
+
+    /// Display label used by the benches.
+    pub fn label(self) -> &'static str {
+        match self {
+            SwitchMode::Baseline => "Baseline",
+            SwitchMode::SwSvt => "SW SVt",
+            SwitchMode::HwSvt => "HW SVt",
+        }
+    }
+
+    /// Builds the reflector for this mode.
+    pub fn reflector(self) -> Box<dyn Reflector> {
+        match self {
+            SwitchMode::Baseline => Box::new(BaselineReflector::new()),
+            SwitchMode::HwSvt => Box::new(HwSvtReflector::new()),
+            SwitchMode::SwSvt => Box::new(SwSvtReflector::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for SwitchMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A nested (L2) machine with the paper's default configuration and the
+/// given switch engine.
+pub fn nested_machine(mode: SwitchMode) -> Machine {
+    machine_with(mode, MachineConfig::at_level(Level::L2))
+}
+
+/// A machine with an explicit configuration and the given switch engine.
+pub fn machine_with(mode: SwitchMode, cfg: MachineConfig) -> Machine {
+    Machine::with_reflector(cfg, mode.reflector())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(SwitchMode::Baseline.label(), "Baseline");
+        assert_eq!(SwitchMode::SwSvt.label(), "SW SVt");
+        assert_eq!(SwitchMode::HwSvt.label(), "HW SVt");
+        assert_eq!(SwitchMode::ALL.len(), 3);
+    }
+
+    #[test]
+    fn constructors_produce_named_engines() {
+        assert_eq!(nested_machine(SwitchMode::HwSvt).reflector_name(), "hw-svt");
+        assert_eq!(nested_machine(SwitchMode::SwSvt).reflector_name(), "sw-svt");
+        assert_eq!(
+            nested_machine(SwitchMode::Baseline).reflector_name(),
+            "baseline"
+        );
+    }
+}

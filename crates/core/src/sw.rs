@@ -1,0 +1,331 @@
+//! The SW-SVt software-only prototype.
+//!
+//! Implements the paper's § 5.2/§ 5.3 prototype on the *existing* SMT
+//! hardware model: L2 keeps running on the same hardware thread as L0
+//! (the pre-existing VM-trap path is unchanged), but L1's trap handling
+//! runs on an **SVt-thread** pinned to the SMT sibling. L0 and the
+//! SVt-thread exchange `CMD_VM_TRAP`/`CMD_VM_RESUME` commands over two
+//! unidirectional shared-memory rings — real byte-level rings in
+//! simulated guest memory — and wait for each other with
+//! `monitor`/`mwait` on the ring doorbell line.
+
+use svt_cpu::Gpr;
+use svt_hv::{Machine, MachineEvent, Reflector};
+use svt_mem::{CommandRing, Hpa};
+use svt_sim::{CostPart, Placement, SimDuration};
+use svt_vmx::ExitReason;
+
+use crate::commands::{Command, CMD_VM_RESUME, CMD_VM_TRAP, PAYLOAD_LEN};
+
+/// How a waiting side detects new commands (the § 6.1 channel study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitMode {
+    /// `monitor`/`mwait` on the doorbell cache line (the prototype's
+    /// choice: low latency without stealing cycles from the sibling).
+    Mwait,
+    /// Busy polling: near-instant detection, but the polling sibling
+    /// steals execution cycles from the working thread.
+    Poll,
+    /// Kernel futex: no stolen cycles, but a scheduler wake-up.
+    Mutex,
+}
+
+/// Fraction of the worker's cycles a busy-polling SMT sibling steals
+/// (§ 6.1: "overheads increase with the workload in SMT because the
+/// waiting thread consumes execution cycles from the computing thread").
+const POLL_STEAL_RATIO: f64 = 0.18;
+
+/// The software-only SVt engine.
+///
+/// # Examples
+///
+/// ```
+/// use svt_core::{nested_machine, SwitchMode};
+/// use svt_hv::{GuestOp, OpLoop};
+/// use svt_sim::SimDuration;
+///
+/// let mut m = nested_machine(SwitchMode::SwSvt);
+/// let mut prog = OpLoop::new(GuestOp::Cpuid, 1, 0, SimDuration::ZERO);
+/// let t0 = m.clock.now();
+/// m.run(&mut prog)?;
+/// // Between the baseline (10.4us) and the hardware design.
+/// let t = m.clock.now().since(t0).as_us();
+/// assert!(t > 7.0 && t < 10.0, "{t}");
+/// # Ok::<(), svt_hv::MachineError>(())
+/// ```
+#[derive(Debug)]
+pub struct SwSvtReflector {
+    wait: WaitMode,
+    placement: Placement,
+    cmd_ring: Option<CommandRing>,
+    resp_ring: Option<CommandRing>,
+    last_cmd: Option<Command>,
+    svt_blocked_count: u64,
+}
+
+impl SwSvtReflector {
+    /// The prototype configuration: SMT-sibling placement with mwait.
+    pub fn new() -> Self {
+        SwSvtReflector::with_channel(WaitMode::Mwait, Placement::SmtSibling)
+    }
+
+    /// Ablation constructor: alternative wait mechanism and thread
+    /// placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Placement::SameThread`] — the prototype needs two
+    /// hardware threads.
+    pub fn with_channel(wait: WaitMode, placement: Placement) -> Self {
+        assert!(
+            placement != Placement::SameThread,
+            "SW SVt needs a second hardware thread"
+        );
+        SwSvtReflector {
+            wait,
+            placement,
+            cmd_ring: None,
+            resp_ring: None,
+            last_cmd: None,
+            svt_blocked_count: 0,
+        }
+    }
+
+    /// Number of times the § 5.3 deadlock-avoidance path ran.
+    pub fn svt_blocked_count(&self) -> u64 {
+        self.svt_blocked_count
+    }
+
+    fn ensure_init(&mut self, m: &mut Machine) {
+        if self.cmd_ring.is_some() {
+            return;
+        }
+        // Rings live in an ivshmem-like region of host RAM; "pairing" the
+        // vCPU threads is a one-time hypercall to L0.
+        let cmd = CommandRing::new(Hpa(0x10_0000), 256, 16);
+        let resp = CommandRing::new(Hpa(0x10_0000 + cmd.footprint()), 256, 16);
+        cmd.init(&mut m.ram).expect("ring region in RAM");
+        resp.init(&mut m.ram).expect("ring region in RAM");
+        self.cmd_ring = Some(cmd);
+        self.resp_ring = Some(resp);
+        let c = m.cost.l0_exit_decode + m.cost.l0_run_loop;
+        m.clock.charge(c); // the pairing hypercall
+        m.clock.count("svt_pairing_hypercall");
+    }
+
+    /// Detection latency for one command at this channel configuration.
+    fn wake_cost(&self, m: &Machine) -> SimDuration {
+        match self.wait {
+            WaitMode::Mwait => m.cost.monitor_arm + m.cost.mwait_wake(self.placement),
+            WaitMode::Poll => m.cost.poll_iter + m.cost.cacheline(self.placement),
+            WaitMode::Mutex => m.cost.mutex_spin_grace + m.cost.mutex_wake,
+        }
+    }
+
+    /// Pushes one command through a ring, charging the payload's cache-line
+    /// transfers at the configured placement.
+    fn send(&mut self, m: &mut Machine, ring_is_cmd: bool, cmd: &Command) {
+        let ring = if ring_is_cmd {
+            self.cmd_ring.expect("initialized")
+        } else {
+            self.resp_ring.expect("initialized")
+        };
+        let payload = cmd.encode();
+        debug_assert_eq!(payload.len(), PAYLOAD_LEN);
+        ring.push(&mut m.ram, &payload).expect("ring never fills: lockstep protocol");
+        let c = m.cost.cacheline(self.placement) * (cmd.cache_lines() + 1);
+        m.clock.charge(c);
+    }
+
+    fn recv(&mut self, m: &mut Machine, ring_is_cmd: bool) -> Command {
+        let ring = if ring_is_cmd {
+            self.cmd_ring.expect("initialized")
+        } else {
+            self.resp_ring.expect("initialized")
+        };
+        let payload = ring
+            .pop(&mut m.ram)
+            .expect("ring memory valid")
+            .expect("protocol: command present");
+        Command::decode(&payload).expect("well-formed command")
+    }
+
+    /// The § 5.3 deadlock-avoidance check: while waiting for the
+    /// SVt-thread's response, L0 must service interrupts destined for
+    /// L1's main vCPU, injecting a synthetic `SVT_BLOCKED` trap so the
+    /// guest enables interrupts and yields back.
+    fn check_blocked_ipis(&mut self, m: &mut Machine) {
+        // Drain any IPI events that became due while we wait.
+        let now = m.clock.now();
+        let mut requeue = Vec::new();
+        while let Some((at, ev)) = m.events.pop_due(now) {
+            if matches!(ev, MachineEvent::IpiToL1Main) {
+                self.svt_blocked_count += 1;
+                m.clock.count("svt_blocked");
+                m.clock.push_part(CostPart::L0Handler);
+                // Inject SVT_BLOCKED into L1's main vCPU, let its interrupt
+                // handler run, and take the immediate yield back.
+                let c = m.cost.l0_irq_inject
+                    + m.cost.vm_entry_hw
+                    + m.cost.gpr_thunk()
+                    + m.cost.ipi_deliver
+                    + m.cost.guest_irq_entry
+                    + m.cost.vm_exit_hw
+                    + m.cost.gpr_thunk();
+                m.clock.charge(c);
+                m.clock.pop_part(CostPart::L0Handler);
+                m.l1.apic.inject(svt_vmx::VECTOR_IPI);
+                let v = m.l1.apic.ack();
+                debug_assert_eq!(v, Some(svt_vmx::VECTOR_IPI));
+                m.l1.apic.eoi();
+            } else {
+                requeue.push((at, ev));
+            }
+        }
+        for (at, ev) in requeue {
+            m.events.schedule(at, ev);
+        }
+    }
+}
+
+impl Default for SwSvtReflector {
+    fn default() -> Self {
+        SwSvtReflector::new()
+    }
+}
+
+impl Reflector for SwSvtReflector {
+    fn name(&self) -> &'static str {
+        "sw-svt"
+    }
+
+    // L2 runs on the same hardware thread as L0: the pre-existing VM trap
+    // path, identical to the baseline.
+    fn l2_trap(&mut self, m: &mut Machine) {
+        self.ensure_init(m);
+        m.clock.push_part(CostPart::SwitchL2L0);
+        let c = m.cost.vm_exit_hw + m.cost.gpr_thunk();
+        m.clock.charge(c);
+        m.clock.pop_part(CostPart::SwitchL2L0);
+        m.hw_exit_autosave();
+    }
+
+    fn l2_resume(&mut self, m: &mut Machine) {
+        m.clock.push_part(CostPart::SwitchL2L0);
+        let c = m.cost.gpr_thunk() + m.cost.vm_entry_hw;
+        m.clock.charge(c);
+        m.clock.pop_part(CostPart::SwitchL2L0);
+        m.hw_entry_load();
+    }
+
+    fn reflect(&mut self, m: &mut Machine, exit: ExitReason) {
+        // L0 still runs its exit prologue and keeps vmcs12 coherent (KVM
+        // syncs the shadow regardless), but the command ring replaces the
+        // vmcs12 event injection, the world switches into/out of L1 and
+        // the emulated-VMRESUME exit.
+        m.l0_leg_a(self.elides_lazy_sync());
+        m.forward_transform();
+        self.run_l1(m, exit);
+        // Post-wake: L0's vcpu loop performs its usual pre-entry
+        // bookkeeping and applies the response payload to vmcs02.
+        m.clock.push_part(CostPart::L0Handler);
+        let c = m.cost.l0_run_loop + m.cost.l0_mmu_sync;
+        m.clock.charge(c);
+        m.clock.pop_part(CostPart::L0Handler);
+        m.clock.push_part(CostPart::Transform);
+        let c = m.cost.transform_fixed;
+        m.clock.charge(c);
+        for f in svt_vmx::VmcsField::ENTRY_FIELDS {
+            let v = m.l0.vmcs12.read(f);
+            let c = m.cost.vmwrite;
+            m.clock.charge(c);
+            m.l0.vmcs02.write(f, v);
+        }
+        m.clock.pop_part(CostPart::Transform);
+        m.l0_entry_finish();
+    }
+
+    fn run_l1(&mut self, m: &mut Machine, exit: ExitReason) {
+        self.ensure_init(m);
+        let (code, qual) = exit.encode();
+
+        // L0 sends CMD_VM_TRAP with the registers and trap id (Fig. 5,
+        // step 2), then monitors the response ring.
+        m.clock.push_part(CostPart::Channel);
+        let trap_cmd = Command {
+            kind: CMD_VM_TRAP,
+            code,
+            qual,
+            gprs: m.vcpu2.gprs,
+        };
+        self.send(m, true, &trap_cmd);
+        // The SVt-thread wakes from its wait.
+        let c = self.wake_cost(m);
+        m.clock.charge(c);
+        let received = self.recv(m, true);
+        debug_assert_eq!(received.kind, CMD_VM_TRAP);
+        self.last_cmd = Some(received);
+        m.clock.pop_part(CostPart::Channel);
+
+        // The SVt-thread (L1_1) handles the trap on the sibling thread.
+        let before = m.clock.now();
+        m.clock.push_part(CostPart::L1Handler);
+        m.l1_handle_exit(self, exit);
+        m.clock.pop_part(CostPart::L1Handler);
+        let handling = m.clock.now().since(before);
+
+        // While waiting, L0 services IPIs for L1's main vCPU (§ 5.3).
+        self.check_blocked_ipis(m);
+
+        m.clock.push_part(CostPart::Channel);
+        if self.wait == WaitMode::Poll {
+            // A busy-polling L0 sibling steals cycles from the handler.
+            let steal = SimDuration::from_ns_f64(handling.as_ns() * POLL_STEAL_RATIO);
+            m.clock.charge(steal);
+        }
+        // SVt-thread responds CMD_VM_RESUME with updated registers
+        // (Fig. 5, step 3); L0 wakes and applies them.
+        let resume_cmd = Command {
+            kind: CMD_VM_RESUME,
+            code,
+            qual,
+            gprs: m.vcpu2.gprs,
+        };
+        self.send(m, false, &resume_cmd);
+        let c = self.wake_cost(m);
+        m.clock.charge(c);
+        let resp = self.recv(m, false);
+        debug_assert_eq!(resp.kind, CMD_VM_RESUME);
+        m.vcpu2.gprs = resp.gprs;
+        m.clock.pop_part(CostPart::Channel);
+    }
+
+    fn l1_exit_roundtrip(&mut self, m: &mut Machine, exit: ExitReason, value: u64) -> u64 {
+        // The SVt-thread's own privileged ops trap into the L0 instance on
+        // *its* thread (L0_1) at the full single-thread cost (§ 5.2: such
+        // traps are "captured by L0_1").
+        let world = m.world_extra(svt_hv::Level::L1);
+        let c = m.cost.vm_exit_hw + m.cost.gpr_thunk() + world;
+        m.clock.charge(c);
+        let out = m.l0_handle_l1_exit(exit, value);
+        let c = m.cost.vm_entry_hw + m.cost.gpr_thunk() + world;
+        m.clock.charge(c);
+        out
+    }
+
+    fn l1_read_exit_info(&mut self, _m: &mut Machine) -> (u64, u64) {
+        // The trap identifier arrived in the CMD_VM_TRAP payload.
+        let cmd = self.last_cmd.as_ref().expect("command received");
+        (cmd.code, cmd.qual)
+    }
+
+    fn l2_gpr_read(&mut self, m: &mut Machine, r: Gpr) -> u64 {
+        // Register values arrived in the CMD_VM_TRAP payload; reading the
+        // local copy is free beyond the already-charged transfer.
+        m.vcpu2.gprs.get(r)
+    }
+
+    fn l2_gpr_write(&mut self, m: &mut Machine, r: Gpr, v: u64) {
+        m.vcpu2.gprs.set(r, v);
+    }
+}

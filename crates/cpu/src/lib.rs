@@ -1,0 +1,33 @@
+//! SMT core model with the SVt extensions.
+//!
+//! Models the hardware half of the paper's co-design: SMT contexts with a
+//! shared physical register file and per-context rename maps
+//! ([`PhysRegFile`], [`RenameMap`]), the per-core SVt µ-registers
+//! ([`MicroRegs`]), thread stall/resume switching, and the
+//! `ctxtld`/`ctxtst` cross-context register instructions with virtualized
+//! context indirection ([`SmtCore::ctxtld`], [`SmtCore::ctxtst`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use svt_cpu::{CtxId, CtxtLevel, Gpr, SmtCore};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut core = SmtCore::new(3);
+//! // The host hypervisor (ctx0) configures its guest on ctx1 and writes
+//! // the guest's RAX directly through the shared register file.
+//! core.micro_mut().vm = Some(CtxId(1));
+//! core.ctxtst(CtxtLevel::Guest, Gpr::Rax, 42)?;
+//! assert_eq!(core.read_gpr(CtxId(1), Gpr::Rax), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod core;
+mod regs;
+
+pub use crate::core::{CtxId, CtxtLevel, MicroRegs, SmtCore, SpecialRegs, SvtFault};
+pub use regs::{Gpr, GprState, PhysReg, PhysRegFile, RenameMap};

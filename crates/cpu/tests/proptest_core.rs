@@ -1,0 +1,76 @@
+//! Property tests of the SMT core: physical-register-file conservation,
+//! cross-context access correctness, and the single-running-context
+//! invariant under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use svt_cpu::{CtxId, CtxtLevel, Gpr, SmtCore};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u8, usize, u64),
+    Switch(u8),
+    Ctxtst(usize, u64),
+    Ctxtld(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3, 0usize..16, any::<u64>()).prop_map(|(c, r, v)| Op::Write(c, r, v)),
+        (0u8..3).prop_map(Op::Switch),
+        (0usize..16, any::<u64>()).prop_map(|(r, v)| Op::Ctxtst(r, v)),
+        (0usize..16).prop_map(Op::Ctxtld),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn core_invariants_hold_under_arbitrary_ops(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut core = SmtCore::new(3);
+        core.micro_mut().vm = Some(CtxId(1));
+        core.micro_mut().nested = Some(CtxId(2));
+        let mut shadow = [[0u64; 16]; 3];
+        for op in ops {
+            match op {
+                Op::Write(c, r, v) => {
+                    core.write_gpr(CtxId(c), Gpr::ALL[r], v);
+                    shadow[c as usize][r] = v;
+                }
+                Op::Switch(c) => {
+                    core.switch_to(CtxId(c)).unwrap();
+                    prop_assert_eq!(core.current(), CtxId(c));
+                }
+                Op::Ctxtst(r, v) => {
+                    // Host view: target resolves to SVt_vm (ctx1).
+                    core.micro_mut().is_vm = false;
+                    core.ctxtst(CtxtLevel::Guest, Gpr::ALL[r], v).unwrap();
+                    shadow[1][r] = v;
+                }
+                Op::Ctxtld(r) => {
+                    core.micro_mut().is_vm = false;
+                    let v = core.ctxtld(CtxtLevel::Guest, Gpr::ALL[r]).unwrap();
+                    prop_assert_eq!(v, shadow[1][r]);
+                }
+            }
+            // The design invariant: exactly one context ever runs.
+            prop_assert_eq!(core.running_contexts(), 1);
+        }
+        for c in 0..3u8 {
+            for (i, r) in Gpr::ALL.iter().enumerate() {
+                prop_assert_eq!(core.read_gpr(CtxId(c), *r), shadow[c as usize][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_load_transfers_exact_state(values in prop::collection::vec(any::<u64>(), 16)) {
+        let mut core = SmtCore::new(2);
+        for (r, v) in Gpr::ALL.iter().zip(&values) {
+            core.write_gpr(CtxId(0), *r, *v);
+        }
+        let snap = core.snapshot_gprs(CtxId(0));
+        core.load_gprs(CtxId(1), &snap);
+        for (r, v) in Gpr::ALL.iter().zip(&values) {
+            prop_assert_eq!(core.read_gpr(CtxId(1), *r), *v);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Hypervisor and vCPU state.
+//!
+//! The nested stack keeps exactly the descriptor web of the paper's
+//! Fig. 2: L0 owns `vmcs01` (runs L1), `vmcs12` (the always-coherent
+//! shadow of the `vmcs01'` L1 built for L2) and `vmcs02` (what L2 really
+//! runs on), plus the two EPT hierarchies and their composition.
+
+use svt_cpu::GprState;
+use svt_mem::Gpa;
+use svt_sim::SimTime;
+use svt_vmx::{Ept, EptPerms, ExecPolicy, LocalApic, Vmcs, VmcsField, VmcsRole};
+
+/// A virtualization level of the running stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level {
+    /// The bare-metal host hypervisor.
+    L0,
+    /// A guest (or guest hypervisor).
+    L1,
+    /// A nested guest.
+    L2,
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Level::L0 => f.write_str("L0"),
+            Level::L1 => f.write_str("L1"),
+            Level::L2 => f.write_str("L2"),
+        }
+    }
+}
+
+/// Events on the machine's physical event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineEvent {
+    /// A device backend finished asynchronous work.
+    DeviceComplete {
+        /// Index of the device on the bus.
+        device: usize,
+        /// Token the device used when scheduling.
+        token: u64,
+    },
+    /// The physical TSC-deadline timer fired.
+    PhysTimer,
+    /// An IPI targeted at L1's main vCPU arrived (used to exercise the
+    /// SW-SVt interrupt-deadlock avoidance protocol, § 5.3).
+    IpiToL1Main,
+}
+
+/// L0 (host hypervisor) state for one L1 guest and its nested L2.
+#[derive(Debug, Clone)]
+pub struct L0State {
+    /// Descriptor running L1.
+    pub vmcs01: Vmcs,
+    /// Shadow of L1's descriptor for L2 (`vmcs01'` lives in L1 memory;
+    /// this shadow is kept coherent and is what the hardware shadowing
+    /// reads).
+    pub vmcs12: Vmcs,
+    /// The descriptor L2 actually runs on.
+    pub vmcs02: Vmcs,
+    /// L0's trap policy for L1.
+    pub policy01: ExecPolicy,
+    /// The merged trap policy programmed into vmcs02.
+    pub policy02: ExecPolicy,
+    /// L1-guest-physical → host-physical mapping.
+    pub ept01: Ept,
+    /// Composed L2-guest-physical → host-physical mapping.
+    pub ept02: Ept,
+    /// Deadline of the armed physical timer, if any.
+    pub phys_timer: Option<SimTime>,
+}
+
+impl L0State {
+    /// Fresh L0 state with identity-mapped ept01 over `pages` pages.
+    pub fn new(pages: u64) -> Self {
+        let mut ept01 = Ept::new();
+        ept01.identity_map(0, pages, EptPerms::RWX);
+        L0State {
+            vmcs01: Vmcs::new(VmcsRole::Host { guest_level: 1 }, Gpa(0x1000)),
+            vmcs12: Vmcs::new(VmcsRole::Shadow, Gpa(0x2000)),
+            vmcs02: Vmcs::new(VmcsRole::Host { guest_level: 2 }, Gpa(0x3000)),
+            policy01: ExecPolicy::kvm_default(),
+            policy02: ExecPolicy::kvm_default(),
+            ept01,
+            ept02: Ept::new(),
+            phys_timer: None,
+        }
+    }
+}
+
+/// L1 (guest hypervisor) software state.
+#[derive(Debug, Clone)]
+pub struct L1State {
+    /// L1's trap policy for L2 (merged with L0's into `policy02`).
+    pub policy12: ExecPolicy,
+    /// L2-guest-physical → L1-guest-physical mapping built by L1.
+    pub ept12: Ept,
+    /// L1's own local APIC.
+    pub apic: LocalApic,
+    /// The TSC deadline L2 last programmed (virtualized by L1).
+    pub l2_deadline: Option<SimTime>,
+    /// Whether this L1 runs a hypervisor stack (nested mode) as opposed to
+    /// being a plain single-level guest.
+    pub is_hypervisor: bool,
+}
+
+impl L1State {
+    /// Fresh L1 state with identity-mapped ept12 over `pages` pages.
+    pub fn new(pages: u64, is_hypervisor: bool) -> Self {
+        let mut ept12 = Ept::new();
+        ept12.identity_map(0, pages, EptPerms::RWX);
+        L1State {
+            policy12: ExecPolicy::kvm_default(),
+            ept12,
+            apic: LocalApic::new(),
+            l2_deadline: None,
+            is_hypervisor,
+        }
+    }
+}
+
+/// The measured guest's virtual CPU.
+#[derive(Debug, Clone, Default)]
+pub struct VcpuState {
+    /// Its local APIC (interrupts, virtual TSC-deadline timer).
+    pub apic: LocalApic,
+    /// Memory-resident register copy (what the baseline context switch
+    /// spills and reloads).
+    pub gprs: GprState,
+    /// Whether the vCPU executed `hlt` and waits for an interrupt.
+    pub halted: bool,
+    /// Current instruction pointer (advanced by emulated instructions).
+    pub rip: u64,
+}
+
+/// Initial configuration of a [`crate::Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// The calibrated cost model.
+    pub cost: svt_sim::CostModel,
+    /// Physical machine shape.
+    pub spec: svt_sim::MachineSpec,
+    /// Level the measured program runs at.
+    pub level: Level,
+    /// Bytes of host RAM to model.
+    pub ram_size: u64,
+    /// Pages identity-mapped in each EPT level.
+    pub mapped_pages: u64,
+    /// Whether hardware VMCS shadowing is enabled (ablation knob; the
+    /// paper's platform has it on).
+    pub shadowing: bool,
+}
+
+impl MachineConfig {
+    /// The paper's configuration with the program at the given level.
+    pub fn at_level(level: Level) -> Self {
+        MachineConfig {
+            cost: svt_sim::CostModel::default(),
+            spec: svt_sim::MachineSpec::isca19(),
+            level,
+            ram_size: 1 << 30,
+            mapped_pages: 4096,
+            shadowing: true,
+        }
+    }
+}
+
+/// Sets up the vmcs02 execution controls from the merged policies, as L0
+/// does when L1 launches L2 (§ 2.1).
+pub fn program_vmcs02(l0: &mut L0State, l1: &L1State) {
+    l0.policy02 = l0.policy01.merge_for_nested(&l1.policy12);
+    let p02 = l0.policy02.clone();
+    p02.write_to(&mut l0.vmcs02);
+    l0.ept02 = l1.ept12.compose(&l0.ept01);
+    // vmcs02's EPT pointer is a host-physical address L0 owns.
+    l0.vmcs02.write(VmcsField::EptPointer, 0xe9700000);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l0_state_identity_maps() {
+        let l0 = L0State::new(16);
+        assert_eq!(l0.ept01.len(), 16);
+        assert!(l0.ept02.is_empty());
+    }
+
+    #[test]
+    fn program_vmcs02_merges_and_composes() {
+        let mut l0 = L0State::new(8);
+        let mut l1 = L1State::new(8, true);
+        l1.policy12.trap_msr(0x77);
+        l1.ept12.mark_mmio(3);
+        program_vmcs02(&mut l0, &l1);
+        assert!(l0.policy02.msr_exits(0x77));
+        assert!(!l0.policy02.shadow_vmcs);
+        // The composed table has 7 RAM pages plus 1 MMIO page.
+        assert_eq!(l0.ept02.len(), 8);
+        assert!(matches!(
+            l0.ept02
+                .translate(svt_mem::Gpa(3 * svt_mem::PAGE_SIZE), svt_vmx::Access::Read),
+            Err(svt_vmx::EptFault::Misconfig { .. })
+        ));
+    }
+
+    #[test]
+    fn level_display() {
+        assert_eq!(Level::L2.to_string(), "L2");
+        assert!(Level::L0 < Level::L2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Architectural event tracing.
+//!
+//! A bounded ring of recent architectural events (exits, reflections,
+//! interrupt injections, level switches) that costs nothing when disabled
+//! and makes the simulator's behavior inspectable when enabled — the
+//! `nested_trap_trace` example renders one of these per trap.
+
+use std::collections::VecDeque;
+
+use svt_sim::SimTime;
+
+/// One traced architectural event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A guest exit entered the switch engine (reason tag).
+    Exit(&'static str),
+    /// L0 reflected the exit into vmcs12.
+    Reflect(&'static str),
+    /// A privileged operation by L1 trapped into L0.
+    L1Exit(&'static str),
+    /// An interrupt vector was injected toward the measured guest.
+    Inject(u8),
+    /// An interrupt vector was delivered to the guest program.
+    Deliver(u8),
+    /// The guest halted.
+    Halt,
+    /// The guest was resumed after an idle period.
+    Wake,
+}
+
+/// A bounded trace ring.
+///
+/// # Examples
+///
+/// ```
+/// use svt_hv::{TraceEvent, Tracer};
+/// use svt_sim::SimTime;
+///
+/// let mut t = Tracer::new(4);
+/// t.enable();
+/// for i in 0..6 {
+///     t.record(SimTime::from_ns(i), TraceEvent::Inject(i as u8));
+/// }
+/// // Only the 4 most recent events are retained.
+/// assert_eq!(t.events().len(), 4);
+/// assert_eq!(t.events()[0].1, TraceEvent::Inject(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    ring: VecDeque<(SimTime, TraceEvent)>,
+    capacity: usize,
+    enabled: bool,
+    recorded: u64,
+}
+
+impl Tracer {
+    /// A disabled tracer retaining up to `capacity` events once enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs capacity");
+        Tracer {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            enabled: false,
+            recorded: 0,
+        }
+    }
+
+    /// Starts recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Stops recording (retained events stay readable).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if enabled, evicting the oldest past capacity.
+    pub fn record(&mut self, at: SimTime, ev: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((at, ev));
+        self.recorded += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> &VecDeque<(SimTime, TraceEvent)> {
+        &self.ring
+    }
+
+    /// Total events recorded since construction (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Clears retained events (the total count is preserved).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new(8);
+        t.record(SimTime::ZERO, TraceEvent::Halt);
+        assert!(t.events().is_empty());
+        assert_eq!(t.recorded(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Tracer::new(2);
+        t.enable();
+        t.record(SimTime::from_ns(1), TraceEvent::Exit("CPUID"));
+        t.record(SimTime::from_ns(2), TraceEvent::Reflect("CPUID"));
+        t.record(SimTime::from_ns(3), TraceEvent::Halt);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].1, TraceEvent::Reflect("CPUID"));
+        assert_eq!(t.recorded(), 3);
+    }
+
+    #[test]
+    fn clear_keeps_total() {
+        let mut t = Tracer::new(4);
+        t.enable();
+        t.record(SimTime::ZERO, TraceEvent::Wake);
+        t.clear();
+        assert!(t.events().is_empty());
+        assert_eq!(t.recorded(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Tracer::new(0);
+    }
+
+    #[test]
+    fn disable_freezes_contents() {
+        let mut t = Tracer::new(4);
+        t.enable();
+        t.record(SimTime::ZERO, TraceEvent::Inject(7));
+        t.disable();
+        t.record(SimTime::ZERO, TraceEvent::Inject(8));
+        assert_eq!(t.events().len(), 1);
+    }
+}

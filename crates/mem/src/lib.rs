@@ -1,0 +1,33 @@
+//! Guest-physical memory and shared-memory structures.
+//!
+//! This crate models the memory substrate of the simulated machine:
+//!
+//! * [`GuestMemory`] — sparse byte-addressable physical RAM;
+//! * [`Gpa`]/[`Hpa`] — address newtypes keeping guest-physical and
+//!   host-physical spaces statically distinct;
+//! * [`CommandRing`] — the shared-memory command ring the SW-SVt prototype
+//!   uses between the L0 hypervisor and L1's SVt-thread.
+//!
+//! # Examples
+//!
+//! ```
+//! use svt_mem::{GuestMemory, Hpa};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut ram = GuestMemory::new(64 * 1024);
+//! ram.write_u32(Hpa(0x10), 7)?;
+//! assert_eq!(ram.read_u32(Hpa(0x10))?, 7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod guest_memory;
+mod ring;
+
+pub use addr::{Gpa, Hpa, PAGE_SIZE};
+pub use guest_memory::{GuestMemory, OutOfRange};
+pub use ring::{CommandRing, RingError};

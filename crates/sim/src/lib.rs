@@ -1,0 +1,44 @@
+//! Discrete-event simulation substrate for the SVt reproduction.
+//!
+//! This crate provides the foundation every other crate in the workspace
+//! builds on:
+//!
+//! * [`SimTime`]/[`SimDuration`] — picosecond-resolution simulated time;
+//! * [`Clock`] — the logical clock with Table-1-style cost attribution;
+//! * [`CostModel`] — the calibrated cost of every hardware and software
+//!   primitive (see `DESIGN.md` § 5 for the calibration methodology);
+//! * [`EventQueue`] — a deterministic discrete-event queue;
+//! * [`MachineSpec`]/[`CpuLoc`]/[`Placement`] — the physical topology from
+//!   Table 4 of the paper;
+//! * [`DetRng`] — seeded deterministic randomness.
+//!
+//! # Examples
+//!
+//! ```
+//! use svt_sim::{Clock, CostModel, CostPart};
+//!
+//! let cost = CostModel::default();
+//! let mut clock = Clock::new();
+//! clock.push_part(CostPart::SwitchL2L0);
+//! clock.charge(cost.vm_exit_hw);
+//! clock.charge(cost.gpr_thunk());
+//! clock.pop_part(CostPart::SwitchL2L0);
+//! assert!(clock.part_time(CostPart::SwitchL2L0).as_ns() > 400.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clock;
+mod cost;
+mod events;
+mod rng;
+mod time;
+mod topology;
+
+pub use clock::{Clock, ClockSnapshot, CostPart};
+pub use cost::CostModel;
+pub use events::{EventId, EventQueue};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};
+pub use topology::{CpuLoc, MachineSpec, Placement, VmSpec};

@@ -1,0 +1,333 @@
+//! Simulated time.
+//!
+//! All simulation state advances on a single logical clock measured in
+//! **picoseconds**. Picosecond resolution lets the cost model express
+//! sub-nanosecond primitives (e.g. per-register cross-context accesses)
+//! without rounding drift, while `u64` still covers ~213 days of simulated
+//! time — far beyond any experiment in the paper (the longest is a 5-minute
+//! video playback).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulated clock, in picoseconds since machine boot.
+///
+/// # Examples
+///
+/// ```
+/// use svt_sim::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_us(10);
+/// assert_eq!(t.as_ns(), 10_000.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in picoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use svt_sim::SimDuration;
+///
+/// let d = SimDuration::from_ns(810);
+/// assert_eq!(d * 2, SimDuration::from_ns(1620));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The machine boot instant.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as "never" for disarmed timers.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw picoseconds since boot.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates an instant from nanoseconds since boot.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Creates an instant from microseconds since boot.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Raw picoseconds since boot.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Nanoseconds since boot, as a float (for reporting).
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Microseconds since boot, as a float (for reporting).
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds since boot, as a float (for reporting).
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// The span between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since called with a later instant"),
+        )
+    }
+
+    /// The span between two instants, saturating to zero if `earlier` is
+    /// actually later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+
+    /// Creates a span from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns * 1_000)
+    }
+
+    /// Creates a span from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000_000)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000_000)
+    }
+
+    /// Creates a span from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000_000)
+    }
+
+    /// Creates a span from a float number of nanoseconds, rounding to the
+    /// nearest picosecond. Negative inputs clamp to zero.
+    pub fn from_ns_f64(ns: f64) -> Self {
+        SimDuration((ns.max(0.0) * 1e3).round() as u64)
+    }
+
+    /// Raw picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Nanoseconds, as a float.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Microseconds, as a float.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds, as a float.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Whether this span is empty.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// The ratio of this span to `other`, as a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn ratio(self, other: SimDuration) -> f64 {
+        assert!(!other.is_zero(), "ratio denominator is zero");
+        self.0 as f64 / other.0 as f64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us())
+        } else {
+            write!(f, "{:.1}ns", self.as_ns())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimDuration::from_ns(810).as_ps(), 810_000);
+        assert_eq!(SimDuration::from_us(10).as_ns(), 10_000.0);
+        assert_eq!(SimDuration::from_ms(3).as_us(), 3_000.0);
+        assert_eq!(SimDuration::from_secs(2).as_secs(), 2.0);
+        assert_eq!(SimTime::from_us(7).as_ps(), 7_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::from_ns(100);
+        let t1 = t0 + SimDuration::from_ns(50);
+        assert_eq!(t1.since(t0), SimDuration::from_ns(50));
+        assert_eq!(t1 - SimDuration::from_ns(50), t0);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let t0 = SimTime::from_ns(100);
+        let t1 = SimTime::from_ns(50);
+        assert_eq!(t1.saturating_since(t0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "later instant")]
+    fn since_panics_when_reversed() {
+        let _ = SimTime::from_ns(1).since(SimTime::from_ns(2));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_ns(100);
+        assert_eq!(d * 3, SimDuration::from_ns(300));
+        assert_eq!(d / 4, SimDuration::from_ns(25));
+        assert_eq!(d + d, SimDuration::from_ns(200));
+        assert_eq!(d - SimDuration::from_ns(40), SimDuration::from_ns(60));
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_ns(500)),
+            SimDuration::ZERO
+        );
+        assert_eq!(d.ratio(SimDuration::from_ns(50)), 2.0);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_ns).sum();
+        assert_eq!(total, SimDuration::from_ns(10));
+    }
+
+    #[test]
+    fn from_ns_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_ns_f64(1.5).as_ps(), 1_500);
+        assert_eq!(SimDuration::from_ns_f64(-3.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_uses_adaptive_units() {
+        assert_eq!(SimDuration::from_ns(810).to_string(), "810.0ns");
+        assert_eq!(SimDuration::from_us(10).to_string(), "10.000us");
+        assert_eq!(SimDuration::from_ms(2).to_string(), "2.000ms");
+        assert_eq!(SimTime::from_us(3).to_string(), "3.000us");
+    }
+}

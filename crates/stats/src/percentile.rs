@@ -1,0 +1,235 @@
+//! Percentiles and latency distributions.
+//!
+//! The memcached experiment (Fig. 8) reports average and 99th-percentile
+//! latency under load; [`LatencyRecorder`] collects per-request latencies
+//! and answers exact percentile queries.
+
+/// Exact percentile of a sample set using the nearest-rank method.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `p` is outside `[0, 100]`.
+///
+/// # Examples
+///
+/// ```
+/// use svt_stats::percentile;
+///
+/// let v: Vec<f64> = (1..=100).map(f64::from).collect();
+/// assert_eq!(percentile(&v, 99.0), 99.0);
+/// assert_eq!(percentile(&v, 50.0), 50.0);
+/// ```
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1)]
+}
+
+/// Accumulates request latencies (in nanoseconds) and answers summary
+/// queries; used by the application benchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use svt_stats::LatencyRecorder;
+///
+/// let mut r = LatencyRecorder::new();
+/// for i in 1..=100 {
+///     r.record(i as f64 * 1_000.0);
+/// }
+/// assert_eq!(r.p99(), 99_000.0);
+/// assert_eq!(r.mean(), 50_500.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Records one latency sample (nanoseconds).
+    pub fn record(&mut self, ns: f64) {
+        self.samples.push(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.samples.is_empty(), "no samples recorded");
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// 99th-percentile latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn p99(&self) -> f64 {
+        percentile(&self.samples, 99.0)
+    }
+
+    /// Arbitrary percentile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded or `p` is out of range.
+    pub fn pct(&self, p: f64) -> f64 {
+        percentile(&self.samples, p)
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Discards all samples (e.g. after a warm-up phase).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// A fixed-bucket histogram over `[0, max)` used for coarse latency shape
+/// reporting in the bench binaries.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bucket_width: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n` buckets of `width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `width <= 0`.
+    pub fn new(width: f64, n: usize) -> Self {
+        assert!(n > 0 && width > 0.0);
+        Histogram {
+            bucket_width: width,
+            buckets: vec![0; n],
+            overflow: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: f64) {
+        let idx = (v / self.bucket_width) as usize;
+        if v < 0.0 || idx >= self.buckets.len() {
+            self.overflow += 1;
+        } else {
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Count of values outside the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded values.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 30.0), 20.0);
+        assert_eq!(percentile(&v, 100.0), 50.0);
+        assert_eq!(percentile(&v, 0.0), 15.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let v = vec![9.0, 1.0, 5.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_rejects_bad_p() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn recorder_round_trip() {
+        let mut r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        r.record(5.0);
+        r.record(15.0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.mean(), 10.0);
+        assert_eq!(r.pct(50.0), 5.0);
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn p99_ignores_bulk() {
+        let mut r = LatencyRecorder::new();
+        for _ in 0..980 {
+            r.record(100.0);
+        }
+        for _ in 0..20 {
+            r.record(900.0);
+        }
+        assert_eq!(r.p99(), 900.0);
+        assert!(r.mean() < 120.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10.0, 3);
+        h.record(5.0);
+        h.record(15.0);
+        h.record(25.0);
+        h.record(35.0); // overflow
+        h.record(-1.0); // overflow
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(2), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 5);
+    }
+}

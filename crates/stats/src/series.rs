@@ -1,0 +1,146 @@
+//! Load-sweep series and SLA analysis.
+//!
+//! Fig. 8 of the paper sweeps memcached request load and reports the
+//! highest throughput whose 99th-percentile latency stays within a 500 µs
+//! SLA. [`SweepSeries`] holds such (load, latency) curves and finds the
+//! SLA crossover.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a load sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered load (e.g. requests/second).
+    pub load: f64,
+    /// Achieved throughput (may saturate below the offered load).
+    pub throughput: f64,
+    /// Average latency in nanoseconds.
+    pub avg_ns: f64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: f64,
+}
+
+/// A (load → latency) curve from a sweep.
+///
+/// # Examples
+///
+/// ```
+/// use svt_stats::{SweepPoint, SweepSeries};
+///
+/// let mut s = SweepSeries::new("baseline");
+/// s.push(SweepPoint { load: 1000.0, throughput: 1000.0, avg_ns: 100_000.0, p99_ns: 200_000.0 });
+/// s.push(SweepPoint { load: 2000.0, throughput: 1900.0, avg_ns: 400_000.0, p99_ns: 900_000.0 });
+/// assert_eq!(s.max_throughput_within_sla(500_000.0), Some(1000.0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepSeries {
+    /// Label shown in reports (e.g. "Baseline", "SVt").
+    pub name: String,
+    points: Vec<SweepPoint>,
+}
+
+impl SweepSeries {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a sweep point. Points should be pushed in increasing load
+    /// order.
+    pub fn push(&mut self, p: SweepPoint) {
+        self.points.push(p);
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Highest achieved throughput among points whose p99 latency is within
+    /// the SLA, or `None` if every point violates it.
+    pub fn max_throughput_within_sla(&self, sla_ns: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.p99_ns <= sla_ns)
+            .map(|p| p.throughput)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+
+    /// Highest achieved throughput among points whose *average* latency is
+    /// within the SLA.
+    pub fn max_throughput_within_avg_sla(&self, sla_ns: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.avg_ns <= sla_ns)
+            .map(|p| p.throughput)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+}
+
+/// Speedup of `new` over `old` (e.g. 2.2× SLA throughput improvement).
+///
+/// # Panics
+///
+/// Panics if `old` is zero.
+pub fn speedup(new: f64, old: f64) -> f64 {
+    assert!(old != 0.0, "speedup baseline is zero");
+    new / old
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(load: f64, p99_us: f64) -> SweepPoint {
+        SweepPoint {
+            load,
+            throughput: load,
+            avg_ns: p99_us * 400.0,
+            p99_ns: p99_us * 1000.0,
+        }
+    }
+
+    #[test]
+    fn sla_crossover() {
+        let mut s = SweepSeries::new("x");
+        s.push(pt(1000.0, 100.0));
+        s.push(pt(2000.0, 300.0));
+        s.push(pt(3000.0, 800.0));
+        assert_eq!(s.max_throughput_within_sla(500_000.0), Some(2000.0));
+        assert_eq!(s.max_throughput_within_sla(50_000.0), None);
+    }
+
+    #[test]
+    fn avg_sla_uses_avg() {
+        let mut s = SweepSeries::new("x");
+        s.push(pt(1000.0, 100.0)); // avg 40us
+        s.push(pt(2000.0, 2000.0)); // avg 800us
+        assert_eq!(s.max_throughput_within_avg_sla(500_000.0), Some(1000.0));
+    }
+
+    #[test]
+    fn throughput_saturation_counts_not_load() {
+        let mut s = SweepSeries::new("x");
+        s.push(SweepPoint {
+            load: 5000.0,
+            throughput: 3000.0,
+            avg_ns: 1.0,
+            p99_ns: 1.0,
+        });
+        assert_eq!(s.max_throughput_within_sla(10.0), Some(3000.0));
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        assert_eq!(speedup(22.0, 10.0), 2.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline is zero")]
+    fn speedup_zero_baseline_panics() {
+        let _ = speedup(1.0, 0.0);
+    }
+}

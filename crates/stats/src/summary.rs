@@ -1,0 +1,255 @@
+//! Sample summaries following the paper's measurement methodology.
+//!
+//! The paper repeats each micro-benchmark "until standard deviation and
+//! timing overheads are below 1% of the mean with 2σ confidence, after
+//! removing outliers with 4σ confidence". [`Summary`] computes the moments,
+//! [`filter_outliers`] applies the 4σ rule, and [`Convergence`] implements
+//! the repeat-until-stable loop.
+
+/// Basic moments of a sample set.
+///
+/// # Examples
+///
+/// ```
+/// use svt_stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0]);
+/// assert_eq!(s.mean, 2.0);
+/// assert_eq!(s.n, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Smallest sample (0 if empty).
+    pub min: f64,
+    /// Largest sample (0 if empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of samples.
+    pub fn of(samples: &[f64]) -> Summary {
+        let n = samples.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Standard error of the mean (0 for empty samples).
+    pub fn sem(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Relative half-width of the 2σ confidence interval of the mean
+    /// (`2·SEM / mean`); `f64::INFINITY` when the mean is zero.
+    pub fn rel_ci2(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.stddev == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            2.0 * self.sem() / self.mean.abs()
+        }
+    }
+}
+
+/// Removes samples further than `k` standard deviations from the mean
+/// (the paper uses `k = 4`), returning the retained samples.
+///
+/// Filtering is a single pass: the moments are computed once on the full
+/// sample set, then outliers are dropped — matching the paper's "removing
+/// outliers with 4σ confidence".
+pub fn filter_outliers(samples: &[f64], k: f64) -> Vec<f64> {
+    let s = Summary::of(samples);
+    if s.stddev == 0.0 {
+        return samples.to_vec();
+    }
+    samples
+        .iter()
+        .copied()
+        .filter(|x| (x - s.mean).abs() <= k * s.stddev)
+        .collect()
+}
+
+/// Repeat-until-stable measurement loop: collects samples until the 2σ
+/// confidence interval of the 4σ-outlier-filtered mean is below a relative
+/// tolerance, or a sample budget is exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use svt_stats::Convergence;
+///
+/// let mut conv = Convergence::new(0.01, 16, 10_000);
+/// let mut x = 0u64;
+/// let mean = conv.run(|| {
+///     x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+///     100.0 + (x >> 60) as f64 * 0.01
+/// });
+/// assert!((mean - 100.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Convergence {
+    rel_tolerance: f64,
+    min_samples: usize,
+    max_samples: usize,
+    samples: Vec<f64>,
+}
+
+impl Convergence {
+    /// Creates a loop with the given relative tolerance (the paper uses
+    /// 0.01), minimum warm sample count, and sample budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_samples` is 0 or greater than `max_samples`.
+    pub fn new(rel_tolerance: f64, min_samples: usize, max_samples: usize) -> Self {
+        assert!(min_samples > 0 && min_samples <= max_samples);
+        Convergence {
+            rel_tolerance,
+            min_samples,
+            max_samples,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Adds a sample; returns `true` once the filtered mean has converged.
+    pub fn push(&mut self, sample: f64) -> bool {
+        self.samples.push(sample);
+        self.converged()
+    }
+
+    /// Whether the filtered mean has converged.
+    pub fn converged(&self) -> bool {
+        if self.samples.len() < self.min_samples {
+            return false;
+        }
+        if self.samples.len() >= self.max_samples {
+            return true;
+        }
+        let kept = filter_outliers(&self.samples, 4.0);
+        Summary::of(&kept).rel_ci2() <= self.rel_tolerance
+    }
+
+    /// Runs `measure` until convergence and returns the filtered mean.
+    pub fn run<F: FnMut() -> f64>(&mut self, mut measure: F) -> f64 {
+        while !self.push(measure()) {}
+        self.filtered_mean()
+    }
+
+    /// The 4σ-filtered mean of the samples collected so far.
+    pub fn filtered_mean(&self) -> f64 {
+        Summary::of(&filter_outliers(&self.samples, 4.0)).mean
+    }
+
+    /// The raw samples collected so far.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_set() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev with n-1 = 7: var = 32/7.
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_of_empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.rel_ci2(), 0.0);
+    }
+
+    #[test]
+    fn filter_outliers_removes_spike() {
+        let mut v = vec![10.0; 100];
+        v.push(10_000.0);
+        let kept = filter_outliers(&v, 4.0);
+        assert_eq!(kept.len(), 100);
+        assert!(kept.iter().all(|&x| x == 10.0));
+    }
+
+    #[test]
+    fn filter_outliers_keeps_uniform_data() {
+        let v = vec![5.0; 10];
+        assert_eq!(filter_outliers(&v, 4.0), v);
+    }
+
+    #[test]
+    fn convergence_stops_on_stable_stream() {
+        let mut c = Convergence::new(0.01, 8, 1000);
+        let mean = c.run(|| 3.0);
+        assert_eq!(mean, 3.0);
+        assert!(c.samples().len() < 20);
+    }
+
+    #[test]
+    fn convergence_respects_budget() {
+        let mut c = Convergence::new(1e-9, 2, 50);
+        let mut i = 0.0;
+        let _ = c.run(|| {
+            i += 1.0;
+            i // never converges: linearly growing samples
+        });
+        assert_eq!(c.samples().len(), 50);
+    }
+
+    #[test]
+    #[should_panic]
+    fn convergence_rejects_zero_min() {
+        let _ = Convergence::new(0.01, 0, 10);
+    }
+
+    #[test]
+    fn rel_ci2_shrinks_with_samples() {
+        let few = Summary::of(&[9.0, 10.0, 11.0]);
+        let many: Vec<f64> = (0..300).map(|i| 10.0 + ((i % 3) as f64 - 1.0)).collect();
+        let many = Summary::of(&many);
+        assert!(many.rel_ci2() < few.rel_ci2());
+    }
+}

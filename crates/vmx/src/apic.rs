@@ -1,0 +1,250 @@
+//! Local APIC and timer model.
+//!
+//! Each vCPU owns a [`LocalApic`] with the request/in-service register
+//! pair, priority-ordered delivery, EOI, and the TSC-deadline timer whose
+//! `MSR_WRITE` reprogramming traffic dominates the paper's timer-related
+//! profiles (§ 6.3.1, § 6.3.3).
+
+use svt_sim::SimTime;
+
+/// MSR index of the TSC-deadline timer (IA32_TSC_DEADLINE).
+pub const MSR_TSC_DEADLINE: u32 = 0x6e0;
+/// MSR index of the APIC base register.
+pub const MSR_APIC_BASE: u32 = 0x1b;
+/// MSR index of EFER.
+pub const MSR_EFER: u32 = 0xc000_0080;
+/// MSR index of SPEC_CTRL (part of the world-switch state).
+pub const MSR_SPEC_CTRL: u32 = 0x48;
+/// MSR index of the x2APIC EOI register.
+pub const MSR_X2APIC_EOI: u32 = 0x80b;
+/// MSR index of the x2APIC interrupt-command register (IPIs).
+pub const MSR_X2APIC_ICR: u32 = 0x830;
+
+/// Interrupt vector used by the virtio completion interrupts in the
+/// simulated machine.
+pub const VECTOR_VIRTIO: u8 = 0x50;
+/// Interrupt vector of the TSC-deadline (LAPIC timer) interrupt.
+pub const VECTOR_TIMER: u8 = 0xec;
+/// Interrupt vector used for inter-processor interrupts.
+pub const VECTOR_IPI: u8 = 0xf2;
+
+/// One vCPU's local interrupt controller.
+///
+/// # Examples
+///
+/// ```
+/// use svt_vmx::LocalApic;
+///
+/// let mut apic = LocalApic::new();
+/// apic.inject(0x50);
+/// assert_eq!(apic.ack(), Some(0x50));
+/// apic.eoi();
+/// assert_eq!(apic.ack(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LocalApic {
+    /// Interrupt request register: one bit per vector.
+    irr: [u64; 4],
+    /// In-service vectors, innermost last.
+    isr: Vec<u8>,
+    /// Armed TSC deadline, if any.
+    tsc_deadline: Option<SimTime>,
+    /// Count of interrupts that were delivered later than the deadline
+    /// they were armed for (used by the video-playback experiment).
+    late_timer_fires: u64,
+}
+
+impl LocalApic {
+    /// Creates an idle APIC.
+    pub fn new() -> Self {
+        LocalApic::default()
+    }
+
+    /// Latches an interrupt request.
+    pub fn inject(&mut self, vector: u8) {
+        self.irr[(vector / 64) as usize] |= 1u64 << (vector % 64);
+    }
+
+    /// Whether `vector` is pending.
+    pub fn is_pending(&self, vector: u8) -> bool {
+        self.irr[(vector / 64) as usize] & (1u64 << (vector % 64)) != 0
+    }
+
+    /// Highest-priority pending vector that beats everything in service,
+    /// without acknowledging it.
+    pub fn pending(&self) -> Option<u8> {
+        let highest = (0..4usize).rev().find_map(|w| {
+            let bits = self.irr[w];
+            if bits == 0 {
+                None
+            } else {
+                Some((w as u8) * 64 + (63 - bits.leading_zeros() as u8))
+            }
+        })?;
+        match self.isr.last() {
+            Some(&in_service) if in_service >= highest => None,
+            _ => Some(highest),
+        }
+    }
+
+    /// Acknowledges the highest-priority pending interrupt: moves it from
+    /// request to in-service and returns its vector.
+    pub fn ack(&mut self) -> Option<u8> {
+        let v = self.pending()?;
+        self.irr[(v / 64) as usize] &= !(1u64 << (v % 64));
+        self.isr.push(v);
+        Some(v)
+    }
+
+    /// Signals end-of-interrupt for the innermost in-service vector.
+    pub fn eoi(&mut self) {
+        self.isr.pop();
+    }
+
+    /// Vectors currently in service (innermost last).
+    pub fn in_service(&self) -> &[u8] {
+        &self.isr
+    }
+
+    /// Arms (or disarms, with `None`) the TSC-deadline timer.
+    pub fn set_tsc_deadline(&mut self, deadline: Option<SimTime>) {
+        self.tsc_deadline = deadline;
+    }
+
+    /// The armed deadline, if any.
+    pub fn tsc_deadline(&self) -> Option<SimTime> {
+        self.tsc_deadline
+    }
+
+    /// Fires the timer if its deadline has passed: injects
+    /// [`VECTOR_TIMER`], disarms, records lateness, and returns how late
+    /// delivery was.
+    pub fn poll_timer(&mut self, now: SimTime) -> Option<svt_sim::SimDuration> {
+        let deadline = self.tsc_deadline?;
+        if now < deadline {
+            return None;
+        }
+        self.tsc_deadline = None;
+        self.inject(VECTOR_TIMER);
+        let late = now.since(deadline);
+        if !late.is_zero() {
+            self.late_timer_fires += 1;
+        }
+        Some(late)
+    }
+
+    /// Number of timer interrupts delivered after their armed deadline.
+    pub fn late_timer_fires(&self) -> u64 {
+        self.late_timer_fires
+    }
+
+    /// Whether any interrupt is pending or in service.
+    pub fn is_idle(&self) -> bool {
+        self.irr.iter().all(|w| *w == 0) && self.isr.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svt_sim::SimDuration;
+
+    #[test]
+    fn inject_ack_eoi_cycle() {
+        let mut a = LocalApic::new();
+        assert!(a.is_idle());
+        a.inject(0x20);
+        assert!(a.is_pending(0x20));
+        assert_eq!(a.ack(), Some(0x20));
+        assert!(!a.is_pending(0x20));
+        assert_eq!(a.in_service(), &[0x20]);
+        a.eoi();
+        assert!(a.is_idle());
+    }
+
+    #[test]
+    fn priority_ordering() {
+        let mut a = LocalApic::new();
+        a.inject(0x30);
+        a.inject(0xf0);
+        a.inject(0x80);
+        assert_eq!(a.ack(), Some(0xf0));
+        // Lower-priority vectors are masked while 0xf0 is in service.
+        assert_eq!(a.pending(), None);
+        a.eoi();
+        assert_eq!(a.ack(), Some(0x80));
+        a.eoi();
+        assert_eq!(a.ack(), Some(0x30));
+    }
+
+    #[test]
+    fn nested_interrupts_higher_priority_preempts() {
+        let mut a = LocalApic::new();
+        a.inject(0x30);
+        assert_eq!(a.ack(), Some(0x30));
+        a.inject(0xe0);
+        // A higher-priority vector may preempt the in-service one.
+        assert_eq!(a.ack(), Some(0xe0));
+        assert_eq!(a.in_service(), &[0x30, 0xe0]);
+        a.eoi();
+        assert_eq!(a.in_service(), &[0x30]);
+    }
+
+    #[test]
+    fn duplicate_injects_collapse() {
+        let mut a = LocalApic::new();
+        a.inject(0x55);
+        a.inject(0x55);
+        assert_eq!(a.ack(), Some(0x55));
+        a.eoi();
+        assert_eq!(a.ack(), None);
+    }
+
+    #[test]
+    fn timer_fires_once_and_tracks_lateness() {
+        let mut a = LocalApic::new();
+        a.set_tsc_deadline(Some(SimTime::from_us(100)));
+        assert_eq!(a.poll_timer(SimTime::from_us(99)), None);
+        let late = a.poll_timer(SimTime::from_us(103)).unwrap();
+        assert_eq!(late, SimDuration::from_us(3));
+        assert!(a.is_pending(VECTOR_TIMER));
+        assert_eq!(a.late_timer_fires(), 1);
+        // Disarmed after firing.
+        assert_eq!(a.poll_timer(SimTime::from_us(200)), None);
+    }
+
+    #[test]
+    fn on_time_timer_is_not_late() {
+        let mut a = LocalApic::new();
+        a.set_tsc_deadline(Some(SimTime::from_us(10)));
+        let late = a.poll_timer(SimTime::from_us(10)).unwrap();
+        assert!(late.is_zero());
+        assert_eq!(a.late_timer_fires(), 0);
+    }
+
+    #[test]
+    fn rearm_replaces_deadline() {
+        let mut a = LocalApic::new();
+        a.set_tsc_deadline(Some(SimTime::from_us(10)));
+        a.set_tsc_deadline(Some(SimTime::from_us(50)));
+        assert_eq!(a.poll_timer(SimTime::from_us(20)), None);
+        a.set_tsc_deadline(None);
+        assert_eq!(a.poll_timer(SimTime::from_us(100)), None);
+    }
+
+    #[test]
+    fn vector_boundaries() {
+        let mut a = LocalApic::new();
+        a.inject(0);
+        a.inject(63);
+        a.inject(64);
+        a.inject(255);
+        assert_eq!(a.ack(), Some(255));
+        a.eoi();
+        assert_eq!(a.ack(), Some(64));
+        a.eoi();
+        assert_eq!(a.ack(), Some(63));
+        a.eoi();
+        assert_eq!(a.ack(), Some(0));
+    }
+}

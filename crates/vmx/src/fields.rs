@@ -1,0 +1,288 @@
+//! VMCS field definitions.
+//!
+//! The field set mirrors the parts of Intel's VMCS the nested-virt control
+//! flow actually touches, plus the three SVt fields the paper adds
+//! (Table 2). Each field is classified by:
+//!
+//! * whether it carries a **physical address** (those must be translated
+//!   from L1-guest-physical to host-physical during the vmcs12→vmcs02
+//!   transformation — the expensive part of § 2.2);
+//! * whether Intel's hardware **VMCS shadowing** can satisfy reads/writes
+//!   from L1 without a VM exit (address-bearing and control fields cannot
+//!   be shadowed, which is why shadowing "provides limited benefits").
+
+macro_rules! vmcs_fields {
+    ($($name:ident => ($group:ident, $addr:expr, $shadow_r:expr, $shadow_w:expr),)*) => {
+        /// One field of a VM state descriptor (VMCS).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[allow(missing_docs)]
+        pub enum VmcsField {
+            $($name,)*
+        }
+
+        impl VmcsField {
+            /// Every defined field, in declaration order.
+            pub const ALL: &'static [VmcsField] = &[$(VmcsField::$name,)*];
+
+            /// Number of defined fields.
+            pub const COUNT: usize = Self::ALL.len();
+
+            /// Dense index for array-backed storage.
+            pub const fn index(self) -> usize {
+                self as usize
+            }
+
+            /// Functional group of this field.
+            pub const fn group(self) -> FieldGroup {
+                match self {
+                    $(VmcsField::$name => FieldGroup::$group,)*
+                }
+            }
+
+            /// Whether the field holds a physical address that must be
+            /// translated between address spaces during VMCS shadowing
+            /// transformations.
+            pub const fn is_address(self) -> bool {
+                match self {
+                    $(VmcsField::$name => $addr,)*
+                }
+            }
+
+            /// Whether hardware VMCS shadowing can satisfy a guest `vmread`
+            /// of this field without a VM exit.
+            pub const fn shadow_readable(self) -> bool {
+                match self {
+                    $(VmcsField::$name => $shadow_r,)*
+                }
+            }
+
+            /// Whether hardware VMCS shadowing can satisfy a guest
+            /// `vmwrite` of this field without a VM exit.
+            pub const fn shadow_writable(self) -> bool {
+                match self {
+                    $(VmcsField::$name => $shadow_w,)*
+                }
+            }
+
+            /// Field name for tracing.
+            pub const fn name(self) -> &'static str {
+                match self {
+                    $(VmcsField::$name => stringify!($name),)*
+                }
+            }
+        }
+    };
+}
+
+/// Functional group of a VMCS field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldGroup {
+    /// Guest-state area (saved/loaded on exit/entry).
+    Guest,
+    /// Host-state area (loaded on exit).
+    Host,
+    /// Execution, entry and exit controls.
+    Control,
+    /// Read-only exit information.
+    ExitInfo,
+    /// SVt extension fields (Table 2 of the paper).
+    Svt,
+}
+
+vmcs_fields! {
+    // Guest state                      (group,  addr,  shadow_r, shadow_w)
+    GuestRip                         => (Guest,   false, true,  true),
+    GuestRsp                         => (Guest,   false, true,  true),
+    GuestRflags                      => (Guest,   false, true,  true),
+    GuestCr0                         => (Guest,   false, true,  true),
+    GuestCr3                         => (Guest,   false, true,  false),
+    GuestCr4                         => (Guest,   false, true,  true),
+    GuestEfer                        => (Guest,   false, true,  true),
+    GuestCsBase                      => (Guest,   false, true,  true),
+    GuestSsBase                      => (Guest,   false, true,  true),
+    GuestDsBase                      => (Guest,   false, true,  true),
+    GuestEsBase                      => (Guest,   false, true,  true),
+    GuestFsBase                      => (Guest,   false, true,  true),
+    GuestGsBase                      => (Guest,   false, true,  true),
+    GuestTrBase                      => (Guest,   false, true,  true),
+    GuestGdtrBase                    => (Guest,   false, true,  true),
+    GuestIdtrBase                    => (Guest,   false, true,  true),
+    GuestIntrState                   => (Guest,   false, true,  true),
+    GuestActivityState              => (Guest,   false, true,  true),
+    // Host state
+    HostRip                          => (Host,    false, false, false),
+    HostRsp                          => (Host,    false, false, false),
+    HostCr0                          => (Host,    false, false, false),
+    HostCr3                          => (Host,    false, false, false),
+    HostCr4                          => (Host,    false, false, false),
+    HostEfer                         => (Host,    false, false, false),
+    HostFsBase                       => (Host,    false, false, false),
+    HostGsBase                       => (Host,    false, false, false),
+    HostTrBase                       => (Host,    false, false, false),
+    // Controls
+    PinBasedControls                 => (Control, false, true,  false),
+    ProcBasedControls                => (Control, false, true,  false),
+    SecondaryControls                => (Control, false, true,  false),
+    ExceptionBitmap                  => (Control, false, true,  false),
+    IoBitmapA                        => (Control, true,  false, false),
+    IoBitmapB                        => (Control, true,  false, false),
+    MsrBitmap                        => (Control, true,  false, false),
+    EptPointer                       => (Control, true,  false, false),
+    VmcsLinkPointer                  => (Control, true,  false, false),
+    TscOffset                        => (Control, false, true,  false),
+    VmEntryControls                  => (Control, false, true,  false),
+    VmExitControls                   => (Control, false, true,  false),
+    VmEntryIntrInfo                  => (Control, false, true,  true),
+    VmEntryIntrErrCode               => (Control, false, true,  true),
+    TprThreshold                     => (Control, false, true,  false),
+    PreemptionTimerValue             => (Control, false, true,  false),
+    // Exit information (read-only to guests)
+    ExitReason                       => (ExitInfo, false, true, false),
+    ExitQualification                => (ExitInfo, false, true, false),
+    GuestLinearAddr                  => (ExitInfo, false, true, false),
+    GuestPhysAddr                    => (ExitInfo, false, true, false),
+    ExitIntrInfo                     => (ExitInfo, false, true, false),
+    ExitIntrErrCode                  => (ExitInfo, false, true, false),
+    ExitInstrLen                     => (ExitInfo, false, true, false),
+    ExitInstrInfo                    => (ExitInfo, false, true, false),
+    IdtVectoringInfo                 => (ExitInfo, false, true, false),
+    IdtVectoringErrCode              => (ExitInfo, false, true, false),
+    // SVt extension (paper Table 2)
+    SvtVisor                         => (Svt,     false, false, false),
+    SvtVm                            => (Svt,     false, false, false),
+    SvtNested                        => (Svt,     false, false, false),
+}
+
+impl VmcsField {
+    /// The exit-information fields copied from vmcs02 into vmcs12 when L0
+    /// reflects a nested trap (the forward transformation of Algorithm 1,
+    /// line 3).
+    pub fn exit_info_fields() -> impl Iterator<Item = VmcsField> {
+        Self::ALL
+            .iter()
+            .copied()
+            .filter(|f| f.group() == FieldGroup::ExitInfo)
+    }
+
+    /// The address-bearing control fields requiring translation in the
+    /// backward transformation (Algorithm 1, line 14).
+    pub fn address_fields() -> impl Iterator<Item = VmcsField> {
+        Self::ALL.iter().copied().filter(|f| f.is_address())
+    }
+
+    /// Guest-state fields (saved/restored around entries and exits).
+    pub fn guest_fields() -> impl Iterator<Item = VmcsField> {
+        Self::ALL
+            .iter()
+            .copied()
+            .filter(|f| f.group() == FieldGroup::Guest)
+    }
+
+    /// The SVt extension fields.
+    pub const SVT_FIELDS: [VmcsField; 3] =
+        [VmcsField::SvtVisor, VmcsField::SvtVm, VmcsField::SvtNested];
+
+    /// The ten lazily-synced guest-context fields the *forward*
+    /// transformation copies from vmcs02 into vmcs12 when L0 reflects a
+    /// nested trap ("reflect any changes performed by L2", § 2.2).
+    pub const SYNC_FIELDS: [VmcsField; 10] = [
+        VmcsField::GuestRip,
+        VmcsField::GuestRsp,
+        VmcsField::GuestRflags,
+        VmcsField::GuestCr0,
+        VmcsField::GuestCr3,
+        VmcsField::GuestCr4,
+        VmcsField::GuestEfer,
+        VmcsField::GuestIntrState,
+        VmcsField::GuestActivityState,
+        VmcsField::GuestCsBase,
+    ];
+
+    /// The ten entry-relevant fields the *backward* transformation copies
+    /// from vmcs12 into vmcs02 before resuming L2 (Algorithm 1, line 14).
+    pub const ENTRY_FIELDS: [VmcsField; 10] = [
+        VmcsField::GuestRip,
+        VmcsField::GuestRsp,
+        VmcsField::GuestRflags,
+        VmcsField::GuestCr0,
+        VmcsField::GuestCr3,
+        VmcsField::GuestCr4,
+        VmcsField::GuestEfer,
+        VmcsField::GuestIntrState,
+        VmcsField::VmEntryIntrInfo,
+        VmcsField::VmEntryIntrErrCode,
+    ];
+
+    /// The eight exit-information fields L0 writes when injecting a
+    /// reflected trap into vmcs12 (Algorithm 1, line 5).
+    pub const INJECT_FIELDS: [VmcsField; 8] = [
+        VmcsField::ExitReason,
+        VmcsField::ExitQualification,
+        VmcsField::GuestPhysAddr,
+        VmcsField::GuestLinearAddr,
+        VmcsField::ExitIntrInfo,
+        VmcsField::ExitIntrErrCode,
+        VmcsField::ExitInstrLen,
+        VmcsField::IdtVectoringInfo,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        for (i, f) in VmcsField::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+        assert_eq!(VmcsField::COUNT, VmcsField::ALL.len());
+    }
+
+    #[test]
+    fn exit_info_fields_are_ten() {
+        // Matches the ~10 fields per transformation pass used to calibrate
+        // Table 1 part 2 (see svt-sim's cost model tests).
+        assert_eq!(VmcsField::exit_info_fields().count(), 10);
+    }
+
+    #[test]
+    fn address_fields_never_shadowable() {
+        for f in VmcsField::address_fields() {
+            assert!(!f.shadow_readable(), "{}", f.name());
+            assert!(!f.shadow_writable(), "{}", f.name());
+        }
+        assert_eq!(VmcsField::address_fields().count(), 5);
+    }
+
+    #[test]
+    fn svt_fields_belong_to_svt_group() {
+        for f in VmcsField::SVT_FIELDS {
+            assert_eq!(f.group(), FieldGroup::Svt);
+            assert!(!f.shadow_readable());
+        }
+    }
+
+    #[test]
+    fn shadow_writable_implies_readable() {
+        for &f in VmcsField::ALL {
+            if f.shadow_writable() {
+                assert!(f.shadow_readable(), "{}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_variants() {
+        assert_eq!(VmcsField::GuestRip.name(), "GuestRip");
+        assert_eq!(VmcsField::SvtNested.name(), "SvtNested");
+    }
+
+    #[test]
+    fn guest_fields_cover_rip_and_control_registers() {
+        let guest: Vec<_> = VmcsField::guest_fields().collect();
+        assert!(guest.contains(&VmcsField::GuestRip));
+        assert!(guest.contains(&VmcsField::GuestCr3));
+        assert_eq!(guest.len(), 18);
+    }
+}

@@ -1,0 +1,53 @@
+//! VT-x-like hardware virtualization model.
+//!
+//! The single-level hardware virtualization substrate the paper's nested
+//! stack is built on (§ 2.1):
+//!
+//! * [`Vmcs`]/[`VmcsField`] — VM state descriptors with the field
+//!   classification that drives shadowing and transformation costs;
+//! * [`ExitReason`] — every trap the hardware can raise, with the
+//!   encode/decode path through the exit-information fields;
+//! * [`ExecPolicy`] — which guest operations trap, including the nested
+//!   policy merge L0 performs when building vmcs02;
+//! * [`Ept`] — extended page tables with MMIO-misconfig marking and the
+//!   two-level composition (`ept02 = ept12 ∘ ept01`);
+//! * [`LocalApic`] — per-vCPU interrupts and the TSC-deadline timer.
+//!
+//! # Examples
+//!
+//! ```
+//! use svt_vmx::{ExitReason, VmcsField, Vmcs, VmcsRole};
+//! use svt_mem::Gpa;
+//!
+//! // L0 reflects a trap by encoding it into vmcs12's exit fields...
+//! let mut vmcs12 = Vmcs::new(VmcsRole::Shadow, Gpa(0x3000));
+//! let (code, qual) = ExitReason::Cpuid.encode();
+//! vmcs12.write(VmcsField::ExitReason, code);
+//! vmcs12.write(VmcsField::ExitQualification, qual);
+//! // ...and L1 decodes what a real hypervisor could read back.
+//! let decoded = ExitReason::decode(
+//!     vmcs12.read(VmcsField::ExitReason),
+//!     vmcs12.read(VmcsField::ExitQualification),
+//! );
+//! assert_eq!(decoded, Some(ExitReason::Cpuid));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod apic;
+mod controls;
+mod ept;
+mod exit;
+mod fields;
+mod vmcs;
+
+pub use apic::{
+    LocalApic, MSR_APIC_BASE, MSR_EFER, MSR_SPEC_CTRL, MSR_TSC_DEADLINE, MSR_X2APIC_EOI,
+    MSR_X2APIC_ICR, VECTOR_IPI, VECTOR_TIMER, VECTOR_VIRTIO,
+};
+pub use controls::ExecPolicy;
+pub use ept::{Access, Ept, EptFault, EptPerms};
+pub use exit::ExitReason;
+pub use fields::{FieldGroup, VmcsField};
+pub use vmcs::{Vmcs, VmcsRole};

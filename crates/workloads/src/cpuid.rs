@@ -1,0 +1,140 @@
+//! Fig. 6 and Table 1 runners: the cpuid micro-benchmark.
+
+use svt_core::{nested_machine, SwitchMode};
+use svt_hv::{GuestOp, Level, Machine, MachineConfig, OpLoop};
+use svt_sim::{CostPart, SimDuration};
+
+/// One bar of Fig. 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Bar {
+    /// Bar label ("L0", "L1", "L2", "SW SVt", "HW SVt").
+    pub label: &'static str,
+    /// cpuid latency in microseconds.
+    pub time_us: f64,
+    /// Speedup vs the baseline L2 bar (1.0 for non-SVt bars).
+    pub speedup: f64,
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Part index ⓪–⑤.
+    pub part: usize,
+    /// Row label.
+    pub label: String,
+    /// Measured time in microseconds.
+    pub time_us: f64,
+    /// Share of the total.
+    pub percent: f64,
+    /// The paper's value in microseconds.
+    pub paper_us: f64,
+}
+
+fn measure_cpuid(m: &mut Machine, iters: u64) -> svt_sim::ClockSnapshot {
+    let mut warm = OpLoop::new(GuestOp::Cpuid, 1, 0, SimDuration::ZERO);
+    m.run(&mut warm).expect("cpuid never blocks");
+    let base = m.clock.snapshot();
+    let mut prog = OpLoop::new(GuestOp::Cpuid, iters, 0, SimDuration::ZERO);
+    m.run(&mut prog).expect("cpuid never blocks");
+    m.clock.since_snapshot(&base)
+}
+
+/// cpuid latency in µs at a given level/mode.
+pub fn cpuid_us(level: Level, mode: SwitchMode, iters: u64) -> f64 {
+    let mut m = if level == Level::L2 {
+        nested_machine(mode)
+    } else {
+        Machine::baseline(MachineConfig::at_level(level))
+    };
+    let d = measure_cpuid(&mut m, iters);
+    d.busy_time().as_us() / iters as f64
+}
+
+/// Reproduces Fig. 6: the five bars with speedups against baseline L2.
+pub fn fig6(iters: u64) -> Vec<Fig6Bar> {
+    let l2 = cpuid_us(Level::L2, SwitchMode::Baseline, iters);
+    let bar = |label, t: f64, svt: bool| Fig6Bar {
+        label,
+        time_us: t,
+        speedup: if svt { l2 / t } else { 1.0 },
+    };
+    vec![
+        bar("L0", cpuid_us(Level::L0, SwitchMode::Baseline, iters), false),
+        bar("L1", cpuid_us(Level::L1, SwitchMode::Baseline, iters), false),
+        bar("L2", l2, false),
+        bar(
+            "SW SVt",
+            cpuid_us(Level::L2, SwitchMode::SwSvt, iters),
+            true,
+        ),
+        bar(
+            "HW SVt",
+            cpuid_us(Level::L2, SwitchMode::HwSvt, iters),
+            true,
+        ),
+    ]
+}
+
+/// Reproduces Table 1: the six-part breakdown of one nested cpuid.
+pub fn table1(iters: u64) -> Vec<Table1Row> {
+    let mut m = nested_machine(SwitchMode::Baseline);
+    let d = measure_cpuid(&mut m, iters);
+    let paper = [0.05, 0.81, 1.29, 4.89, 1.40, 1.96];
+    let total: f64 = CostPart::TABLE1
+        .iter()
+        .map(|p| d.part_time(*p).as_us())
+        .sum();
+    CostPart::TABLE1
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let t = d.part_time(*p).as_us() / iters as f64;
+            Table1Row {
+                part: i,
+                label: p.to_string(),
+                time_us: t,
+                percent: 100.0 * d.part_time(*p).as_us() / total,
+                paper_us: paper[i],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_bars_ordered() {
+        let bars = fig6(20);
+        assert_eq!(bars.len(), 5);
+        assert_eq!(bars[0].label, "L0");
+        // L0 < L1 < HW SVt < SW SVt < L2.
+        assert!(bars[0].time_us < bars[1].time_us);
+        assert!(bars[1].time_us < bars[4].time_us);
+        assert!(bars[4].time_us < bars[3].time_us);
+        assert!(bars[3].time_us < bars[2].time_us);
+        // Speedups within the DESIGN.md bands.
+        assert!((1.15..=1.35).contains(&bars[3].speedup), "{}", bars[3].speedup);
+        assert!((1.8..=2.1).contains(&bars[4].speedup), "{}", bars[4].speedup);
+    }
+
+    #[test]
+    fn table1_matches_paper_within_five_percent() {
+        let rows = table1(50);
+        assert_eq!(rows.len(), 6);
+        let total: f64 = rows.iter().map(|r| r.time_us).sum();
+        assert!((total - 10.4).abs() / 10.4 < 0.02, "total {total}");
+        for r in &rows {
+            assert!(
+                (r.time_us - r.paper_us).abs() / r.paper_us < 0.05,
+                "{}: {} vs paper {}",
+                r.label,
+                r.time_us,
+                r.paper_us
+            );
+        }
+        let pct: f64 = rows.iter().map(|r| r.percent).sum();
+        assert!((pct - 100.0).abs() < 1e-6);
+    }
+}

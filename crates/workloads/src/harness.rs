@@ -1,0 +1,65 @@
+//! Experiment harness: wiring machines, devices and guest programs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use svt_core::{nested_machine, SwitchMode};
+use svt_hv::Machine;
+use svt_sim::{CostModel, SimDuration};
+use svt_virtio::{BlkConfig, VirtioBlk, Virtqueue};
+
+use crate::layout;
+use crate::loadgen::{ArrivalMode, LoadGenConfig, LoadGenNet, LoadStats, RequestSource};
+use crate::server::VECTOR_BLK;
+
+/// Queue size shared by the workload programs and device models.
+pub const QUEUE_SIZE: u16 = 32;
+
+/// Builds a nested machine with a load-generator NIC attached; returns the
+/// machine and the shared statistics handle.
+pub fn rr_machine(
+    mode: SwitchMode,
+    arrival: ArrivalMode,
+    total_requests: u64,
+    source: Box<dyn RequestSource>,
+) -> (Machine, Rc<RefCell<LoadStats>>) {
+    let mut m = nested_machine(mode);
+    let cost = m.cost.clone();
+    let cfg = LoadGenConfig {
+        mmio_base: layout::NET_MMIO,
+        irq_vector: svt_vmx::VECTOR_VIRTIO,
+        wire_latency: cost.wire_latency,
+        kick_service: cost.virtio_backend_service,
+        completion_service: cost.virtio_backend_service,
+        kick_backend_exits: 1,
+        completion_backend_exits: 1,
+        arrival,
+        total_requests,
+        seed: 0x1509,
+    };
+    let (dev, stats) = LoadGenNet::new(
+        cfg,
+        source,
+        Virtqueue::new(layout::TX_QUEUE, QUEUE_SIZE),
+        Virtqueue::new(layout::RX_QUEUE, QUEUE_SIZE),
+    );
+    m.add_device(Box::new(dev));
+    (m, stats)
+}
+
+/// Attaches a virtio-blk device (vector [`VECTOR_BLK`]) to a machine.
+pub fn attach_blk(m: &mut Machine) {
+    let cost = m.cost.clone();
+    let mut cfg = BlkConfig::from_cost(&cost);
+    cfg.irq_vector = VECTOR_BLK;
+    let blk = VirtioBlk::new(cfg, Virtqueue::new(layout::BLK_QUEUE, QUEUE_SIZE));
+    m.add_device(Box::new(blk));
+}
+
+/// Closed-loop single-connection arrival (netperf TCP_RR).
+pub fn rr_arrival(cost: &CostModel) -> ArrivalMode {
+    ArrivalMode::ClosedLoop {
+        concurrency: 1,
+        think: cost.netstack_per_packet + SimDuration::from_us(6),
+    }
+}

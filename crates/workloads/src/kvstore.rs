@@ -1,0 +1,329 @@
+//! The memcached-like key-value store and Facebook's ETC workload.
+//!
+//! A real sharded hash-map store runs inside L2 behind the generic
+//! [`RrServer`](crate::server::RrServer); the [`EtcSource`] request stream
+//! follows the published shape of Facebook's ETC pool (Atikoglu et al.,
+//! SIGMETRICS'12): GET-dominated (~95 %), small keys, and a heavy-tailed
+//! value-size distribution with Zipf-like key popularity.
+
+use std::collections::HashMap;
+
+use svt_mem::GuestMemory;
+use svt_sim::{DetRng, SimDuration};
+
+use crate::loadgen::{Request, RequestSource};
+use crate::server::{ParsedRequest, ServeOutput, ServiceModel};
+
+/// Operation codes on the wire.
+pub const OP_GET: u32 = 0;
+/// SET operation code.
+pub const OP_SET: u32 = 1;
+
+/// A sharded in-memory key-value store.
+///
+/// # Examples
+///
+/// ```
+/// use svt_workloads::KvStore;
+///
+/// let mut kv = KvStore::new(16);
+/// kv.set(7, vec![1, 2, 3]);
+/// assert_eq!(kv.get(7).map(|v| v.len()), Some(3));
+/// assert_eq!(kv.get(8), None);
+/// ```
+#[derive(Debug)]
+pub struct KvStore {
+    shards: Vec<HashMap<u64, Vec<u8>>>,
+}
+
+impl KvStore {
+    /// Creates a store with `shards` hash shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0);
+        KvStore {
+            shards: (0..shards).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    fn shard(&self, key: u64) -> usize {
+        (key % self.shards.len() as u64) as usize
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: u64) -> Option<&Vec<u8>> {
+        self.shards[self.shard(key)].get(&key)
+    }
+
+    /// Stores a value.
+    pub fn set(&mut self, key: u64, value: Vec<u8>) {
+        let s = self.shard(key);
+        self.shards[s].insert(key, value);
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The ETC-like request stream.
+#[derive(Debug, Clone)]
+pub struct EtcSource {
+    keys: u64,
+    get_fraction: f64,
+    zipf_skew: f64,
+}
+
+impl EtcSource {
+    /// ETC defaults: 95/5 GET/SET over `keys` keys with skew ~0.99.
+    pub fn new(keys: u64) -> Self {
+        EtcSource {
+            keys,
+            get_fraction: 0.95,
+            zipf_skew: 0.99,
+        }
+    }
+
+    /// ETC value sizes: dominated by small values with a heavy tail
+    /// (~90 % under 1 KB, occasional multi-KB values).
+    fn value_size(&self, rng: &mut DetRng) -> u32 {
+        let u = rng.unit();
+        if u < 0.40 {
+            rng.range(2, 64) as u32
+        } else if u < 0.90 {
+            rng.range(64, 1024) as u32
+        } else if u < 0.99 {
+            rng.range(1024, 4096) as u32
+        } else {
+            rng.range(4096, 16_384) as u32
+        }
+    }
+}
+
+impl RequestSource for EtcSource {
+    fn next(&mut self, rng: &mut DetRng) -> Request {
+        let key = rng.zipf(self.keys, self.zipf_skew);
+        let op = if rng.chance(self.get_fraction) {
+            OP_GET
+        } else {
+            OP_SET
+        };
+        Request {
+            op,
+            key,
+            vsize: self.value_size(rng),
+        }
+    }
+}
+
+/// The memcached service: real store operations plus a calibrated
+/// per-request processing cost.
+#[derive(Debug)]
+pub struct KvService {
+    store: KvStore,
+    /// Fixed request-parsing + hashing cost.
+    pub base_cost: SimDuration,
+    /// Per-value-byte memcpy cost.
+    pub per_byte: SimDuration,
+    hits: u64,
+    misses: u64,
+    sets: u64,
+}
+
+impl KvService {
+    /// A service over a fresh store, pre-warmed with `warm_keys` values.
+    pub fn new(warm_keys: u64) -> Self {
+        let mut store = KvStore::new(64);
+        for k in 0..warm_keys {
+            // Deterministic warm sizes spread over the ETC range.
+            let size = 64 + (k * 37) % 1024;
+            store.set(k, vec![0xAB; size as usize]);
+        }
+        KvService {
+            store,
+            base_cost: SimDuration::from_ns(1800),
+            per_byte: SimDuration::from_ps(400),
+            hits: 0,
+            misses: 0,
+            sets: 0,
+        }
+    }
+
+    /// (hits, misses, sets) counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.sets)
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+}
+
+impl ServiceModel for KvService {
+    fn serve(&mut self, req: &ParsedRequest, _mem: &mut GuestMemory) -> ServeOutput {
+        match req.op {
+            OP_SET => {
+                self.sets += 1;
+                self.store.set(req.key, vec![0xCD; req.vsize as usize]);
+                ServeOutput {
+                    compute: self.base_cost + self.per_byte * req.vsize as u64,
+                    reply_len: 8,
+                    ..ServeOutput::default()
+                }
+            }
+            _ => {
+                let (found, len) = match self.store.get(req.key) {
+                    Some(v) => (true, v.len() as u32),
+                    None => (false, 0),
+                };
+                if found {
+                    self.hits += 1;
+                } else {
+                    self.misses += 1;
+                }
+                ServeOutput {
+                    compute: self.base_cost + self.per_byte * len as u64,
+                    reply_len: 8 + len,
+                    ..ServeOutput::default()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_round_trip_and_sharding() {
+        let mut kv = KvStore::new(4);
+        for k in 0..100 {
+            kv.set(k, vec![k as u8; (k % 32) as usize + 1]);
+        }
+        assert_eq!(kv.len(), 100);
+        for k in 0..100 {
+            assert_eq!(kv.get(k).unwrap().len(), (k % 32) as usize + 1);
+        }
+        kv.set(5, vec![9]);
+        assert_eq!(kv.get(5).unwrap(), &vec![9]);
+        assert_eq!(kv.len(), 100);
+    }
+
+    #[test]
+    fn etc_is_get_dominated() {
+        let mut src = EtcSource::new(10_000);
+        let mut rng = DetRng::seed(11);
+        let gets = (0..10_000)
+            .filter(|_| src.next(&mut rng).op == OP_GET)
+            .count();
+        let frac = gets as f64 / 10_000.0;
+        assert!((0.93..0.97).contains(&frac), "GET fraction {frac}");
+    }
+
+    #[test]
+    fn etc_values_are_mostly_small() {
+        let mut src = EtcSource::new(10_000);
+        let mut rng = DetRng::seed(12);
+        let sizes: Vec<u32> = (0..10_000).map(|_| src.next(&mut rng).vsize).collect();
+        let small = sizes.iter().filter(|&&s| s < 1024).count() as f64 / sizes.len() as f64;
+        assert!(small > 0.85, "small fraction {small}");
+        assert!(sizes.iter().any(|&s| s > 4096), "tail exists");
+    }
+
+    #[test]
+    fn etc_keys_are_skewed() {
+        let mut src = EtcSource::new(100_000);
+        let mut rng = DetRng::seed(13);
+        let hot = (0..20_000)
+            .filter(|_| src.next(&mut rng).key < 1000)
+            .count() as f64
+            / 20_000.0;
+        assert!(hot > 0.3, "hot-key fraction {hot}");
+    }
+
+    #[test]
+    fn service_tracks_hits_and_misses() {
+        let mut svc = KvService::new(100);
+        let mut mem = GuestMemory::new(4096);
+        let hit = ParsedRequest {
+            send_ps: 0,
+            key: 5,
+            op: OP_GET,
+            vsize: 0,
+        };
+        let miss = ParsedRequest {
+            send_ps: 0,
+            key: 999_999,
+            op: OP_GET,
+            vsize: 0,
+        };
+        let set = ParsedRequest {
+            send_ps: 0,
+            key: 999_999,
+            op: OP_SET,
+            vsize: 256,
+        };
+        let out = svc.serve(&hit, &mut mem);
+        assert!(out.reply_len > 8);
+        svc.serve(&miss, &mut mem);
+        svc.serve(&set, &mut mem);
+        // After the SET, the key hits.
+        let out = svc.serve(&miss, &mut mem);
+        assert_eq!(out.reply_len, 8 + 256);
+        assert_eq!(svc.counters(), (2, 1, 1));
+    }
+
+    #[test]
+    fn service_cost_scales_with_value_size() {
+        let mut svc = KvService::new(0);
+        let mut mem = GuestMemory::new(4096);
+        svc.serve(
+            &ParsedRequest {
+                send_ps: 0,
+                key: 1,
+                op: OP_SET,
+                vsize: 10_000,
+            },
+            &mut mem,
+        );
+        let big = svc.serve(
+            &ParsedRequest {
+                send_ps: 0,
+                key: 1,
+                op: OP_GET,
+                vsize: 0,
+            },
+            &mut mem,
+        );
+        svc.serve(
+            &ParsedRequest {
+                send_ps: 0,
+                key: 2,
+                op: OP_SET,
+                vsize: 10,
+            },
+            &mut mem,
+        );
+        let small = svc.serve(
+            &ParsedRequest {
+                send_ps: 0,
+                key: 2,
+                op: OP_GET,
+                vsize: 0,
+            },
+            &mut mem,
+        );
+        assert!(big.compute > small.compute);
+    }
+}

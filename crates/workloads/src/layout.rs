@@ -1,0 +1,26 @@
+//! Guest-physical memory layout shared by the workload programs.
+//!
+//! All workloads place their virtqueues and buffer pools at fixed
+//! addresses below the device MMIO windows; the default nested machine
+//! identity-maps this range in both EPT levels.
+
+use svt_mem::{Gpa, Hpa};
+
+/// TX virtqueue of the NIC.
+pub const TX_QUEUE: Hpa = Hpa(0x20_0000);
+/// RX virtqueue of the NIC.
+pub const RX_QUEUE: Hpa = Hpa(0x21_0000);
+/// Virtqueue of the block device.
+pub const BLK_QUEUE: Hpa = Hpa(0x22_0000);
+/// RX buffer pool base.
+pub const RX_BUFS: Hpa = Hpa(0x30_0000);
+/// TX buffer pool base.
+pub const TX_BUFS: Hpa = Hpa(0x38_0000);
+/// Block request buffer base.
+pub const BLK_BUFS: Hpa = Hpa(0x3a_0000);
+/// Size of one pooled buffer.
+pub const BUF_SIZE: u64 = 0x1000;
+/// MMIO base of the (load-generator) NIC.
+pub const NET_MMIO: Gpa = Gpa(0x4000_0000);
+/// MMIO base of the block device.
+pub const BLK_MMIO: Gpa = Gpa(0x4100_0000);

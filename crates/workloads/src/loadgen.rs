@@ -1,0 +1,510 @@
+//! The load-generator NIC: the remote client machine.
+//!
+//! For request/response workloads (netperf TCP_RR, memcached+mutilate,
+//! sysbench TPC-C) the guest's virtio-net device *is* the boundary to the
+//! remote load generator. [`LoadGenNet`] plays both roles: it delivers
+//! request packets into the guest's RX virtqueue (open-loop Poisson or
+//! closed-loop), and receives replies through the TX virtqueue. Request
+//! payloads carry their departure timestamp through real guest memory;
+//! the generator reads it back from the echoed reply to record end-to-end
+//! latency, exactly as mutilate does.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use svt_hv::{Completion, DeviceModel, DeviceOutcome};
+use svt_mem::{Gpa, GuestMemory, Hpa};
+use svt_sim::{DetRng, SimDuration, SimTime};
+use svt_stats::LatencyRecorder;
+use svt_virtio::Virtqueue;
+
+/// MMIO register offsets on the load-generator NIC.
+pub mod regs {
+    /// Doorbell: guest posted a reply on the TX queue.
+    pub const TX_NOTIFY: u64 = 0;
+    /// Doorbell: guest replenished RX buffers.
+    pub const RX_NOTIFY: u64 = 8;
+    /// Write: start generating load.
+    pub const START: u64 = 24;
+}
+
+/// How the client issues requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalMode {
+    /// `concurrency` outstanding requests; a reply immediately triggers
+    /// the next request after `think` (netperf TCP_RR: concurrency 1).
+    ClosedLoop {
+        /// Outstanding requests.
+        concurrency: u32,
+        /// Client processing time between reply and next request.
+        think: SimDuration,
+    },
+    /// Poisson arrivals at a target rate, regardless of replies
+    /// (mutilate's open-loop mode for Fig. 8).
+    OpenLoop {
+        /// Mean inter-arrival time (1/rate).
+        mean_interarrival: SimDuration,
+    },
+}
+
+/// One generated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Operation code (workload-defined; e.g. 0 = GET, 1 = SET).
+    pub op: u32,
+    /// Key identifier.
+    pub key: u64,
+    /// Value size in bytes (payload the server must produce or store).
+    pub vsize: u32,
+}
+
+/// Produces the request stream (uniform, ETC-like, TPC-C mix, ...).
+pub trait RequestSource: std::fmt::Debug {
+    /// The next request.
+    fn next(&mut self, rng: &mut DetRng) -> Request;
+}
+
+/// Fixed-size requests (netperf TCP_RR's 1-byte ping-pong).
+#[derive(Debug, Clone)]
+pub struct FixedSource {
+    /// The request every client sends.
+    pub request: Request,
+}
+
+impl RequestSource for FixedSource {
+    fn next(&mut self, _rng: &mut DetRng) -> Request {
+        self.request
+    }
+}
+
+/// Shared, externally readable statistics of a load run.
+#[derive(Debug, Default)]
+pub struct LoadStats {
+    /// End-to-end request latencies in nanoseconds.
+    pub latency: LatencyRecorder,
+    /// Requests sent.
+    pub sent: u64,
+    /// Replies received.
+    pub completed: u64,
+    /// Requests dropped because the guest had no RX buffer posted.
+    pub dropped: u64,
+    /// Time the first request departed.
+    pub first_send: Option<SimTime>,
+    /// Time the last reply arrived.
+    pub last_reply: Option<SimTime>,
+}
+
+impl LoadStats {
+    /// Achieved throughput in requests/second over the active window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two events were recorded.
+    pub fn throughput_rps(&self) -> f64 {
+        let first = self.first_send.expect("no request sent");
+        let last = self.last_reply.expect("no reply received");
+        let span = last.since(first).as_secs();
+        assert!(span > 0.0, "degenerate measurement window");
+        self.completed as f64 / span
+    }
+}
+
+/// Configuration of the generator.
+#[derive(Debug)]
+pub struct LoadGenConfig {
+    /// MMIO window base in the guest's physical space.
+    pub mmio_base: Gpa,
+    /// Interrupt vector for request delivery.
+    pub irq_vector: u8,
+    /// One-way wire latency between client and guest.
+    pub wire_latency: SimDuration,
+    /// Backend service per doorbell kick.
+    pub kick_service: SimDuration,
+    /// Backend service per delivered request.
+    pub completion_service: SimDuration,
+    /// Privileged backend operations per kick.
+    pub kick_backend_exits: u32,
+    /// Privileged backend operations per delivery.
+    pub completion_backend_exits: u32,
+    /// Arrival process.
+    pub arrival: ArrivalMode,
+    /// Stop after this many requests.
+    pub total_requests: u64,
+    /// RNG seed for the request stream.
+    pub seed: u64,
+}
+
+/// Byte layout of a request/reply payload in guest memory.
+pub const PAYLOAD_HEADER: usize = 8 + 8 + 4 + 4; // send_ps, key, op, vsize
+
+const TOKEN_ARRIVAL: u64 = 1 << 62;
+
+/// The load-generator NIC device.
+#[derive(Debug)]
+pub struct LoadGenNet {
+    cfg: LoadGenConfig,
+    source: Box<dyn RequestSource>,
+    tx: Virtqueue,
+    rx: Virtqueue,
+    rng: DetRng,
+    stats: Rc<RefCell<LoadStats>>,
+    pending_arrivals: HashMap<u64, Request>,
+    next_token: u64,
+    started: bool,
+}
+
+impl LoadGenNet {
+    /// Creates the generator over the guest's TX/RX queues. Returns the
+    /// device and a shared handle to its statistics.
+    pub fn new(
+        cfg: LoadGenConfig,
+        source: Box<dyn RequestSource>,
+        tx: Virtqueue,
+        rx: Virtqueue,
+    ) -> (Self, Rc<RefCell<LoadStats>>) {
+        let stats = Rc::new(RefCell::new(LoadStats::default()));
+        let seed = cfg.seed;
+        (
+            LoadGenNet {
+                cfg,
+                source,
+                tx,
+                rx,
+                rng: DetRng::seed(seed),
+                stats: Rc::clone(&stats),
+                pending_arrivals: HashMap::new(),
+                next_token: 0,
+                started: false,
+            },
+            stats,
+        )
+    }
+
+    fn schedule_arrival(&mut self, at: SimTime, out: &mut Vec<(SimTime, u64)>) {
+        let sent = { self.stats.borrow().sent };
+        if sent >= self.cfg.total_requests {
+            return;
+        }
+        self.stats.borrow_mut().sent += 1;
+        let req = self.source.next(&mut self.rng);
+        self.next_token += 1;
+        let tok = TOKEN_ARRIVAL | self.next_token;
+        self.pending_arrivals.insert(tok, req);
+        out.push((at, tok));
+    }
+
+    fn deliver_request(
+        &mut self,
+        req: Request,
+        mem: &mut GuestMemory,
+        now: SimTime,
+    ) -> Option<Completion> {
+        let Some(chain) = self.rx.device_pop(mem).expect("rx queue in RAM") else {
+            self.stats.borrow_mut().dropped += 1;
+            return None;
+        };
+        let d = chain.descs.first().expect("chain non-empty");
+        // The request departed the client one wire latency ago; latency is
+        // measured from that departure.
+        let sent = now - self.cfg.wire_latency;
+        let mut payload = Vec::with_capacity(PAYLOAD_HEADER);
+        payload.extend_from_slice(&sent.as_ps().to_le_bytes());
+        payload.extend_from_slice(&req.key.to_le_bytes());
+        payload.extend_from_slice(&req.op.to_le_bytes());
+        payload.extend_from_slice(&req.vsize.to_le_bytes());
+        let n = payload.len().min(d.len as usize);
+        mem.write(Hpa(d.addr), &payload[..n]).expect("rx buffer in RAM");
+        self.rx
+            .device_push_used(mem, chain.head, PAYLOAD_HEADER as u32 + req.vsize)
+            .expect("rx used in RAM");
+        {
+            let mut s = self.stats.borrow_mut();
+            if s.first_send.is_none() {
+                s.first_send = Some(sent);
+            }
+        }
+        Some(Completion {
+            vector: self.cfg.irq_vector,
+            service: self.cfg.completion_service,
+            backend_l1_exits: self.cfg.completion_backend_exits,
+            schedule: Vec::new(),
+        })
+    }
+
+    /// Shared statistics handle.
+    pub fn stats_handle(&self) -> Rc<RefCell<LoadStats>> {
+        Rc::clone(&self.stats)
+    }
+}
+
+impl DeviceModel for LoadGenNet {
+    fn ranges(&self) -> Vec<(Gpa, u64)> {
+        vec![(self.cfg.mmio_base, 0x1000)]
+    }
+
+    fn mmio_write(
+        &mut self,
+        gpa: Gpa,
+        _value: u64,
+        mem: &mut GuestMemory,
+        now: SimTime,
+    ) -> DeviceOutcome {
+        let off = gpa.0 - self.cfg.mmio_base.0;
+        let mut out = DeviceOutcome {
+            service: self.cfg.kick_service,
+            backend_l1_exits: self.cfg.kick_backend_exits,
+            schedule: Vec::new(),
+        };
+        match off {
+            regs::START if !self.started => {
+                self.started = true;
+                match self.cfg.arrival {
+                    ArrivalMode::ClosedLoop { concurrency, .. } => {
+                        for _ in 0..concurrency {
+                            let at = now + self.cfg.wire_latency;
+                            self.schedule_arrival(at, &mut out.schedule);
+                        }
+                    }
+                    ArrivalMode::OpenLoop { mean_interarrival } => {
+                        // Seed the whole Poisson arrival schedule lazily:
+                        // each delivery schedules the next arrival.
+                        let gap = self.rng.exp_duration(mean_interarrival);
+                        self.schedule_arrival(now + self.cfg.wire_latency + gap, &mut out.schedule);
+                    }
+                }
+                out.backend_l1_exits = 0;
+                out.service = SimDuration::ZERO;
+            }
+            regs::TX_NOTIFY => {
+                // Guest posted replies: record latencies, trigger follow-ups.
+                while let Some(chain) = self.tx.device_pop(mem).expect("tx queue in RAM") {
+                    let d = chain.descs.first().expect("chain non-empty");
+                    let send_ps = mem.read_u64(Hpa(d.addr)).expect("tx buffer in RAM");
+                    self.tx
+                        .device_push_used(mem, chain.head, 0)
+                        .expect("tx used in RAM");
+                    let reply_arrives = now + self.cfg.wire_latency;
+                    let latency = reply_arrives.since(SimTime::from_ps(send_ps));
+                    {
+                        let mut s = self.stats.borrow_mut();
+                        s.latency.record(latency.as_ns());
+                        s.completed += 1;
+                        s.last_reply = Some(reply_arrives);
+                    }
+                    if let ArrivalMode::ClosedLoop { think, .. } = self.cfg.arrival {
+                        let at = reply_arrives + think + self.cfg.wire_latency;
+                        self.schedule_arrival(at, &mut out.schedule);
+                    }
+                }
+            }
+            regs::RX_NOTIFY => {
+                out.service = self.cfg.kick_service / 4;
+            }
+            _ => {}
+        }
+        out
+    }
+
+    fn mmio_read(
+        &mut self,
+        _gpa: Gpa,
+        _mem: &mut GuestMemory,
+        _now: SimTime,
+    ) -> (u64, DeviceOutcome) {
+        let s = self.stats.borrow();
+        (s.completed, DeviceOutcome::default())
+    }
+
+    fn complete(&mut self, token: u64, mem: &mut GuestMemory, now: SimTime) -> Option<Completion> {
+        let req = self.pending_arrivals.remove(&token)?;
+        let mut comp = self.deliver_request(req, mem, now);
+        if let ArrivalMode::OpenLoop { mean_interarrival } = self.cfg.arrival {
+            // Chain the next Poisson arrival.
+            let gap = self.rng.exp_duration(mean_interarrival);
+            let mut schedule = Vec::new();
+            self.schedule_arrival(now + gap, &mut schedule);
+            match &mut comp {
+                Some(c) => c.schedule.extend(schedule),
+                None if !schedule.is_empty() => {
+                    // Request dropped but arrivals continue: surface the
+                    // schedule through a zero-cost completion.
+                    comp = Some(Completion {
+                        vector: self.cfg.irq_vector,
+                        service: SimDuration::ZERO,
+                        backend_l1_exits: 0,
+                        schedule,
+                    });
+                }
+                None => {}
+            }
+        }
+        comp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(arrival: ArrivalMode, total: u64) -> (GuestMemory, LoadGenNet, Virtqueue, Virtqueue) {
+        let mut mem = GuestMemory::new(1 << 20);
+        let mut txd = Virtqueue::new(Hpa(0x1000), 16);
+        let mut rxd = Virtqueue::new(Hpa(0x2000), 16);
+        txd.init(&mut mem).unwrap();
+        rxd.init(&mut mem).unwrap();
+        let cfg = LoadGenConfig {
+            mmio_base: Gpa(0x4000_0000),
+            irq_vector: 0x50,
+            wire_latency: SimDuration::from_us(14),
+            kick_service: SimDuration::from_us(2),
+            completion_service: SimDuration::from_us(2),
+            kick_backend_exits: 1,
+            completion_backend_exits: 1,
+            arrival,
+            total_requests: total,
+            seed: 1,
+        };
+        let source = Box::new(FixedSource {
+            request: Request {
+                op: 0,
+                key: 9,
+                vsize: 1,
+            },
+        });
+        let (dev, _) = LoadGenNet::new(
+            cfg,
+            source,
+            Virtqueue::new(Hpa(0x1000), 16),
+            Virtqueue::new(Hpa(0x2000), 16),
+        );
+        (mem, dev, txd, rxd)
+    }
+
+    #[test]
+    fn start_schedules_first_arrival_after_wire() {
+        let (mut mem, mut dev, _txd, _rxd) = setup(
+            ArrivalMode::ClosedLoop {
+                concurrency: 1,
+                think: SimDuration::ZERO,
+            },
+            10,
+        );
+        let out = dev.mmio_write(Gpa(0x4000_0000 + regs::START), 1, &mut mem, SimTime::ZERO);
+        assert_eq!(out.schedule.len(), 1);
+        assert_eq!(out.schedule[0].0, SimTime::from_us(14));
+        assert_eq!(dev.stats_handle().borrow().sent, 1);
+    }
+
+    #[test]
+    fn request_payload_lands_in_posted_buffer() {
+        let (mut mem, mut dev, _txd, mut rxd) = setup(
+            ArrivalMode::ClosedLoop {
+                concurrency: 1,
+                think: SimDuration::ZERO,
+            },
+            10,
+        );
+        rxd.driver_add(&mut mem, &[(0x9000, 256, true)]).unwrap();
+        let out = dev.mmio_write(Gpa(0x4000_0000 + regs::START), 1, &mut mem, SimTime::ZERO);
+        let (at, tok) = out.schedule[0];
+        let comp = dev.complete(tok, &mut mem, at).unwrap();
+        assert_eq!(comp.vector, 0x50);
+        // The payload carries the client departure timestamp (one wire
+        // latency before arrival) and the key.
+        let sent = at - SimDuration::from_us(14);
+        assert_eq!(mem.read_u64(Hpa(0x9000)).unwrap(), sent.as_ps());
+        assert_eq!(mem.read_u64(Hpa(0x9008)).unwrap(), 9);
+        assert!(rxd.driver_take_used(&mem).unwrap().is_some());
+    }
+
+    #[test]
+    fn reply_records_latency_and_chains_next_request() {
+        let (mut mem, mut dev, mut txd, mut rxd) = setup(
+            ArrivalMode::ClosedLoop {
+                concurrency: 1,
+                think: SimDuration::from_us(2),
+            },
+            10,
+        );
+        rxd.driver_add(&mut mem, &[(0x9000, 256, true)]).unwrap();
+        let out = dev.mmio_write(Gpa(0x4000_0000 + regs::START), 1, &mut mem, SimTime::ZERO);
+        let (at, tok) = out.schedule[0];
+        dev.complete(tok, &mut mem, at).unwrap();
+        // Guest "processes" for 5us, echoes the timestamp in its reply.
+        let send_ps = mem.read_u64(Hpa(0x9000)).unwrap();
+        mem.write_u64(Hpa(0xb000), send_ps).unwrap();
+        txd.driver_add(&mut mem, &[(0xb000, 64, false)]).unwrap();
+        let reply_time = at + SimDuration::from_us(5);
+        let out = dev.mmio_write(Gpa(0x4000_0000 + regs::TX_NOTIFY), 1, &mut mem, reply_time);
+        let stats = dev.stats_handle();
+        let s = stats.borrow();
+        assert_eq!(s.completed, 1);
+        // Latency = request wire (14us) + processing (5us) + return wire
+        // (14us).
+        assert!((s.latency.samples()[0] - 33_000.0).abs() < 1.0);
+        drop(s);
+        // Next request scheduled: reply_arrival + think + wire.
+        assert_eq!(out.schedule.len(), 1);
+        assert_eq!(
+            out.schedule[0].0,
+            reply_time + SimDuration::from_us(14 + 2 + 14)
+        );
+    }
+
+    #[test]
+    fn open_loop_arrivals_continue_without_replies() {
+        let (mut mem, mut dev, _txd, mut rxd) = setup(
+            ArrivalMode::OpenLoop {
+                mean_interarrival: SimDuration::from_us(100),
+            },
+            1000,
+        );
+        for i in 0..8u64 {
+            rxd.driver_add(&mut mem, &[(0x9000 + i * 0x100, 256, true)])
+                .unwrap();
+        }
+        let out = dev.mmio_write(Gpa(0x4000_0000 + regs::START), 1, &mut mem, SimTime::ZERO);
+        let mut due = out.schedule;
+        let mut delivered = 0;
+        while delivered < 5 {
+            let (at, tok) = due.remove(0);
+            if let Some(c) = dev.complete(tok, &mut mem, at) {
+                due.extend(c.schedule);
+                delivered += 1;
+            }
+        }
+        assert_eq!(dev.stats_handle().borrow().sent, 6);
+    }
+
+    #[test]
+    fn stops_at_total_requests() {
+        let (mut mem, mut dev, _txd, mut rxd) = setup(
+            ArrivalMode::ClosedLoop {
+                concurrency: 4,
+                think: SimDuration::ZERO,
+            },
+            2,
+        );
+        rxd.driver_add(&mut mem, &[(0x9000, 256, true)]).unwrap();
+        let out = dev.mmio_write(Gpa(0x4000_0000 + regs::START), 1, &mut mem, SimTime::ZERO);
+        // Concurrency 4 but only 2 total requests budgeted.
+        assert_eq!(out.schedule.len(), 2);
+        assert_eq!(dev.stats_handle().borrow().sent, 2);
+    }
+
+    #[test]
+    fn dropped_when_no_rx_buffer() {
+        let (mut mem, mut dev, _txd, _rxd) = setup(
+            ArrivalMode::ClosedLoop {
+                concurrency: 1,
+                think: SimDuration::ZERO,
+            },
+            10,
+        );
+        let out = dev.mmio_write(Gpa(0x4000_0000 + regs::START), 1, &mut mem, SimTime::ZERO);
+        let (at, tok) = out.schedule[0];
+        assert!(dev.complete(tok, &mut mem, at).is_none());
+        assert_eq!(dev.stats_handle().borrow().dropped, 1);
+    }
+}

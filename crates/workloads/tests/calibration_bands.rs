@@ -1,0 +1,72 @@
+//! Regression guards on the Fig. 7 calibration: baseline absolutes stay
+//! in the band recorded in EXPERIMENTS.md, and the emergent SVt factors
+//! keep their shape. Counts are kept small; the bands are wide enough for
+//! the sampling difference.
+
+use svt_core::SwitchMode;
+use svt_workloads::{
+    disk_bandwidth_kb_s, disk_latency_us, net_rr_latency_us, net_stream_mbps,
+};
+
+#[test]
+fn net_rr_baseline_band() {
+    let us = net_rr_latency_us(SwitchMode::Baseline, 60);
+    assert!((90.0..140.0).contains(&us), "net RR baseline {us}us");
+}
+
+#[test]
+fn net_rr_sw_svt_factor_matches_paper() {
+    let b = net_rr_latency_us(SwitchMode::Baseline, 60);
+    let s = net_rr_latency_us(SwitchMode::SwSvt, 60);
+    let f = b / s;
+    // Paper: 1.10x.
+    assert!((1.05..1.18).contains(&f), "SW factor {f}");
+}
+
+#[test]
+fn net_rr_hw_svt_factor_band() {
+    let b = net_rr_latency_us(SwitchMode::Baseline, 60);
+    let h = net_rr_latency_us(SwitchMode::HwSvt, 60);
+    let f = b / h;
+    // Paper projects 2.38x; our mechanical elision yields ~1.6x
+    // (EXPERIMENTS.md discusses the gap).
+    assert!((1.4..2.4).contains(&f), "HW factor {f}");
+}
+
+#[test]
+fn stream_bandwidth_band_and_saturation() {
+    let b = net_stream_mbps(SwitchMode::Baseline, 150);
+    assert!((4_000.0..9_500.0).contains(&b), "STREAM baseline {b}");
+    let h = net_stream_mbps(SwitchMode::HwSvt, 150);
+    // Line-rate-bound: HW SVt helps only a little (paper 1.12x).
+    let f = h / b;
+    assert!((1.0..1.35).contains(&f), "STREAM HW factor {f}");
+    assert!(h <= 10_000.0, "never above line rate");
+}
+
+#[test]
+fn disk_latency_bands() {
+    let rd = disk_latency_us(SwitchMode::Baseline, false, 40);
+    let wr = disk_latency_us(SwitchMode::Baseline, true, 40);
+    assert!((50.0..90.0).contains(&rd), "randrd {rd}");
+    assert!((80.0..130.0).contains(&wr), "randwr {wr}");
+    // The paper's write/read asymmetry (179 vs 126 = 1.42x): ours ~1.5x.
+    let asym = wr / rd;
+    assert!((1.2..1.8).contains(&asym), "asymmetry {asym}");
+}
+
+#[test]
+fn disk_bandwidth_close_to_paper() {
+    let bw = disk_bandwidth_kb_s(SwitchMode::Baseline, false, 60);
+    // Paper: 87,136 KB/s; EXPERIMENTS.md records -9%.
+    assert!((65_000.0..100_000.0).contains(&bw), "randrd bw {bw}");
+}
+
+#[test]
+fn disk_hw_svt_factor_matches_paper_shape() {
+    let b = disk_latency_us(SwitchMode::Baseline, false, 40);
+    let h = disk_latency_us(SwitchMode::HwSvt, false, 40);
+    let f = b / h;
+    // Paper: 2.18x; ours ~1.98x.
+    assert!((1.7..2.3).contains(&f), "disk HW factor {f}");
+}

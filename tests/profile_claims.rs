@@ -1,0 +1,104 @@
+//! The paper's § 6.2/6.3 profiling claims, reproduced from the clock's
+//! per-exit-reason attribution.
+
+use svt::core::SwitchMode;
+use svt::sim::SimDuration;
+use svt::workloads::{
+    memcached_point, rr_arrival, rr_machine, EchoService, FixedSource, Request, RrServer,
+    ServerConfig,
+};
+
+#[test]
+fn vmcs_access_share_is_small_with_shadowing() {
+    // § 6.2: "of all time spent handling VM traps in L0, only about 4% is
+    // spent in the VM trap handlers triggered by VMCS accesses in L1."
+    let source = Box::new(FixedSource {
+        request: Request {
+            op: 0,
+            key: 1,
+            vsize: 1,
+        },
+    });
+    let cost = svt::sim::CostModel::default();
+    let (mut m, _stats) = rr_machine(SwitchMode::Baseline, rr_arrival(&cost), 60, source);
+    let mut server = RrServer::new(
+        ServerConfig::rr_defaults(&cost, 60),
+        Box::new(EchoService {
+            compute: SimDuration::from_us(2),
+            reply_len: 1,
+        }),
+    );
+    m.run(&mut server).unwrap();
+    let vmcs = m.clock.tag_time("VMREAD").as_ns() + m.clock.tag_time("VMWRITE").as_ns();
+    let total: f64 = m
+        .clock
+        .tags_by_time()
+        .iter()
+        .map(|(_, t)| t.as_ns())
+        .sum();
+    let share = vmcs / total;
+    assert!(share < 0.12, "VMCS-access share {share:.3}");
+}
+
+#[test]
+fn memcached_l0_time_dominated_by_ept_misconfig() {
+    // § 6.3.1: "L0 spends 4.8%-19.3% of the overall time serving
+    // EPT_MISCONFIG traps ... and 0.5%-4.6% serving MSR_WRITE."
+    let p = memcached_point(SwitchMode::Baseline, 6_000.0, 200);
+    assert!(p.throughput > 0.0);
+    // Re-run to inspect the clock (memcached_point consumes its machine, so
+    // rebuild the scenario with the same parameters).
+    let source = Box::new(svt::workloads::EtcSource::new(100_000));
+    let cost = svt::sim::CostModel::default();
+    let (mut m, _stats) = rr_machine(
+        SwitchMode::Baseline,
+        svt::workloads::ArrivalMode::OpenLoop {
+            mean_interarrival: SimDuration::from_ns_f64(1e9 / 6_000.0),
+        },
+        200,
+        source,
+    );
+    let mut cfg = ServerConfig::rr_defaults(&cost, 200);
+    cfg.timer_rearm_every = 4;
+    cfg.replenish_every = 2;
+    let mut server = RrServer::new(cfg, Box::new(svt::workloads::KvService::new(50_000)));
+    m.run(&mut server).unwrap();
+
+    let total = m.clock.now().since(svt::sim::SimTime::ZERO).as_ns();
+    let ept = m.clock.tag_time("EPT_MISCONFIG").as_ns() / total;
+    let msr = m.clock.tag_time("MSR_WRITE").as_ns() / total;
+    assert!(
+        (0.03..0.45).contains(&ept),
+        "EPT_MISCONFIG share {ept:.3} (paper: 0.048-0.193)"
+    );
+    assert!(
+        (0.005..0.25).contains(&msr),
+        "MSR_WRITE share {msr:.3} (paper: 0.005-0.046)"
+    );
+    assert!(ept > msr, "EPT_MISCONFIG dominates MSR_WRITE");
+}
+
+#[test]
+fn sw_svt_blocked_protocol_makes_forward_progress() {
+    // § 5.3: an IPI to L1's main vCPU while the SVt-thread holds a command
+    // must not deadlock; the SVT_BLOCKED path services it.
+    use svt::hv::{GuestOp, Machine, MachineConfig, MachineEvent, Level, OpLoop};
+    let cfg = MachineConfig::at_level(Level::L2);
+    let reflector = Box::new(svt::core::SwSvtReflector::new());
+    let mut m = Machine::with_reflector(cfg, reflector);
+    // Arrange IPIs to arrive while traps are being handled.
+    for i in 1..=5u64 {
+        m.events.schedule(
+            svt::sim::SimTime::from_us(30 + i * 9),
+            MachineEvent::IpiToL1Main,
+        );
+    }
+    let mut prog = OpLoop::new(GuestOp::Cpuid, 50, 1000, SimDuration::from_ns(10));
+    m.run(&mut prog).expect("no deadlock");
+    let blocked = m.clock.counter("svt_blocked");
+    let direct = m.clock.counter("l1_ipi_direct");
+    assert_eq!(blocked + direct, 5, "all IPIs serviced ({blocked} blocked, {direct} direct)");
+    assert!(blocked >= 1, "at least one IPI hit the SVT_BLOCKED window");
+    // L1's APIC saw and completed every IPI.
+    assert!(m.l1.apic.is_idle());
+}

@@ -1,0 +1,191 @@
+//! Property-based tests on the core data structures and cross-crate
+//! invariants.
+
+use proptest::prelude::*;
+use svt::cpu::{CtxId, Gpr, SmtCore};
+use svt::mem::{CommandRing, Gpa, GuestMemory, Hpa};
+use svt::sim::{SimDuration, SimTime};
+use svt::vmx::{Access, Ept, EptPerms, ExitReason, VmcsField};
+
+proptest! {
+    /// Guest memory: the last write to any byte wins, regardless of the
+    /// access pattern around it.
+    #[test]
+    fn guest_memory_last_write_wins(
+        writes in prop::collection::vec((0u64..60_000, prop::collection::vec(any::<u8>(), 1..64)), 1..24)
+    ) {
+        let mut ram = GuestMemory::new(1 << 16);
+        let mut shadow = vec![0u8; 1 << 16];
+        for (addr, bytes) in &writes {
+            let addr = *addr % ((1 << 16) - bytes.len() as u64);
+            ram.write(Hpa(addr), bytes).unwrap();
+            shadow[addr as usize..addr as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        let mut all = vec![0u8; 1 << 16];
+        ram.read(Hpa(0), &mut all).unwrap();
+        prop_assert_eq!(all, shadow);
+    }
+
+    /// Command rings deliver every payload exactly once, in order, for any
+    /// interleaving of pushes and pops that respects capacity.
+    #[test]
+    fn command_ring_is_fifo(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut ram = GuestMemory::new(1 << 20);
+        let ring = CommandRing::new(Hpa(0x4000), 64, 8);
+        ring.init(&mut ram).unwrap();
+        let mut pushed = 0u32;
+        let mut popped = 0u32;
+        for &push in &ops {
+            if push && !ring.is_full(&ram).unwrap() {
+                ring.push(&mut ram, &pushed.to_le_bytes()).unwrap();
+                pushed += 1;
+            } else if let Some(payload) = ring.pop(&mut ram).unwrap() {
+                prop_assert_eq!(payload, popped.to_le_bytes().to_vec());
+                popped += 1;
+            }
+        }
+        while let Some(payload) = ring.pop(&mut ram).unwrap() {
+            prop_assert_eq!(payload, popped.to_le_bytes().to_vec());
+            popped += 1;
+        }
+        prop_assert_eq!(pushed, popped);
+    }
+
+    /// EPT composition agrees with step-by-step translation wherever both
+    /// levels map.
+    #[test]
+    fn ept_composition_agrees_with_two_step_translation(
+        inner in prop::collection::vec((0u64..64, 0u64..64), 1..32),
+        outer in prop::collection::vec((0u64..64, 0u64..64), 1..32),
+        probe in prop::collection::vec(0u64..64u64, 16),
+    ) {
+        let mut ept12 = Ept::new();
+        for (g, t) in inner {
+            ept12.map_page(g, t, EptPerms::RWX);
+        }
+        let mut ept01 = Ept::new();
+        for (g, t) in outer {
+            ept01.map_page(g, t, EptPerms::RWX);
+        }
+        let ept02 = ept12.compose(&ept01);
+        for page in probe {
+            let addr = Gpa(page * svt::mem::PAGE_SIZE + 5);
+            let two_step = ept12
+                .translate(addr, Access::Read)
+                .ok()
+                .and_then(|mid| ept01.translate(mid, Access::Read).ok());
+            let composed = ept02.translate(addr, Access::Read).ok();
+            prop_assert_eq!(two_step, composed);
+        }
+    }
+
+    /// Exit reasons survive the VMCS encode/decode round trip for all
+    /// field/vector/address operands.
+    #[test]
+    fn exit_reason_round_trips(
+        vector in any::<u8>(),
+        msr in any::<u32>(),
+        gpa in 0u64..(1 << 40),
+        field_idx in 0usize..VmcsField::COUNT,
+        nr in any::<u64>(),
+    ) {
+        let reasons = [
+            ExitReason::ExternalInterrupt { vector },
+            ExitReason::MsrWrite { msr },
+            ExitReason::MsrRead { msr },
+            ExitReason::EptMisconfig { gpa: Gpa(gpa) },
+            ExitReason::Vmread { field: VmcsField::ALL[field_idx] },
+            ExitReason::Vmwrite { field: VmcsField::ALL[field_idx] },
+            ExitReason::Vmcall { nr },
+        ];
+        for r in reasons {
+            let (code, qual) = r.encode();
+            prop_assert_eq!(ExitReason::decode(code, qual), Some(r));
+        }
+    }
+
+    /// SMT contexts never alias: writes through one context's rename map
+    /// are invisible to every other context.
+    #[test]
+    fn smt_contexts_are_isolated(
+        writes in prop::collection::vec((0u8..3, 0usize..16, any::<u64>()), 1..100)
+    ) {
+        let mut core = SmtCore::new(3);
+        let mut shadow = [[0u64; 16]; 3];
+        for (ctx, reg, val) in writes {
+            core.write_gpr(CtxId(ctx), Gpr::ALL[reg], val);
+            shadow[ctx as usize][reg] = val;
+        }
+        for ctx in 0..3u8 {
+            for (i, r) in Gpr::ALL.iter().enumerate() {
+                prop_assert_eq!(core.read_gpr(CtxId(ctx), *r), shadow[ctx as usize][i]);
+            }
+        }
+        // The invariant the design rests on: exactly one context runs.
+        prop_assert_eq!(core.running_contexts(), 1);
+    }
+
+    /// Simulated time arithmetic is consistent: charging durations in any
+    /// order reaches the same instant.
+    #[test]
+    fn time_accumulation_is_order_independent(ns in prop::collection::vec(1u64..1_000_000, 1..64)) {
+        let total: u64 = ns.iter().sum();
+        let mut t1 = SimTime::ZERO;
+        for &d in &ns {
+            t1 += SimDuration::from_ns(d);
+        }
+        let mut rev = ns.clone();
+        rev.reverse();
+        let mut t2 = SimTime::ZERO;
+        for &d in &rev {
+            t2 += SimDuration::from_ns(d);
+        }
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(t1, SimTime::ZERO + SimDuration::from_ns(total));
+    }
+
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentiles_are_monotone(samples in prop::collection::vec(0.0f64..1e9, 1..256)) {
+        let p50 = svt::stats::percentile(&samples, 50.0);
+        let p90 = svt::stats::percentile(&samples, 90.0);
+        let p99 = svt::stats::percentile(&samples, 99.0);
+        let max = svt::stats::percentile(&samples, 100.0);
+        prop_assert!(p50 <= p90 && p90 <= p99 && p99 <= max);
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert!(p50 >= min);
+    }
+
+    /// The 4-sigma filter never removes more than it keeps on unimodal
+    /// data and never panics on degenerate inputs.
+    #[test]
+    fn outlier_filter_is_conservative(samples in prop::collection::vec(0.0f64..1e6, 1..256)) {
+        let kept = svt::stats::filter_outliers(&samples, 4.0);
+        prop_assert!(kept.len() * 2 >= samples.len());
+        prop_assert!(kept.len() <= samples.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The Table 1 calibration holds for any surrounding workload size:
+    /// the virtualization overhead per cpuid is constant, only part 0
+    /// grows.
+    #[test]
+    fn overhead_is_independent_of_surrounding_workload(work in 0u64..20_000) {
+        use svt::core::{nested_machine, SwitchMode};
+        use svt::hv::{GuestOp, OpLoop};
+        let mut m = nested_machine(SwitchMode::Baseline);
+        let mut warm = OpLoop::new(GuestOp::Cpuid, 1, 0, SimDuration::ZERO);
+        m.run(&mut warm).unwrap();
+        let base = m.clock.snapshot();
+        let mut prog = OpLoop::new(GuestOp::Cpuid, 10, work, SimDuration::from_ns(1));
+        m.run(&mut prog).unwrap();
+        let d = m.clock.since_snapshot(&base);
+        let guest_ns = d.part_time(svt::sim::CostPart::L2Guest).as_ns() / 10.0;
+        let overhead_ns = d.busy_time().as_ns() / 10.0 - guest_ns;
+        prop_assert!((overhead_ns - 10_350.0).abs() < 110.0, "overhead {overhead_ns}");
+        prop_assert!(guest_ns >= work as f64);
+    }
+}
