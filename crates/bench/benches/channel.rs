@@ -1,10 +1,9 @@
-//! Criterion bench for the 6.1 channel study grid.
+//! Bench for the 6.1 channel study grid.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use svt_sim::CostModel;
 use svt_workloads::{channel_study, default_workloads};
 
-fn bench_channel(c: &mut Criterion) {
+fn main() {
     let cost = CostModel::default();
     for cell in channel_study(&cost, &[0, 4096]) {
         println!(
@@ -16,12 +15,7 @@ fn bench_channel(c: &mut Criterion) {
             cell.round_ns
         );
     }
-    let mut g = c.benchmark_group("channel");
-    g.bench_function("full_grid", |b| {
-        b.iter(|| std::hint::black_box(channel_study(&cost, &default_workloads())))
+    svt_bench::bench_wall("channel/full_grid", 20, || {
+        channel_study(&cost, &default_workloads())
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_channel);
-criterion_main!(benches);

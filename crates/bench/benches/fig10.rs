@@ -1,10 +1,9 @@
-//! Criterion bench for Fig. 10: video playback drops.
+//! Bench for Fig. 10: video playback drops.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use svt_core::SwitchMode;
 use svt_workloads::video_playback;
 
-fn bench_fig10(c: &mut Criterion) {
+fn main() {
     for mode in [SwitchMode::Baseline, SwitchMode::SwSvt] {
         let r = video_playback(mode, 120, 60);
         println!(
@@ -14,13 +13,7 @@ fn bench_fig10(c: &mut Criterion) {
             r.played
         );
     }
-    let mut g = c.benchmark_group("fig10");
-    g.sample_size(10);
-    g.bench_function("video_120fps_10s", |b| {
-        b.iter(|| std::hint::black_box(video_playback(SwitchMode::Baseline, 120, 10)))
+    svt_bench::bench_wall("fig10/video_120fps_10s", 10, || {
+        video_playback(SwitchMode::Baseline, 120, 10)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig10);
-criterion_main!(benches);

@@ -1,30 +1,23 @@
-//! Criterion bench for Fig. 6: cpuid latency across the five systems.
+//! Bench for Fig. 6: cpuid latency across the five systems.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use svt_core::SwitchMode;
 use svt_hv::Level;
 use svt_workloads::cpuid_us;
 
-fn bench_fig6(c: &mut Criterion) {
+fn main() {
     for b in svt_workloads::fig6(100) {
         println!(
             "Fig6 {}: {:.3}us (speedup {:.2}x)",
             b.label, b.time_us, b.speedup
         );
     }
-    let mut g = c.benchmark_group("fig6");
-    g.sample_size(10);
-    g.bench_function("baseline_l2", |b| {
-        b.iter(|| std::hint::black_box(cpuid_us(Level::L2, SwitchMode::Baseline, 50)))
+    svt_bench::bench_wall("fig6/baseline_l2", 10, || {
+        cpuid_us(Level::L2, SwitchMode::Baseline, 50)
     });
-    g.bench_function("sw_svt", |b| {
-        b.iter(|| std::hint::black_box(cpuid_us(Level::L2, SwitchMode::SwSvt, 50)))
+    svt_bench::bench_wall("fig6/sw_svt", 10, || {
+        cpuid_us(Level::L2, SwitchMode::SwSvt, 50)
     });
-    g.bench_function("hw_svt", |b| {
-        b.iter(|| std::hint::black_box(cpuid_us(Level::L2, SwitchMode::HwSvt, 50)))
+    svt_bench::bench_wall("fig6/hw_svt", 10, || {
+        cpuid_us(Level::L2, SwitchMode::HwSvt, 50)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

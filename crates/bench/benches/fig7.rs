@@ -1,29 +1,22 @@
-//! Criterion bench for Fig. 7: the six I/O subsystem measurements.
+//! Bench for Fig. 7: the six I/O subsystem measurements.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use svt_core::SwitchMode;
 use svt_workloads::{disk_latency_us, net_rr_latency_us};
 
-fn bench_fig7(c: &mut Criterion) {
+fn main() {
     for r in svt_workloads::fig7(8) {
         println!(
             "Fig7 {}: baseline {:.1} {} | SW {:.2}x (paper {:.2}) | HW {:.2}x (paper {:.2})",
             r.name, r.baseline, r.unit, r.sw_speedup, r.paper.1, r.hw_speedup, r.paper.2
         );
     }
-    let mut g = c.benchmark_group("fig7");
-    g.sample_size(10);
-    g.bench_function("net_rr_baseline_x25", |b| {
-        b.iter(|| std::hint::black_box(net_rr_latency_us(SwitchMode::Baseline, 25)))
+    svt_bench::bench_wall("fig7/net_rr_baseline_x25", 10, || {
+        net_rr_latency_us(SwitchMode::Baseline, 25)
     });
-    g.bench_function("net_rr_hw_svt_x25", |b| {
-        b.iter(|| std::hint::black_box(net_rr_latency_us(SwitchMode::HwSvt, 25)))
+    svt_bench::bench_wall("fig7/net_rr_hw_svt_x25", 10, || {
+        net_rr_latency_us(SwitchMode::HwSvt, 25)
     });
-    g.bench_function("disk_randrd_baseline_x25", |b| {
-        b.iter(|| std::hint::black_box(disk_latency_us(SwitchMode::Baseline, false, 25)))
+    svt_bench::bench_wall("fig7/disk_randrd_baseline_x25", 10, || {
+        disk_latency_us(SwitchMode::Baseline, false, 25)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig7);
-criterion_main!(benches);

@@ -1,10 +1,9 @@
-//! Criterion bench for Fig. 8: one memcached sweep point per engine.
+//! Bench for Fig. 8: one memcached sweep point per engine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use svt_core::SwitchMode;
 use svt_workloads::memcached_point;
 
-fn bench_fig8(c: &mut Criterion) {
+fn main() {
     for mode in [SwitchMode::Baseline, SwitchMode::SwSvt] {
         let p = memcached_point(mode, 6_000.0, 300);
         println!(
@@ -15,13 +14,7 @@ fn bench_fig8(c: &mut Criterion) {
             p.p99_ns / 1000.0
         );
     }
-    let mut g = c.benchmark_group("fig8");
-    g.sample_size(10);
-    g.bench_function("memcached_6kqps_x200", |b| {
-        b.iter(|| std::hint::black_box(memcached_point(SwitchMode::Baseline, 6_000.0, 200)))
+    svt_bench::bench_wall("fig8/memcached_6kqps_x200", 10, || {
+        memcached_point(SwitchMode::Baseline, 6_000.0, 200)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);

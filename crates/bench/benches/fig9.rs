@@ -1,10 +1,9 @@
-//! Criterion bench for Fig. 9: TPC-C throughput per engine.
+//! Bench for Fig. 9: TPC-C throughput per engine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use svt_core::SwitchMode;
 use svt_workloads::tpcc_tpm;
 
-fn bench_fig9(c: &mut Criterion) {
+fn main() {
     let b0 = tpcc_tpm(SwitchMode::Baseline, 60);
     let s = tpcc_tpm(SwitchMode::SwSvt, 60);
     println!(
@@ -13,13 +12,7 @@ fn bench_fig9(c: &mut Criterion) {
         s,
         s / b0
     );
-    let mut g = c.benchmark_group("fig9");
-    g.sample_size(10);
-    g.bench_function("tpcc_baseline_x40", |b| {
-        b.iter(|| std::hint::black_box(tpcc_tpm(SwitchMode::Baseline, 40)))
+    svt_bench::bench_wall("fig9/tpcc_baseline_x40", 10, || {
+        tpcc_tpm(SwitchMode::Baseline, 40)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);

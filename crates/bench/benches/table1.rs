@@ -1,11 +1,9 @@
-//! Criterion bench for Table 1: one baseline nested cpuid round.
+//! Bench for Table 1: one baseline nested cpuid round.
 //!
-//! Prints the reproduced breakdown once, then benchmarks the simulator's
+//! Prints the reproduced breakdown once, then times the simulator's
 //! wall-clock cost of regenerating it.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     // Print the paper-comparable rows once.
     for r in svt_workloads::table1(100) {
         println!(
@@ -13,13 +11,7 @@ fn bench_table1(c: &mut Criterion) {
             r.part, r.label, r.time_us, r.paper_us, r.percent
         );
     }
-    let mut g = c.benchmark_group("table1");
-    g.sample_size(10);
-    g.bench_function("nested_cpuid_breakdown_x100", |b| {
-        b.iter(|| std::hint::black_box(svt_workloads::table1(100)))
+    svt_bench::bench_wall("table1/nested_cpuid_breakdown_x100", 10, || {
+        svt_workloads::table1(100)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

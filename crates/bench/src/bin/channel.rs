@@ -1,7 +1,8 @@
 //! Regenerates the 6.1 channel study: signaling latency by mechanism,
 //! placement and surrounding workload size.
 
-use svt_bench::{print_header, rule};
+use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule};
+use svt_obs::{Json, RunReport};
 use svt_sim::CostModel;
 use svt_workloads::{channel_study, default_workloads, simulate_channel_round_ns, Mechanism};
 
@@ -14,6 +15,7 @@ fn main() {
         "Mechanism", "Placement", "Workload", "Latency [ns]", "Round [ns]", "Simulated rt [ns]"
     );
     rule();
+    let mut cell_rows = Vec::new();
     for c in &cells {
         let simulated = if c.mechanism == Mechanism::FunctionCall {
             f64::NAN
@@ -29,6 +31,21 @@ fn main() {
             c.round_ns,
             simulated
         );
+        cell_rows.push(Json::obj([
+            ("mechanism", Json::from(c.mechanism.label())),
+            ("placement", Json::from(c.placement.to_string().as_str())),
+            ("workload_increments", Json::from(c.workload_increments)),
+            ("latency_ns", Json::Num(c.latency_ns)),
+            ("round_ns", Json::Num(c.round_ns)),
+            (
+                "simulated_round_ns",
+                if simulated.is_nan() {
+                    Json::Null
+                } else {
+                    Json::Num(simulated)
+                },
+            ),
+        ]));
     }
     rule();
     println!("Paper conclusions reproduced:");
@@ -36,4 +53,15 @@ fn main() {
     println!("  - cross-NUMA placement: order-of-magnitude longer response latency");
     println!("  - mutex: large startup cost amortized at large sizes; mwait slightly better");
     println!("  - SMT + mwait: the compromise SW SVt uses");
+
+    let mut report = RunReport::new(
+        "channel",
+        "SW SVt communication-channel study (section 6.1)",
+    );
+    report.machine = Some(machine_json());
+    report.cost_model = Some(cost_model_json(&cost));
+    report
+        .results
+        .push(("cells".to_string(), Json::Arr(cell_rows)));
+    emit_report(&report);
 }

@@ -1,7 +1,9 @@
 //! Regenerates Fig. 10: video-playback dropped frames.
 
-use svt_bench::{print_header, rule};
+use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule};
 use svt_core::SwitchMode;
+use svt_obs::{Json, RunReport};
+use svt_sim::CostModel;
 use svt_workloads::video_playback;
 
 fn main() {
@@ -13,7 +15,8 @@ fn main() {
         "FPS", "Baseline drops", "SVt drops", "Paper (base / SVt)"
     );
     rule();
-    let paper = [(24, 0, 0), (60, 3, 0), (120, 40, 26)];
+    let paper = [(24u32, 0u64, 0u64), (60, 3, 0), (120, 40, 26)];
+    let mut rows = Vec::new();
     for (fps, pb, ps) in paper {
         let b = video_playback(SwitchMode::Baseline, fps, secs);
         let s = video_playback(SwitchMode::SwSvt, fps, secs);
@@ -26,7 +29,25 @@ fn main() {
             pb,
             ps
         );
+        rows.push(Json::obj([
+            ("fps", Json::from(fps as u64)),
+            ("baseline_drops", Json::from(b.dropped * scale)),
+            ("sw_svt_drops", Json::from(s.dropped * scale)),
+            ("paper_baseline_drops", Json::from(pb)),
+            ("paper_svt_drops", Json::from(ps)),
+        ]));
     }
     rule();
     println!("(drop counts scaled to 5 minutes when run with --quick)");
+
+    let mut report = RunReport::new("fig10", "Video-playback dropped frames (Fig. 10)");
+    report.machine = Some(machine_json());
+    report.cost_model = Some(cost_model_json(&CostModel::default()));
+    report
+        .results
+        .push(("frame_rates".to_string(), Json::Arr(rows)));
+    report
+        .results
+        .push(("playback_secs".to_string(), Json::from(secs)));
+    emit_report(&report);
 }

@@ -1,11 +1,16 @@
 //! Regenerates Fig. 6: cpuid latency on L0/L1/L2/SW SVt/HW SVt.
 
-use svt_bench::{print_header, rule};
+use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule};
+use svt_obs::{ExitRow, Json, PartRow, RunReport, SpeedupRow};
+use svt_sim::CostModel;
 
 fn main() {
     print_header("Fig. 6 - execution time of a cpuid instruction");
     let bars = svt_workloads::fig6(200);
-    println!("{:<10}{:>12}{:>14}{:>16}", "System", "Time [us]", "Speedup", "Paper speedup");
+    println!(
+        "{:<10}{:>12}{:>14}{:>16}",
+        "System", "Time [us]", "Speedup", "Paper speedup"
+    );
     rule();
     for b in &bars {
         let paper = match b.label {
@@ -18,6 +23,58 @@ fn main() {
         } else {
             "-".to_string()
         };
-        println!("{:<10}{:>12.3}{:>14}{:>16}", b.label, b.time_us, speedup, paper);
+        println!(
+            "{:<10}{:>12.3}{:>14}{:>16}",
+            b.label, b.time_us, speedup, paper
+        );
     }
+
+    let mut report = RunReport::new("fig6", "Execution time of a cpuid instruction (Fig. 6)");
+    report.machine = Some(machine_json());
+    report.cost_model = Some(cost_model_json(&CostModel::default()));
+    let paper = [0.05, 0.81, 1.29, 4.89, 1.40, 1.96];
+    for row in svt_workloads::table1(200) {
+        report.parts.push(PartRow {
+            part: row.part as u32,
+            label: row.label.clone(),
+            time_us: row.time_us,
+            paper_us: paper.get(row.part).copied(),
+        });
+    }
+    let (exits, metrics) = svt_workloads::cpuid_observed(svt_core::SwitchMode::Baseline, 200);
+    for e in &exits {
+        report.exit_reasons.push(ExitRow {
+            reason: e.reason.to_string(),
+            time_ns: e.time_ns,
+            count: e.count,
+        });
+    }
+    report.metrics = Some(metrics);
+    for b in &bars {
+        if b.speedup > 1.0 {
+            report.speedups.push(SpeedupRow {
+                name: match b.label {
+                    "SW SVt" => "sw_svt".to_string(),
+                    "HW SVt" => "hw_svt".to_string(),
+                    other => other.to_string(),
+                },
+                speedup: b.speedup,
+            });
+        }
+    }
+    report.results.push((
+        "bars".to_string(),
+        Json::Arr(
+            bars.iter()
+                .map(|b| {
+                    Json::obj([
+                        ("label", Json::from(b.label)),
+                        ("time_us", Json::Num(b.time_us)),
+                        ("speedup", Json::Num(b.speedup)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    emit_report(&report);
 }

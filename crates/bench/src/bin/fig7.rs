@@ -1,6 +1,8 @@
 //! Regenerates Fig. 7: I/O subsystem speedups.
 
-use svt_bench::{print_header, rule, vs_paper};
+use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule, vs_paper};
+use svt_obs::{Json, RunReport, SpeedupRow};
+use svt_sim::CostModel;
 
 fn main() {
     let scale = std::env::args()
@@ -28,4 +30,33 @@ fn main() {
     }
     rule();
     println!("(speedups: measured x (paper x); latencies lower-is-better, bandwidths higher)");
+
+    let mut report = RunReport::new("fig7", "Speedup of SVt on I/O subsystems (Fig. 7)");
+    report.machine = Some(machine_json());
+    report.cost_model = Some(cost_model_json(&CostModel::default()));
+    let mut bench_rows = Vec::new();
+    for r in &rows {
+        report.speedups.push(SpeedupRow {
+            name: format!("{}/sw_svt", r.name),
+            speedup: r.sw_speedup,
+        });
+        report.speedups.push(SpeedupRow {
+            name: format!("{}/hw_svt", r.name),
+            speedup: r.hw_speedup,
+        });
+        bench_rows.push(Json::obj([
+            ("name", Json::from(r.name)),
+            ("unit", Json::from(r.unit)),
+            ("baseline", Json::Num(r.baseline)),
+            ("sw_speedup", Json::Num(r.sw_speedup)),
+            ("hw_speedup", Json::Num(r.hw_speedup)),
+            ("paper_baseline", Json::Num(r.paper.0)),
+            ("paper_sw_speedup", Json::Num(r.paper.1)),
+            ("paper_hw_speedup", Json::Num(r.paper.2)),
+        ]));
+    }
+    report
+        .results
+        .push(("benchmarks".to_string(), Json::Arr(bench_rows)));
+    emit_report(&report);
 }

@@ -1,7 +1,9 @@
 //! Regenerates Fig. 9: TPC-C throughput.
 
-use svt_bench::{print_header, rule, vs_paper};
+use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule, vs_paper};
 use svt_core::SwitchMode;
+use svt_obs::{Json, RunReport, SpeedupRow};
+use svt_sim::CostModel;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -14,8 +16,24 @@ fn main() {
     println!("{:<12}{:>40}", "Baseline", vs_paper(baseline, 6370.0));
     println!("{:<12}{:>40}", "SVt", vs_paper(svt, 6370.0 * 1.18));
     rule();
-    println!(
-        "Speedup: {:.2}x (paper: 1.18x)",
-        svt / baseline
-    );
+    println!("Speedup: {:.2}x (paper: 1.18x)", svt / baseline);
+
+    let mut report = RunReport::new("fig9", "TPC-C throughput (Fig. 9)");
+    report.machine = Some(machine_json());
+    report.cost_model = Some(cost_model_json(&CostModel::default()));
+    report.speedups.push(SpeedupRow {
+        name: "sw_svt/tpcc_tpm".to_string(),
+        speedup: svt / baseline,
+    });
+    report.results.push((
+        "throughput_tpm".to_string(),
+        Json::obj([
+            ("baseline", Json::Num(baseline)),
+            ("sw_svt", Json::Num(svt)),
+            ("paper_baseline", Json::Num(6370.0)),
+            ("paper_speedup", Json::Num(1.18)),
+            ("txns", Json::from(txns as u64)),
+        ]),
+    ));
+    emit_report(&report);
 }

@@ -2,17 +2,25 @@
 //! reproduction's measurement. Uses reduced iteration counts; the
 //! per-figure binaries produce the full-fidelity versions.
 
-use svt_bench::{print_header, rule};
+use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule};
 use svt_core::SwitchMode;
 use svt_hv::Level;
+use svt_obs::{Json, RunReport, SpeedupRow};
+use svt_sim::CostModel;
 
 fn main() {
     print_header("SVt reproduction - headline summary (quick settings)");
+    let mut report = RunReport::new("summary", "Headline summary (quick settings)");
+    report.machine = Some(machine_json());
+    report.cost_model = Some(cost_model_json(&CostModel::default()));
 
     // Table 1 / Fig. 6.
     let t1: f64 = svt_workloads::table1(50).iter().map(|r| r.time_us).sum();
     let bars = svt_workloads::fig6(50);
     println!("Table 1  nested cpuid total        paper 10.40us   measured {t1:.2}us");
+    report
+        .results
+        .push(("table1_total_us".to_string(), Json::Num(t1)));
     for b in &bars {
         if b.label == "SW SVt" || b.label == "HW SVt" {
             let paper = if b.label == "SW SVt" { 1.23 } else { 1.94 };
@@ -20,6 +28,14 @@ fn main() {
                 "Fig. 6   {:<8} cpuid speedup     paper {paper:.2}x     measured {:.2}x",
                 b.label, b.speedup
             );
+            report.speedups.push(SpeedupRow {
+                name: if b.label == "SW SVt" {
+                    "fig6/sw_svt".to_string()
+                } else {
+                    "fig6/hw_svt".to_string()
+                },
+                speedup: b.speedup,
+            });
         }
     }
     rule();
@@ -30,6 +46,14 @@ fn main() {
             "Fig. 7   {:<22} paper {:>8.0} {:<5} SW {:.2}x/{:.2}x  HW {:.2}x/{:.2}x  base {:.0}",
             r.name, r.paper.0, r.unit, r.sw_speedup, r.paper.1, r.hw_speedup, r.paper.2, r.baseline
         );
+        report.speedups.push(SpeedupRow {
+            name: format!("fig7/{}/sw_svt", r.name),
+            speedup: r.sw_speedup,
+        });
+        report.speedups.push(SpeedupRow {
+            name: format!("fig7/{}/hw_svt", r.name),
+            speedup: r.hw_speedup,
+        });
     }
     rule();
 
@@ -42,6 +66,10 @@ fn main() {
         b.avg_ns / 1000.0,
         s.avg_ns / 1000.0
     );
+    report.speedups.push(SpeedupRow {
+        name: "fig8/avg_latency_10kqps".to_string(),
+        speedup: b.avg_ns / s.avg_ns,
+    });
 
     // Fig. 9.
     let tb = svt_workloads::tpcc_tpm(SwitchMode::Baseline, 60);
@@ -50,6 +78,10 @@ fn main() {
         "Fig. 9   TPC-C speedup             paper 1.18x     measured {:.2}x ({tb:.0} -> {ts:.0} tpm)",
         ts / tb
     );
+    report.speedups.push(SpeedupRow {
+        name: "fig9/tpcc".to_string(),
+        speedup: ts / tb,
+    });
 
     // Fig. 10 at 120 FPS, 60s scaled.
     let vb = svt_workloads::video_playback(SwitchMode::Baseline, 120, 60);
@@ -59,12 +91,26 @@ fn main() {
         vb.dropped * 5,
         vs.dropped * 5
     );
+    report.results.push((
+        "fig10_drops_120fps".to_string(),
+        Json::obj([
+            ("baseline", Json::from(vb.dropped * 5)),
+            ("sw_svt", Json::from(vs.dropped * 5)),
+        ]),
+    ));
     rule();
-    println!(
-        "Native L0 cpuid {:.2}us | single-level L1 {:.2}us | nested L2 {:.2}us",
-        svt_workloads::cpuid_us(Level::L0, SwitchMode::Baseline, 20),
-        svt_workloads::cpuid_us(Level::L1, SwitchMode::Baseline, 20),
-        svt_workloads::cpuid_us(Level::L2, SwitchMode::Baseline, 20),
-    );
+    let l0 = svt_workloads::cpuid_us(Level::L0, SwitchMode::Baseline, 20);
+    let l1 = svt_workloads::cpuid_us(Level::L1, SwitchMode::Baseline, 20);
+    let l2 = svt_workloads::cpuid_us(Level::L2, SwitchMode::Baseline, 20);
+    println!("Native L0 cpuid {l0:.2}us | single-level L1 {l1:.2}us | nested L2 {l2:.2}us");
+    report.results.push((
+        "cpuid_us_by_level".to_string(),
+        Json::obj([
+            ("l0", Json::Num(l0)),
+            ("l1", Json::Num(l1)),
+            ("l2", Json::Num(l2)),
+        ]),
+    ));
     println!("See EXPERIMENTS.md for full-fidelity runs and the deviation discussion.");
+    emit_report(&report);
 }

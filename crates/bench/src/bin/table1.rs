@@ -1,11 +1,16 @@
 //! Regenerates Table 1: the time breakdown of one `cpuid` in a nested VM.
 
-use svt_bench::{print_header, rule, vs_paper};
+use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule, vs_paper};
+use svt_obs::{PartRow, RunReport};
+use svt_sim::CostModel;
 
 fn main() {
     print_header("Table 1 - cpuid breakdown in a nested VM (baseline)");
     let rows = svt_workloads::table1(200);
-    println!("{:<4}{:<26}{:>34}   {:>7}", "Part", "Stage", "Time [us]", "Perc.");
+    println!(
+        "{:<4}{:<26}{:>34}   {:>7}",
+        "Part", "Stage", "Time [us]", "Perc."
+    );
     rule();
     let mut total = 0.0;
     let mut paper_total = 0.0;
@@ -22,4 +27,17 @@ fn main() {
     }
     rule();
     println!("{:<30}{:>34}", "Total", vs_paper(total, paper_total));
+
+    let mut report = RunReport::new("table1", "cpuid breakdown in a nested VM (Table 1)");
+    report.machine = Some(machine_json());
+    report.cost_model = Some(cost_model_json(&CostModel::default()));
+    for r in &rows {
+        report.parts.push(PartRow {
+            part: r.part as u32,
+            label: r.label.clone(),
+            time_us: r.time_us,
+            paper_us: Some(r.paper_us),
+        });
+    }
+    emit_report(&report);
 }

@@ -4,7 +4,8 @@
 //! KVM +2432, other +227 LOC). The reproduction's equivalent is the size
 //! of the SVt contribution crate relative to the substrate it modifies.
 
-use svt_bench::{print_header, rule};
+use svt_bench::{emit_report, machine_json, print_header, rule};
+use svt_obs::{Json, RunReport};
 
 fn count_rust_loc(dir: &str) -> usize {
     fn walk(p: &std::path::Path, acc: &mut usize) {
@@ -39,10 +40,23 @@ fn main() {
         ("svt-mem", "crates/mem"),
         ("svt-sim", "crates/sim"),
         ("svt-stats", "crates/stats"),
+        ("svt-obs", "crates/obs"),
         ("svt-workloads", "crates/workloads"),
         ("svt-bench", "crates/bench"),
     ];
+    let mut rows = Vec::new();
     for (name, dir) in crates {
-        println!("{name:<36}{:>8} LOC", count_rust_loc(dir));
+        let loc = count_rust_loc(dir);
+        println!("{name:<36}{loc:>8} LOC");
+        rows.push(Json::obj([
+            ("crate", Json::from(name)),
+            ("dir", Json::from(dir)),
+            ("loc", Json::from(loc as u64)),
+        ]));
     }
+
+    let mut report = RunReport::new("table3", "Code-size inventory (Table 3 analogue)");
+    report.machine = Some(machine_json());
+    report.results.push(("crates".to_string(), Json::Arr(rows)));
+    emit_report(&report);
 }

@@ -6,7 +6,10 @@
 
 #![warn(missing_docs)]
 
-use svt_sim::{MachineSpec, VmSpec};
+use std::path::PathBuf;
+
+use svt_obs::{Json, RunReport};
+use svt_sim::{CostModel, MachineSpec, VmSpec};
 
 /// Prints the standard header with the simulated platform (Table 4).
 pub fn print_header(title: &str) {
@@ -43,6 +46,76 @@ pub fn vs_paper(measured: f64, paper: f64) -> String {
 /// A thin separator line.
 pub fn rule() {
     println!("----------------------------------------------------------------");
+}
+
+/// Extracts the `--json <path>` (or `--json=<path>`) argument, if given.
+/// Every bench binary supports it: when present, the binary writes its
+/// [`RunReport`] there in addition to the human-readable table.
+pub fn json_arg() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--json=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// The simulated platform (Table 4) as a JSON object for run reports.
+pub fn machine_json() -> Json {
+    let m = MachineSpec::isca19();
+    let v = VmSpec::isca19();
+    Json::obj([
+        ("sockets", Json::from(m.sockets as u64)),
+        ("cores_per_socket", Json::from(m.cores_per_socket as u64)),
+        ("smt_per_core", Json::from(m.smt_per_core as u64)),
+        ("freq_mhz", Json::from(m.freq_mhz as u64)),
+        ("ram_mib", Json::from(m.ram_mib)),
+        ("nic_mbps", Json::from(m.nic_mbps)),
+        ("l1_vcpus", Json::from(v.l1_vcpus as u64)),
+        ("l1_ram_mib", Json::from(v.l1_ram_mib)),
+        ("l2_vcpus", Json::from(v.l2_vcpus as u64)),
+        ("l2_ram_mib", Json::from(v.l2_ram_mib)),
+    ])
+}
+
+/// The calibrated cost model as a JSON object of named fields (all in
+/// nanoseconds, except raw counts).
+pub fn cost_model_json(cost: &CostModel) -> Json {
+    Json::Obj(
+        cost.named_fields()
+            .into_iter()
+            .map(|(name, v)| (name.to_string(), Json::Num(v)))
+            .collect(),
+    )
+}
+
+/// Writes `report` to the `--json` path when one was given on the command
+/// line; prints the destination so runs are self-describing.
+pub fn emit_report(report: &RunReport) {
+    if let Some(path) = json_arg() {
+        report.write_file(&path).expect("write run report");
+        println!("run report written to {}", path.display());
+    }
+}
+
+/// Times `f` over `iters` iterations of wall-clock and prints a one-line
+/// summary. Used by the `benches/` harnesses (`cargo bench`) to report the
+/// simulator's own regeneration cost without external bench frameworks.
+pub fn bench_wall<T, F: FnMut() -> T>(name: &str, iters: u32, mut f: F) {
+    assert!(iters > 0);
+    // One warm-up run outside the timed region.
+    std::hint::black_box(f());
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed();
+    let per = total / iters;
+    println!("bench {name:<32} {iters:>4} iters  {per:>12.2?}/iter  total {total:.2?}");
 }
 
 #[cfg(test)]

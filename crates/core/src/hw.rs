@@ -11,6 +11,7 @@
 
 use svt_cpu::{CtxId, CtxtLevel, Gpr};
 use svt_hv::{Machine, Reflector};
+use svt_obs::MetricKey;
 use svt_sim::CostPart;
 use svt_vmx::{ExitReason, VmcsField};
 
@@ -93,7 +94,8 @@ impl HwSvtReflector {
             VmcsField::SvtVm,
             Some(if self.full() { CTX_L1.0 } else { CTX_L0.0 }),
         );
-        m.l0.vmcs01.set_svt_ctx(VmcsField::SvtNested, Some(l2_ctx.0));
+        m.l0.vmcs01
+            .set_svt_ctx(VmcsField::SvtNested, Some(l2_ctx.0));
         // vmcs02: L0 runs L2 in its own context; no deeper nesting.
         m.l0.vmcs02.set_svt_ctx(VmcsField::SvtVisor, Some(CTX_L0.0));
         m.l0.vmcs02.set_svt_ctx(VmcsField::SvtVm, Some(l2_ctx.0));
@@ -130,7 +132,6 @@ impl HwSvtReflector {
         }
     }
 
-
     fn stall_resume(&self, m: &mut Machine, part: CostPart, to: CtxId, is_vm: bool) {
         m.clock.push_part(part);
         let c = m.cost.svt_stall + m.cost.svt_resume;
@@ -138,6 +139,9 @@ impl HwSvtReflector {
         m.clock.pop_part(part);
         m.core.switch_to(to).expect("SVt context exists");
         m.core.micro_mut().is_vm = is_vm;
+        m.obs
+            .metrics
+            .inc(MetricKey::new("svt_stall_resume").reflector("hw-svt"));
     }
 }
 
@@ -231,6 +235,9 @@ impl Reflector for HwSvtReflector {
         let c = m.cost.ctxt_reg_access;
         m.clock.charge(c);
         m.clock.count("ctxtld");
+        m.obs
+            .metrics
+            .inc(MetricKey::new("ctxt_reg_access").reflector("hw-svt"));
         m.core
             .ctxtld(CtxtLevel::Guest, r)
             .expect("SVt target configured")
@@ -240,6 +247,9 @@ impl Reflector for HwSvtReflector {
         let c = m.cost.ctxt_reg_access;
         m.clock.charge(c);
         m.clock.count("ctxtst");
+        m.obs
+            .metrics
+            .inc(MetricKey::new("ctxt_reg_access").reflector("hw-svt"));
         m.core
             .ctxtst(CtxtLevel::Guest, r, v)
             .expect("SVt target configured");

@@ -12,6 +12,7 @@
 use svt_cpu::Gpr;
 use svt_hv::{Machine, MachineEvent, Reflector};
 use svt_mem::{CommandRing, Hpa};
+use svt_obs::{MetricKey, ObsLevel};
 use svt_sim::{CostPart, Placement, SimDuration};
 use svt_vmx::ExitReason;
 
@@ -132,7 +133,8 @@ impl SwSvtReflector {
         };
         let payload = cmd.encode();
         debug_assert_eq!(payload.len(), PAYLOAD_LEN);
-        ring.push(&mut m.ram, &payload).expect("ring never fills: lockstep protocol");
+        ring.push(&mut m.ram, &payload)
+            .expect("ring never fills: lockstep protocol");
         let c = m.cost.cacheline(self.placement) * (cmd.cache_lines() + 1);
         m.clock.charge(c);
     }
@@ -162,6 +164,9 @@ impl SwSvtReflector {
             if matches!(ev, MachineEvent::IpiToL1Main) {
                 self.svt_blocked_count += 1;
                 m.clock.count("svt_blocked");
+                m.obs
+                    .metrics
+                    .inc(MetricKey::new("svt_blocked").reflector("sw-svt"));
                 m.clock.push_part(CostPart::L0Handler);
                 // Inject SVT_BLOCKED into L1's main vCPU, let its interrupt
                 // handler run, and take the immediate yield back.
@@ -251,6 +256,7 @@ impl Reflector for SwSvtReflector {
 
         // L0 sends CMD_VM_TRAP with the registers and trap id (Fig. 5,
         // step 2), then monitors the response ring.
+        let cmd_begin = m.clock.now();
         m.clock.push_part(CostPart::Channel);
         let trap_cmd = Command {
             kind: CMD_VM_TRAP,
@@ -266,6 +272,16 @@ impl Reflector for SwSvtReflector {
         debug_assert_eq!(received.kind, CMD_VM_TRAP);
         self.last_cmd = Some(received);
         m.clock.pop_part(CostPart::Channel);
+        m.obs.spans.record(
+            "svt_cmd_ring",
+            "channel",
+            ObsLevel::Machine,
+            cmd_begin,
+            m.clock.now(),
+        );
+        m.obs
+            .metrics
+            .inc(MetricKey::new("svt_commands").reflector("sw-svt"));
 
         // The SVt-thread (L1_1) handles the trap on the sibling thread.
         let before = m.clock.now();
@@ -277,6 +293,7 @@ impl Reflector for SwSvtReflector {
         // While waiting, L0 services IPIs for L1's main vCPU (§ 5.3).
         self.check_blocked_ipis(m);
 
+        let resp_begin = m.clock.now();
         m.clock.push_part(CostPart::Channel);
         if self.wait == WaitMode::Poll {
             // A busy-polling L0 sibling steals cycles from the handler.
@@ -298,6 +315,16 @@ impl Reflector for SwSvtReflector {
         debug_assert_eq!(resp.kind, CMD_VM_RESUME);
         m.vcpu2.gprs = resp.gprs;
         m.clock.pop_part(CostPart::Channel);
+        m.obs.spans.record(
+            "svt_resp_ring",
+            "channel",
+            ObsLevel::Machine,
+            resp_begin,
+            m.clock.now(),
+        );
+        m.obs
+            .metrics
+            .inc(MetricKey::new("svt_commands").reflector("sw-svt"));
     }
 
     fn l1_exit_roundtrip(&mut self, m: &mut Machine, exit: ExitReason, value: u64) -> u64 {

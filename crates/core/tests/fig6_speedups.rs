@@ -80,12 +80,21 @@ fn sw_svt_replaces_world_switch_with_channel() {
 fn fig6_ordering_native_to_nested() {
     // The five bars of Fig. 6 in order: L0 < L1 < HW SVt < SW SVt < L2.
     use svt_hv::{Level, MachineConfig};
-    let l0 = cpuid_ns(&mut Machine::baseline(MachineConfig::at_level(Level::L0)), 20);
-    let l1 = cpuid_ns(&mut Machine::baseline(MachineConfig::at_level(Level::L1)), 20);
+    let l0 = cpuid_ns(
+        &mut Machine::baseline(MachineConfig::at_level(Level::L0)),
+        20,
+    );
+    let l1 = cpuid_ns(
+        &mut Machine::baseline(MachineConfig::at_level(Level::L1)),
+        20,
+    );
     let l2 = cpuid_ns(&mut nested_machine(SwitchMode::Baseline), 20);
     let sw = cpuid_ns(&mut nested_machine(SwitchMode::SwSvt), 20);
     let hw = cpuid_ns(&mut nested_machine(SwitchMode::HwSvt), 20);
-    assert!(l0 < l1 && l1 < hw && hw < sw && sw < l2, "{l0} {l1} {hw} {sw} {l2}");
+    assert!(
+        l0 < l1 && l1 < hw && hw < sw && sw < l2,
+        "{l0} {l1} {hw} {sw} {l2}"
+    );
     assert_eq!(l0, 50.0); // the paper's 0.05us native bar
 }
 

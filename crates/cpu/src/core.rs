@@ -368,7 +368,10 @@ mod tests {
         assert_eq!(core.current(), CtxId(2));
         assert!(core.is_stalled(CtxId(0)));
         assert!(!core.is_stalled(CtxId(2)));
-        assert_eq!(core.switch_to(CtxId(9)), Err(SvtFault::BadContext(CtxId(9))));
+        assert_eq!(
+            core.switch_to(CtxId(9)),
+            Err(SvtFault::BadContext(CtxId(9)))
+        );
     }
 
     #[test]
@@ -445,7 +448,7 @@ mod tests {
             let r = Gpr::ALL[(i % 16) as usize];
             core.write_gpr(ctx, r, i);
         }
-        assert_eq!(core.read_gpr(CtxId(0), Gpr::Rax, ), 9984);
+        assert_eq!(core.read_gpr(CtxId(0), Gpr::Rax,), 9984);
     }
 
     #[test]

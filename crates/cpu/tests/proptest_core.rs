@@ -1,9 +1,12 @@
 //! Property tests of the SMT core: physical-register-file conservation,
 //! cross-context access correctness, and the single-running-context
 //! invariant under arbitrary operation sequences.
+//!
+//! Randomised inputs are driven by the in-tree deterministic PRNG so the
+//! cases are reproducible and the suite has no external dependencies.
 
-use proptest::prelude::*;
 use svt_cpu::{CtxId, CtxtLevel, Gpr, SmtCore};
+use svt_sim::DetRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -13,18 +16,21 @@ enum Op {
     Ctxtld(usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..3, 0usize..16, any::<u64>()).prop_map(|(c, r, v)| Op::Write(c, r, v)),
-        (0u8..3).prop_map(Op::Switch),
-        (0usize..16, any::<u64>()).prop_map(|(r, v)| Op::Ctxtst(r, v)),
-        (0usize..16).prop_map(Op::Ctxtld),
-    ]
+fn random_op(rng: &mut DetRng) -> Op {
+    match rng.below(4) {
+        0 => Op::Write(rng.below(3) as u8, rng.below(16) as usize, rng.next_u64()),
+        1 => Op::Switch(rng.below(3) as u8),
+        2 => Op::Ctxtst(rng.below(16) as usize, rng.next_u64()),
+        _ => Op::Ctxtld(rng.below(16) as usize),
+    }
 }
 
-proptest! {
-    #[test]
-    fn core_invariants_hold_under_arbitrary_ops(ops in prop::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn core_invariants_hold_under_arbitrary_ops() {
+    let mut rng = DetRng::seed(0xc0de_0001);
+    for _ in 0..64 {
+        let n_ops = rng.range(1, 200) as usize;
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
         let mut core = SmtCore::new(3);
         core.micro_mut().vm = Some(CtxId(1));
         core.micro_mut().nested = Some(CtxId(2));
@@ -37,7 +43,7 @@ proptest! {
                 }
                 Op::Switch(c) => {
                     core.switch_to(CtxId(c)).unwrap();
-                    prop_assert_eq!(core.current(), CtxId(c));
+                    assert_eq!(core.current(), CtxId(c));
                 }
                 Op::Ctxtst(r, v) => {
                     // Host view: target resolves to SVt_vm (ctx1).
@@ -48,21 +54,25 @@ proptest! {
                 Op::Ctxtld(r) => {
                     core.micro_mut().is_vm = false;
                     let v = core.ctxtld(CtxtLevel::Guest, Gpr::ALL[r]).unwrap();
-                    prop_assert_eq!(v, shadow[1][r]);
+                    assert_eq!(v, shadow[1][r]);
                 }
             }
             // The design invariant: exactly one context ever runs.
-            prop_assert_eq!(core.running_contexts(), 1);
+            assert_eq!(core.running_contexts(), 1);
         }
         for c in 0..3u8 {
             for (i, r) in Gpr::ALL.iter().enumerate() {
-                prop_assert_eq!(core.read_gpr(CtxId(c), *r), shadow[c as usize][i]);
+                assert_eq!(core.read_gpr(CtxId(c), *r), shadow[c as usize][i]);
             }
         }
     }
+}
 
-    #[test]
-    fn snapshot_load_transfers_exact_state(values in prop::collection::vec(any::<u64>(), 16)) {
+#[test]
+fn snapshot_load_transfers_exact_state() {
+    let mut rng = DetRng::seed(0xc0de_0002);
+    for _ in 0..64 {
+        let values: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
         let mut core = SmtCore::new(2);
         for (r, v) in Gpr::ALL.iter().zip(&values) {
             core.write_gpr(CtxId(0), *r, *v);
@@ -70,7 +80,7 @@ proptest! {
         let snap = core.snapshot_gprs(CtxId(0));
         core.load_gprs(CtxId(1), &snap);
         for (r, v) in Gpr::ALL.iter().zip(&values) {
-            prop_assert_eq!(core.read_gpr(CtxId(1), *r), *v);
+            assert_eq!(core.read_gpr(CtxId(1), *r), *v);
         }
     }
 }

@@ -70,12 +70,19 @@ pub trait DeviceModel: fmt::Debug {
     ) -> DeviceOutcome;
 
     /// Guest loaded from `gpa`. Returns the value read and the outcome.
-    fn mmio_read(&mut self, gpa: Gpa, mem: &mut GuestMemory, now: SimTime)
-        -> (u64, DeviceOutcome);
+    fn mmio_read(&mut self, gpa: Gpa, mem: &mut GuestMemory, now: SimTime) -> (u64, DeviceOutcome);
 
     /// A scheduled completion token fired.
-    fn complete(&mut self, token: u64, mem: &mut GuestMemory, now: SimTime)
-        -> Option<Completion>;
+    fn complete(&mut self, token: u64, mem: &mut GuestMemory, now: SimTime) -> Option<Completion>;
+
+    /// Device-internal observability counters as `(name, value)` pairs
+    /// (doorbell kicks, completion interrupts, queue depths, …). Values
+    /// are absolute totals; the machine harvests them into its metrics
+    /// registry via [`crate::Machine::harvest_device_metrics`]. Devices
+    /// with nothing to report can rely on this default.
+    fn obs_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// Checks whether `gpa` falls into any of the device's ranges.

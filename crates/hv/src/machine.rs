@@ -15,14 +15,19 @@
 
 use svt_cpu::{Gpr, SmtCore};
 use svt_mem::{Gpa, GuestMemory};
+use svt_obs::{MetricKey, Obs, ObsLevel};
 use svt_sim::{Clock, CostModel, CostPart, EventQueue, MachineSpec, SimDuration, SimTime};
-use svt_vmx::{Access, EptFault, ExitReason, VmcsField, MSR_TSC_DEADLINE, MSR_X2APIC_EOI, VECTOR_TIMER};
+use svt_vmx::{
+    Access, EptFault, ExitReason, VmcsField, MSR_TSC_DEADLINE, MSR_X2APIC_EOI, VECTOR_TIMER,
+};
 
 use crate::device::{Completion, DeviceModel, DeviceOutcome};
 use crate::program::{GuestCtx, GuestOp, GuestProgram};
 use crate::reflector::{BaselineReflector, Reflector};
+use crate::state::{
+    program_vmcs02, L0State, L1State, Level, MachineConfig, MachineEvent, VcpuState,
+};
 use crate::trace::{TraceEvent, Tracer};
-use crate::state::{program_vmcs02, L0State, L1State, Level, MachineConfig, MachineEvent, VcpuState};
 
 /// Which VMCS a (charged) access targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +78,10 @@ pub(crate) struct MmioOp {
 #[derive(Debug)]
 pub(crate) enum IrqWork {
     /// A device completion: backend work then vector injection.
-    Completion { device: usize, completion: Completion },
+    Completion {
+        device: usize,
+        completion: Completion,
+    },
     /// The virtualized TSC-deadline timer fired.
     Timer,
 }
@@ -102,6 +110,9 @@ pub struct Machine {
     pub shadowing: bool,
     /// Architectural event trace (disabled by default).
     pub tracer: Tracer,
+    /// Structured observability: typed metrics plus trap-lifecycle spans
+    /// (span recording disabled by default; counters always on).
+    pub obs: Obs,
     level: Level,
     devices: Vec<Option<Box<dyn DeviceModel>>>,
     reflector: Option<Box<dyn Reflector>>,
@@ -137,6 +148,7 @@ impl Machine {
             spec: cfg.spec,
             shadowing: cfg.shadowing,
             tracer: Tracer::default(),
+            obs: Obs::new(),
             level: cfg.level,
             devices: Vec::new(),
             reflector: Some(reflector),
@@ -164,9 +176,7 @@ impl Machine {
 
     /// Name of the active switch engine.
     pub fn reflector_name(&self) -> &'static str {
-        self.reflector
-            .as_ref()
-            .map_or("(taken)", |r| r.name())
+        self.reflector.as_ref().map_or("(taken)", |r| r.name())
     }
 
     /// Registers a device on the guest's MMIO bus. Its pages are marked
@@ -249,7 +259,11 @@ impl Machine {
                 self.clock.charge(self.cost.guest_irq_entry);
                 self.clock.pop_part(self.guest_part());
                 self.clock.count("irq_delivered");
-                self.tracer.record(self.clock.now(), TraceEvent::Deliver(v));
+                self.obs
+                    .metrics
+                    .inc(MetricKey::new("irq_delivered").level(self.level.obs()));
+                self.tracer
+                    .record(self.clock.now(), TraceEvent::Deliver(self.level, v));
                 let mut ctx = GuestCtx {
                     now: self.clock.now(),
                     mem: &mut self.ram,
@@ -294,10 +308,7 @@ impl Machine {
                         for (when, tok) in c.schedule.clone() {
                             self.events.schedule(
                                 when,
-                                MachineEvent::DeviceComplete {
-                                    device,
-                                    token: tok,
-                                },
+                                MachineEvent::DeviceComplete { device, token: tok },
                             );
                         }
                         self.deliver_irq(
@@ -351,12 +362,18 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn deliver_irq(&mut self, r: &mut dyn Reflector, vector: u8, work: IrqWork) {
+        if self.vcpu2.halted {
+            self.tracer
+                .record(self.clock.now(), TraceEvent::Wake(self.level));
+        }
+        self.obs
+            .metrics
+            .inc(MetricKey::new("irq_raised").level(self.level.obs()));
         match self.level {
             Level::L0 => {
                 // Native: the handler cost is charged at ack time.
                 if let IrqWork::Completion { device, completion } = &work {
-                    self.clock
-                        .charge_as(CostPart::Device, completion.service);
+                    self.clock.charge_as(CostPart::Device, completion.service);
                     let _ = device;
                 }
                 if matches!(work, IrqWork::Timer) {
@@ -481,14 +498,14 @@ impl Machine {
             }
             GuestOp::MmioWrite { gpa, value } => {
                 if let Some(idx) = self.device_at(gpa) {
-                    let out = self.with_device(idx, |d, mem, now| d.mmio_write(gpa, value, mem, now));
+                    let out =
+                        self.with_device(idx, |d, mem, now| d.mmio_write(gpa, value, mem, now));
                     self.apply_outcome_native(idx, out);
                 }
             }
             GuestOp::MmioRead { gpa } => {
                 if let Some(idx) = self.device_at(gpa) {
-                    let (v, out) =
-                        self.with_device(idx, |d, mem, now| d.mmio_read(gpa, mem, now));
+                    let (v, out) = self.with_device(idx, |d, mem, now| d.mmio_read(gpa, mem, now));
                     self.apply_outcome_native(idx, out);
                     self.pending_result = Some(v);
                 }
@@ -508,8 +525,13 @@ impl Machine {
         self.clock.charge(out.service);
         self.clock.pop_part(CostPart::Device);
         for (when, tok) in out.schedule {
-            self.events
-                .schedule(when, MachineEvent::DeviceComplete { device: idx, token: tok });
+            self.events.schedule(
+                when,
+                MachineEvent::DeviceComplete {
+                    device: idx,
+                    token: tok,
+                },
+            );
         }
     }
 
@@ -540,20 +562,19 @@ impl Machine {
                 }
             }
             GuestOp::MmioWrite { gpa, value } => {
-                match self.l0.ept01.translate(gpa, Access::Write) {
-                    Err(EptFault::Misconfig { .. }) => {
-                        self.pending_mmio = Some(MmioOp {
-                            gpa,
-                            write: true,
-                            value,
-                        });
-                        self.single_exit(ExitReason::EptMisconfig { gpa }, value);
-                    }
-                    _ => {}
+                if let Err(EptFault::Misconfig { .. }) = self.l0.ept01.translate(gpa, Access::Write)
+                {
+                    self.pending_mmio = Some(MmioOp {
+                        gpa,
+                        write: true,
+                        value,
+                    });
+                    self.single_exit(ExitReason::EptMisconfig { gpa }, value);
                 }
             }
-            GuestOp::MmioRead { gpa } => match self.l0.ept01.translate(gpa, Access::Read) {
-                Err(EptFault::Misconfig { .. }) => {
+            GuestOp::MmioRead { gpa } => {
+                if let Err(EptFault::Misconfig { .. }) = self.l0.ept01.translate(gpa, Access::Read)
+                {
                     self.pending_mmio = Some(MmioOp {
                         gpa,
                         write: false,
@@ -561,8 +582,7 @@ impl Machine {
                     });
                     self.single_exit(ExitReason::EptMisconfig { gpa }, 0);
                 }
-                _ => {}
-            },
+            }
             GuestOp::Vmcall(nr) => self.single_exit(ExitReason::Vmcall { nr }, 0),
             GuestOp::Hlt => {
                 self.single_exit(ExitReason::Hlt, 0);
@@ -575,6 +595,13 @@ impl Machine {
     /// One single-level exit round: guest → L0 → guest.
     fn single_exit(&mut self, reason: ExitReason, value: u64) {
         self.clock.count("l1_direct_exit");
+        self.obs.metrics.inc(
+            MetricKey::new("vm_exit")
+                .level(ObsLevel::L1)
+                .exit(reason.tag()),
+        );
+        let trap_begin = self.clock.now();
+        self.obs.spans.begin_trap();
         self.clock.push_tag(reason.tag());
         self.clock.push_part(CostPart::SwitchL0L1);
         let c = self.cost.vm_exit_hw + self.cost.gpr_thunk();
@@ -637,6 +664,16 @@ impl Machine {
         self.clock.charge(c);
         self.clock.pop_part(CostPart::SwitchL0L1);
         self.clock.pop_tag(reason.tag());
+        let now = self.clock.now();
+        self.obs
+            .spans
+            .record("single_trap", "lifecycle", ObsLevel::L1, trap_begin, now);
+        self.obs.metrics.observe(
+            MetricKey::new("trap_latency_ps")
+                .level(ObsLevel::L1)
+                .exit(reason.tag()),
+            now.saturating_since(trap_begin).as_ps(),
+        );
     }
 
     // ---- Nested (program at L2) ----------------------------------------
@@ -672,7 +709,8 @@ impl Machine {
             GuestOp::Hlt => {
                 self.nested_reflect(r, ExitReason::Hlt);
                 self.vcpu2.halted = true;
-                self.tracer.record(self.clock.now(), TraceEvent::Halt);
+                self.tracer
+                    .record(self.clock.now(), TraceEvent::Halt(Level::L2));
             }
             GuestOp::Done => {}
         }
@@ -692,12 +730,7 @@ impl Machine {
                 // hardware support would also need).
                 self.nested_l0_direct(r, ExitReason::EptViolation { gpa, write });
                 // Retry: now either mapped or MMIO.
-                if self
-                    .l0
-                    .ept02
-                    .translate(gpa, access)
-                    .is_err()
-                {
+                if self.l0.ept02.translate(gpa, access).is_err() {
                     self.pending_mmio = Some(MmioOp { gpa, write, value });
                     self.nested_reflect(r, ExitReason::EptMisconfig { gpa });
                 }
@@ -708,6 +741,12 @@ impl Machine {
     /// A nested exit L0 handles without reflecting to L1.
     fn nested_l0_direct(&mut self, r: &mut dyn Reflector, reason: ExitReason) {
         self.clock.count("l2_exit_chain");
+        self.obs.metrics.inc(
+            MetricKey::new("l0_direct_exit")
+                .level(ObsLevel::L2)
+                .exit(reason.tag())
+                .reflector(r.name()),
+        );
         self.clock.push_tag(reason.tag());
         r.l2_trap(self);
         self.clock.push_part(CostPart::L0Handler);
@@ -750,20 +789,58 @@ impl Machine {
     /// The full Algorithm 1 chain for one reflected nested exit.
     pub(crate) fn nested_reflect(&mut self, r: &mut dyn Reflector, reason: ExitReason) {
         self.clock.count("l2_exit_chain");
-        self.tracer.record(self.clock.now(), TraceEvent::Exit(reason.tag()));
+        self.tracer
+            .record(self.clock.now(), TraceEvent::Exit(Level::L2, reason.tag()));
+        self.obs.metrics.inc(
+            MetricKey::new("vm_exit")
+                .level(ObsLevel::L2)
+                .exit(reason.tag())
+                .reflector(r.name()),
+        );
+        self.obs.spans.begin_trap();
+        let trap_begin = self.clock.now();
         self.clock.push_tag(reason.tag());
         r.l2_trap(self); // part 1 (first half)
-        self.tracer
-            .record(self.clock.now(), TraceEvent::Reflect(reason.tag()));
+        self.obs.spans.record(
+            "l2_exit",
+            "trap",
+            ObsLevel::L2,
+            trap_begin,
+            self.clock.now(),
+        );
+        self.tracer.record(
+            self.clock.now(),
+            TraceEvent::Reflect(Level::L0, reason.tag()),
+        );
         r.reflect(self, reason); // parts 2 + 3 + 4 + 5
+        let resume_begin = self.clock.now();
         r.l2_resume(self); // part 1 (second half)
         self.clock.pop_tag(reason.tag());
+        let now = self.clock.now();
+        self.obs
+            .spans
+            .record("l2_resume", "trap", ObsLevel::L2, resume_begin, now);
+        self.obs.spans.record(
+            "nested_trap",
+            "lifecycle",
+            ObsLevel::Machine,
+            trap_begin,
+            now,
+        );
+        self.obs.metrics.observe(
+            MetricKey::new("trap_latency_ps")
+                .level(ObsLevel::L2)
+                .exit(reason.tag())
+                .reflector(r.name()),
+            now.saturating_since(trap_begin).as_ps(),
+        );
     }
 
     /// L0's first leg: decode the exit and decide to reflect (Algorithm 1
     /// lines 2–3 prologue). `elide_lazy_sync` skips the lazily-synced
     /// context state (the HW SVt elision).
     pub fn l0_leg_a(&mut self, elide_lazy_sync: bool) {
+        let begin = self.clock.now();
         self.clock.push_part(CostPart::L0Handler);
         let c = self.cost.l0_exit_decode + self.cost.l0_run_loop + self.cost.l0_mmu_sync;
         self.clock.charge(c);
@@ -774,12 +851,16 @@ impl Machine {
         let c = self.cost.l0_nested_route;
         self.clock.charge(c);
         self.clock.pop_part(CostPart::L0Handler);
+        self.obs
+            .spans
+            .record("l0_leg_a", "trap", ObsLevel::L0, begin, self.clock.now());
     }
 
     /// L0's second leg: validate L1's emulated VMRESUME (Algorithm 1
     /// line 12–13). `elide_lazy_sync` skips the lazily-synced context
     /// state (the HW SVt elision).
     pub fn l0_leg_b(&mut self, elide_lazy_sync: bool) {
+        let begin = self.clock.now();
         self.clock.push_part(CostPart::L0Handler);
         let c = self.cost.l0_exit_decode + self.cost.l0_run_loop + self.cost.l0_mmu_sync;
         self.clock.charge(c);
@@ -799,14 +880,25 @@ impl Machine {
             let _ = self.vm_read(VmcsId::V12, VmcsField::PinBasedControls);
         }
         self.clock.pop_part(CostPart::L0Handler);
+        self.obs
+            .spans
+            .record("l0_leg_b", "trap", ObsLevel::L0, begin, self.clock.now());
     }
 
     /// L0's entry preparation right before resuming L2.
     pub fn l0_entry_finish(&mut self) {
+        let begin = self.clock.now();
         self.clock.push_part(CostPart::L0Handler);
         let c = self.cost.l0_entry_prep;
         self.clock.charge(c);
         self.clock.pop_part(CostPart::L0Handler);
+        self.obs.spans.record(
+            "l0_entry_finish",
+            "trap",
+            ObsLevel::L0,
+            begin,
+            self.clock.now(),
+        );
     }
 
     // ------------------------------------------------------------------
@@ -858,33 +950,56 @@ impl Machine {
     /// The forward transformation (Algorithm 1 line 3): reflect L2's
     /// lazily-synced state from vmcs02 into vmcs12.
     pub fn forward_transform(&mut self) {
+        let begin = self.clock.now();
         self.clock.push_part(CostPart::Transform);
         let c = self.cost.transform_fixed;
         self.clock.charge(c);
         self.clock.count("transform_fwd");
+        self.obs
+            .metrics
+            .inc(MetricKey::new("transform_fwd").level(ObsLevel::L0));
         for f in VmcsField::SYNC_FIELDS {
             let v = self.vm_read(VmcsId::V02, f);
             self.vm_write(VmcsId::V12, f, v);
         }
         self.clock.pop_part(CostPart::Transform);
+        self.obs.spans.record(
+            "forward_transform",
+            "trap",
+            ObsLevel::L0,
+            begin,
+            self.clock.now(),
+        );
     }
 
     /// The backward transformation (Algorithm 1 line 14): apply L1's
     /// changes from vmcs12 into vmcs02 before resuming L2.
     pub fn backward_transform(&mut self) {
+        let begin = self.clock.now();
         self.clock.push_part(CostPart::Transform);
         let c = self.cost.transform_fixed;
         self.clock.charge(c);
         self.clock.count("transform_bwd");
+        self.obs
+            .metrics
+            .inc(MetricKey::new("transform_bwd").level(ObsLevel::L0));
         for f in VmcsField::ENTRY_FIELDS {
             let v = self.vm_read(VmcsId::V12, f);
             self.vm_write(VmcsId::V02, f, v);
         }
         self.clock.pop_part(CostPart::Transform);
+        self.obs.spans.record(
+            "backward_transform",
+            "trap",
+            ObsLevel::L0,
+            begin,
+            self.clock.now(),
+        );
     }
 
     /// Injects the exit information into vmcs12 (Algorithm 1 line 5).
     pub fn inject_into_vmcs12(&mut self, reason: ExitReason) {
+        let begin = self.clock.now();
         self.clock.push_part(CostPart::L0Handler);
         let c = self.cost.l0_inject_fixed;
         self.clock.charge(c);
@@ -896,6 +1011,13 @@ impl Machine {
         let c = self.cost.l0_entry_prep;
         self.clock.charge(c);
         self.clock.pop_part(CostPart::L0Handler);
+        self.obs.spans.record(
+            "inject_vmcs12",
+            "trap",
+            ObsLevel::L0,
+            begin,
+            self.clock.now(),
+        );
     }
 
     /// World-switch extra cost when crossing into/out of a guest at
@@ -916,6 +1038,7 @@ impl Machine {
     /// L1's VM-exit handler for a reflected L2 trap (Algorithm 1 lines
     /// 7–11). Runs with the caller's part attribution (part ⑤).
     pub fn l1_handle_exit(&mut self, r: &mut dyn Reflector, exit: ExitReason) {
+        let handler_begin = self.clock.now();
         let c = self.cost.l1_exit_decode;
         self.clock.charge(c);
         // Learn the exit information (vmcs01' reads, or the SW-SVt ring
@@ -1060,6 +1183,18 @@ impl Machine {
         }
         let c = self.cost.l1_run_loop;
         self.clock.charge(c);
+        self.obs.spans.record(
+            "l1_handler",
+            "trap",
+            ObsLevel::L1,
+            handler_begin,
+            self.clock.now(),
+        );
+        self.obs.metrics.inc(
+            MetricKey::new("l1_handler_runs")
+                .level(ObsLevel::L1)
+                .exit(exit.tag()),
+        );
     }
 
     /// L1 services a device access for L2 (its QEMU/vhost backend).
@@ -1085,8 +1220,13 @@ impl Machine {
             );
         }
         for (when, tok) in outcome.schedule {
-            self.events
-                .schedule(when, MachineEvent::DeviceComplete { device: idx, token: tok });
+            self.events.schedule(
+                when,
+                MachineEvent::DeviceComplete {
+                    device: idx,
+                    token: tok,
+                },
+            );
         }
     }
 
@@ -1095,7 +1235,10 @@ impl Machine {
     fn l1_inject_to_l2(&mut self, r: &mut dyn Reflector, vector: u8) {
         self.vcpu2.apic.inject(vector);
         self.tracer
-            .record(self.clock.now(), TraceEvent::Inject(vector));
+            .record(self.clock.now(), TraceEvent::Inject(Level::L1, vector));
+        self.obs
+            .metrics
+            .inc(MetricKey::new("irq_injected").level(ObsLevel::L1));
         self.l1_inject_to_l2_raw(r);
     }
 
@@ -1154,7 +1297,12 @@ impl Machine {
     pub fn l0_handle_l1_exit(&mut self, exit: ExitReason, value: u64) -> u64 {
         self.clock.count("l1_exit");
         self.tracer
-            .record(self.clock.now(), TraceEvent::L1Exit(exit.tag()));
+            .record(self.clock.now(), TraceEvent::L1Exit(Level::L1, exit.tag()));
+        self.obs.metrics.inc(
+            MetricKey::new("l1_exit")
+                .level(ObsLevel::L1)
+                .exit(exit.tag()),
+        );
         match exit {
             ExitReason::Vmread { field } => {
                 let c = self.cost.l0_exit_decode + self.cost.l0_vmrw_emulate;
@@ -1172,8 +1320,7 @@ impl Machine {
                 0
             }
             ExitReason::MsrWrite { msr } => {
-                let c =
-                    self.cost.l0_exit_decode + self.cost.l0_run_loop + self.cost.l0_msr_emulate;
+                let c = self.cost.l0_exit_decode + self.cost.l0_run_loop + self.cost.l0_msr_emulate;
                 self.clock.charge(c);
                 if msr == MSR_TSC_DEADLINE {
                     self.arm_phys_timer(SimTime::from_ps(value));
@@ -1181,8 +1328,7 @@ impl Machine {
                 0
             }
             ExitReason::IoInstruction { .. } => {
-                let c =
-                    self.cost.l0_exit_decode + self.cost.l0_run_loop + self.cost.l0_mmio_route;
+                let c = self.cost.l0_exit_decode + self.cost.l0_run_loop + self.cost.l0_mmio_route;
                 self.clock.charge(c);
                 0
             }
@@ -1202,6 +1348,20 @@ impl Machine {
     // ------------------------------------------------------------------
     // Devices
     // ------------------------------------------------------------------
+
+    /// Harvests every registered device's [`DeviceModel::obs_counters`]
+    /// into the metrics registry as machine-level gauges. Values are
+    /// absolute totals, so calling this repeatedly is idempotent.
+    pub fn harvest_device_metrics(&mut self) {
+        for slot in &self.devices {
+            let Some(dev) = slot.as_ref() else { continue };
+            for (name, v) in dev.obs_counters() {
+                self.obs
+                    .metrics
+                    .set_gauge(MetricKey::new(name).level(ObsLevel::Machine), v as f64);
+            }
+        }
+    }
 
     fn device_at(&self, gpa: Gpa) -> Option<usize> {
         self.devices.iter().position(|d| {

@@ -31,6 +31,17 @@ impl std::fmt::Display for Level {
     }
 }
 
+impl Level {
+    /// The observability-layer level this virtualization level maps to.
+    pub fn obs(self) -> svt_obs::ObsLevel {
+        match self {
+            Level::L0 => svt_obs::ObsLevel::L0,
+            Level::L1 => svt_obs::ObsLevel::L1,
+            Level::L2 => svt_obs::ObsLevel::L2,
+        }
+    }
+}
+
 /// Events on the machine's physical event queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MachineEvent {

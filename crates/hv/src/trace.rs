@@ -4,28 +4,51 @@
 //! interrupt injections, level switches) that costs nothing when disabled
 //! and makes the simulator's behavior inspectable when enabled — the
 //! `nested_trap_trace` example renders one of these per trap.
+//!
+//! Each event carries the virtualization [`Level`] it originated at, and
+//! the ring reports how many events overflowed via [`Tracer::dropped`], so
+//! neither provenance nor overflow is silent.
 
 use std::collections::VecDeque;
 
 use svt_sim::SimTime;
 
-/// One traced architectural event.
+use crate::state::Level;
+
+/// One traced architectural event, stamped with the level it concerns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
-    /// A guest exit entered the switch engine (reason tag).
-    Exit(&'static str),
-    /// L0 reflected the exit into vmcs12.
-    Reflect(&'static str),
-    /// A privileged operation by L1 trapped into L0.
-    L1Exit(&'static str),
-    /// An interrupt vector was injected toward the measured guest.
-    Inject(u8),
-    /// An interrupt vector was delivered to the guest program.
-    Deliver(u8),
-    /// The guest halted.
-    Halt,
-    /// The guest was resumed after an idle period.
-    Wake,
+    /// A guest exit at `level` entered the switch engine (reason tag).
+    Exit(Level, &'static str),
+    /// L0 reflected the exit into vmcs12 (the level is the reflection
+    /// origin — the guest whose exit is being reflected).
+    Reflect(Level, &'static str),
+    /// A privileged operation by the guest hypervisor trapped into L0.
+    L1Exit(Level, &'static str),
+    /// An interrupt vector was injected toward the measured guest at
+    /// `level`.
+    Inject(Level, u8),
+    /// An interrupt vector was delivered to the guest program at `level`.
+    Deliver(Level, u8),
+    /// The guest at `level` halted.
+    Halt(Level),
+    /// The guest at `level` was resumed after an idle period.
+    Wake(Level),
+}
+
+impl TraceEvent {
+    /// The virtualization level the event originated at.
+    pub fn level(&self) -> Level {
+        match self {
+            TraceEvent::Exit(l, _)
+            | TraceEvent::Reflect(l, _)
+            | TraceEvent::L1Exit(l, _)
+            | TraceEvent::Inject(l, _)
+            | TraceEvent::Deliver(l, _)
+            | TraceEvent::Halt(l)
+            | TraceEvent::Wake(l) => *l,
+        }
+    }
 }
 
 /// A bounded trace ring.
@@ -33,17 +56,18 @@ pub enum TraceEvent {
 /// # Examples
 ///
 /// ```
-/// use svt_hv::{TraceEvent, Tracer};
+/// use svt_hv::{Level, TraceEvent, Tracer};
 /// use svt_sim::SimTime;
 ///
 /// let mut t = Tracer::new(4);
 /// t.enable();
 /// for i in 0..6 {
-///     t.record(SimTime::from_ns(i), TraceEvent::Inject(i as u8));
+///     t.record(SimTime::from_ns(i), TraceEvent::Inject(Level::L2, i as u8));
 /// }
-/// // Only the 4 most recent events are retained.
+/// // Only the 4 most recent events are retained; overflow is counted.
 /// assert_eq!(t.events().len(), 4);
-/// assert_eq!(t.events()[0].1, TraceEvent::Inject(2));
+/// assert_eq!(t.events()[0].1, TraceEvent::Inject(Level::L2, 2));
+/// assert_eq!(t.dropped(), 2);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tracer {
@@ -106,7 +130,14 @@ impl Tracer {
         self.recorded
     }
 
-    /// Clears retained events (the total count is preserved).
+    /// Events lost to ring overflow or [`Tracer::clear`]: recorded minus
+    /// currently retained.
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.ring.len() as u64
+    }
+
+    /// Clears retained events (the total count is preserved, so cleared
+    /// events count as dropped).
     pub fn clear(&mut self) {
         self.ring.clear();
     }
@@ -125,31 +156,34 @@ mod tests {
     #[test]
     fn disabled_tracer_records_nothing() {
         let mut t = Tracer::new(8);
-        t.record(SimTime::ZERO, TraceEvent::Halt);
+        t.record(SimTime::ZERO, TraceEvent::Halt(Level::L2));
         assert!(t.events().is_empty());
         assert_eq!(t.recorded(), 0);
+        assert_eq!(t.dropped(), 0);
     }
 
     #[test]
-    fn ring_evicts_oldest() {
+    fn ring_evicts_oldest_and_counts_drops() {
         let mut t = Tracer::new(2);
         t.enable();
-        t.record(SimTime::from_ns(1), TraceEvent::Exit("CPUID"));
-        t.record(SimTime::from_ns(2), TraceEvent::Reflect("CPUID"));
-        t.record(SimTime::from_ns(3), TraceEvent::Halt);
+        t.record(SimTime::from_ns(1), TraceEvent::Exit(Level::L2, "CPUID"));
+        t.record(SimTime::from_ns(2), TraceEvent::Reflect(Level::L0, "CPUID"));
+        t.record(SimTime::from_ns(3), TraceEvent::Halt(Level::L2));
         assert_eq!(t.events().len(), 2);
-        assert_eq!(t.events()[0].1, TraceEvent::Reflect("CPUID"));
+        assert_eq!(t.events()[0].1, TraceEvent::Reflect(Level::L0, "CPUID"));
         assert_eq!(t.recorded(), 3);
+        assert_eq!(t.dropped(), 1);
     }
 
     #[test]
     fn clear_keeps_total() {
         let mut t = Tracer::new(4);
         t.enable();
-        t.record(SimTime::ZERO, TraceEvent::Wake);
+        t.record(SimTime::ZERO, TraceEvent::Wake(Level::L2));
         t.clear();
         assert!(t.events().is_empty());
         assert_eq!(t.recorded(), 1);
+        assert_eq!(t.dropped(), 1);
     }
 
     #[test]
@@ -162,9 +196,17 @@ mod tests {
     fn disable_freezes_contents() {
         let mut t = Tracer::new(4);
         t.enable();
-        t.record(SimTime::ZERO, TraceEvent::Inject(7));
+        t.record(SimTime::ZERO, TraceEvent::Inject(Level::L2, 7));
         t.disable();
-        t.record(SimTime::ZERO, TraceEvent::Inject(8));
+        t.record(SimTime::ZERO, TraceEvent::Inject(Level::L2, 8));
         assert_eq!(t.events().len(), 1);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn events_expose_their_level() {
+        assert_eq!(TraceEvent::Exit(Level::L2, "CPUID").level(), Level::L2);
+        assert_eq!(TraceEvent::Reflect(Level::L0, "x").level(), Level::L0);
+        assert_eq!(TraceEvent::Deliver(Level::L1, 32).level(), Level::L1);
     }
 }

@@ -133,7 +133,10 @@ fn run_until_stops_at_deadline() {
     let deadline = m.clock.now() + SimDuration::from_ms(1);
     m.run_until(&mut prog, deadline).unwrap();
     assert!(m.clock.now() >= deadline);
-    assert!(m.clock.now().as_secs() < 0.9, "stopped well before the program finished");
+    assert!(
+        m.clock.now().as_secs() < 0.9,
+        "stopped well before the program finished"
+    );
 }
 
 #[test]

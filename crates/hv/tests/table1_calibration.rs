@@ -32,7 +32,11 @@ fn table1_total_within_two_percent() {
     let (_, d) = run_cpuid_batch(100);
     let per_op_ns = d.busy_time().as_ns() / 100.0;
     let err = (per_op_ns - 10_400.0).abs() / 10_400.0;
-    assert!(err < 0.02, "per-op {per_op_ns:.1}ns, error {:.1}%", err * 100.0);
+    assert!(
+        err < 0.02,
+        "per-op {per_op_ns:.1}ns, error {:.1}%",
+        err * 100.0
+    );
 }
 
 #[test]

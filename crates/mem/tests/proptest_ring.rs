@@ -1,33 +1,49 @@
 //! Property tests: command rings under arbitrary geometries.
+//!
+//! Randomised inputs are driven by the in-tree deterministic PRNG so the
+//! cases are reproducible and the suite has no external dependencies.
 
-use proptest::prelude::*;
 use svt_mem::{CommandRing, GuestMemory, Hpa};
+use svt_sim::DetRng;
 
-proptest! {
-    #[test]
-    fn ring_capacity_is_exact(slots in 2u32..32, payload_len in 1usize..32) {
+#[test]
+fn ring_capacity_is_exact() {
+    let mut rng = DetRng::seed(0x51a7_0001);
+    for _ in 0..64 {
+        let slots = rng.range(2, 32) as u32;
+        let payload_len = rng.range(1, 32) as usize;
         let mut ram = GuestMemory::new(1 << 20);
         let ring = CommandRing::new(Hpa(0x8000), 64, slots);
         ring.init(&mut ram).unwrap();
         // Exactly `slots` pushes fit.
         for i in 0..slots {
-            prop_assert!(!ring.is_full(&ram).unwrap(), "full after {i}");
+            assert!(!ring.is_full(&ram).unwrap(), "full after {i}");
             ring.push(&mut ram, &vec![i as u8; payload_len]).unwrap();
         }
-        prop_assert!(ring.is_full(&ram).unwrap());
-        prop_assert!(ring.push(&mut ram, b"x").is_err());
+        assert!(ring.is_full(&ram).unwrap());
+        assert!(ring.push(&mut ram, b"x").is_err());
         // Draining restores capacity in FIFO order.
         for i in 0..slots {
             let p = ring.pop(&mut ram).unwrap().unwrap();
-            prop_assert_eq!(p, vec![i as u8; payload_len]);
+            assert_eq!(p, vec![i as u8; payload_len]);
         }
-        prop_assert!(ring.is_empty(&ram).unwrap());
+        assert!(ring.is_empty(&ram).unwrap());
     }
+}
 
-    #[test]
-    fn rings_with_disjoint_footprints_never_interfere(
-        msgs in prop::collection::vec((any::<bool>(), prop::collection::vec(any::<u8>(), 1..48)), 1..64)
-    ) {
+#[test]
+fn rings_with_disjoint_footprints_never_interfere() {
+    let mut rng = DetRng::seed(0x51a7_0002);
+    for _ in 0..64 {
+        let n_msgs = rng.range(1, 64) as usize;
+        let msgs: Vec<(bool, Vec<u8>)> = (0..n_msgs)
+            .map(|_| {
+                let to_a = rng.chance(0.5);
+                let len = rng.range(1, 48) as usize;
+                let payload: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+                (to_a, payload)
+            })
+            .collect();
         let mut ram = GuestMemory::new(1 << 20);
         let a = CommandRing::new(Hpa(0x1000), 64, 16);
         let b = CommandRing::new(Hpa(0x1000 + a.footprint()), 64, 16);
@@ -43,11 +59,11 @@ proptest! {
             }
         }
         while let Some(p) = a.pop(&mut ram).unwrap() {
-            prop_assert_eq!(Some(p), qa.pop_front());
+            assert_eq!(Some(p), qa.pop_front());
         }
         while let Some(p) = b.pop(&mut ram).unwrap() {
-            prop_assert_eq!(Some(p), qb.pop_front());
+            assert_eq!(Some(p), qb.pop_front());
         }
-        prop_assert!(qa.is_empty() && qb.is_empty());
+        assert!(qa.is_empty() && qb.is_empty());
     }
 }

@@ -1,0 +1,128 @@
+//! Chrome trace-event export.
+//!
+//! Serializes recorded spans in the Trace Event Format ("X" complete
+//! events) so a run can be dropped into Perfetto (ui.perfetto.dev) or
+//! `chrome://tracing`. Simulated picoseconds map onto the format's
+//! microsecond `ts`/`dur` fields as exact fractional values; each
+//! virtualization level gets its own thread lane via [`ObsLevel::tid`].
+
+use crate::json::Json;
+use crate::key::ObsLevel;
+use crate::span::Span;
+
+/// Builds the Chrome trace-event document for a set of spans.
+///
+/// The result is a JSON object with a `traceEvents` array: one `"M"`
+/// (metadata) event naming each level's thread lane, then one `"X"`
+/// (complete) event per span, carrying the exact picosecond begin/end in
+/// `args` alongside the microsecond `ts`/`dur` the viewer consumes.
+pub fn chrome_trace(spans: &[Span]) -> Json {
+    let mut events = Vec::new();
+    for level in ObsLevel::ALL {
+        events.push(Json::obj([
+            ("name", Json::from("thread_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(1u64)),
+            ("tid", Json::from(level.tid())),
+            (
+                "args",
+                Json::obj([(
+                    "name",
+                    Json::from(format!("{} ({})", level.name(), lane_role(level))),
+                )]),
+            ),
+        ]));
+    }
+    for s in spans {
+        let begin_ps = s.begin.as_ps();
+        let end_ps = s.end.as_ps();
+        events.push(Json::obj([
+            ("name", Json::from(s.name)),
+            ("cat", Json::from(s.cat)),
+            ("ph", Json::from("X")),
+            ("ts", Json::Num(begin_ps as f64 / 1e6)),
+            ("dur", Json::Num((end_ps - begin_ps) as f64 / 1e6)),
+            ("pid", Json::from(1u64)),
+            ("tid", Json::from(s.level.tid())),
+            (
+                "args",
+                Json::obj([
+                    ("trap", Json::from(s.trap_seq)),
+                    ("begin_ps", Json::from(begin_ps)),
+                    ("end_ps", Json::from(end_ps)),
+                ]),
+            ),
+        ]));
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::from("ns")),
+    ])
+}
+
+fn lane_role(level: ObsLevel) -> &'static str {
+    match level {
+        ObsLevel::L0 => "host hypervisor",
+        ObsLevel::L1 => "guest hypervisor",
+        ObsLevel::L2 => "nested guest",
+        ObsLevel::Machine => "devices/timers",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svt_sim::SimTime;
+
+    fn span(name: &'static str, level: ObsLevel, b: u64, e: u64, trap: u64) -> Span {
+        Span {
+            name,
+            cat: "trap",
+            level,
+            begin: SimTime::from_ns(b),
+            end: SimTime::from_ns(e),
+            trap_seq: trap,
+        }
+    }
+
+    #[test]
+    fn trace_has_metadata_and_complete_events() {
+        let spans = [
+            span("exit", ObsLevel::L2, 0, 10, 1),
+            span("l0_handler", ObsLevel::L0, 10, 25, 1),
+        ];
+        let doc = chrome_trace(&spans);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), ObsLevel::ALL.len() + 2);
+        let meta = &events[0];
+        assert_eq!(meta.get("ph").unwrap().as_str(), Some("M"));
+        let x = &events[ObsLevel::ALL.len()];
+        assert_eq!(x.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(x.get("name").unwrap().as_str(), Some("exit"));
+        assert_eq!(x.get("ts").unwrap().as_f64(), Some(0.0));
+        assert_eq!(x.get("dur").unwrap().as_f64(), Some(0.01)); // 10ns = 0.01us
+        assert_eq!(
+            x.get("args").unwrap().get("begin_ps").unwrap().as_i64(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn export_round_trips_through_parser() {
+        let spans = [span("reflect", ObsLevel::L0, 5, 7, 3)];
+        let doc = chrome_trace(&spans);
+        let text = doc.pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let doc = chrome_trace(&[]);
+        assert_eq!(
+            doc.get("traceEvents").unwrap().as_arr().unwrap().len(),
+            ObsLevel::ALL.len()
+        );
+        assert!(Json::parse(&doc.to_string()).is_ok());
+    }
+}

@@ -1,0 +1,82 @@
+//! Unified observability for the SVt reproduction.
+//!
+//! One coherent telemetry layer wired through every subsystem:
+//!
+//! * [`MetricsRegistry`] — typed counters, gauges and log-bucketed latency
+//!   histograms keyed by structured [`MetricKey`]s (level × exit reason ×
+//!   reflector kind).
+//! * [`SpanTracer`] — span-based tracing of the full trap lifecycle
+//!   (exit → transform → L0 handler → reflect → L1 handler → resume) with
+//!   exact simulated-time stamps, exportable as Chrome trace-event JSON
+//!   via [`chrome_trace`] and viewable in Perfetto.
+//! * [`RunReport`] — the machine-readable report every `svt-bench` binary
+//!   emits via `--json <path>`, backing the `BENCH_*.json` perf
+//!   trajectory.
+//!
+//! Serialization uses the in-tree [`Json`] value — the toolchain is
+//! hermetic, so no external serde stack is available or wanted.
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod hist;
+mod json;
+mod key;
+mod registry;
+mod report;
+mod span;
+
+pub use chrome::chrome_trace;
+pub use hist::LogHistogram;
+pub use json::{Json, JsonError};
+pub use key::{MetricKey, ObsLevel};
+pub use registry::MetricsRegistry;
+pub use report::{ExitRow, PartRow, RunReport, SpeedupRow, REPORT_SCHEMA_VERSION};
+pub use span::{Span, SpanTracer};
+
+/// The per-machine observability bundle: metrics plus spans, carried by
+/// the simulated machine and threaded through every subsystem.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// Typed metrics.
+    pub metrics: MetricsRegistry,
+    /// Trap-lifecycle spans.
+    pub spans: SpanTracer,
+}
+
+impl Obs {
+    /// A fresh bundle with span tracing disabled.
+    pub fn new() -> Self {
+        Obs::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svt_sim::SimTime;
+
+    #[test]
+    fn bundle_wires_metrics_and_spans() {
+        let mut obs = Obs::new();
+        obs.metrics
+            .inc(MetricKey::new("vm_exit").level(ObsLevel::L2));
+        obs.spans.enable();
+        obs.spans.begin_trap();
+        obs.spans.record(
+            "exit",
+            "trap",
+            ObsLevel::L2,
+            SimTime::ZERO,
+            SimTime::from_ns(10),
+        );
+        assert_eq!(
+            obs.metrics
+                .counter(MetricKey::new("vm_exit").level(ObsLevel::L2)),
+            1
+        );
+        assert_eq!(obs.spans.len(), 1);
+        let doc = chrome_trace(obs.spans.spans());
+        assert!(Json::parse(&doc.to_string()).is_ok());
+    }
+}

@@ -1,0 +1,234 @@
+//! The typed metrics registry.
+//!
+//! Counters, gauges and log-bucketed latency histograms keyed by
+//! structured [`MetricKey`]s. The registry is the machine-readable
+//! counterpart to the `Clock`'s stringly counters: everything here can be
+//! exported to JSON, sliced by level/exit-reason/reflector, and diffed
+//! across runs.
+
+use std::collections::HashMap;
+
+use crate::hist::LogHistogram;
+use crate::json::Json;
+use crate::key::MetricKey;
+
+/// Counters, gauges and histograms for one run.
+///
+/// # Examples
+///
+/// ```
+/// use svt_obs::{MetricKey, MetricsRegistry, ObsLevel};
+///
+/// let mut m = MetricsRegistry::new();
+/// let k = MetricKey::new("vm_exit").level(ObsLevel::L2).exit("CPUID");
+/// m.inc(k);
+/// m.observe(MetricKey::new("trap_latency_ps"), 10_400_000);
+/// assert_eq!(m.counter(k), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: HashMap<MetricKey, u64>,
+    gauges: HashMap<MetricKey, f64>,
+    hists: HashMap<MetricKey, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, key: MetricKey) {
+        self.add(key, 1);
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&mut self, key: MetricKey, n: u64) {
+        *self.counters.entry(key).or_default() += n;
+    }
+
+    /// Current counter value (0 if never incremented).
+    pub fn counter(&self, key: MetricKey) -> u64 {
+        self.counters.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to an instantaneous value.
+    pub fn set_gauge(&mut self, key: MetricKey, v: f64) {
+        self.gauges.insert(key, v);
+    }
+
+    /// Current gauge value, if ever set.
+    pub fn gauge(&self, key: MetricKey) -> Option<f64> {
+        self.gauges.get(&key).copied()
+    }
+
+    /// Records one value into the key's histogram.
+    pub fn observe(&mut self, key: MetricKey, v: u64) {
+        self.hists.entry(key).or_default().record(v);
+    }
+
+    /// The histogram for a key, if any values were observed.
+    pub fn histogram(&self, key: MetricKey) -> Option<&LogHistogram> {
+        self.hists.get(&key)
+    }
+
+    /// All counters, sorted by key for deterministic iteration.
+    pub fn counters_sorted(&self) -> Vec<(MetricKey, u64)> {
+        let mut v: Vec<_> = self.counters.iter().map(|(k, n)| (*k, *n)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// All gauges, sorted by key.
+    pub fn gauges_sorted(&self) -> Vec<(MetricKey, f64)> {
+        let mut v: Vec<_> = self.gauges.iter().map(|(k, n)| (*k, *n)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// All histograms, sorted by key.
+    pub fn histograms_sorted(&self) -> Vec<(MetricKey, &LogHistogram)> {
+        let mut v: Vec<_> = self.hists.iter().map(|(k, h)| (*k, h)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Sum of all counters sharing `name`, across every dimension
+    /// combination.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Drops all recorded metrics.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.hists.clear();
+    }
+
+    /// Exports everything as one JSON object with `counters`, `gauges` and
+    /// `histograms` sections, each keyed by the metric's display form.
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters_sorted()
+            .into_iter()
+            .map(|(k, n)| (k.to_string(), Json::from(n)))
+            .collect::<Vec<_>>();
+        let gauges = self
+            .gauges_sorted()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), Json::Num(v)))
+            .collect::<Vec<_>>();
+        let hists = self
+            .histograms_sorted()
+            .into_iter()
+            .map(|(k, h)| {
+                let [p50, p90, p99, p999] = h.summary();
+                (
+                    k.to_string(),
+                    Json::obj([
+                        ("count", Json::from(h.count())),
+                        ("min", Json::from(h.min())),
+                        ("max", Json::from(h.max())),
+                        ("mean", Json::Num(h.mean())),
+                        ("p50", Json::from(p50)),
+                        ("p90", Json::from(p90)),
+                        ("p99", Json::from(p99)),
+                        ("p999", Json::from(p999)),
+                    ]),
+                )
+            })
+            .collect::<Vec<_>>();
+        Json::obj([
+            ("counters", Json::Obj(counters)),
+            ("gauges", Json::Obj(gauges)),
+            ("histograms", Json::Obj(hists)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::ObsLevel;
+
+    #[test]
+    fn counters_accumulate_per_key() {
+        let mut m = MetricsRegistry::new();
+        let cpuid = MetricKey::new("vm_exit").level(ObsLevel::L2).exit("CPUID");
+        let msr = MetricKey::new("vm_exit")
+            .level(ObsLevel::L2)
+            .exit("MSR_WRITE");
+        m.inc(cpuid);
+        m.inc(cpuid);
+        m.add(msr, 3);
+        assert_eq!(m.counter(cpuid), 2);
+        assert_eq!(m.counter(msr), 3);
+        assert_eq!(m.counter_total("vm_exit"), 5);
+        assert_eq!(m.counter(MetricKey::new("vm_exit")), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        let k = MetricKey::new("queue_depth");
+        m.set_gauge(k, 3.0);
+        m.set_gauge(k, 5.0);
+        assert_eq!(m.gauge(k), Some(5.0));
+        assert_eq!(m.gauge(MetricKey::new("missing")), None);
+    }
+
+    #[test]
+    fn histograms_observe() {
+        let mut m = MetricsRegistry::new();
+        let k = MetricKey::new("trap_latency_ps");
+        for v in 1..=100u64 {
+            m.observe(k, v * 1000);
+        }
+        let h = m.histogram(k).unwrap();
+        assert_eq!(h.count(), 100);
+        let (lo, hi) = h.percentile_bounds(50.0);
+        assert!(lo <= 50_000 && 50_000 <= hi);
+    }
+
+    #[test]
+    fn json_export_is_deterministic_and_parses() {
+        let mut m = MetricsRegistry::new();
+        m.inc(MetricKey::new("b"));
+        m.inc(MetricKey::new("a"));
+        m.set_gauge(MetricKey::new("g"), 1.5);
+        m.observe(MetricKey::new("h"), 42);
+        let a = m.to_json().to_string();
+        let b = m.to_json().to_string();
+        assert_eq!(a, b);
+        let parsed = Json::parse(&a).unwrap();
+        let counters = parsed.get("counters").unwrap().as_obj().unwrap();
+        // Sorted by key: "a" before "b".
+        assert_eq!(counters[0].0, "a");
+        assert_eq!(
+            parsed
+                .get("histograms")
+                .unwrap()
+                .get("h")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_i64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = MetricsRegistry::new();
+        m.inc(MetricKey::new("x"));
+        m.clear();
+        assert_eq!(m.counter(MetricKey::new("x")), 0);
+        assert!(m.counters_sorted().is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Trap-lifecycle spans.
+//!
+//! Every stage of a nested trap (exit → transform → L0 handler → reflect →
+//! L1 handler → resume) is recorded as a [`Span`] with exact simulated-time
+//! begin/end stamps taken from the discrete-event clock. Spans carry the
+//! trap sequence number they belong to, so a trace groups naturally, and
+//! export to Chrome trace-event JSON via [`crate::chrome_trace`].
+
+use svt_sim::SimTime;
+
+use crate::key::ObsLevel;
+
+/// One completed span: a named stage with exact begin/end instants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Stage name, e.g. `"l0_handler"`.
+    pub name: &'static str,
+    /// Category, e.g. `"trap"` or `"lifecycle"`.
+    pub cat: &'static str,
+    /// Virtualization level the stage ran at.
+    pub level: ObsLevel,
+    /// Simulated begin instant.
+    pub begin: SimTime,
+    /// Simulated end instant.
+    pub end: SimTime,
+    /// Sequence number of the trap this span belongs to (0 before the
+    /// first trap starts).
+    pub trap_seq: u64,
+}
+
+impl Span {
+    /// The span's duration.
+    pub fn duration(&self) -> svt_sim::SimDuration {
+        self.end.saturating_since(self.begin)
+    }
+}
+
+/// Collects spans for one run. Disabled by default — recording costs one
+/// branch when off, so instrumentation can stay unconditionally wired in
+/// the hypervisor hot paths.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTracer {
+    spans: Vec<Span>,
+    enabled: bool,
+    trap_seq: u64,
+}
+
+impl SpanTracer {
+    /// A disabled tracer.
+    pub fn new() -> Self {
+        SpanTracer::default()
+    }
+
+    /// Starts collecting spans.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Stops collecting spans (already-recorded spans are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether spans are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Marks the start of a new trap; subsequent spans are grouped under
+    /// the returned sequence number. Counts traps even while disabled so
+    /// sequence numbers stay meaningful across enable/disable windows.
+    pub fn begin_trap(&mut self) -> u64 {
+        self.trap_seq += 1;
+        self.trap_seq
+    }
+
+    /// The current trap sequence number.
+    pub fn current_trap(&self) -> u64 {
+        self.trap_seq
+    }
+
+    /// Records one completed span against the current trap.
+    pub fn record(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        level: ObsLevel,
+        begin: SimTime,
+        end: SimTime,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.spans.push(Span {
+            name,
+            cat,
+            level,
+            begin,
+            end,
+            trap_seq: self.trap_seq,
+        });
+    }
+
+    /// All recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Discards recorded spans (keeps the enabled flag and trap counter).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Spans belonging to trap `seq`.
+    pub fn trap_spans(&self, seq: u64) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.trap_seq == seq).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svt_sim::SimDuration;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = SpanTracer::new();
+        t.record(
+            "x",
+            "trap",
+            ObsLevel::L0,
+            SimTime::ZERO,
+            SimTime::from_ns(1),
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn spans_group_by_trap() {
+        let mut t = SpanTracer::new();
+        t.enable();
+        let t1 = t.begin_trap();
+        t.record(
+            "exit",
+            "trap",
+            ObsLevel::L2,
+            SimTime::ZERO,
+            SimTime::from_ns(10),
+        );
+        let t2 = t.begin_trap();
+        t.record(
+            "exit",
+            "trap",
+            ObsLevel::L2,
+            SimTime::from_ns(10),
+            SimTime::from_ns(30),
+        );
+        t.record(
+            "l0_handler",
+            "trap",
+            ObsLevel::L0,
+            SimTime::from_ns(30),
+            SimTime::from_ns(40),
+        );
+        assert_eq!((t1, t2), (1, 2));
+        assert_eq!(t.trap_spans(1).len(), 1);
+        assert_eq!(t.trap_spans(2).len(), 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.spans()[0].duration(), SimDuration::from_ns(10));
+    }
+
+    #[test]
+    fn trap_counter_advances_while_disabled() {
+        let mut t = SpanTracer::new();
+        t.begin_trap();
+        t.begin_trap();
+        t.enable();
+        assert_eq!(t.begin_trap(), 3);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property test: [`svt_obs::LogHistogram`] percentile bounds always
+//! contain the exact nearest-rank percentile computed by
+//! [`svt_stats::percentile`] over the same samples.
+//!
+//! Randomised inputs come from the in-tree deterministic PRNG, so the
+//! cases are reproducible without an external property-testing crate.
+
+use svt_obs::LogHistogram;
+use svt_sim::DetRng;
+use svt_stats::percentile;
+
+const PERCENTILES: [f64; 5] = [10.0, 50.0, 90.0, 99.0, 99.9];
+
+fn check_samples(samples: &[u64]) {
+    let mut h = LogHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    let as_f64: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+    for p in PERCENTILES {
+        let exact = percentile(&as_f64, p);
+        let (lo, hi) = h.percentile_bounds(p);
+        assert!(
+            lo as f64 <= exact && exact <= hi as f64,
+            "p{p}: exact {exact} outside histogram bucket [{lo}, {hi}] \
+             (n={}, min={}, max={})",
+            samples.len(),
+            h.min(),
+            h.max()
+        );
+        // The point estimate is the bucket's upper bound, so it can only
+        // overshoot, and by at most one sub-bucket (~6.25%) above 16.
+        let est = h.percentile(p) as f64;
+        assert!(est >= exact, "p{p}: estimate {est} below exact {exact}");
+        if exact >= 16.0 {
+            assert!(
+                est <= exact * 1.07,
+                "p{p}: estimate {est} more than one bucket above exact {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn percentile_bounds_contain_exact_percentile_uniform() {
+    let mut rng = DetRng::seed(0x0b5e_0001);
+    for case in 0..64 {
+        let n = rng.range(1, 2000) as usize;
+        let shift = rng.range(1, 40);
+        let span = rng.range(1, 1u64 << shift);
+        let samples: Vec<u64> = (0..n).map(|_| rng.below(span)).collect();
+        assert!(!samples.is_empty(), "case {case}");
+        check_samples(&samples);
+    }
+}
+
+#[test]
+fn percentile_bounds_contain_exact_percentile_heavy_tail() {
+    // Latency-like distributions: a tight body plus a multiplicative tail,
+    // the shape trap latencies actually have.
+    let mut rng = DetRng::seed(0x0b5e_0002);
+    for _ in 0..64 {
+        let n = rng.range(2, 1500) as usize;
+        let body = rng.range(100, 100_000);
+        let samples: Vec<u64> = (0..n)
+            .map(|_| {
+                let v = body + rng.below(body / 50 + 1);
+                if rng.chance(0.02) {
+                    v * rng.range(2, 50)
+                } else {
+                    v
+                }
+            })
+            .collect();
+        check_samples(&samples);
+    }
+}
+
+#[test]
+fn percentile_bounds_exact_for_small_values() {
+    // Below 16 the histogram stores values exactly: bounds must collapse
+    // to the exact percentile itself.
+    let mut rng = DetRng::seed(0x0b5e_0003);
+    for _ in 0..64 {
+        let n = rng.range(1, 200) as usize;
+        let samples: Vec<u64> = (0..n).map(|_| rng.below(16)).collect();
+        let as_f64: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+        let mut h = LogHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        for p in PERCENTILES {
+            let exact = percentile(&as_f64, p);
+            let (lo, hi) = h.percentile_bounds(p);
+            assert_eq!(lo, hi);
+            assert_eq!(lo as f64, exact);
+        }
+    }
+}
+
+#[test]
+fn histogram_mean_matches_exact_mean() {
+    let mut rng = DetRng::seed(0x0b5e_0004);
+    for _ in 0..32 {
+        let n = rng.range(1, 1000) as usize;
+        let samples: Vec<u64> = (0..n).map(|_| rng.below(1 << 30)).collect();
+        let mut h = LogHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let exact: f64 = samples.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        assert!((h.mean() - exact).abs() < 1e-6 * exact.max(1.0));
+    }
+}

@@ -8,14 +8,12 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{SimDuration, SimTime};
 
 /// Attribution bucket matching Table 1 of the paper, plus buckets for the
 /// parts of the system the paper's breakdown does not time (devices, the
 /// SW-SVt channel, idling).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CostPart {
     /// Part ⓪ — useful guest work in L2.
     L2Guest,
@@ -189,6 +187,14 @@ impl Clock {
         v
     }
 
+    /// All parts with attributed time, sorted by descending time (used by
+    /// report emitters that want the full attribution, not just Table 1).
+    pub fn parts_by_time(&self) -> Vec<(CostPart, SimDuration)> {
+        let mut v: Vec<_> = self.part_time.iter().map(|(k, v)| (*k, *v)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
     /// Increments a named counter (e.g. `"vm_exit"`).
     pub fn count(&mut self, name: &'static str) {
         self.count_by(name, 1);
@@ -290,6 +296,27 @@ impl ClockSnapshot {
     /// Counter value in this snapshot.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All parts with attributed time, sorted by descending time.
+    pub fn parts_by_time(&self) -> Vec<(CostPart, SimDuration)> {
+        let mut v: Vec<_> = self.part_time.iter().map(|(k, v)| (*k, *v)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// All tags with attributed time, sorted by descending time.
+    pub fn tags_by_time(&self) -> Vec<(&'static str, SimDuration)> {
+        let mut v: Vec<_> = self.tag_time.iter().map(|(k, v)| (*k, *v)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        v
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters_sorted(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self.counters.iter().map(|(k, v)| (*k, *v)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
     }
 
     /// Sum of all attributed (non-idle) time.

@@ -25,8 +25,6 @@
 //! * The channel costs (`mwait`, polling, mutex, IPI, cache-line transfer
 //!   by placement) reproduce the § 6.1 channel study's ordering.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimDuration;
 use crate::topology::Placement;
 
@@ -57,7 +55,7 @@ const fn ps(v: u64) -> SimDuration {
 /// let round = c.vm_exit_hw + c.gpr_thunk() + c.vm_entry_hw + c.gpr_thunk();
 /// assert!((round.as_ns() - 810.0).abs() < 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostModel {
     // ---- Hardware VM transitions -------------------------------------
     /// Hardware VM exit: pipeline flush, guest-state autosave into the
@@ -323,6 +321,86 @@ impl CostModel {
             Placement::SameNodeCrossCore => self.cacheline_cross_core,
             Placement::CrossNode => self.cacheline_cross_node,
         }
+    }
+
+    /// Every cost field as a `(name, value-in-ns)` pair, in declaration
+    /// order, for machine-readable run reports. `gpr_thunk_regs` is a raw
+    /// register count, not a duration, and is reported as such.
+    pub fn named_fields(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("vm_exit_hw_ns", self.vm_exit_hw.as_ns()),
+            ("vm_entry_hw_ns", self.vm_entry_hw.as_ns()),
+            ("gpr_spill_per_reg_ns", self.gpr_spill_per_reg.as_ns()),
+            ("gpr_thunk_regs", self.gpr_thunk_regs as f64),
+            ("world_switch_extra_ns", self.world_switch_extra.as_ns()),
+            ("vmread_ns", self.vmread.as_ns()),
+            ("vmwrite_ns", self.vmwrite.as_ns()),
+            ("vmptrld_ns", self.vmptrld.as_ns()),
+            ("vmclear_ns", self.vmclear.as_ns()),
+            ("transform_fixed_ns", self.transform_fixed.as_ns()),
+            (
+                "transform_addr_translate_ns",
+                self.transform_addr_translate.as_ns(),
+            ),
+            ("l0_exit_decode_ns", self.l0_exit_decode.as_ns()),
+            ("l0_run_loop_ns", self.l0_run_loop.as_ns()),
+            ("l0_nested_route_ns", self.l0_nested_route.as_ns()),
+            ("l0_inject_fixed_ns", self.l0_inject_fixed.as_ns()),
+            ("l0_entry_prep_ns", self.l0_entry_prep.as_ns()),
+            ("l0_vmresume_checks_ns", self.l0_vmresume_checks.as_ns()),
+            ("l0_mmu_sync_ns", self.l0_mmu_sync.as_ns()),
+            ("l0_lazy_sync_ns", self.l0_lazy_sync.as_ns()),
+            ("l0_vmrw_emulate_ns", self.l0_vmrw_emulate.as_ns()),
+            ("l0_cpuid_emulate_ns", self.l0_cpuid_emulate.as_ns()),
+            ("l0_msr_emulate_ns", self.l0_msr_emulate.as_ns()),
+            ("l0_mmio_route_ns", self.l0_mmio_route.as_ns()),
+            ("l0_irq_inject_ns", self.l0_irq_inject.as_ns()),
+            ("l1_exit_decode_ns", self.l1_exit_decode.as_ns()),
+            ("l1_run_loop_ns", self.l1_run_loop.as_ns()),
+            ("cpuid_emulate_ns", self.cpuid_emulate.as_ns()),
+            ("l1_msr_emulate_ns", self.l1_msr_emulate.as_ns()),
+            ("l1_mmio_route_ns", self.l1_mmio_route.as_ns()),
+            ("cpuid_exec_ns", self.cpuid_exec.as_ns()),
+            ("guest_irq_entry_ns", self.guest_irq_entry.as_ns()),
+            ("workload_increment_ns", self.workload_increment.as_ns()),
+            ("svt_stall_ns", self.svt_stall.as_ns()),
+            ("svt_resume_ns", self.svt_resume.as_ns()),
+            ("ctxt_reg_access_ns", self.ctxt_reg_access.as_ns()),
+            ("svt_vmcs_cache_ns", self.svt_vmcs_cache.as_ns()),
+            ("monitor_arm_ns", self.monitor_arm.as_ns()),
+            ("mwait_wake_smt_ns", self.mwait_wake_smt.as_ns()),
+            (
+                "mwait_wake_cross_core_ns",
+                self.mwait_wake_cross_core.as_ns(),
+            ),
+            (
+                "mwait_wake_cross_node_ns",
+                self.mwait_wake_cross_node.as_ns(),
+            ),
+            ("poll_iter_ns", self.poll_iter.as_ns()),
+            ("poll_smt_steal_ns", self.poll_smt_steal.as_ns()),
+            ("mutex_wake_ns", self.mutex_wake.as_ns()),
+            ("mutex_spin_grace_ns", self.mutex_spin_grace.as_ns()),
+            ("cacheline_smt_ns", self.cacheline_smt.as_ns()),
+            ("cacheline_cross_core_ns", self.cacheline_cross_core.as_ns()),
+            ("cacheline_cross_node_ns", self.cacheline_cross_node.as_ns()),
+            ("ipi_deliver_ns", self.ipi_deliver.as_ns()),
+            ("function_call_ns", self.function_call.as_ns()),
+            (
+                "virtio_backend_service_ns",
+                self.virtio_backend_service.as_ns(),
+            ),
+            ("blk_backend_service_ns", self.blk_backend_service.as_ns()),
+            (
+                "blk_write_extra_service_ns",
+                self.blk_write_extra_service.as_ns(),
+            ),
+            ("ramdisk_per_sector_ns", self.ramdisk_per_sector.as_ns()),
+            ("wire_latency_ns", self.wire_latency.as_ns()),
+            ("nic_per_packet_ns", self.nic_per_packet.as_ns()),
+            ("netstack_per_packet_ns", self.netstack_per_packet.as_ns()),
+            ("blk_layer_per_req_ns", self.blk_layer_per_req.as_ns()),
+        ]
     }
 }
 

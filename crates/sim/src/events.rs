@@ -215,7 +215,10 @@ mod tests {
         let id = q.schedule(SimTime::from_ns(1), 1);
         q.schedule(SimTime::from_ns(2), 2);
         q.cancel(id);
-        assert_eq!(q.pop_due(SimTime::from_ns(10)), Some((SimTime::from_ns(2), 2)));
+        assert_eq!(
+            q.pop_due(SimTime::from_ns(10)),
+            Some((SimTime::from_ns(2), 2))
+        );
         assert!(q.is_empty());
     }
 
@@ -228,7 +231,10 @@ mod tests {
         q.schedule(SimTime::from_ns(2), 2);
         // A stale cancellation of a fired id must not eat a later event even
         // though ids are never reused.
-        assert_eq!(q.pop_due(SimTime::from_ns(2)), Some((SimTime::from_ns(2), 2)));
+        assert_eq!(
+            q.pop_due(SimTime::from_ns(2)),
+            Some((SimTime::from_ns(2), 2))
+        );
     }
 
     #[test]

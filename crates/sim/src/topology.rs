@@ -6,7 +6,6 @@
 //! paper's § 6.1 channel study depends on whether two threads are SMT
 //! siblings, share a NUMA node, or sit on different NUMA nodes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Location of one hardware thread (an SMT context) in the machine.
@@ -20,7 +19,7 @@ use std::fmt;
 /// let b = CpuLoc::new(0, 3, 1);
 /// assert!(a.same_core(b));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CpuLoc {
     /// Socket (NUMA node) index.
     pub socket: u16,
@@ -59,7 +58,7 @@ impl fmt::Display for CpuLoc {
 
 /// Communication distance class between two hardware threads, as studied in
 /// the paper's § 6.1 channel micro-benchmarks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Placement {
     /// Same hardware thread: communication is a plain function call.
     SameThread,
@@ -107,7 +106,7 @@ impl fmt::Display for Placement {
 }
 
 /// Physical machine shape (Table 4 of the paper).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachineSpec {
     /// Number of sockets (NUMA nodes).
     pub sockets: u16,
@@ -164,7 +163,7 @@ impl Default for MachineSpec {
 }
 
 /// Nested-VM resource shape from Table 4 (vCPUs and RAM for L1 and L2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VmSpec {
     /// vCPUs given to the L1 guest hypervisor (6, one reserved).
     pub l1_vcpus: u16,

@@ -5,10 +5,8 @@
 //! SLA. [`SweepSeries`] holds such (load, latency) curves and finds the
 //! SLA crossover.
 
-use serde::{Deserialize, Serialize};
-
 /// One point of a load sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// Offered load (e.g. requests/second).
     pub load: f64,
@@ -32,7 +30,7 @@ pub struct SweepPoint {
 /// s.push(SweepPoint { load: 2000.0, throughput: 1900.0, avg_ns: 400_000.0, p99_ns: 900_000.0 });
 /// assert_eq!(s.max_throughput_within_sla(500_000.0), Some(1000.0));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepSeries {
     /// Label shown in reports (e.g. "Baseline", "SVt").
     pub name: String,

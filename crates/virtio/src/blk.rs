@@ -99,6 +99,8 @@ pub struct VirtioBlk {
     next_token: u64,
     pending: HashMap<u64, BlkRequest>,
     stats: BlkStats,
+    kicks: u64,
+    irqs: u64,
 }
 
 impl VirtioBlk {
@@ -112,6 +114,8 @@ impl VirtioBlk {
             next_token: 0,
             pending: HashMap::new(),
             stats: BlkStats::default(),
+            kicks: 0,
+            irqs: 0,
         }
     }
 
@@ -174,7 +178,8 @@ impl VirtioBlk {
                     entry[..n].copy_from_slice(&buf);
                 } else {
                     let data = self.sector(sector);
-                    mem.write(Hpa(addr + off), &data[..n]).expect("buffer in RAM");
+                    mem.write(Hpa(addr + off), &data[..n])
+                        .expect("buffer in RAM");
                 }
                 sector += 1;
                 off += n as u64;
@@ -200,6 +205,7 @@ impl DeviceModel for VirtioBlk {
         if gpa.0 - self.cfg.mmio_base.0 != REG_BLK_NOTIFY {
             return DeviceOutcome::default();
         }
+        self.kicks += 1;
         let mut out = DeviceOutcome {
             service: self.cfg.kick_service,
             backend_l1_exits: self.cfg.kick_backend_exits,
@@ -235,13 +241,17 @@ impl DeviceModel for VirtioBlk {
         _mem: &mut GuestMemory,
         _now: SimTime,
     ) -> (u64, DeviceOutcome) {
-        (self.stats.reads + self.stats.writes, DeviceOutcome::default())
+        (
+            self.stats.reads + self.stats.writes,
+            DeviceOutcome::default(),
+        )
     }
 
     fn complete(&mut self, token: u64, mem: &mut GuestMemory, _now: SimTime) -> Option<Completion> {
         let req = self.pending.remove(&token)?;
         let moved = self.execute(&req, mem);
-        mem.write(Hpa(req.status_addr), &[0u8]).expect("status in RAM");
+        mem.write(Hpa(req.status_addr), &[0u8])
+            .expect("status in RAM");
         let written = if req.write { 1 } else { moved + 1 };
         self.queue
             .device_push_used(mem, req.head, written)
@@ -256,12 +266,24 @@ impl DeviceModel for VirtioBlk {
             self.stats.reads += 1;
         }
         self.stats.bytes += moved as u64;
+        self.irqs += 1;
         Some(Completion {
             vector: self.cfg.irq_vector,
             service,
             backend_l1_exits: exits,
             schedule: Vec::new(),
         })
+    }
+
+    fn obs_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("blk_kicks", self.kicks),
+            ("blk_irqs", self.irqs),
+            ("blk_reads", self.stats.reads),
+            ("blk_writes", self.stats.writes),
+            ("blk_bytes", self.stats.bytes),
+            ("blk_inflight", self.pending.len() as u64),
+        ]
     }
 }
 
@@ -283,23 +305,13 @@ mod tests {
         (mem, blk, driver_q)
     }
 
-    fn submit(
-        mem: &mut GuestMemory,
-        q: &mut Virtqueue,
-        write: bool,
-        sector: u64,
-        len: u32,
-    ) -> u16 {
+    fn submit(mem: &mut GuestMemory, q: &mut Virtqueue, write: bool, sector: u64, len: u32) -> u16 {
         mem.write_u32(Hpa(HDR), if write { BLK_T_OUT } else { BLK_T_IN })
             .unwrap();
         mem.write_u64(Hpa(HDR + 8), sector).unwrap();
         q.driver_add(
             mem,
-            &[
-                (HDR, 16, false),
-                (DATA, len, !write),
-                (STATUS, 1, true),
-            ],
+            &[(HDR, 16, false), (DATA, len, !write), (STATUS, 1, true)],
         )
         .unwrap()
     }

@@ -125,6 +125,8 @@ pub struct VirtioNet {
     pending: HashMap<u64, Pending>,
     ack_backlog: Vec<u16>,
     stats: NetStats,
+    kicks: u64,
+    irqs: u64,
 }
 
 impl VirtioNet {
@@ -139,6 +141,8 @@ impl VirtioNet {
             pending: HashMap::new(),
             ack_backlog: Vec::new(),
             stats: NetStats::default(),
+            kicks: 0,
+            irqs: 0,
         }
     }
 
@@ -178,9 +182,11 @@ impl VirtioNet {
                     self.tx
                         .device_push_used(mem, chain.head, 0)
                         .expect("tx used in RAM");
-                    let reply_at =
-                        done + self.cfg.wire_latency + think + self.cfg.wire_latency
-                            + self.tx_time(reply_len as u64);
+                    let reply_at = done
+                        + self.cfg.wire_latency
+                        + think
+                        + self.cfg.wire_latency
+                        + self.tx_time(reply_len as u64);
                     let tok = self.token();
                     self.pending.insert(tok, Pending::RxDeliver { reply_len });
                     out.schedule.push((reply_at, tok));
@@ -201,9 +207,7 @@ impl VirtioNet {
         // a TCP-delack-style timeout rather than held forever.
         if !self.ack_backlog.is_empty() {
             let heads = std::mem::take(&mut self.ack_backlog);
-            let ack_at = self.wire_free_at
-                + self.cfg.wire_latency * 2
-                + SimDuration::from_us(100);
+            let ack_at = self.wire_free_at + self.cfg.wire_latency * 2 + SimDuration::from_us(100);
             let tok = self.token();
             self.pending.insert(tok, Pending::TxAck { heads });
             out.schedule.push((ack_at, tok));
@@ -226,8 +230,14 @@ impl DeviceModel for VirtioNet {
     ) -> DeviceOutcome {
         let off = gpa.0 - self.cfg.mmio_base.0;
         match off {
-            REG_TX_NOTIFY => self.process_tx_kick(mem, now),
-            REG_RX_NOTIFY => DeviceOutcome::service(self.cfg.kick_service / 4),
+            REG_TX_NOTIFY => {
+                self.kicks += 1;
+                self.process_tx_kick(mem, now)
+            }
+            REG_RX_NOTIFY => {
+                self.kicks += 1;
+                DeviceOutcome::service(self.cfg.kick_service / 4)
+            }
             _ => DeviceOutcome::default(),
         }
     }
@@ -264,6 +274,7 @@ impl DeviceModel for VirtioNet {
                     .device_push_used(mem, chain.head, reply_len)
                     .expect("rx used in RAM");
                 self.stats.rx_packets += 1;
+                self.irqs += 1;
                 Some(Completion {
                     vector: self.cfg.irq_vector,
                     service: self.cfg.completion_service,
@@ -278,6 +289,7 @@ impl DeviceModel for VirtioNet {
                         .expect("tx used in RAM");
                 }
                 self.stats.rx_packets += 1;
+                self.irqs += 1;
                 Some(Completion {
                     vector: self.cfg.irq_vector,
                     service: self.cfg.completion_service,
@@ -286,6 +298,17 @@ impl DeviceModel for VirtioNet {
                 })
             }
         }
+    }
+
+    fn obs_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("net_kicks", self.kicks),
+            ("net_irqs", self.irqs),
+            ("net_tx_packets", self.stats.tx_packets),
+            ("net_rx_packets", self.stats.rx_packets),
+            ("net_rx_dropped", self.stats.rx_dropped),
+            ("net_inflight", self.pending.len() as u64),
+        ]
     }
 }
 
@@ -319,12 +342,7 @@ mod tests {
         // Driver posts an RX buffer and a 1-byte TX packet, then kicks.
         rxd.driver_add(&mut mem, &[(0x9000, 64, true)]).unwrap();
         let tx_head = txd.driver_add(&mut mem, &[(0x8000, 1, false)]).unwrap();
-        let out = net.mmio_write(
-            NET_MMIO_BASE + REG_TX_NOTIFY,
-            1,
-            &mut mem,
-            SimTime::ZERO,
-        );
+        let out = net.mmio_write(NET_MMIO_BASE + REG_TX_NOTIFY, 1, &mut mem, SimTime::ZERO);
         assert_eq!(out.backend_l1_exits, 1);
         assert_eq!(out.schedule.len(), 1);
         // TX buffer already reclaimed.
@@ -380,8 +398,10 @@ mod tests {
     #[test]
     fn wire_serializes_back_to_back_packets() {
         let (mut mem, mut net, mut txd, _rxd) = setup(PeerMode::Sink { ack_coalesce: 1 });
-        txd.driver_add(&mut mem, &[(0x8000, 16_384, false)]).unwrap();
-        txd.driver_add(&mut mem, &[(0xc000, 16_384, false)]).unwrap();
+        txd.driver_add(&mut mem, &[(0x8000, 16_384, false)])
+            .unwrap();
+        txd.driver_add(&mut mem, &[(0xc000, 16_384, false)])
+            .unwrap();
         let out = net.mmio_write(NET_MMIO_BASE, 1, &mut mem, SimTime::ZERO);
         let t0 = out.schedule[0].0;
         let t1 = out.schedule[1].0;

@@ -291,7 +291,12 @@ impl Virtqueue {
         // Recycle: count descriptors of the chain.
         let mut n = 1u16;
         let mut i = head;
-        while mem.read_u16(self.desc_addr(i % self.size) + 12).unwrap_or(0) & DESC_F_NEXT != 0 {
+        while mem
+            .read_u16(self.desc_addr(i % self.size) + 12)
+            .unwrap_or(0)
+            & DESC_F_NEXT
+            != 0
+        {
             i = (i + 1) % self.size;
             n += 1;
             if n >= self.size {

@@ -1,18 +1,32 @@
 //! Property tests: virtqueues deliver every chain exactly once, in order,
 //! for arbitrary chain shapes and interleavings.
+//!
+//! Randomised inputs are driven by the in-tree deterministic PRNG so the
+//! cases are reproducible and the suite has no external dependencies.
 
-use proptest::prelude::*;
 use svt_mem::{GuestMemory, Hpa};
+use svt_sim::DetRng;
 use svt_virtio::Virtqueue;
 
-proptest! {
-    #[test]
-    fn chains_round_trip_in_order(
-        chains in prop::collection::vec(
-            prop::collection::vec((0x8000u64..0x20000, 1u32..4096, any::<bool>()), 1..4),
-            1..12,
-        )
-    ) {
+#[test]
+fn chains_round_trip_in_order() {
+    let mut rng = DetRng::seed(0x71c0_0001);
+    for _ in 0..64 {
+        let n_chains = rng.range(1, 12) as usize;
+        let chains: Vec<Vec<(u64, u32, bool)>> = (0..n_chains)
+            .map(|_| {
+                let len = rng.range(1, 4) as usize;
+                (0..len)
+                    .map(|_| {
+                        (
+                            rng.range(0x8000, 0x20000),
+                            rng.range(1, 4096) as u32,
+                            rng.chance(0.5),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
         let mut mem = GuestMemory::new(1 << 20);
         let mut driver = Virtqueue::new(Hpa(0x1000), 32);
         driver.init(&mut mem).unwrap();
@@ -24,26 +38,29 @@ proptest! {
         }
         for (chain, head) in chains.iter().zip(&heads) {
             let got = device.device_pop(&mem).unwrap().expect("chain present");
-            prop_assert_eq!(got.head, *head);
-            prop_assert_eq!(got.descs.len(), chain.len());
+            assert_eq!(got.head, *head);
+            assert_eq!(got.descs.len(), chain.len());
             for (d, (addr, len, write)) in got.descs.iter().zip(chain) {
-                prop_assert_eq!(d.addr, *addr);
-                prop_assert_eq!(d.len, *len);
-                prop_assert_eq!(d.flags & svt_virtio::DESC_F_WRITE != 0, *write);
+                assert_eq!(d.addr, *addr);
+                assert_eq!(d.len, *len);
+                assert_eq!(d.flags & svt_virtio::DESC_F_WRITE != 0, *write);
             }
             device.device_push_used(&mut mem, got.head, 7).unwrap();
         }
-        prop_assert!(device.device_pop(&mem).unwrap().is_none());
+        assert!(device.device_pop(&mem).unwrap().is_none());
         for head in heads {
-            prop_assert_eq!(driver.driver_take_used(&mem).unwrap(), Some((head, 7)));
+            assert_eq!(driver.driver_take_used(&mem).unwrap(), Some((head, 7)));
         }
-        prop_assert_eq!(driver.driver_take_used(&mem).unwrap(), None);
+        assert_eq!(driver.driver_take_used(&mem).unwrap(), None);
     }
+}
 
-    #[test]
-    fn interleaved_produce_consume_conserves_descriptors(
-        ops in prop::collection::vec(any::<bool>(), 1..300)
-    ) {
+#[test]
+fn interleaved_produce_consume_conserves_descriptors() {
+    let mut rng = DetRng::seed(0x71c0_0002);
+    for _ in 0..64 {
+        let n_ops = rng.range(1, 300) as usize;
+        let ops: Vec<bool> = (0..n_ops).map(|_| rng.chance(0.5)).collect();
         let mut mem = GuestMemory::new(1 << 20);
         let mut driver = Virtqueue::new(Hpa(0x1000), 8);
         driver.init(&mut mem).unwrap();
@@ -53,18 +70,20 @@ proptest! {
         let mut consumed = 0u64;
         for &push in &ops {
             if push && driver.free_descriptors() > 0 {
-                driver.driver_add(&mut mem, &[(0x8000 + produced, 8, false)]).unwrap();
+                driver
+                    .driver_add(&mut mem, &[(0x8000 + produced, 8, false)])
+                    .unwrap();
                 produced += 1;
                 outstanding += 1;
             } else if outstanding > 0 {
                 let chain = device.device_pop(&mem).unwrap().expect("outstanding chain");
-                prop_assert_eq!(chain.descs[0].addr, 0x8000 + consumed);
+                assert_eq!(chain.descs[0].addr, 0x8000 + consumed);
                 device.device_push_used(&mut mem, chain.head, 0).unwrap();
-                prop_assert!(driver.driver_take_used(&mem).unwrap().is_some());
+                assert!(driver.driver_take_used(&mem).unwrap().is_some());
                 consumed += 1;
                 outstanding -= 1;
             }
         }
-        prop_assert_eq!(produced - consumed, outstanding as u64);
+        assert_eq!(produced - consumed, outstanding as u64);
     }
 }

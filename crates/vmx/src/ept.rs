@@ -123,13 +123,8 @@ impl Ept {
 
     /// Maps guest page `gpa_page` to target page `target_page`.
     pub fn map_page(&mut self, gpa_page: u64, target_page: u64, perms: EptPerms) {
-        self.entries.insert(
-            gpa_page,
-            Entry::Mapped {
-                target_page,
-                perms,
-            },
-        );
+        self.entries
+            .insert(gpa_page, Entry::Mapped { target_page, perms });
     }
 
     /// Identity-maps `n` pages starting at page `start`.
@@ -182,10 +177,7 @@ impl Ept {
         match self.entries.get(&gpa.page()) {
             None => Err(EptFault::Violation { gpa, access }),
             Some(Entry::Mmio) => Err(EptFault::Misconfig { gpa }),
-            Some(Entry::Mapped {
-                target_page,
-                perms,
-            }) => {
+            Some(Entry::Mapped { target_page, perms }) => {
                 if perms.allows(access) {
                     Ok(Gpa(target_page * PAGE_SIZE + gpa.offset()))
                 } else {
@@ -211,10 +203,7 @@ impl Ept {
         for (&g2_page, entry) in &self.entries {
             match entry {
                 Entry::Mmio => out.mark_mmio(g2_page),
-                Entry::Mapped {
-                    target_page,
-                    perms,
-                } => match outer.entries.get(target_page) {
+                Entry::Mapped { target_page, perms } => match outer.entries.get(target_page) {
                     Some(Entry::Mmio) => out.mark_mmio(g2_page),
                     Some(Entry::Mapped {
                         target_page: hpa_page,
@@ -352,7 +341,10 @@ mod tests {
         let mut e = Ept::new();
         e.map_page(0, 1, EptPerms::RWX);
         e.map_page(0, 2, EptPerms::RWX);
-        assert_eq!(e.translate(Gpa(0), Access::Read).unwrap(), Gpa(2 * PAGE_SIZE));
+        assert_eq!(
+            e.translate(Gpa(0), Access::Read).unwrap(),
+            Gpa(2 * PAGE_SIZE)
+        );
         e.unmap(0);
         assert!(e.translate(Gpa(0), Access::Read).is_err());
     }

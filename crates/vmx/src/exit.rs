@@ -135,9 +135,7 @@ impl ExitReason {
             ExitReason::Cpuid => (10, 0),
             ExitReason::Hlt => (12, 0),
             ExitReason::Vmcall { nr } => (18, nr),
-            ExitReason::IoInstruction { port, write } => {
-                (30, (port as u64) << 1 | write as u64)
-            }
+            ExitReason::IoInstruction { port, write } => (30, (port as u64) << 1 | write as u64),
             ExitReason::EptViolation { gpa, write } => (48, gpa.0 << 1 | write as u64),
             ExitReason::EptMisconfig { gpa } => (49, gpa.0),
             ExitReason::MsrRead { msr } => (31, msr as u64),
@@ -160,9 +158,7 @@ impl ExitReason {
     /// unknown codes.
     pub fn decode(code: u64, qual: u64) -> Option<ExitReason> {
         Some(match code {
-            1 => ExitReason::ExternalInterrupt {
-                vector: qual as u8,
-            },
+            1 => ExitReason::ExternalInterrupt { vector: qual as u8 },
             10 => ExitReason::Cpuid,
             12 => ExitReason::Hlt,
             18 => ExitReason::Vmcall { nr: qual },
@@ -225,11 +221,17 @@ mod tests {
                 gpa: Gpa(0x1000),
                 write: true,
             },
-            ExitReason::EptMisconfig { gpa: Gpa(0xfee0_0000) },
+            ExitReason::EptMisconfig {
+                gpa: Gpa(0xfee0_0000),
+            },
             ExitReason::MsrRead { msr: 0x6e0 },
             ExitReason::MsrWrite { msr: 0x6e0 },
-            ExitReason::Vmptrld { region: Gpa(0x8000) },
-            ExitReason::Vmclear { region: Gpa(0x8000) },
+            ExitReason::Vmptrld {
+                region: Gpa(0x8000),
+            },
+            ExitReason::Vmclear {
+                region: Gpa(0x8000),
+            },
             ExitReason::Vmlaunch,
             ExitReason::Vmresume,
             ExitReason::Vmread {
@@ -272,7 +274,10 @@ mod tests {
 
     #[test]
     fn tags_match_paper_profile_names() {
-        assert_eq!(ExitReason::EptMisconfig { gpa: Gpa(0) }.tag(), "EPT_MISCONFIG");
+        assert_eq!(
+            ExitReason::EptMisconfig { gpa: Gpa(0) }.tag(),
+            "EPT_MISCONFIG"
+        );
         assert_eq!(ExitReason::MsrWrite { msr: 0x6e0 }.tag(), "MSR_WRITE");
     }
 }

@@ -188,7 +188,10 @@ pub fn simulate_channel_round_ns(
             rsp.push(ram, &seq.to_le_bytes()).expect("ring has room");
             clock.charge(cost.cacheline(placement) * 2);
             clock.charge(wake);
-            let back = rsp.pop(ram).expect("ring in RAM").expect("response present");
+            let back = rsp
+                .pop(ram)
+                .expect("ring in RAM")
+                .expect("response present");
             assert_eq!(back, seq.to_le_bytes());
         }
         clock.pop_part(CostPart::Channel);
@@ -273,8 +276,8 @@ mod tests {
                 for m in [Mechanism::Mwait, Mechanism::Polling, Mechanism::Mutex] {
                     let analytic = channel_cell(&cost, m, p, w);
                     let simulated = simulate_channel_round_ns(&cost, m, p, w);
-                    let expected = analytic.round_ns + analytic.latency_ns
-                        + 4.0 * cost.cacheline(p).as_ns();
+                    let expected =
+                        analytic.round_ns + analytic.latency_ns + 4.0 * cost.cacheline(p).as_ns();
                     assert!(
                         (simulated - expected).abs() < 1.0,
                         "{m:?} {p} w={w}: sim {simulated:.0} vs expected {expected:.0}"

@@ -2,6 +2,7 @@
 
 use svt_core::{nested_machine, SwitchMode};
 use svt_hv::{GuestOp, Level, Machine, MachineConfig, OpLoop};
+use svt_obs::{Json, MetricKey, ObsLevel};
 use svt_sim::{CostPart, SimDuration};
 
 /// One bar of Fig. 6.
@@ -59,8 +60,16 @@ pub fn fig6(iters: u64) -> Vec<Fig6Bar> {
         speedup: if svt { l2 / t } else { 1.0 },
     };
     vec![
-        bar("L0", cpuid_us(Level::L0, SwitchMode::Baseline, iters), false),
-        bar("L1", cpuid_us(Level::L1, SwitchMode::Baseline, iters), false),
+        bar(
+            "L0",
+            cpuid_us(Level::L0, SwitchMode::Baseline, iters),
+            false,
+        ),
+        bar(
+            "L1",
+            cpuid_us(Level::L1, SwitchMode::Baseline, iters),
+            false,
+        ),
         bar("L2", l2, false),
         bar(
             "SW SVt",
@@ -73,6 +82,47 @@ pub fn fig6(iters: u64) -> Vec<Fig6Bar> {
             true,
         ),
     ]
+}
+
+/// Per-exit-reason attribution of a nested cpuid run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExitAttribution {
+    /// Exit-reason tag, e.g. `"CPUID"`.
+    pub reason: &'static str,
+    /// Total time attributed to this reason, nanoseconds.
+    pub time_ns: f64,
+    /// Number of reflected L2 exits with this reason.
+    pub count: u64,
+}
+
+/// Runs the nested cpuid micro-benchmark under full observability and
+/// returns the per-exit-reason attribution plus the machine's metrics
+/// export (counters, gauges and latency histograms as JSON).
+pub fn cpuid_observed(mode: SwitchMode, iters: u64) -> (Vec<ExitAttribution>, Json) {
+    let mut m = nested_machine(mode);
+    let mut warm = OpLoop::new(GuestOp::Cpuid, 1, 0, SimDuration::ZERO);
+    m.run(&mut warm).expect("cpuid never blocks");
+    m.obs.metrics.clear();
+    let base = m.clock.snapshot();
+    let mut prog = OpLoop::new(GuestOp::Cpuid, iters, 0, SimDuration::ZERO);
+    m.run(&mut prog).expect("cpuid never blocks");
+    let d = m.clock.since_snapshot(&base);
+    let reflector = m.reflector_name();
+    let exits = d
+        .tags_by_time()
+        .into_iter()
+        .map(|(tag, t)| ExitAttribution {
+            reason: tag,
+            time_ns: t.as_ns(),
+            count: m.obs.metrics.counter(
+                MetricKey::new("vm_exit")
+                    .level(ObsLevel::L2)
+                    .exit(tag)
+                    .reflector(reflector),
+            ),
+        })
+        .collect();
+    (exits, m.obs.metrics.to_json())
 }
 
 /// Reproduces Table 1: the six-part breakdown of one nested cpuid.
@@ -115,8 +165,16 @@ mod tests {
         assert!(bars[4].time_us < bars[3].time_us);
         assert!(bars[3].time_us < bars[2].time_us);
         // Speedups within the DESIGN.md bands.
-        assert!((1.15..=1.35).contains(&bars[3].speedup), "{}", bars[3].speedup);
-        assert!((1.8..=2.1).contains(&bars[4].speedup), "{}", bars[4].speedup);
+        assert!(
+            (1.15..=1.35).contains(&bars[3].speedup),
+            "{}",
+            bars[3].speedup
+        );
+        assert!(
+            (1.8..=2.1).contains(&bars[4].speedup),
+            "{}",
+            bars[4].speedup
+        );
     }
 
     #[test]

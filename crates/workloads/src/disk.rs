@@ -67,7 +67,7 @@ impl DiskBench {
             DiskMode::Latency => 1,
             DiskMode::Bandwidth { qd } => qd,
         };
-        assert!(depth >= 1 && depth <= 8, "queue depth fits the slot pool");
+        assert!((1..=8).contains(&depth), "queue depth fits the slot pool");
         DiskBench {
             mode,
             write,

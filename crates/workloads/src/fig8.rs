@@ -67,8 +67,7 @@ pub fn fig8_series(mode: SwitchMode, rates_kqps: &[f64], requests: u64) -> Sweep
 /// finer resolution around the SLA knee.
 pub fn default_rates() -> Vec<f64> {
     vec![
-        2.0, 4.0, 5.0, 6.0, 6.5, 7.0, 7.5, 8.0, 8.5, 9.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0,
-        22.5,
+        2.0, 4.0, 5.0, 6.0, 6.5, 7.0, 7.5, 8.0, 8.5, 9.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.5,
     ]
 }
 
@@ -79,7 +78,11 @@ mod tests {
     #[test]
     fn low_load_latency_is_flat_and_finite() {
         let p = memcached_point(SwitchMode::Baseline, 2_000.0, 150);
-        assert!(p.avg_ns > 50_000.0 && p.avg_ns < 500_000.0, "avg {}", p.avg_ns);
+        assert!(
+            p.avg_ns > 50_000.0 && p.avg_ns < 500_000.0,
+            "avg {}",
+            p.avg_ns
+        );
         assert!(p.p99_ns >= p.avg_ns);
         assert!(p.throughput > 1_000.0);
     }

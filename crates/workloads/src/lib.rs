@@ -51,7 +51,7 @@ pub use channel::{
     channel_cell, channel_study, default_workloads, simulate_channel_round_ns, ChannelCell,
     Mechanism, POLL_SMT_STEAL_RATIO,
 };
-pub use cpuid::{cpuid_us, fig6, table1, Fig6Bar, Table1Row};
+pub use cpuid::{cpuid_observed, cpuid_us, fig6, table1, ExitAttribution, Fig6Bar, Table1Row};
 pub use disk::{DiskBench, DiskMode};
 pub use fig10::{video_playback, PlaybackResult};
 pub use fig7::{

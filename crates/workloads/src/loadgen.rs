@@ -214,7 +214,8 @@ impl LoadGenNet {
         payload.extend_from_slice(&req.op.to_le_bytes());
         payload.extend_from_slice(&req.vsize.to_le_bytes());
         let n = payload.len().min(d.len as usize);
-        mem.write(Hpa(d.addr), &payload[..n]).expect("rx buffer in RAM");
+        mem.write(Hpa(d.addr), &payload[..n])
+            .expect("rx buffer in RAM");
         self.rx
             .device_push_used(mem, chain.head, PAYLOAD_HEADER as u32 + req.vsize)
             .expect("rx used in RAM");
@@ -340,6 +341,16 @@ impl DeviceModel for LoadGenNet {
             }
         }
         comp
+    }
+
+    fn obs_counters(&self) -> Vec<(&'static str, u64)> {
+        let s = self.stats.borrow();
+        vec![
+            ("loadgen_sent", s.sent),
+            ("loadgen_completed", s.completed),
+            ("loadgen_dropped", s.dropped),
+            ("loadgen_inflight", self.pending_arrivals.len() as u64),
+        ]
     }
 }
 

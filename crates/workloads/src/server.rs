@@ -168,7 +168,9 @@ impl RrServer {
             ops: VecDeque::new(),
             phase: Phase::Init,
             rx_slots: HashMap::new(),
-            tx_free: (0..16).map(|i| layout::TX_BUFS.0 + i * layout::BUF_SIZE).collect(),
+            tx_free: (0..16)
+                .map(|i| layout::TX_BUFS.0 + i * layout::BUF_SIZE)
+                .collect(),
             tx_inflight: HashMap::new(),
             queue: VecDeque::new(),
             eoi_owed: 0,
@@ -208,7 +210,8 @@ impl RrServer {
             }
         }
         let buf = self.tx_free.pop().expect("tx buffer pool exhausted");
-        mem.write_u64(Hpa(buf), reply.send_ps).expect("tx buf in RAM");
+        mem.write_u64(Hpa(buf), reply.send_ps)
+            .expect("tx buf in RAM");
         let head = self
             .tx
             .driver_add(mem, &[(buf, reply.reply_len.max(8), false)])

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use svt_hv::{GuestCtx, GuestOp, GuestProgram};
-use svt_sim::{SimTime, SimDuration};
+use svt_sim::{SimDuration, SimTime};
 use svt_virtio::Virtqueue;
 use svt_vmx::{MSR_TSC_DEADLINE, MSR_X2APIC_EOI, VECTOR_TIMER, VECTOR_VIRTIO};
 
@@ -47,7 +47,7 @@ impl StreamSender {
         window: u32,
         total_packets: u64,
     ) -> Self {
-        assert!(window >= 1 && window <= 16, "window fits the buffer pool");
+        assert!((1..=16).contains(&window), "window fits the buffer pool");
         StreamSender {
             packet_len,
             window,

@@ -204,12 +204,7 @@ impl TpccDb {
                 2 + 3 * delivered
             }
             TxType::StockLevel => {
-                let low = self
-                    .stock
-                    .values()
-                    .take(200)
-                    .filter(|&&s| s < 50)
-                    .count() as u32;
+                let low = self.stock.values().take(200).filter(|&&s| s < 50).count() as u32;
                 20 + low / 8
             }
         };
@@ -325,7 +320,7 @@ impl ServiceModel for TpccService {
     fn serve(&mut self, req: &ParsedRequest, _mem: &mut GuestMemory) -> ServeOutput {
         let tx = TxType::from_op(req.op);
         self.stmt_counter += 1;
-        let miss = self.miss_every > 0 && self.stmt_counter % self.miss_every == 0;
+        let miss = self.miss_every > 0 && self.stmt_counter.is_multiple_of(self.miss_every);
         if req.vsize > 0 {
             // Intermediate statement: point read/update.
             ServeOutput {

@@ -157,14 +157,13 @@ impl VideoPlayer {
 
     fn present_frame(&mut self, now: SimTime) {
         let lateness = now.saturating_since(self.next_present);
-        let tolerance =
-            SimDuration::from_ns_f64(self.period().as_ns() * self.cfg.tolerance);
+        let tolerance = SimDuration::from_ns_f64(self.period().as_ns() * self.cfg.tolerance);
         self.frames_played += 1;
         self.max_lateness = self.max_lateness.max(lateness);
         if lateness > tolerance {
             self.frames_dropped += 1;
         }
-        self.next_present = self.next_present + self.period();
+        self.next_present += self.period();
     }
 }
 
@@ -198,7 +197,7 @@ impl GuestProgram for VideoPlayer {
                     return GuestOp::Done;
                 }
                 if ctx.now >= self.next_chunk {
-                    self.next_chunk = self.next_chunk + self.cfg.chunk_period;
+                    self.next_chunk += self.cfg.chunk_period;
                     // Chunk sizes vary with the (VBR) video bitrate.
                     let dither = self.rng.below(17) as u32;
                     self.burst_remaining = (self.cfg.chunk_requests - 8) + dither;
@@ -232,19 +231,16 @@ impl GuestProgram for VideoPlayer {
     fn interrupt(&mut self, vector: u8, ctx: &mut GuestCtx<'_>) {
         self.eoi_owed += 1;
         match vector {
-            VECTOR_TIMER => {
-                if self.phase == Phase::AwaitTimer {
-                    self.present_frame(ctx.now);
-                    self.phase = Phase::Decode;
-                    let d = self
-                        .rng
-                        .norm_duration(self.cfg.decode_mean, self.cfg.decode_jitter);
-                    self.pending.push(GuestOp::Compute(d));
-                }
+            VECTOR_TIMER if self.phase == Phase::AwaitTimer => {
+                self.present_frame(ctx.now);
+                self.phase = Phase::Decode;
+                let d = self
+                    .rng
+                    .norm_duration(self.cfg.decode_mean, self.cfg.decode_jitter);
+                self.pending.push(GuestOp::Compute(d));
             }
             VECTOR_BLK | svt_vmx::VECTOR_VIRTIO => {
-                while let Some((head, _)) =
-                    self.queue.driver_take_used(ctx.mem).expect("blk ring")
+                while let Some((head, _)) = self.queue.driver_take_used(ctx.mem).expect("blk ring")
                 {
                     self.inflight.remove(&head);
                 }

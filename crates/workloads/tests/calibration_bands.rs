@@ -4,9 +4,7 @@
 //! the sampling difference.
 
 use svt_core::SwitchMode;
-use svt_workloads::{
-    disk_bandwidth_kb_s, disk_latency_us, net_rr_latency_us, net_stream_mbps,
-};
+use svt_workloads::{disk_bandwidth_kb_s, disk_latency_us, net_rr_latency_us, net_stream_mbps};
 
 #[test]
 fn net_rr_baseline_band() {

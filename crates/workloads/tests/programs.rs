@@ -120,11 +120,7 @@ fn server_wal_blocks_reply_until_persistence() {
     #[derive(Debug)]
     struct WalEcho;
     impl ServiceModel for WalEcho {
-        fn serve(
-            &mut self,
-            _req: &ParsedRequest,
-            _mem: &mut svt_mem::GuestMemory,
-        ) -> ServeOutput {
+        fn serve(&mut self, _req: &ParsedRequest, _mem: &mut svt_mem::GuestMemory) -> ServeOutput {
             ServeOutput {
                 compute: SimDuration::from_us(1),
                 reply_len: 8,
@@ -172,11 +168,7 @@ fn server_disk_reads_are_sequentially_ordered_before_reply() {
     #[derive(Debug)]
     struct ReadyEcho;
     impl ServiceModel for ReadyEcho {
-        fn serve(
-            &mut self,
-            _req: &ParsedRequest,
-            _mem: &mut svt_mem::GuestMemory,
-        ) -> ServeOutput {
+        fn serve(&mut self, _req: &ParsedRequest, _mem: &mut svt_mem::GuestMemory) -> ServeOutput {
             ServeOutput {
                 compute: SimDuration::from_us(1),
                 reply_len: 8,

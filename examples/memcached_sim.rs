@@ -24,7 +24,10 @@ fn main() {
             );
         }
         let within = series.max_throughput_within_sla(SLA_NS).unwrap_or(0.0);
-        println!("  max throughput within 500us SLA: {:.2} kQPS\n", within / 1000.0);
+        println!(
+            "  max throughput within 500us SLA: {:.2} kQPS\n",
+            within / 1000.0
+        );
         crossovers.push(within);
     }
     println!(

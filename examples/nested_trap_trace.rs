@@ -16,6 +16,7 @@ fn main() -> Result<(), MachineError> {
     m.run(&mut warm)?;
     m.clock.reset_attribution();
     m.tracer.enable();
+    m.obs.spans.enable();
 
     println!("Executing one cpuid in L2 (Algorithm 1 of the paper):\n");
     let rip_before = m.vcpu2.rip;
@@ -60,6 +61,23 @@ fn main() -> Result<(), MachineError> {
     for (at, ev) in m.tracer.events() {
         println!("   [{at}] {ev:?}");
     }
+
+    println!("\nTrap-lifecycle spans (exportable as Chrome trace JSON):");
+    for s in m.obs.spans.spans() {
+        println!(
+            "   trap #{:<3} {:<10} [{} .. {}] {:<18} {}",
+            s.trap_seq,
+            format!("{}/{}", s.level.name(), s.cat),
+            s.begin,
+            s.end,
+            s.name,
+            s.duration()
+        );
+    }
+    println!(
+        "   ({} spans; svt::obs::chrome_trace(spans) renders them for ui.perfetto.dev)",
+        m.obs.spans.len()
+    );
 
     println!("\nState effects:");
     println!(

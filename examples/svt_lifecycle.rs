@@ -11,7 +11,10 @@ fn main() {
     // A core with three hardware contexts: L0 on ctx0, L1 on ctx1, L2 on
     // ctx2 — the assignment of the paper's running example.
     let mut core = SmtCore::new(3);
-    println!("Core with {} SVt contexts; ctx0 active.", core.num_contexts());
+    println!(
+        "Core with {} SVt contexts; ctx0 active.",
+        core.num_contexts()
+    );
 
     // --- Configuring L1 (paper Fig. 4, step A/B) -----------------------
     // L0 programs vmcs01's SVt fields and the VMPTRLD caches them into the

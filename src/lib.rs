@@ -18,7 +18,8 @@
 //! * [`hv`] — the machine and the baseline nested hypervisor;
 //! * [`core`] — the SVt contribution (HW and SW engines);
 //! * [`virtio`] — virtqueues, virtio-net, virtio-blk;
-//! * [`workloads`] — the evaluation runners.
+//! * [`workloads`] — the evaluation runners;
+//! * [`obs`] — metrics, trap-lifecycle spans and run reports.
 //!
 //! # Examples
 //!
@@ -50,8 +51,9 @@ pub use svt_core as core;
 pub use svt_cpu as cpu;
 pub use svt_hv as hv;
 pub use svt_mem as mem;
+pub use svt_obs as obs;
 pub use svt_sim as sim;
 pub use svt_stats as stats;
-pub use svt_vmx as vmx;
 pub use svt_virtio as virtio;
+pub use svt_vmx as vmx;
 pub use svt_workloads as workloads;

@@ -72,7 +72,7 @@ fn disk_data_survives_the_full_stack() {
     );
     m.run(&mut bench).expect("disk run completes");
     assert_eq!(bench.completed(), 40);
-    assert_eq!(m.clock.counter("irq_delivered") > 0, true);
+    assert!(m.clock.counter("irq_delivered") > 0);
 }
 
 #[test]

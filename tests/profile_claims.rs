@@ -30,12 +30,7 @@ fn vmcs_access_share_is_small_with_shadowing() {
     );
     m.run(&mut server).unwrap();
     let vmcs = m.clock.tag_time("VMREAD").as_ns() + m.clock.tag_time("VMWRITE").as_ns();
-    let total: f64 = m
-        .clock
-        .tags_by_time()
-        .iter()
-        .map(|(_, t)| t.as_ns())
-        .sum();
+    let total: f64 = m.clock.tags_by_time().iter().map(|(_, t)| t.as_ns()).sum();
     let share = vmcs / total;
     assert!(share < 0.12, "VMCS-access share {share:.3}");
 }
@@ -82,7 +77,7 @@ fn memcached_l0_time_dominated_by_ept_misconfig() {
 fn sw_svt_blocked_protocol_makes_forward_progress() {
     // § 5.3: an IPI to L1's main vCPU while the SVt-thread holds a command
     // must not deadlock; the SVT_BLOCKED path services it.
-    use svt::hv::{GuestOp, Machine, MachineConfig, MachineEvent, Level, OpLoop};
+    use svt::hv::{GuestOp, Level, Machine, MachineConfig, MachineEvent, OpLoop};
     let cfg = MachineConfig::at_level(Level::L2);
     let reflector = Box::new(svt::core::SwSvtReflector::new());
     let mut m = Machine::with_reflector(cfg, reflector);
@@ -97,7 +92,11 @@ fn sw_svt_blocked_protocol_makes_forward_progress() {
     m.run(&mut prog).expect("no deadlock");
     let blocked = m.clock.counter("svt_blocked");
     let direct = m.clock.counter("l1_ipi_direct");
-    assert_eq!(blocked + direct, 5, "all IPIs serviced ({blocked} blocked, {direct} direct)");
+    assert_eq!(
+        blocked + direct,
+        5,
+        "all IPIs serviced ({blocked} blocked, {direct} direct)"
+    );
     assert!(blocked >= 1, "at least one IPI hit the SVT_BLOCKED window");
     // L1's APIC saw and completed every IPI.
     assert!(m.l1.apic.is_idle());

@@ -1,19 +1,29 @@
 //! Property-based tests on the core data structures and cross-crate
 //! invariants.
+//!
+//! Randomised inputs are driven by the in-tree deterministic PRNG so the
+//! cases are reproducible and the suite has no external dependencies.
 
-use proptest::prelude::*;
 use svt::cpu::{CtxId, Gpr, SmtCore};
 use svt::mem::{CommandRing, Gpa, GuestMemory, Hpa};
-use svt::sim::{SimDuration, SimTime};
+use svt::sim::{DetRng, SimDuration, SimTime};
 use svt::vmx::{Access, Ept, EptPerms, ExitReason, VmcsField};
 
-proptest! {
-    /// Guest memory: the last write to any byte wins, regardless of the
-    /// access pattern around it.
-    #[test]
-    fn guest_memory_last_write_wins(
-        writes in prop::collection::vec((0u64..60_000, prop::collection::vec(any::<u8>(), 1..64)), 1..24)
-    ) {
+/// Guest memory: the last write to any byte wins, regardless of the
+/// access pattern around it.
+#[test]
+fn guest_memory_last_write_wins() {
+    let mut rng = DetRng::seed(0x1a57_0001);
+    for _ in 0..48 {
+        let n_writes = rng.range(1, 24) as usize;
+        let writes: Vec<(u64, Vec<u8>)> = (0..n_writes)
+            .map(|_| {
+                let addr = rng.below(60_000);
+                let len = rng.range(1, 64) as usize;
+                let bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+                (addr, bytes)
+            })
+            .collect();
         let mut ram = GuestMemory::new(1 << 16);
         let mut shadow = vec![0u8; 1 << 16];
         for (addr, bytes) in &writes {
@@ -23,13 +33,18 @@ proptest! {
         }
         let mut all = vec![0u8; 1 << 16];
         ram.read(Hpa(0), &mut all).unwrap();
-        prop_assert_eq!(all, shadow);
+        assert_eq!(all, shadow);
     }
+}
 
-    /// Command rings deliver every payload exactly once, in order, for any
-    /// interleaving of pushes and pops that respects capacity.
-    #[test]
-    fn command_ring_is_fifo(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+/// Command rings deliver every payload exactly once, in order, for any
+/// interleaving of pushes and pops that respects capacity.
+#[test]
+fn command_ring_is_fifo() {
+    let mut rng = DetRng::seed(0x1a57_0002);
+    for _ in 0..48 {
+        let n_ops = rng.range(1, 200) as usize;
+        let ops: Vec<bool> = (0..n_ops).map(|_| rng.chance(0.5)).collect();
         let mut ram = GuestMemory::new(1 << 20);
         let ring = CommandRing::new(Hpa(0x4000), 64, 8);
         ring.init(&mut ram).unwrap();
@@ -40,25 +55,33 @@ proptest! {
                 ring.push(&mut ram, &pushed.to_le_bytes()).unwrap();
                 pushed += 1;
             } else if let Some(payload) = ring.pop(&mut ram).unwrap() {
-                prop_assert_eq!(payload, popped.to_le_bytes().to_vec());
+                assert_eq!(payload, popped.to_le_bytes().to_vec());
                 popped += 1;
             }
         }
         while let Some(payload) = ring.pop(&mut ram).unwrap() {
-            prop_assert_eq!(payload, popped.to_le_bytes().to_vec());
+            assert_eq!(payload, popped.to_le_bytes().to_vec());
             popped += 1;
         }
-        prop_assert_eq!(pushed, popped);
+        assert_eq!(pushed, popped);
     }
+}
 
-    /// EPT composition agrees with step-by-step translation wherever both
-    /// levels map.
-    #[test]
-    fn ept_composition_agrees_with_two_step_translation(
-        inner in prop::collection::vec((0u64..64, 0u64..64), 1..32),
-        outer in prop::collection::vec((0u64..64, 0u64..64), 1..32),
-        probe in prop::collection::vec(0u64..64u64, 16),
-    ) {
+/// EPT composition agrees with step-by-step translation wherever both
+/// levels map.
+#[test]
+fn ept_composition_agrees_with_two_step_translation() {
+    let mut rng = DetRng::seed(0x1a57_0003);
+    for _ in 0..48 {
+        let n_inner = rng.range(1, 32) as usize;
+        let inner: Vec<(u64, u64)> = (0..n_inner)
+            .map(|_| (rng.below(64), rng.below(64)))
+            .collect();
+        let n_outer = rng.range(1, 32) as usize;
+        let outer: Vec<(u64, u64)> = (0..n_outer)
+            .map(|_| (rng.below(64), rng.below(64)))
+            .collect();
+        let probe: Vec<u64> = (0..16).map(|_| rng.below(64)).collect();
         let mut ept12 = Ept::new();
         for (g, t) in inner {
             ept12.map_page(g, t, EptPerms::RWX);
@@ -75,41 +98,52 @@ proptest! {
                 .ok()
                 .and_then(|mid| ept01.translate(mid, Access::Read).ok());
             let composed = ept02.translate(addr, Access::Read).ok();
-            prop_assert_eq!(two_step, composed);
+            assert_eq!(two_step, composed);
         }
     }
+}
 
-    /// Exit reasons survive the VMCS encode/decode round trip for all
-    /// field/vector/address operands.
-    #[test]
-    fn exit_reason_round_trips(
-        vector in any::<u8>(),
-        msr in any::<u32>(),
-        gpa in 0u64..(1 << 40),
-        field_idx in 0usize..VmcsField::COUNT,
-        nr in any::<u64>(),
-    ) {
+/// Exit reasons survive the VMCS encode/decode round trip for all
+/// field/vector/address operands.
+#[test]
+fn exit_reason_round_trips() {
+    let mut rng = DetRng::seed(0x1a57_0004);
+    for _ in 0..256 {
+        let vector = rng.below(256) as u8;
+        let msr = rng.next_u64() as u32;
+        let gpa = rng.below(1 << 40);
+        let field_idx = rng.below(VmcsField::COUNT as u64) as usize;
+        let nr = rng.next_u64();
         let reasons = [
             ExitReason::ExternalInterrupt { vector },
             ExitReason::MsrWrite { msr },
             ExitReason::MsrRead { msr },
             ExitReason::EptMisconfig { gpa: Gpa(gpa) },
-            ExitReason::Vmread { field: VmcsField::ALL[field_idx] },
-            ExitReason::Vmwrite { field: VmcsField::ALL[field_idx] },
+            ExitReason::Vmread {
+                field: VmcsField::ALL[field_idx],
+            },
+            ExitReason::Vmwrite {
+                field: VmcsField::ALL[field_idx],
+            },
             ExitReason::Vmcall { nr },
         ];
         for r in reasons {
             let (code, qual) = r.encode();
-            prop_assert_eq!(ExitReason::decode(code, qual), Some(r));
+            assert_eq!(ExitReason::decode(code, qual), Some(r));
         }
     }
+}
 
-    /// SMT contexts never alias: writes through one context's rename map
-    /// are invisible to every other context.
-    #[test]
-    fn smt_contexts_are_isolated(
-        writes in prop::collection::vec((0u8..3, 0usize..16, any::<u64>()), 1..100)
-    ) {
+/// SMT contexts never alias: writes through one context's rename map
+/// are invisible to every other context.
+#[test]
+fn smt_contexts_are_isolated() {
+    let mut rng = DetRng::seed(0x1a57_0005);
+    for _ in 0..48 {
+        let n_writes = rng.range(1, 100) as usize;
+        let writes: Vec<(u8, usize, u64)> = (0..n_writes)
+            .map(|_| (rng.below(3) as u8, rng.below(16) as usize, rng.next_u64()))
+            .collect();
         let mut core = SmtCore::new(3);
         let mut shadow = [[0u64; 16]; 3];
         for (ctx, reg, val) in writes {
@@ -118,17 +152,22 @@ proptest! {
         }
         for ctx in 0..3u8 {
             for (i, r) in Gpr::ALL.iter().enumerate() {
-                prop_assert_eq!(core.read_gpr(CtxId(ctx), *r), shadow[ctx as usize][i]);
+                assert_eq!(core.read_gpr(CtxId(ctx), *r), shadow[ctx as usize][i]);
             }
         }
         // The invariant the design rests on: exactly one context runs.
-        prop_assert_eq!(core.running_contexts(), 1);
+        assert_eq!(core.running_contexts(), 1);
     }
+}
 
-    /// Simulated time arithmetic is consistent: charging durations in any
-    /// order reaches the same instant.
-    #[test]
-    fn time_accumulation_is_order_independent(ns in prop::collection::vec(1u64..1_000_000, 1..64)) {
+/// Simulated time arithmetic is consistent: charging durations in any
+/// order reaches the same instant.
+#[test]
+fn time_accumulation_is_order_independent() {
+    let mut rng = DetRng::seed(0x1a57_0006);
+    for _ in 0..48 {
+        let n = rng.range(1, 64) as usize;
+        let ns: Vec<u64> = (0..n).map(|_| rng.range(1, 1_000_000)).collect();
         let total: u64 = ns.iter().sum();
         let mut t1 = SimTime::ZERO;
         for &d in &ns {
@@ -140,42 +179,52 @@ proptest! {
         for &d in &rev {
             t2 += SimDuration::from_ns(d);
         }
-        prop_assert_eq!(t1, t2);
-        prop_assert_eq!(t1, SimTime::ZERO + SimDuration::from_ns(total));
+        assert_eq!(t1, t2);
+        assert_eq!(t1, SimTime::ZERO + SimDuration::from_ns(total));
     }
+}
 
-    /// Percentiles are monotone in p and bounded by min/max.
-    #[test]
-    fn percentiles_are_monotone(samples in prop::collection::vec(0.0f64..1e9, 1..256)) {
+/// Percentiles are monotone in p and bounded by min/max.
+#[test]
+fn percentiles_are_monotone() {
+    let mut rng = DetRng::seed(0x1a57_0007);
+    for _ in 0..48 {
+        let n = rng.range(1, 256) as usize;
+        let samples: Vec<f64> = (0..n).map(|_| rng.unit() * 1e9).collect();
         let p50 = svt::stats::percentile(&samples, 50.0);
         let p90 = svt::stats::percentile(&samples, 90.0);
         let p99 = svt::stats::percentile(&samples, 99.0);
         let max = svt::stats::percentile(&samples, 100.0);
-        prop_assert!(p50 <= p90 && p90 <= p99 && p99 <= max);
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= max);
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
-        prop_assert!(p50 >= min);
-    }
-
-    /// The 4-sigma filter never removes more than it keeps on unimodal
-    /// data and never panics on degenerate inputs.
-    #[test]
-    fn outlier_filter_is_conservative(samples in prop::collection::vec(0.0f64..1e6, 1..256)) {
-        let kept = svt::stats::filter_outliers(&samples, 4.0);
-        prop_assert!(kept.len() * 2 >= samples.len());
-        prop_assert!(kept.len() <= samples.len());
+        assert!(p50 >= min);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// The 4-sigma filter never removes more than it keeps on unimodal
+/// data and never panics on degenerate inputs.
+#[test]
+fn outlier_filter_is_conservative() {
+    let mut rng = DetRng::seed(0x1a57_0008);
+    for _ in 0..48 {
+        let n = rng.range(1, 256) as usize;
+        let samples: Vec<f64> = (0..n).map(|_| rng.unit() * 1e6).collect();
+        let kept = svt::stats::filter_outliers(&samples, 4.0);
+        assert!(kept.len() * 2 >= samples.len());
+        assert!(kept.len() <= samples.len());
+    }
+}
 
-    /// The Table 1 calibration holds for any surrounding workload size:
-    /// the virtualization overhead per cpuid is constant, only part 0
-    /// grows.
-    #[test]
-    fn overhead_is_independent_of_surrounding_workload(work in 0u64..20_000) {
-        use svt::core::{nested_machine, SwitchMode};
-        use svt::hv::{GuestOp, OpLoop};
+/// The Table 1 calibration holds for any surrounding workload size:
+/// the virtualization overhead per cpuid is constant, only part 0
+/// grows.
+#[test]
+fn overhead_is_independent_of_surrounding_workload() {
+    use svt::core::{nested_machine, SwitchMode};
+    use svt::hv::{GuestOp, OpLoop};
+    let mut rng = DetRng::seed(0x1a57_0009);
+    for _ in 0..16 {
+        let work = rng.below(20_000);
         let mut m = nested_machine(SwitchMode::Baseline);
         let mut warm = OpLoop::new(GuestOp::Cpuid, 1, 0, SimDuration::ZERO);
         m.run(&mut warm).unwrap();
@@ -185,7 +234,10 @@ proptest! {
         let d = m.clock.since_snapshot(&base);
         let guest_ns = d.part_time(svt::sim::CostPart::L2Guest).as_ns() / 10.0;
         let overhead_ns = d.busy_time().as_ns() / 10.0 - guest_ns;
-        prop_assert!((overhead_ns - 10_350.0).abs() < 110.0, "overhead {overhead_ns}");
-        prop_assert!(guest_ns >= work as f64);
+        assert!(
+            (overhead_ns - 10_350.0).abs() < 110.0,
+            "overhead {overhead_ns}"
+        );
+        assert!(guest_ns >= work as f64);
     }
 }
