@@ -59,7 +59,7 @@ impl BypassReflector {
         micro.visor = Some(CTX_L0);
         micro.vm = Some(CTX_L2);
         micro.nested = Some(CTX_L2);
-        let gprs = m.vcpu2.gprs;
+        let gprs = m.vcpu2().gprs;
         m.core.micro_mut().is_vm = false;
         for (r, v) in gprs.iter() {
             m.core
@@ -102,8 +102,8 @@ impl Reflector for BypassReflector {
         // Hardware wrote the exit information into L1's descriptor at trap
         // time; nothing reaches L0 on this path.
         let (code, qual) = exit.encode();
-        m.l0.vmcs12.write(VmcsField::ExitReason, code);
-        m.l0.vmcs12.write(VmcsField::ExitQualification, qual);
+        m.vmcs12_mut().write(VmcsField::ExitReason, code);
+        m.vmcs12_mut().write(VmcsField::ExitQualification, qual);
         self.run_l1(m, exit);
     }
 
@@ -147,7 +147,7 @@ impl Reflector for BypassReflector {
         m.core
             .ctxtst(CtxtLevel::Guest, r, v)
             .expect("SVt target configured");
-        m.vcpu2.gprs.set(r, v);
+        m.vcpu2_mut().gprs.set(r, v);
     }
 }
 
@@ -208,6 +208,6 @@ mod tests {
         let mut prog = OpLoop::new(GuestOp::Cpuid, 1, 0, SimDuration::ZERO);
         m.run(&mut prog).unwrap();
         let (code, _) = ExitReason::Cpuid.encode();
-        assert_eq!(m.l0.vmcs12.read(VmcsField::ExitReason), code);
+        assert_eq!(m.vmcs12().read(VmcsField::ExitReason), code);
     }
 }

@@ -89,17 +89,19 @@ impl HwSvtReflector {
         let l2_ctx = if self.full() { CTX_L2 } else { CtxId(1) };
         // vmcs01: L0 runs L1 in ctx1 (or multiplexed on ctx0); L1 reaches
         // its nested VM through SVt_nested.
-        m.l0.vmcs01.set_svt_ctx(VmcsField::SvtVisor, Some(CTX_L0.0));
-        m.l0.vmcs01.set_svt_ctx(
+        let full = self.full();
+        let vmcs01 = m.vmcs01_mut();
+        vmcs01.set_svt_ctx(VmcsField::SvtVisor, Some(CTX_L0.0));
+        vmcs01.set_svt_ctx(
             VmcsField::SvtVm,
-            Some(if self.full() { CTX_L1.0 } else { CTX_L0.0 }),
+            Some(if full { CTX_L1.0 } else { CTX_L0.0 }),
         );
-        m.l0.vmcs01
-            .set_svt_ctx(VmcsField::SvtNested, Some(l2_ctx.0));
+        vmcs01.set_svt_ctx(VmcsField::SvtNested, Some(l2_ctx.0));
         // vmcs02: L0 runs L2 in its own context; no deeper nesting.
-        m.l0.vmcs02.set_svt_ctx(VmcsField::SvtVisor, Some(CTX_L0.0));
-        m.l0.vmcs02.set_svt_ctx(VmcsField::SvtVm, Some(l2_ctx.0));
-        m.l0.vmcs02.set_svt_ctx(VmcsField::SvtNested, None);
+        let vmcs02 = m.vmcs02_mut();
+        vmcs02.set_svt_ctx(VmcsField::SvtVisor, Some(CTX_L0.0));
+        vmcs02.set_svt_ctx(VmcsField::SvtVm, Some(l2_ctx.0));
+        vmcs02.set_svt_ctx(VmcsField::SvtNested, None);
         // VMPTRLD caches the fields into the µ-registers.
         let c = m.cost.svt_vmcs_cache;
         m.clock.charge(c);
@@ -109,7 +111,7 @@ impl HwSvtReflector {
         micro.vm = Some(l2);
         micro.nested = Some(l2);
         // L0 loads L2's initial register state into ctx2 with ctxtst.
-        let gprs = m.vcpu2.gprs;
+        let gprs = m.vcpu2().gprs;
         let c = m.cost.ctxt_regs(Gpr::COUNT as u32);
         m.clock.charge(c);
         m.core.micro_mut().is_vm = false;
@@ -156,7 +158,7 @@ impl Reflector for HwSvtReflector {
         // state stays live in its hardware context.
         let l2 = self.l2_ctx();
         self.stall_resume(m, CostPart::SwitchL2L0, CTX_L0, false);
-        m.core.special_mut(l2).rip = m.vcpu2.rip;
+        m.core.special_mut(l2).rip = m.vcpu2().rip;
         m.hw_exit_autosave();
     }
 
@@ -164,7 +166,7 @@ impl Reflector for HwSvtReflector {
         self.ensure_init(m);
         m.hw_entry_load();
         let l2 = self.l2_ctx();
-        m.core.special_mut(l2).rip = m.vcpu2.rip;
+        m.core.special_mut(l2).rip = m.vcpu2().rip;
         self.stall_resume(m, CostPart::SwitchL2L0, l2, true);
     }
 
@@ -255,6 +257,6 @@ impl Reflector for HwSvtReflector {
             .expect("SVt target configured");
         // The memory copy mirrors the architectural state for the parts of
         // the machine that report it.
-        m.vcpu2.gprs.set(r, v);
+        m.vcpu2_mut().gprs.set(r, v);
     }
 }

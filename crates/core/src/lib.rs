@@ -46,5 +46,5 @@ mod sw;
 pub use bypass::BypassReflector;
 pub use commands::{Command, CMD_VM_RESUME, CMD_VM_TRAP, PAYLOAD_LEN};
 pub use hw::HwSvtReflector;
-pub use stack::{machine_with, nested_machine, SwitchMode};
+pub use stack::{machine_with, nested_machine, smp_machine, smp_machine_with, SwitchMode};
 pub use sw::{SwSvtReflector, WaitMode};

@@ -56,6 +56,30 @@ pub fn machine_with(mode: SwitchMode, cfg: MachineConfig) -> Machine {
     Machine::with_reflector(cfg, mode.reflector())
 }
 
+/// A nested (L2) machine with `n_vcpus` virtual CPUs, each running its own
+/// instance of the mode's switch engine on its own physical core (thread 0
+/// runs the vCPU, thread 1 hosts its SVt contexts).
+///
+/// With `n_vcpus == 1` this is exactly [`nested_machine`]: the scheduler
+/// never switches and the run is bit-identical to the single-vCPU machine.
+///
+/// # Panics
+///
+/// Panics if `n_vcpus` is zero or exceeds the machine's physical cores.
+pub fn smp_machine(mode: SwitchMode, n_vcpus: usize) -> Machine {
+    smp_machine_with(mode, MachineConfig::at_level(Level::L2), n_vcpus)
+}
+
+/// [`smp_machine`] with an explicit configuration.
+pub fn smp_machine_with(mode: SwitchMode, cfg: MachineConfig, n_vcpus: usize) -> Machine {
+    assert!(n_vcpus >= 1, "a machine needs at least one vCPU");
+    let mut m = Machine::with_reflector(cfg, mode.reflector());
+    for _ in 1..n_vcpus {
+        m.add_vcpu(mode.reflector());
+    }
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

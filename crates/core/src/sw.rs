@@ -36,6 +36,12 @@ pub enum WaitMode {
 /// waiting thread consumes execution cycles from the computing thread").
 const POLL_STEAL_RATIO: f64 = 0.18;
 
+/// Bytes of ivshmem region reserved per vCPU's ring pair. vCPU 0 keeps
+/// the historical `0x10_0000` base so single-vCPU runs are bit-identical
+/// to the pre-SMP machine; each further vCPU's rings live one stride up,
+/// so two vCPUs trapping back-to-back never touch each other's rings.
+const SVT_RING_STRIDE: u64 = 0x1_0000;
+
 /// The software-only SVt engine.
 ///
 /// # Examples
@@ -102,9 +108,11 @@ impl SwSvtReflector {
             return;
         }
         // Rings live in an ivshmem-like region of host RAM; "pairing" the
-        // vCPU threads is a one-time hypercall to L0.
-        let cmd = CommandRing::new(Hpa(0x10_0000), 256, 16);
-        let resp = CommandRing::new(Hpa(0x10_0000 + cmd.footprint()), 256, 16);
+        // vCPU threads is a one-time hypercall to L0. Each vCPU owns a
+        // disjoint slice of the region.
+        let base = 0x10_0000 + m.current_vcpu() as u64 * SVT_RING_STRIDE;
+        let cmd = CommandRing::new(Hpa(base), 256, 16);
+        let resp = CommandRing::new(Hpa(base + cmd.footprint()), 256, 16);
         cmd.init(&mut m.ram).expect("ring region in RAM");
         resp.init(&mut m.ram).expect("ring region in RAM");
         self.cmd_ring = Some(cmd);
@@ -163,6 +171,7 @@ impl SwSvtReflector {
         while let Some((at, ev)) = m.events.pop_due(now) {
             if matches!(ev, MachineEvent::IpiToL1Main) {
                 self.svt_blocked_count += 1;
+                let blocked_begin = m.clock.now();
                 m.clock.count("svt_blocked");
                 m.obs
                     .metrics
@@ -183,6 +192,13 @@ impl SwSvtReflector {
                 let v = m.l1.apic.ack();
                 debug_assert_eq!(v, Some(svt_vmx::VECTOR_IPI));
                 m.l1.apic.eoi();
+                // The blocked window is bounded by the fixed inject+yield
+                // cost; the histogram lets tests assert that bound.
+                let window = m.clock.now().since(blocked_begin);
+                m.obs.metrics.observe(
+                    MetricKey::new("svt_blocked_window_ps").reflector("sw-svt"),
+                    window.as_ps(),
+                );
             } else {
                 requeue.push((at, ev));
             }
@@ -241,10 +257,10 @@ impl Reflector for SwSvtReflector {
         let c = m.cost.transform_fixed;
         m.clock.charge(c);
         for f in svt_vmx::VmcsField::ENTRY_FIELDS {
-            let v = m.l0.vmcs12.read(f);
+            let v = m.vmcs12().read(f);
             let c = m.cost.vmwrite;
             m.clock.charge(c);
-            m.l0.vmcs02.write(f, v);
+            m.vmcs02_mut().write(f, v);
         }
         m.clock.pop_part(CostPart::Transform);
         m.l0_entry_finish();
@@ -262,7 +278,7 @@ impl Reflector for SwSvtReflector {
             kind: CMD_VM_TRAP,
             code,
             qual,
-            gprs: m.vcpu2.gprs,
+            gprs: m.vcpu2().gprs,
         };
         self.send(m, true, &trap_cmd);
         // The SVt-thread wakes from its wait.
@@ -306,14 +322,14 @@ impl Reflector for SwSvtReflector {
             kind: CMD_VM_RESUME,
             code,
             qual,
-            gprs: m.vcpu2.gprs,
+            gprs: m.vcpu2().gprs,
         };
         self.send(m, false, &resume_cmd);
         let c = self.wake_cost(m);
         m.clock.charge(c);
         let resp = self.recv(m, false);
         debug_assert_eq!(resp.kind, CMD_VM_RESUME);
-        m.vcpu2.gprs = resp.gprs;
+        m.vcpu2_mut().gprs = resp.gprs;
         m.clock.pop_part(CostPart::Channel);
         m.obs.spans.record(
             "svt_resp_ring",
@@ -349,10 +365,10 @@ impl Reflector for SwSvtReflector {
     fn l2_gpr_read(&mut self, m: &mut Machine, r: Gpr) -> u64 {
         // Register values arrived in the CMD_VM_TRAP payload; reading the
         // local copy is free beyond the already-charged transfer.
-        m.vcpu2.gprs.get(r)
+        m.vcpu2().gprs.get(r)
     }
 
     fn l2_gpr_write(&mut self, m: &mut Machine, r: Gpr, v: u64) {
-        m.vcpu2.gprs.set(r, v);
+        m.vcpu2_mut().gprs.set(r, v);
     }
 }

@@ -1,6 +1,6 @@
 //! The machine: run loop, trap chains and hypervisor logic.
 //!
-//! A [`Machine`] executes one measured [`GuestProgram`] at a configurable
+//! A [`Machine`] executes measured [`GuestProgram`]s at a configurable
 //! virtualization level:
 //!
 //! * **L0 (native)** — operations execute directly;
@@ -10,15 +10,25 @@
 //!   into L1's handler (which triggers further traps of its own), and the
 //!   emulated VMRESUME path back.
 //!
+//! The machine hosts one or more [`Vcpu`]s, each carrying its own nested
+//! VMCS set, APIC and switch engine. [`Machine::run_smp`] interleaves the
+//! runnable vCPUs with a deterministic min-local-time scheduler; a
+//! single-vCPU run through [`Machine::run`] takes exactly the same code
+//! path and is bit-identical to the pre-SMP machine.
+//!
 //! The *logic* here is shared by all switch engines; the *mechanics* of
 //! moving between levels live behind the [`Reflector`] trait.
 
 use svt_cpu::{Gpr, SmtCore};
 use svt_mem::{Gpa, GuestMemory};
 use svt_obs::{MetricKey, Obs, ObsLevel};
-use svt_sim::{Clock, CostModel, CostPart, EventQueue, MachineSpec, SimDuration, SimTime};
+use svt_sim::{
+    assign_svt_cores, Clock, CostModel, CostPart, CpuLoc, EventQueue, MachineSpec, SimDuration,
+    SimTime,
+};
 use svt_vmx::{
-    Access, EptFault, ExitReason, VmcsField, MSR_TSC_DEADLINE, MSR_X2APIC_EOI, VECTOR_TIMER,
+    Access, DeliveryMode, EptFault, ExitReason, IcrCommand, VmcsField, MSR_TSC_DEADLINE,
+    MSR_X2APIC_EOI, MSR_X2APIC_ICR, VECTOR_TIMER,
 };
 
 use crate::device::{Completion, DeviceModel, DeviceOutcome};
@@ -28,6 +38,7 @@ use crate::state::{
     program_vmcs02, L0State, L1State, Level, MachineConfig, MachineEvent, VcpuState,
 };
 use crate::trace::{TraceEvent, Tracer};
+use crate::vcpu::Vcpu;
 
 /// Which VMCS a (charged) access targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,8 +73,19 @@ impl std::error::Error for MachineError {}
 /// Outcome of [`Machine::run`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunReport {
-    /// Guest-program steps executed.
+    /// Guest-program steps executed (summed over all vCPUs).
     pub steps: u64,
+}
+
+/// Why a vCPU's scheduling slice ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SliceOutcome {
+    /// The vCPU's program returned [`GuestOp::Done`].
+    Finished,
+    /// The vCPU halted and waits for an event.
+    Halted,
+    /// The vCPU's local clock passed the run deadline.
+    Deadline,
 }
 
 /// In-flight MMIO operation data for the L1 device-emulation path.
@@ -84,28 +106,31 @@ pub(crate) enum IrqWork {
     },
     /// The virtualized TSC-deadline timer fired.
     Timer,
+    /// A fixed-mode cross-vCPU IPI.
+    Ipi,
 }
 
 /// The simulated machine.
 pub struct Machine {
     /// Calibrated primitive costs.
     pub cost: CostModel,
-    /// The simulation clock with Table-1 attribution.
+    /// The running vCPU's simulation clock with Table-1 attribution. The
+    /// scheduler swaps parked clocks in and out on vCPU switch, so this is
+    /// always the clock of the vCPU currently executing.
     pub clock: Clock,
-    /// The SMT core hosting all virtualization levels.
+    /// The SMT core hosting the running vCPU's virtualization levels
+    /// (swapped like [`Machine::clock`]).
     pub core: SmtCore,
     /// Host physical RAM.
     pub ram: GuestMemory,
     /// Physical machine shape.
     pub spec: MachineSpec,
-    /// Physical event queue (device completions, timers).
+    /// Physical event queue (device completions, timers, IPIs).
     pub events: EventQueue<MachineEvent>,
-    /// L0 hypervisor state.
+    /// L0 hypervisor state shared across vCPUs.
     pub l0: L0State,
-    /// L1 guest-hypervisor state.
+    /// L1 guest-hypervisor state shared across vCPUs.
     pub l1: L1State,
-    /// The measured guest's vCPU.
-    pub vcpu2: VcpuState,
     /// Whether hardware VMCS shadowing is enabled.
     pub shadowing: bool,
     /// Architectural event trace (disabled by default).
@@ -113,14 +138,21 @@ pub struct Machine {
     /// Structured observability: typed metrics plus trap-lifecycle spans
     /// (span recording disabled by default; counters always on).
     pub obs: Obs,
+    /// When set, [`Machine::run_smp`] appends each scheduled vCPU index to
+    /// [`Machine::schedule_trace`] (determinism checks).
+    pub record_schedule: bool,
+    /// The scheduling order recorded while [`Machine::record_schedule`]
+    /// was set.
+    pub schedule_trace: Vec<u32>,
     level: Level,
+    vcpus: Vec<Vcpu>,
+    cur: usize,
     devices: Vec<Option<Box<dyn DeviceModel>>>,
-    reflector: Option<Box<dyn Reflector>>,
+    device_affinity: Vec<usize>,
     pending_mmio: Option<MmioOp>,
     pending_msr: Option<u64>,
     pending_result: Option<u64>,
     pending_work: Option<IrqWork>,
-    timer_event: Option<svt_sim::EventId>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -128,20 +160,24 @@ impl std::fmt::Debug for Machine {
         f.debug_struct("Machine")
             .field("level", &self.level)
             .field("now", &self.clock.now())
+            .field("vcpus", &self.vcpus.len())
             .field("devices", &self.devices.len())
             .finish()
     }
 }
 
 impl Machine {
-    /// Builds a machine with an explicit switch engine.
+    /// Builds a machine with one vCPU driven by an explicit switch engine.
     pub fn with_reflector(cfg: MachineConfig, reflector: Box<dyn Reflector>) -> Self {
+        let smt = cfg.spec.smt_per_core.max(3) as usize;
+        let loc = assign_svt_cores(&cfg.spec, 1)
+            .map(|v| v[0])
+            .unwrap_or_else(|_| CpuLoc::new(0, 0, 0));
         let mut m = Machine {
-            core: SmtCore::new(cfg.spec.smt_per_core.max(3) as usize),
+            core: SmtCore::new(smt),
             ram: GuestMemory::new(cfg.ram_size),
             l0: L0State::new(cfg.mapped_pages),
             l1: L1State::new(cfg.mapped_pages, cfg.level == Level::L2),
-            vcpu2: VcpuState::default(),
             clock: Clock::new(),
             events: EventQueue::new(),
             cost: cfg.cost,
@@ -149,14 +185,17 @@ impl Machine {
             shadowing: cfg.shadowing,
             tracer: Tracer::default(),
             obs: Obs::new(),
+            record_schedule: false,
+            schedule_trace: Vec::new(),
             level: cfg.level,
+            vcpus: vec![Vcpu::new(0, loc, smt, reflector)],
+            cur: 0,
             devices: Vec::new(),
-            reflector: Some(reflector),
+            device_affinity: Vec::new(),
             pending_mmio: None,
             pending_msr: None,
             pending_result: None,
             pending_work: None,
-            timer_event: None,
         };
         if m.level == Level::L2 {
             m.boot_nested();
@@ -174,16 +213,127 @@ impl Machine {
         self.level
     }
 
-    /// Name of the active switch engine.
+    /// Name of the running vCPU's switch engine.
     pub fn reflector_name(&self) -> &'static str {
-        self.reflector.as_ref().map_or("(taken)", |r| r.name())
+        self.vcpus[self.cur].reflector_name()
     }
 
-    /// Registers a device on the guest's MMIO bus. Its pages are marked
+    // ------------------------------------------------------------------
+    // vCPU topology
+    // ------------------------------------------------------------------
+
+    /// Number of vCPUs.
+    pub fn n_vcpus(&self) -> usize {
+        self.vcpus.len()
+    }
+
+    /// Index of the vCPU currently installed on [`Machine::clock`].
+    pub fn current_vcpu(&self) -> usize {
+        self.cur
+    }
+
+    /// The vCPUs, indexed by id.
+    pub fn vcpus(&self) -> &[Vcpu] {
+        &self.vcpus
+    }
+
+    /// Adds a vCPU with its own switch engine; returns its index. The new
+    /// vCPU is pinned to thread 0 of the next free physical core (its SMT
+    /// sibling hosts the engine's SVt contexts) and, on a nested machine,
+    /// boots its own vmcs01/vmcs12/vmcs02 web before first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Machine::spec`] has no free SMT core pair left.
+    pub fn add_vcpu(&mut self, reflector: Box<dyn Reflector>) -> usize {
+        let id = self.vcpus.len();
+        let locs =
+            assign_svt_cores(&self.spec, id + 1).expect("machine spec cannot host another vCPU");
+        let smt = self.spec.smt_per_core.max(3) as usize;
+        self.vcpus
+            .push(Vcpu::new(id as u32, locs[id], smt, reflector));
+        if self.level == Level::L2 {
+            let prev = self.cur;
+            self.switch_to(id);
+            self.boot_nested();
+            self.switch_to(prev);
+        }
+        id
+    }
+
+    /// Architectural state of the running vCPU. (Historical name: the
+    /// pre-SMP machine had a single hard-wired `vcpu2` field.)
+    pub fn vcpu2(&self) -> &VcpuState {
+        &self.vcpus[self.cur].state
+    }
+
+    /// Mutable architectural state of the running vCPU.
+    pub fn vcpu2_mut(&mut self) -> &mut VcpuState {
+        &mut self.vcpus[self.cur].state
+    }
+
+    fn vstate(&self) -> &VcpuState {
+        &self.vcpus[self.cur].state
+    }
+
+    fn vstate_mut(&mut self) -> &mut VcpuState {
+        &mut self.vcpus[self.cur].state
+    }
+
+    /// The running vCPU's vmcs01.
+    pub fn vmcs01(&self) -> &svt_vmx::Vmcs {
+        &self.vcpus[self.cur].vmcs01
+    }
+
+    /// The running vCPU's vmcs01, mutably.
+    pub fn vmcs01_mut(&mut self) -> &mut svt_vmx::Vmcs {
+        &mut self.vcpus[self.cur].vmcs01
+    }
+
+    /// The running vCPU's vmcs12 shadow.
+    pub fn vmcs12(&self) -> &svt_vmx::Vmcs {
+        &self.vcpus[self.cur].vmcs12
+    }
+
+    /// The running vCPU's vmcs12 shadow, mutably.
+    pub fn vmcs12_mut(&mut self) -> &mut svt_vmx::Vmcs {
+        &mut self.vcpus[self.cur].vmcs12
+    }
+
+    /// The running vCPU's vmcs02.
+    pub fn vmcs02(&self) -> &svt_vmx::Vmcs {
+        &self.vcpus[self.cur].vmcs02
+    }
+
+    /// The running vCPU's vmcs02, mutably.
+    pub fn vmcs02_mut(&mut self) -> &mut svt_vmx::Vmcs {
+        &mut self.vcpus[self.cur].vmcs02
+    }
+
+    /// Local simulated time of vCPU `i` (the machine clock for the
+    /// running vCPU, its parked clock otherwise).
+    pub fn local_now(&self, i: usize) -> SimTime {
+        if i == self.cur {
+            self.clock.now()
+        } else {
+            self.vcpus[i].clock.now()
+        }
+    }
+
+    /// Registers a device on the guest's MMIO bus with completion
+    /// interrupts routed to the running vCPU. Its pages are marked
     /// misconfigured in the owning EPT (L1's ept12 in nested mode, L0's
     /// ept01 otherwise) so accesses exit for emulation. Returns the device
     /// index.
     pub fn add_device(&mut self, dev: Box<dyn DeviceModel>) -> usize {
+        let vcpu = self.cur;
+        self.add_device_for(dev, vcpu)
+    }
+
+    /// Registers a device whose completion interrupts are routed to
+    /// vCPU `vcpu` (per-vCPU queue-to-IRQ affinity).
+    pub fn add_device_for(&mut self, dev: Box<dyn DeviceModel>, vcpu: usize) -> usize {
+        assert!(vcpu < self.vcpus.len(), "device affinity to unknown vCPU");
         for (base, len) in dev.ranges() {
             let first = base.page();
             let last = (base + (len - 1)).page();
@@ -196,13 +346,21 @@ impl Machine {
             }
         }
         if self.level == Level::L2 {
-            program_vmcs02(&mut self.l0, &self.l1);
+            let Machine { l0, l1, vcpus, .. } = self;
+            for v in vcpus.iter_mut() {
+                program_vmcs02(l0, l1, &mut v.vmcs02);
+            }
         }
         self.devices.push(Some(dev));
+        self.device_affinity.push(vcpu);
         self.devices.len() - 1
     }
 
-    /// Runs `prog` to completion.
+    // ------------------------------------------------------------------
+    // Run loops
+    // ------------------------------------------------------------------
+
+    /// Runs `prog` on a single-vCPU machine to completion.
     ///
     /// # Errors
     ///
@@ -218,43 +376,127 @@ impl Machine {
     ///
     /// [`MachineError::IdleForever`] if the guest halts with nothing armed
     /// to wake it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a multi-vCPU machine — use [`Machine::run_smp`] with one
+    /// program per vCPU there.
     pub fn run_until(
         &mut self,
         prog: &mut dyn GuestProgram,
         deadline: SimTime,
     ) -> Result<RunReport, MachineError> {
-        let mut r = self.reflector.take().expect("reflector re-entered");
-        let result = self.run_inner(&mut *r, prog, deadline);
-        self.reflector = Some(r);
-        result
+        assert_eq!(
+            self.vcpus.len(),
+            1,
+            "run/run_until drive a single-vCPU machine; use run_smp"
+        );
+        self.run_smp(&mut [prog], deadline)
     }
 
-    fn run_inner(
+    /// Runs one program per vCPU until all finish or `deadline` passes.
+    ///
+    /// Scheduling is a deterministic discrete-event interleaving: among
+    /// the runnable vCPUs (not finished, and not halted with an empty
+    /// event inbox), the one with the smallest local clock runs next, ties
+    /// broken by lowest index. When every unfinished vCPU is halted, time
+    /// jumps to the next machine event, which is routed to its target
+    /// vCPU. With one vCPU this reduces exactly to the pre-SMP run loop.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::IdleForever`] if all unfinished vCPUs halt with no
+    /// event armed to wake any of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one program per vCPU is supplied.
+    pub fn run_smp(
+        &mut self,
+        progs: &mut [&mut dyn GuestProgram],
+        deadline: SimTime,
+    ) -> Result<RunReport, MachineError> {
+        assert_eq!(
+            progs.len(),
+            self.vcpus.len(),
+            "run_smp needs exactly one program per vCPU"
+        );
+        let n = self.vcpus.len();
+        let mut report = RunReport::default();
+        let mut finished = vec![false; n];
+        loop {
+            if finished.iter().all(|&f| f) {
+                return Ok(report);
+            }
+            let pick = (0..n)
+                .filter(|&i| !finished[i])
+                .filter(|&i| {
+                    let v = &self.vcpus[i];
+                    !v.state.halted || !v.inbox.is_empty()
+                })
+                .min_by_key(|&i| (self.local_now(i), i));
+            let Some(i) = pick else {
+                // Every unfinished vCPU is halted: sleep to the next event
+                // and route it to its target vCPU.
+                let Some(t) = self.events.next_deadline() else {
+                    return Err(MachineError::IdleForever);
+                };
+                if t >= deadline {
+                    // Nothing left to do inside this run's horizon.
+                    for (j, done) in finished.iter().enumerate() {
+                        if !done {
+                            self.advance_vcpu_clock(j, deadline);
+                        }
+                    }
+                    return Ok(report);
+                }
+                let (t, ev) = self.events.pop_next().expect("deadlined event vanished");
+                let target = self.event_vcpu(&ev);
+                if finished[target] {
+                    continue;
+                }
+                self.advance_vcpu_clock(target, t);
+                self.vcpus[target].inbox.push_back((t, ev));
+                continue;
+            };
+            self.switch_to(i);
+            if self.record_schedule {
+                self.schedule_trace.push(i as u32);
+            }
+            let mut r = self.vcpus[i]
+                .reflector
+                .take()
+                .expect("reflector re-entered");
+            let outcome = self.run_slice(&mut *r, &mut *progs[i], deadline, &mut report);
+            self.vcpus[i].reflector = Some(r);
+            match outcome {
+                SliceOutcome::Finished => finished[i] = true,
+                SliceOutcome::Halted => {}
+                SliceOutcome::Deadline => return Ok(report),
+            }
+        }
+    }
+
+    /// Runs the current vCPU until it finishes, halts, or passes the
+    /// deadline. This is the pre-SMP run loop body, verbatim.
+    fn run_slice(
         &mut self,
         r: &mut dyn Reflector,
         prog: &mut dyn GuestProgram,
         deadline: SimTime,
-    ) -> Result<RunReport, MachineError> {
-        let mut report = RunReport::default();
+        report: &mut RunReport,
+    ) -> SliceOutcome {
         loop {
             if self.clock.now() >= deadline {
-                return Ok(report);
+                return SliceOutcome::Deadline;
             }
-            self.pump(r, prog);
-            if self.vcpu2.halted {
-                let Some(next) = self.events.next_deadline() else {
-                    return Err(MachineError::IdleForever);
-                };
-                if next >= deadline {
-                    // Nothing left to do inside this run's horizon.
-                    self.clock.advance_to(deadline);
-                    return Ok(report);
-                }
-                self.clock.advance_to(next);
-                continue;
+            self.drain_inbox(r);
+            self.pump(r);
+            if self.vstate().halted {
+                return SliceOutcome::Halted;
             }
             // Deliver any pending virtual interrupts to the guest program.
-            while let Some(v) = self.vcpu2.apic.ack() {
+            while let Some(v) = self.vstate_mut().apic.ack() {
                 self.clock.push_part(self.guest_part());
                 self.clock.charge(self.cost.guest_irq_entry);
                 self.clock.pop_part(self.guest_part());
@@ -279,9 +521,33 @@ impl Machine {
             };
             report.steps += 1;
             if op == GuestOp::Done {
-                return Ok(report);
+                return SliceOutcome::Finished;
             }
             self.exec_op(r, prog, op);
+        }
+    }
+
+    /// Swaps vCPU `i`'s clock and SMT core into the machine's active
+    /// slots. A no-op when `i` is already running — in particular, a
+    /// single-vCPU machine never swaps at all.
+    fn switch_to(&mut self, i: usize) {
+        if i == self.cur {
+            return;
+        }
+        std::mem::swap(&mut self.clock, &mut self.vcpus[self.cur].clock);
+        std::mem::swap(&mut self.core, &mut self.vcpus[self.cur].core);
+        std::mem::swap(&mut self.clock, &mut self.vcpus[i].clock);
+        std::mem::swap(&mut self.core, &mut self.vcpus[i].core);
+        self.cur = i;
+        self.obs.spans.set_vcpu(i as u32);
+        self.obs.metrics.inc(MetricKey::new("vcpu_switch"));
+    }
+
+    fn advance_vcpu_clock(&mut self, i: usize, t: SimTime) {
+        if i == self.cur {
+            self.clock.advance_to(t);
+        } else {
+            self.vcpus[i].clock.advance_to(t);
         }
     }
 
@@ -297,64 +563,138 @@ impl Machine {
     // Event pump
     // ------------------------------------------------------------------
 
-    fn pump(&mut self, r: &mut dyn Reflector, _prog: &mut dyn GuestProgram) {
-        while let Some((_, ev)) = self.events.pop_due(self.clock.now()) {
-            match ev {
-                MachineEvent::DeviceComplete { device, token } => {
-                    let mut dev = self.devices[device].take().expect("device re-entered");
-                    let comp = dev.complete(token, &mut self.ram, self.clock.now());
-                    self.devices[device] = Some(dev);
-                    if let Some(c) = comp {
-                        for (when, tok) in c.schedule.clone() {
-                            self.events.schedule(
-                                when,
-                                MachineEvent::DeviceComplete { device, token: tok },
-                            );
-                        }
-                        self.deliver_irq(
-                            r,
-                            c.vector,
-                            IrqWork::Completion {
-                                device,
-                                completion: c,
-                            },
-                        );
+    /// Which vCPU a machine event belongs to.
+    fn event_vcpu(&self, ev: &MachineEvent) -> usize {
+        match ev {
+            MachineEvent::DeviceComplete { device, .. } => {
+                self.device_affinity.get(*device).copied().unwrap_or(0)
+            }
+            MachineEvent::PhysTimer { vcpu } => *vcpu,
+            MachineEvent::IpiToL1Main => 0,
+            MachineEvent::Ipi { to, .. } => *to,
+        }
+    }
+
+    /// Drains due events: the running vCPU's are handled in place, other
+    /// vCPUs' are routed to their inboxes for their next slice.
+    fn pump(&mut self, r: &mut dyn Reflector) {
+        while let Some((t, ev)) = self.events.pop_due(self.clock.now()) {
+            let target = self.event_vcpu(&ev);
+            if target == self.cur {
+                self.handle_event(r, ev);
+            } else {
+                self.vcpus[target].inbox.push_back((t, ev));
+            }
+        }
+    }
+
+    /// Handles events the scheduler (or another vCPU's pump) routed to the
+    /// running vCPU.
+    fn drain_inbox(&mut self, r: &mut dyn Reflector) {
+        while let Some((t, ev)) = self.vcpus[self.cur].inbox.pop_front() {
+            if self.vstate().halted {
+                // The vCPU was idle: its local time jumps to the event.
+                self.clock.advance_to(t);
+            }
+            self.handle_event(r, ev);
+        }
+    }
+
+    fn handle_event(&mut self, r: &mut dyn Reflector, ev: MachineEvent) {
+        match ev {
+            MachineEvent::DeviceComplete { device, token } => {
+                let mut dev = self.devices[device].take().expect("device re-entered");
+                let comp = dev.complete(token, &mut self.ram, self.clock.now());
+                self.devices[device] = Some(dev);
+                if let Some(c) = comp {
+                    for (when, tok) in c.schedule.clone() {
+                        self.events
+                            .schedule(when, MachineEvent::DeviceComplete { device, token: tok });
                     }
+                    self.deliver_irq(
+                        r,
+                        c.vector,
+                        IrqWork::Completion {
+                            device,
+                            completion: c,
+                        },
+                    );
                 }
-                MachineEvent::PhysTimer => {
-                    self.timer_event = None;
-                    self.l0.phys_timer = None;
-                    if self.vcpu2.apic.tsc_deadline().is_some() {
-                        self.deliver_irq(r, VECTOR_TIMER, IrqWork::Timer);
+            }
+            MachineEvent::PhysTimer { vcpu } => {
+                self.vcpus[vcpu].timer_event = None;
+                self.l0.phys_timer = None;
+                if self.vstate().apic.tsc_deadline().is_some() {
+                    self.deliver_irq(r, VECTOR_TIMER, IrqWork::Timer);
+                }
+            }
+            MachineEvent::IpiToL1Main => {
+                // An IPI for L1's main vCPU arriving while no SVt
+                // command is in flight is delivered normally. (IPIs
+                // landing *during* a command wait are intercepted by
+                // the reflector's SVT_BLOCKED path instead.)
+                self.clock.push_part(CostPart::L0Handler);
+                let c = self.cost.ipi_deliver + self.cost.guest_irq_entry;
+                self.clock.charge(c);
+                self.clock.pop_part(CostPart::L0Handler);
+                self.l1.apic.inject(svt_vmx::VECTOR_IPI);
+                let v = self.l1.apic.ack();
+                debug_assert_eq!(v, Some(svt_vmx::VECTOR_IPI));
+                self.l1.apic.eoi();
+                self.clock.count("l1_ipi_direct");
+            }
+            MachineEvent::Ipi { to, cmd } => {
+                debug_assert_eq!(to, self.cur, "IPI routed to the wrong vCPU");
+                self.clock.count("ipi_received");
+                self.obs
+                    .metrics
+                    .inc(MetricKey::new("ipi_received").vcpu(to as u32));
+                match cmd.mode {
+                    DeliveryMode::Fixed => self.deliver_irq(r, cmd.vector, IrqWork::Ipi),
+                    DeliveryMode::Init => {
+                        // INIT parks the target in wait-for-SIPI.
+                        let v = self.vstate_mut();
+                        v.halted = true;
+                        v.rip = 0;
                     }
-                }
-                MachineEvent::IpiToL1Main => {
-                    // An IPI for L1's main vCPU arriving while no SVt
-                    // command is in flight is delivered normally. (IPIs
-                    // landing *during* a command wait are intercepted by
-                    // the reflector's SVT_BLOCKED path instead.)
-                    self.clock.push_part(CostPart::L0Handler);
-                    let c = self.cost.ipi_deliver + self.cost.guest_irq_entry;
-                    self.clock.charge(c);
-                    self.clock.pop_part(CostPart::L0Handler);
-                    self.l1.apic.inject(svt_vmx::VECTOR_IPI);
-                    let v = self.l1.apic.ack();
-                    debug_assert_eq!(v, Some(svt_vmx::VECTOR_IPI));
-                    self.l1.apic.eoi();
-                    self.clock.count("l1_ipi_direct");
+                    DeliveryMode::Startup => self.vstate_mut().halted = false,
                 }
             }
         }
     }
 
-    /// Arms (or replaces) the physical TSC-deadline timer.
+    /// Arms (or replaces) the running vCPU's physical TSC-deadline timer.
     pub(crate) fn arm_phys_timer(&mut self, t: SimTime) {
-        if let Some(id) = self.timer_event.take() {
+        if let Some(id) = self.vcpus[self.cur].timer_event.take() {
             self.events.cancel(id);
         }
         let at = t.max(self.clock.now());
-        self.timer_event = Some(self.events.schedule(at, MachineEvent::PhysTimer));
+        let ev = self
+            .events
+            .schedule(at, MachineEvent::PhysTimer { vcpu: self.cur });
+        self.vcpus[self.cur].timer_event = Some(ev);
         self.l0.phys_timer = Some(at);
+    }
+
+    /// Puts a cross-vCPU IPI on the interconnect from a raw x2APIC ICR
+    /// write. Malformed commands and out-of-range destinations are dropped
+    /// (and counted), as hardware would.
+    pub fn send_ipi(&mut self, icr: u64) {
+        let Some(cmd) = IcrCommand::decode(icr) else {
+            self.clock.count("ipi_bad_icr");
+            return;
+        };
+        let to = cmd.dest as usize;
+        if to >= self.vcpus.len() {
+            self.clock.count("ipi_dropped");
+            return;
+        }
+        let at = self.clock.now() + self.cost.ipi_deliver;
+        self.events.schedule(at, MachineEvent::Ipi { to, cmd });
+        self.clock.count("ipi_sent");
+        self.obs
+            .metrics
+            .inc(MetricKey::new("ipi_sent").vcpu(self.cur as u32));
     }
 
     // ------------------------------------------------------------------
@@ -362,7 +702,7 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn deliver_irq(&mut self, r: &mut dyn Reflector, vector: u8, work: IrqWork) {
-        if self.vcpu2.halted {
+        if self.vstate().halted {
             self.tracer
                 .record(self.clock.now(), TraceEvent::Wake(self.level));
         }
@@ -377,11 +717,12 @@ impl Machine {
                     let _ = device;
                 }
                 if matches!(work, IrqWork::Timer) {
-                    let _ = self.vcpu2.apic.poll_timer(self.clock.now());
+                    let now = self.clock.now();
+                    let _ = self.vstate_mut().apic.poll_timer(now);
                 } else {
-                    self.vcpu2.apic.inject(vector);
+                    self.vstate_mut().apic.inject(vector);
                 }
-                self.vcpu2.halted = false;
+                self.vstate_mut().halted = false;
             }
             Level::L1 => self.deliver_irq_single(vector, work),
             Level::L2 => self.deliver_irq_nested(r, vector, work),
@@ -391,7 +732,7 @@ impl Machine {
     /// Single-level delivery: L0 services the backend and injects into the
     /// guest.
     fn deliver_irq_single(&mut self, vector: u8, work: IrqWork) {
-        let was_halted = self.vcpu2.halted;
+        let was_halted = self.vstate().halted;
         self.clock.push_tag("EXTERNAL_INTERRUPT");
         if !was_halted {
             // Interrupt exits the running guest.
@@ -408,11 +749,13 @@ impl Machine {
                 self.clock.push_part(CostPart::Device);
                 self.clock.charge(completion.service);
                 self.clock.pop_part(CostPart::Device);
-                self.vcpu2.apic.inject(vector);
+                self.vstate_mut().apic.inject(vector);
             }
             IrqWork::Timer => {
-                let _ = self.vcpu2.apic.poll_timer(self.clock.now());
+                let now = self.clock.now();
+                let _ = self.vstate_mut().apic.poll_timer(now);
             }
+            IrqWork::Ipi => self.vstate_mut().apic.inject(vector),
         }
         let c = self.cost.l0_irq_inject + self.cost.l0_entry_prep;
         self.clock.charge(c);
@@ -422,12 +765,12 @@ impl Machine {
         self.clock.charge(c);
         self.clock.pop_part(CostPart::SwitchL0L1);
         self.clock.pop_tag("EXTERNAL_INTERRUPT");
-        self.vcpu2.halted = false;
+        self.vstate_mut().halted = false;
     }
 
     /// Nested delivery: the full L0→L1→L2 injection chain.
     fn deliver_irq_nested(&mut self, r: &mut dyn Reflector, vector: u8, work: IrqWork) {
-        let was_halted = self.vcpu2.halted;
+        let was_halted = self.vstate().halted;
         self.pending_work = Some(work);
         let reason = ExitReason::ExternalInterrupt { vector };
         self.clock.push_tag("EXTERNAL_INTERRUPT");
@@ -445,7 +788,7 @@ impl Machine {
         r.reflect(self, reason);
         r.l2_resume(self);
         self.clock.pop_tag("EXTERNAL_INTERRUPT");
-        self.vcpu2.halted = false;
+        self.vstate_mut().halted = false;
         // The first entry after an event injection immediately exits with
         // an interrupt-window exit that must also be reflected — the extra
         // hop that makes nested interrupt delivery notoriously expensive.
@@ -485,10 +828,12 @@ impl Machine {
                 self.clock.charge(c);
                 if msr == MSR_TSC_DEADLINE {
                     let t = SimTime::from_ps(value);
-                    self.vcpu2.apic.set_tsc_deadline(Some(t));
+                    self.vstate_mut().apic.set_tsc_deadline(Some(t));
                     self.arm_phys_timer(t);
                 } else if msr == MSR_X2APIC_EOI {
-                    self.vcpu2.apic.eoi();
+                    self.vstate_mut().apic.eoi();
+                } else if msr == MSR_X2APIC_ICR {
+                    self.send_ipi(value);
                 }
             }
             GuestOp::MsrRead { .. } => {
@@ -514,7 +859,7 @@ impl Machine {
                 let c = self.cost.l0_exit_decode;
                 self.clock.charge(c);
             }
-            GuestOp::Hlt => self.vcpu2.halted = true,
+            GuestOp::Hlt => self.vstate_mut().halted = true,
             GuestOp::Done => {}
         }
         self.clock.pop_part(CostPart::L0Native);
@@ -586,7 +931,7 @@ impl Machine {
             GuestOp::Vmcall(nr) => self.single_exit(ExitReason::Vmcall { nr }, 0),
             GuestOp::Hlt => {
                 self.single_exit(ExitReason::Hlt, 0);
-                self.vcpu2.halted = true;
+                self.vstate_mut().halted = true;
             }
             GuestOp::Done => {}
         }
@@ -615,17 +960,19 @@ impl Machine {
             ExitReason::Cpuid => {
                 let c = self.cost.l0_cpuid_emulate;
                 self.clock.charge(c);
-                self.pending_result = Some(cpuid_value(self.vcpu2.gprs.get(Gpr::Rax)));
+                self.pending_result = Some(cpuid_value(self.vstate().gprs.get(Gpr::Rax)));
             }
             ExitReason::MsrWrite { msr } => {
                 let c = self.cost.l0_msr_emulate;
                 self.clock.charge(c);
                 if msr == MSR_TSC_DEADLINE {
                     let t = SimTime::from_ps(value);
-                    self.vcpu2.apic.set_tsc_deadline(Some(t));
+                    self.vstate_mut().apic.set_tsc_deadline(Some(t));
                     self.arm_phys_timer(t);
                 } else if msr == MSR_X2APIC_EOI {
-                    self.vcpu2.apic.eoi();
+                    self.vstate_mut().apic.eoi();
+                } else if msr == MSR_X2APIC_ICR {
+                    self.send_ipi(value);
                 }
             }
             ExitReason::MsrRead { .. } => {
@@ -708,7 +1055,7 @@ impl Machine {
             GuestOp::MmioRead { gpa } => self.nested_mmio(r, gpa, false, 0),
             GuestOp::Hlt => {
                 self.nested_reflect(r, ExitReason::Hlt);
-                self.vcpu2.halted = true;
+                self.vstate_mut().halted = true;
                 self.tracer
                     .record(self.clock.now(), TraceEvent::Halt(Level::L2));
             }
@@ -905,11 +1252,12 @@ impl Machine {
     // VMCS plumbing
     // ------------------------------------------------------------------
 
-    fn vmcs_mut(&mut self, id: VmcsId) -> &mut svt_vmx::Vmcs {
+    fn vmcs_mut_internal(&mut self, id: VmcsId) -> &mut svt_vmx::Vmcs {
+        let v = &mut self.vcpus[self.cur];
         match id {
-            VmcsId::V01 => &mut self.l0.vmcs01,
-            VmcsId::V12 => &mut self.l0.vmcs12,
-            VmcsId::V02 => &mut self.l0.vmcs02,
+            VmcsId::V01 => &mut v.vmcs01,
+            VmcsId::V12 => &mut v.vmcs12,
+            VmcsId::V02 => &mut v.vmcs02,
         }
     }
 
@@ -918,7 +1266,7 @@ impl Machine {
         let c = self.cost.vmread;
         self.clock.charge(c);
         self.clock.count("vmread");
-        self.vmcs_mut(id).read(f)
+        self.vmcs_mut_internal(id).read(f)
     }
 
     /// A charged `vmwrite`.
@@ -926,24 +1274,26 @@ impl Machine {
         let c = self.cost.vmwrite;
         self.clock.charge(c);
         self.clock.count("vmwrite");
-        self.vmcs_mut(id).write(f, v);
+        self.vmcs_mut_internal(id).write(f, v);
     }
 
     /// Hardware autosave of L2 state into vmcs02 at exit (uncharged: part
     /// of the hardware exit cost).
     pub fn hw_exit_autosave(&mut self) {
-        let rip = self.vcpu2.rip;
-        self.l0.vmcs02.write(VmcsField::GuestRip, rip);
+        let v = &mut self.vcpus[self.cur];
+        let rip = v.state.rip;
+        v.vmcs02.write(VmcsField::GuestRip, rip);
     }
 
     /// Hardware load of L2 state from vmcs02 at entry, including any
     /// event injection programmed in `VmEntryIntrInfo`.
     pub fn hw_entry_load(&mut self) {
-        self.vcpu2.rip = self.l0.vmcs02.read(VmcsField::GuestRip);
-        let info = self.l0.vmcs02.read(VmcsField::VmEntryIntrInfo);
+        let v = &mut self.vcpus[self.cur];
+        v.state.rip = v.vmcs02.read(VmcsField::GuestRip);
+        let info = v.vmcs02.read(VmcsField::VmEntryIntrInfo);
         if info & 0x8000_0000 != 0 {
-            self.vcpu2.apic.inject(info as u8);
-            self.l0.vmcs02.write(VmcsField::VmEntryIntrInfo, 0);
+            v.state.apic.inject(info as u8);
+            v.vmcs02.write(VmcsField::VmEntryIntrInfo, 0);
         }
     }
 
@@ -1068,7 +1418,7 @@ impl Machine {
                 if msr == MSR_TSC_DEADLINE {
                     let t = SimTime::from_ps(value);
                     self.l1.l2_deadline = Some(t);
-                    self.vcpu2.apic.set_tsc_deadline(Some(t));
+                    self.vstate_mut().apic.set_tsc_deadline(Some(t));
                     // L1 reprograms the physical timer: its own wrmsr traps
                     // into L0 (one of the "many more traps").
                     r.l1_exit_roundtrip(
@@ -1081,13 +1431,23 @@ impl Machine {
                 } else if msr == MSR_X2APIC_EOI {
                     // L1 completes the virtual EOI, then EOIs its own APIC,
                     // which traps again.
-                    self.vcpu2.apic.eoi();
+                    self.vstate_mut().apic.eoi();
                     r.l1_exit_roundtrip(
                         self,
                         ExitReason::MsrWrite {
                             msr: MSR_X2APIC_EOI,
                         },
                         0,
+                    );
+                } else if msr == MSR_X2APIC_ICR {
+                    // L1 relays the guest's IPI: its own ICR write traps
+                    // into L0, which puts it on the interconnect.
+                    r.l1_exit_roundtrip(
+                        self,
+                        ExitReason::MsrWrite {
+                            msr: MSR_X2APIC_ICR,
+                        },
+                        value,
                     );
                 }
                 self.l1_advance_rip(r);
@@ -1131,10 +1491,11 @@ impl Machine {
                     Some(IrqWork::Timer) => {
                         let c = self.cost.l1_msr_emulate;
                         self.clock.charge(c);
-                        let _ = self.vcpu2.apic.poll_timer(self.clock.now());
+                        let now = self.clock.now();
+                        let _ = self.vstate_mut().apic.poll_timer(now);
                         self.l1_inject_to_l2_raw(r);
                     }
-                    None => {
+                    Some(IrqWork::Ipi) | None => {
                         self.l1_inject_to_l2(r, vector);
                     }
                 }
@@ -1233,7 +1594,7 @@ impl Machine {
     /// L1 injects a virtual interrupt into L2 via the entry-interruption
     /// field of vmcs01' (shadow-writable).
     fn l1_inject_to_l2(&mut self, r: &mut dyn Reflector, vector: u8) {
-        self.vcpu2.apic.inject(vector);
+        self.vstate_mut().apic.inject(vector);
         self.tracer
             .record(self.clock.now(), TraceEvent::Inject(Level::L1, vector));
         self.obs
@@ -1249,7 +1610,7 @@ impl Machine {
     }
 
     fn l1_advance_rip(&mut self, r: &mut dyn Reflector) {
-        let rip = self.l0.vmcs12.read(VmcsField::GuestRip);
+        let rip = self.vcpus[self.cur].vmcs12.read(VmcsField::GuestRip);
         self.l1_vmwrite(r, VmcsField::GuestRip, rip + 2);
     }
 
@@ -1257,7 +1618,9 @@ impl Machine {
     /// (interrupt-window update) — the nested trap "folded into ⑤" of
     /// Table 1.
     fn l1_folded_control_write(&mut self, r: &mut dyn Reflector) {
-        let v = self.l0.vmcs12.read(VmcsField::ProcBasedControls);
+        let v = self.vcpus[self.cur]
+            .vmcs12
+            .read(VmcsField::ProcBasedControls);
         self.l1_vmwrite(r, VmcsField::ProcBasedControls, v);
     }
 
@@ -1268,7 +1631,7 @@ impl Machine {
             let c = self.cost.vmread;
             self.clock.charge(c);
             self.clock.count("shadow_vmread");
-            self.l0.vmcs12.read(f)
+            self.vcpus[self.cur].vmcs12.read(f)
         } else {
             self.clock.count("l1_vmread_exit");
             r.l1_exit_roundtrip(self, ExitReason::Vmread { field: f }, 0)
@@ -1282,7 +1645,7 @@ impl Machine {
             let c = self.cost.vmwrite;
             self.clock.charge(c);
             self.clock.count("shadow_vmwrite");
-            self.l0.vmcs12.write(f, v);
+            self.vcpus[self.cur].vmcs12.write(f, v);
         } else {
             self.clock.count("l1_vmwrite_exit");
             r.l1_exit_roundtrip(self, ExitReason::Vmwrite { field: f }, v);
@@ -1307,7 +1670,7 @@ impl Machine {
             ExitReason::Vmread { field } => {
                 let c = self.cost.l0_exit_decode + self.cost.l0_vmrw_emulate;
                 self.clock.charge(c);
-                self.l0.vmcs12.read(field)
+                self.vcpus[self.cur].vmcs12.read(field)
             }
             ExitReason::Vmwrite { field } => {
                 let c = self.cost.l0_exit_decode + self.cost.l0_vmrw_emulate;
@@ -1316,7 +1679,7 @@ impl Machine {
                     let c = self.cost.transform_addr_translate;
                     self.clock.charge(c);
                 }
-                self.l0.vmcs12.write(field, value);
+                self.vcpus[self.cur].vmcs12.write(field, value);
                 0
             }
             ExitReason::MsrWrite { msr } => {
@@ -1324,6 +1687,8 @@ impl Machine {
                 self.clock.charge(c);
                 if msr == MSR_TSC_DEADLINE {
                     self.arm_phys_timer(SimTime::from_ps(value));
+                } else if msr == MSR_X2APIC_ICR {
+                    self.send_ipi(value);
                 }
                 0
             }
@@ -1386,21 +1751,19 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// The scripted nested bootstrap: L1 creates vmcs01', L0 shadows it
-    /// into vmcs12 and builds vmcs02 (§ 2.1 and Fig. 2). Costs are charged
-    /// but typically excluded from measurements via
-    /// [`Clock::reset_attribution`].
+    /// into vmcs12 and builds vmcs02 (§ 2.1 and Fig. 2), all on the
+    /// running vCPU's descriptor set. Costs are charged but typically
+    /// excluded from measurements via [`Clock::reset_attribution`].
     fn boot_nested(&mut self) {
-        let mut r = self.reflector.take().expect("reflector re-entered");
+        let mut r = self.vcpus[self.cur]
+            .reflector
+            .take()
+            .expect("reflector re-entered");
         // L1's vmptrld of vmcs01' traps; L0 starts shadowing (full copy).
         let c = self.cost.vmptrld;
         self.clock.charge(c);
-        r.l1_exit_roundtrip(
-            self,
-            ExitReason::Vmptrld {
-                region: self.l0.vmcs12.region(),
-            },
-            0,
-        );
+        let region = self.vcpus[self.cur].vmcs12.region();
+        r.l1_exit_roundtrip(self, ExitReason::Vmptrld { region }, 0);
         // L1 programs the guest-state and control fields of vmcs01'; the
         // unshadowable ones each trap into L0.
         let fields: Vec<VmcsField> = VmcsField::ALL
@@ -1427,10 +1790,14 @@ impl Machine {
             self.vm_write(VmcsId::V02, f, v);
         }
         self.backward_transform();
-        program_vmcs02(&mut self.l0, &self.l1);
-        self.l0.vmcs02.set_launched();
-        self.l0.vmcs12.set_launched();
-        self.reflector = Some(r);
+        {
+            let cur = self.cur;
+            let Machine { l0, l1, vcpus, .. } = self;
+            program_vmcs02(l0, l1, &mut vcpus[cur].vmcs02);
+        }
+        self.vcpus[self.cur].vmcs02.set_launched();
+        self.vcpus[self.cur].vmcs12.set_launched();
+        self.vcpus[self.cur].reflector = Some(r);
     }
 }
 

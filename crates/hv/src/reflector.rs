@@ -74,7 +74,7 @@ pub trait Reflector: fmt::Debug {
                 let c = m.cost.vmread;
                 m.clock.charge(c);
                 m.clock.count("shadow_vmread");
-                m.l0.vmcs12.read(f)
+                m.vmcs12().read(f)
             } else {
                 m.clock.count("l1_vmread_exit");
                 s.l1_exit_roundtrip(m, ExitReason::Vmread { field: f }, 0)
@@ -160,10 +160,10 @@ impl Reflector for BaselineReflector {
         // L2's register values are still live in the (single) hardware
         // context when L1's handler runs, exactly as on real hardware; the
         // memory copy is authoritative in the simulation.
-        m.vcpu2.gprs.get(r)
+        m.vcpu2().gprs.get(r)
     }
 
     fn l2_gpr_write(&mut self, m: &mut Machine, r: Gpr, v: u64) {
-        m.vcpu2.gprs.set(r, v);
+        m.vcpu2_mut().gprs.set(r, v);
     }
 }

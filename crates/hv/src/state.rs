@@ -6,9 +6,8 @@
 //! runs on), plus the two EPT hierarchies and their composition.
 
 use svt_cpu::GprState;
-use svt_mem::Gpa;
 use svt_sim::SimTime;
-use svt_vmx::{Ept, EptPerms, ExecPolicy, LocalApic, Vmcs, VmcsField, VmcsRole};
+use svt_vmx::{Ept, EptPerms, ExecPolicy, IcrCommand, LocalApic, Vmcs, VmcsField};
 
 /// A virtualization level of the running stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -52,33 +51,36 @@ pub enum MachineEvent {
         /// Token the device used when scheduling.
         token: u64,
     },
-    /// The physical TSC-deadline timer fired.
-    PhysTimer,
+    /// A physical TSC-deadline timer fired (one per vCPU's core).
+    PhysTimer {
+        /// The vCPU whose timer this is.
+        vcpu: usize,
+    },
     /// An IPI targeted at L1's main vCPU arrived (used to exercise the
     /// SW-SVt interrupt-deadlock avoidance protocol, § 5.3).
     IpiToL1Main,
+    /// A cross-vCPU IPI in flight on the interconnect.
+    Ipi {
+        /// Destination vCPU index.
+        to: usize,
+        /// The decoded ICR command being delivered.
+        cmd: IcrCommand,
+    },
 }
 
-/// L0 (host hypervisor) state for one L1 guest and its nested L2.
+/// L0 (host hypervisor) state shared by every vCPU of the L1 guest and
+/// its nested L2. The per-vCPU VMCS sets live in [`crate::Vcpu`].
 #[derive(Debug, Clone)]
 pub struct L0State {
-    /// Descriptor running L1.
-    pub vmcs01: Vmcs,
-    /// Shadow of L1's descriptor for L2 (`vmcs01'` lives in L1 memory;
-    /// this shadow is kept coherent and is what the hardware shadowing
-    /// reads).
-    pub vmcs12: Vmcs,
-    /// The descriptor L2 actually runs on.
-    pub vmcs02: Vmcs,
     /// L0's trap policy for L1.
     pub policy01: ExecPolicy,
-    /// The merged trap policy programmed into vmcs02.
+    /// The merged trap policy programmed into each vCPU's vmcs02.
     pub policy02: ExecPolicy,
     /// L1-guest-physical → host-physical mapping.
     pub ept01: Ept,
     /// Composed L2-guest-physical → host-physical mapping.
     pub ept02: Ept,
-    /// Deadline of the armed physical timer, if any.
+    /// Deadline of the most recently armed physical timer, if any.
     pub phys_timer: Option<SimTime>,
 }
 
@@ -88,9 +90,6 @@ impl L0State {
         let mut ept01 = Ept::new();
         ept01.identity_map(0, pages, EptPerms::RWX);
         L0State {
-            vmcs01: Vmcs::new(VmcsRole::Host { guest_level: 1 }, Gpa(0x1000)),
-            vmcs12: Vmcs::new(VmcsRole::Shadow, Gpa(0x2000)),
-            vmcs02: Vmcs::new(VmcsRole::Host { guest_level: 2 }, Gpa(0x3000)),
             policy01: ExecPolicy::kvm_default(),
             policy02: ExecPolicy::kvm_default(),
             ept01,
@@ -177,15 +176,17 @@ impl MachineConfig {
     }
 }
 
-/// Sets up the vmcs02 execution controls from the merged policies, as L0
-/// does when L1 launches L2 (§ 2.1).
-pub fn program_vmcs02(l0: &mut L0State, l1: &L1State) {
+/// Sets up one vCPU's vmcs02 execution controls from the merged policies,
+/// as L0 does when L1 launches L2 (§ 2.1). The policy merge and EPT
+/// composition are machine-wide; the control writes land in the given
+/// vCPU's descriptor.
+pub fn program_vmcs02(l0: &mut L0State, l1: &L1State, vmcs02: &mut Vmcs) {
     l0.policy02 = l0.policy01.merge_for_nested(&l1.policy12);
     let p02 = l0.policy02.clone();
-    p02.write_to(&mut l0.vmcs02);
+    p02.write_to(vmcs02);
     l0.ept02 = l1.ept12.compose(&l0.ept01);
     // vmcs02's EPT pointer is a host-physical address L0 owns.
-    l0.vmcs02.write(VmcsField::EptPointer, 0xe9700000);
+    vmcs02.write(VmcsField::EptPointer, 0xe9700000);
 }
 
 #[cfg(test)]
@@ -203,9 +204,13 @@ mod tests {
     fn program_vmcs02_merges_and_composes() {
         let mut l0 = L0State::new(8);
         let mut l1 = L1State::new(8, true);
+        let mut vmcs02 = Vmcs::new(
+            svt_vmx::VmcsRole::Host { guest_level: 2 },
+            svt_mem::Gpa(0x3000),
+        );
         l1.policy12.trap_msr(0x77);
         l1.ept12.mark_mmio(3);
-        program_vmcs02(&mut l0, &l1);
+        program_vmcs02(&mut l0, &l1, &mut vmcs02);
         assert!(l0.policy02.msr_exits(0x77));
         assert!(!l0.policy02.shadow_vmcs);
         // The composed table has 7 RAM pages plus 1 MMIO page.

@@ -85,12 +85,12 @@ fn each_cpuid_reflects_exactly_once() {
 #[test]
 fn rip_advances_per_emulated_instruction() {
     let mut m = Machine::baseline(MachineConfig::at_level(Level::L2));
-    let rip0 = m.vcpu2.rip;
+    let rip0 = m.vcpu2().rip;
     let mut prog = OpLoop::new(GuestOp::Cpuid, 5, 0, SimDuration::ZERO);
     m.run(&mut prog).unwrap();
     // L1's handler advances GuestRip by 2 per cpuid; the backward
     // transform and hardware entry propagate it into the vCPU.
-    assert_eq!(m.vcpu2.rip, rip0 + 10);
+    assert_eq!(m.vcpu2().rip, rip0 + 10);
 }
 
 #[test]

@@ -4,34 +4,53 @@
 //! events) so a run can be dropped into Perfetto (ui.perfetto.dev) or
 //! `chrome://tracing`. Simulated picoseconds map onto the format's
 //! microsecond `ts`/`dur` fields as exact fractional values; each
-//! virtualization level gets its own thread lane via [`ObsLevel::tid`].
+//! (vCPU, virtualization level) pair gets its own thread lane so an SMP
+//! run shows per-vCPU trap timelines side by side.
 
 use crate::json::Json;
 use crate::key::ObsLevel;
 use crate::span::Span;
 
+/// Thread id of the lane carrying spans for `(vcpu, level)`. Lanes pack
+/// densely: vCPU 0 keeps tids 0–3 (identical to the pre-SMP layout), vCPU 1
+/// uses 4–7, and so on.
+pub fn lane_tid(vcpu: u32, level: ObsLevel) -> u64 {
+    vcpu as u64 * ObsLevel::ALL.len() as u64 + level.tid()
+}
+
 /// Builds the Chrome trace-event document for a set of spans.
 ///
 /// The result is a JSON object with a `traceEvents` array: one `"M"`
-/// (metadata) event naming each level's thread lane, then one `"X"`
+/// (metadata) event naming each (vCPU, level) thread lane that appears in
+/// the spans (vCPU 0's four lanes are always present), then one `"X"`
 /// (complete) event per span, carrying the exact picosecond begin/end in
 /// `args` alongside the microsecond `ts`/`dur` the viewer consumes.
 pub fn chrome_trace(spans: &[Span]) -> Json {
+    let mut vcpus: Vec<u32> = spans.iter().map(|s| s.vcpu).collect();
+    vcpus.push(0);
+    vcpus.sort_unstable();
+    vcpus.dedup();
     let mut events = Vec::new();
-    for level in ObsLevel::ALL {
-        events.push(Json::obj([
-            ("name", Json::from("thread_name")),
-            ("ph", Json::from("M")),
-            ("pid", Json::from(1u64)),
-            ("tid", Json::from(level.tid())),
-            (
-                "args",
-                Json::obj([(
-                    "name",
-                    Json::from(format!("{} ({})", level.name(), lane_role(level))),
-                )]),
-            ),
-        ]));
+    for &vcpu in &vcpus {
+        for level in ObsLevel::ALL {
+            events.push(Json::obj([
+                ("name", Json::from("thread_name")),
+                ("ph", Json::from("M")),
+                ("pid", Json::from(1u64)),
+                ("tid", Json::from(lane_tid(vcpu, level))),
+                (
+                    "args",
+                    Json::obj([(
+                        "name",
+                        Json::from(format!(
+                            "vcpu{vcpu}/{} ({})",
+                            level.name(),
+                            lane_role(level)
+                        )),
+                    )]),
+                ),
+            ]));
+        }
     }
     for s in spans {
         let begin_ps = s.begin.as_ps();
@@ -43,11 +62,12 @@ pub fn chrome_trace(spans: &[Span]) -> Json {
             ("ts", Json::Num(begin_ps as f64 / 1e6)),
             ("dur", Json::Num((end_ps - begin_ps) as f64 / 1e6)),
             ("pid", Json::from(1u64)),
-            ("tid", Json::from(s.level.tid())),
+            ("tid", Json::from(lane_tid(s.vcpu, s.level))),
             (
                 "args",
                 Json::obj([
                     ("trap", Json::from(s.trap_seq)),
+                    ("vcpu", Json::from(s.vcpu as u64)),
                     ("begin_ps", Json::from(begin_ps)),
                     ("end_ps", Json::from(end_ps)),
                 ]),
@@ -75,6 +95,10 @@ mod tests {
     use svt_sim::SimTime;
 
     fn span(name: &'static str, level: ObsLevel, b: u64, e: u64, trap: u64) -> Span {
+        vspan(name, level, b, e, trap, 0)
+    }
+
+    fn vspan(name: &'static str, level: ObsLevel, b: u64, e: u64, trap: u64, vcpu: u32) -> Span {
         Span {
             name,
             cat: "trap",
@@ -82,6 +106,7 @@ mod tests {
             begin: SimTime::from_ns(b),
             end: SimTime::from_ns(e),
             trap_seq: trap,
+            vcpu,
         }
     }
 
@@ -124,5 +149,47 @@ mod tests {
             ObsLevel::ALL.len()
         );
         assert!(Json::parse(&doc.to_string()).is_ok());
+    }
+
+    #[test]
+    fn each_vcpu_gets_its_own_lane_block() {
+        let spans = [
+            vspan("exit", ObsLevel::L2, 0, 10, 1, 0),
+            vspan("exit", ObsLevel::L2, 5, 15, 1, 2),
+        ];
+        let doc = chrome_trace(&spans);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // Two vCPUs present -> two blocks of metadata lanes.
+        assert_eq!(events.len(), 2 * ObsLevel::ALL.len() + 2);
+        // vCPU 0's L2 span sits on tid 2, vCPU 2's on tid 10.
+        let x0 = &events[2 * ObsLevel::ALL.len()];
+        let x2 = &events[2 * ObsLevel::ALL.len() + 1];
+        assert_eq!(x0.get("tid").unwrap().as_i64(), Some(2));
+        assert_eq!(x2.get("tid").unwrap().as_i64(), Some(10));
+        // Lane names carry the vcpu.
+        let names: Vec<String> = events[..2 * ObsLevel::ALL.len()]
+            .iter()
+            .map(|m| {
+                m.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert!(names.contains(&"vcpu0/L2 (nested guest)".to_string()));
+        assert!(names.contains(&"vcpu2/L2 (nested guest)".to_string()));
+    }
+
+    #[test]
+    fn lane_tids_never_collide_across_vcpus() {
+        let mut seen = std::collections::HashSet::new();
+        for vcpu in 0..8 {
+            for level in ObsLevel::ALL {
+                assert!(seen.insert(lane_tid(vcpu, level)));
+            }
+        }
     }
 }

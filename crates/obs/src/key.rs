@@ -1,8 +1,9 @@
 //! Structured metric keys.
 //!
-//! Metrics are keyed by a name plus up to three dimensions — virtualization
-//! level, exit reason and reflector kind — replacing the stringly-typed
-//! `Clock` counters for anything a report or dashboard wants to slice.
+//! Metrics are keyed by a name plus up to four dimensions — virtualization
+//! level, exit reason, reflector kind and vCPU id — replacing the
+//! stringly-typed `Clock` counters for anything a report or dashboard wants
+//! to slice.
 
 use std::fmt;
 
@@ -53,8 +54,8 @@ impl fmt::Display for ObsLevel {
     }
 }
 
-/// A structured metric key: a metric name plus optional level, exit-reason
-/// and reflector dimensions.
+/// A structured metric key: a metric name plus optional level, exit-reason,
+/// reflector and vCPU dimensions.
 ///
 /// # Examples
 ///
@@ -74,6 +75,8 @@ pub struct MetricKey {
     pub exit_reason: Option<&'static str>,
     /// The reflector kind, if attributed (e.g. `"hw-svt"`).
     pub reflector: Option<&'static str>,
+    /// The vCPU the event occurred on, if attributed.
+    pub vcpu: Option<u32>,
 }
 
 impl MetricKey {
@@ -84,6 +87,7 @@ impl MetricKey {
             level: None,
             exit_reason: None,
             reflector: None,
+            vcpu: None,
         }
     }
 
@@ -104,12 +108,22 @@ impl MetricKey {
         self.reflector = Some(reflector);
         self
     }
+
+    /// Attributes the key to a vCPU.
+    pub const fn vcpu(mut self, vcpu: u32) -> Self {
+        self.vcpu = Some(vcpu);
+        self
+    }
 }
 
 impl fmt::Display for MetricKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name)?;
-        if self.level.is_none() && self.exit_reason.is_none() && self.reflector.is_none() {
+        if self.level.is_none()
+            && self.exit_reason.is_none()
+            && self.reflector.is_none()
+            && self.vcpu.is_none()
+        {
             return Ok(());
         }
         f.write_str("{")?;
@@ -129,6 +143,12 @@ impl fmt::Display for MetricKey {
         }
         if let Some(r) = self.reflector {
             dim(f, "reflector", r)?;
+        }
+        if let Some(v) = self.vcpu {
+            if !first {
+                f.write_str(",")?;
+            }
+            write!(f, "vcpu={v}")?;
         }
         f.write_str("}")
     }
@@ -163,6 +183,27 @@ mod tests {
         m.insert(k, 1u64);
         assert_eq!(m[&MetricKey::new("x").level(ObsLevel::L0)], 1);
         assert!(!m.contains_key(&MetricKey::new("x").level(ObsLevel::L1)));
+    }
+
+    #[test]
+    fn vcpu_dimension_displays_last() {
+        let k = MetricKey::new("vm_exit")
+            .vcpu(3)
+            .level(ObsLevel::L2)
+            .exit("CPUID");
+        assert_eq!(k.to_string(), "vm_exit{level=L2,exit=CPUID,vcpu=3}");
+        assert_eq!(
+            MetricKey::new("steps").vcpu(12).to_string(),
+            "steps{vcpu=12}"
+        );
+    }
+
+    #[test]
+    fn vcpu_dimension_distinguishes_keys() {
+        let a = MetricKey::new("vm_exit").vcpu(0);
+        let b = MetricKey::new("vm_exit").vcpu(1);
+        assert_ne!(a, b);
+        assert_ne!(a, MetricKey::new("vm_exit"));
     }
 
     #[test]

@@ -26,7 +26,7 @@ mod registry;
 mod report;
 mod span;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, lane_tid};
 pub use hist::LogHistogram;
 pub use json::{Json, JsonError};
 pub use key::{MetricKey, ObsLevel};

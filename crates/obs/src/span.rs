@@ -26,6 +26,8 @@ pub struct Span {
     /// Sequence number of the trap this span belongs to (0 before the
     /// first trap starts).
     pub trap_seq: u64,
+    /// vCPU the stage ran on (0 on a single-vCPU machine).
+    pub vcpu: u32,
 }
 
 impl Span {
@@ -43,6 +45,7 @@ pub struct SpanTracer {
     spans: Vec<Span>,
     enabled: bool,
     trap_seq: u64,
+    cur_vcpu: u32,
 }
 
 impl SpanTracer {
@@ -79,6 +82,18 @@ impl SpanTracer {
         self.trap_seq
     }
 
+    /// Sets the vCPU subsequently recorded spans are stamped with. The SMP
+    /// run loop calls this on every vCPU switch; single-vCPU machines never
+    /// touch it and stay on vCPU 0.
+    pub fn set_vcpu(&mut self, vcpu: u32) {
+        self.cur_vcpu = vcpu;
+    }
+
+    /// The vCPU new spans are currently stamped with.
+    pub fn current_vcpu(&self) -> u32 {
+        self.cur_vcpu
+    }
+
     /// Records one completed span against the current trap.
     pub fn record(
         &mut self,
@@ -98,6 +113,7 @@ impl SpanTracer {
             begin,
             end,
             trap_seq: self.trap_seq,
+            vcpu: self.cur_vcpu,
         });
     }
 
@@ -186,5 +202,29 @@ mod tests {
         t.begin_trap();
         t.enable();
         assert_eq!(t.begin_trap(), 3);
+    }
+
+    #[test]
+    fn spans_stamp_the_current_vcpu() {
+        let mut t = SpanTracer::new();
+        t.enable();
+        t.record(
+            "a",
+            "trap",
+            ObsLevel::L2,
+            SimTime::ZERO,
+            SimTime::from_ns(1),
+        );
+        t.set_vcpu(2);
+        assert_eq!(t.current_vcpu(), 2);
+        t.record(
+            "b",
+            "trap",
+            ObsLevel::L2,
+            SimTime::from_ns(1),
+            SimTime::from_ns(2),
+        );
+        assert_eq!(t.spans()[0].vcpu, 0);
+        assert_eq!(t.spans()[1].vcpu, 2);
     }
 }

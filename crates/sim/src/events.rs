@@ -155,6 +155,14 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Deadline and a view of the payload of the earliest live event,
+    /// without removing it. The SMP scheduler uses this to decide which
+    /// vCPU a pending event belongs to before committing to popping it.
+    pub fn peek_next(&mut self) -> Option<(SimTime, &T)> {
+        self.next_deadline()?;
+        self.heap.peek().map(|e| (e.at, &e.payload))
+    }
+
     /// Number of live scheduled events.
     pub fn len(&self) -> usize {
         self.live.len()
@@ -245,6 +253,21 @@ mod tests {
         q.cancel(id);
         assert_eq!(q.next_deadline(), Some(SimTime::from_ns(7)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_next_skips_cancelled_and_keeps_event() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_ns(1), "gone");
+        q.schedule(SimTime::from_ns(4), "kept");
+        q.cancel(id);
+        assert_eq!(q.peek_next(), Some((SimTime::from_ns(4), &"kept")));
+        // Peeking does not consume.
+        assert_eq!(
+            q.pop_due(SimTime::from_ns(4)),
+            Some((SimTime::from_ns(4), "kept"))
+        );
+        assert_eq!(q.peek_next(), None);
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod clock;
 mod cost;
 mod events;
 mod rng;
+mod sched;
 mod time;
 mod topology;
 
@@ -40,5 +41,6 @@ pub use clock::{Clock, ClockSnapshot, CostPart};
 pub use cost::CostModel;
 pub use events::{EventId, EventQueue};
 pub use rng::DetRng;
+pub use sched::{assign_svt_cores, SchedError, VcpuScheduler, VcpuStatus};
 pub use time::{SimDuration, SimTime};
 pub use topology::{CpuLoc, MachineSpec, Placement, VmSpec};

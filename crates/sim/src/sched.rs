@@ -1,0 +1,274 @@
+//! Deterministic vCPU scheduling for the SMP machine.
+//!
+//! The SMP run loop interleaves N virtual CPUs, each with its own logical
+//! [`Clock`](crate::Clock), over the physical [`MachineSpec`] topology. Two
+//! pieces live here:
+//!
+//! * [`assign_svt_cores`] — maps vCPUs onto physical cores. SVt dedicates a
+//!   whole core per vCPU: thread 0 runs the vCPU, thread 1 is reserved for
+//!   its SVt sibling context (the paper's SMT pairing, § 4). Placement
+//!   constraints therefore bind: a machine with C cores hosts at most C
+//!   vCPUs.
+//! * [`VcpuScheduler`] — the discrete-event pick policy. Among all `Ready`
+//!   vCPUs it always runs the one with the *smallest local time* (ties break
+//!   towards the lowest vCPU id). This keeps per-vCPU clocks loosely
+//!   synchronized and — because the policy depends only on simulated state —
+//!   makes the interleaving a pure function of seed and configuration.
+
+use std::fmt;
+
+use crate::time::SimTime;
+use crate::topology::{CpuLoc, MachineSpec};
+
+/// Schedulability of one vCPU as seen by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcpuStatus {
+    /// Has instructions to execute now.
+    Ready,
+    /// Executed HLT (or is idle-waiting); runnable again only after an
+    /// interrupt or event is routed to it.
+    Halted,
+    /// Its guest program returned `Done`; never scheduled again.
+    Finished,
+}
+
+/// Error from [`assign_svt_cores`]: the requested vCPU count does not fit
+/// the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// More vCPUs requested than physical cores available (each vCPU needs
+    /// a full core: one thread for the vCPU, one for its SVt context).
+    NotEnoughCores {
+        /// vCPUs requested.
+        requested: usize,
+        /// Physical cores in the machine.
+        available: usize,
+    },
+    /// The machine has no SMT sibling thread to host the SVt context.
+    NoSmtSibling,
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NotEnoughCores {
+                requested,
+                available,
+            } => write!(
+                f,
+                "{requested} vCPUs requested but only {available} physical cores \
+                 (one core per vCPU: thread 0 runs the vCPU, thread 1 its SVt context)"
+            ),
+            SchedError::NoSmtSibling => {
+                f.write_str("machine has no SMT sibling thread for the SVt context")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Places `n` vCPUs on the machine, one physical core each.
+///
+/// vCPU `i` lands on thread 0 of core `i % cores_per_socket` of socket
+/// `i / cores_per_socket` — cores fill socket 0 first, matching the paper's
+/// same-node pinning. Thread 1 of each assigned core is reserved for that
+/// vCPU's SVt sibling (SW SVt's SVt-thread, or the HW SVt context pair).
+///
+/// # Examples
+///
+/// ```
+/// use svt_sim::{assign_svt_cores, MachineSpec};
+///
+/// let spec = MachineSpec::isca19();
+/// let locs = assign_svt_cores(&spec, 4).unwrap();
+/// assert_eq!(locs.len(), 4);
+/// // All on socket 0, distinct cores, vCPU thread 0.
+/// assert!(locs.iter().all(|l| l.socket == 0 && l.thread == 0));
+/// assert_eq!(assign_svt_cores(&spec, 17).is_err(), true);
+/// ```
+pub fn assign_svt_cores(spec: &MachineSpec, n: usize) -> Result<Vec<CpuLoc>, SchedError> {
+    if spec.smt_per_core < 2 {
+        return Err(SchedError::NoSmtSibling);
+    }
+    let cores = spec.sockets as usize * spec.cores_per_socket as usize;
+    if n > cores {
+        return Err(SchedError::NotEnoughCores {
+            requested: n,
+            available: cores,
+        });
+    }
+    Ok((0..n)
+        .map(|i| {
+            let socket = (i / spec.cores_per_socket as usize) as u16;
+            let core = (i % spec.cores_per_socket as usize) as u16;
+            CpuLoc::new(socket, core, 0)
+        })
+        .collect())
+}
+
+/// The deterministic min-local-time-first vCPU pick policy.
+///
+/// The scheduler holds only schedulability flags; local clocks stay with
+/// their vCPUs and are passed in at pick time. This keeps the policy a pure
+/// function: same statuses + same local times ⇒ same pick.
+///
+/// # Examples
+///
+/// ```
+/// use svt_sim::{SimTime, VcpuScheduler, VcpuStatus};
+///
+/// let mut s = VcpuScheduler::new(2);
+/// let t = [SimTime::from_ns(200), SimTime::from_ns(100)];
+/// assert_eq!(s.pick(&t), Some(1)); // furthest-behind vCPU runs first
+/// s.set_status(1, VcpuStatus::Halted);
+/// assert_eq!(s.pick(&t), Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VcpuScheduler {
+    status: Vec<VcpuStatus>,
+}
+
+impl VcpuScheduler {
+    /// Creates a scheduler for `n` vCPUs, all initially `Ready`.
+    pub fn new(n: usize) -> Self {
+        VcpuScheduler {
+            status: vec![VcpuStatus::Ready; n],
+        }
+    }
+
+    /// Number of vCPUs under management.
+    pub fn len(&self) -> usize {
+        self.status.len()
+    }
+
+    /// Whether the scheduler manages no vCPUs.
+    pub fn is_empty(&self) -> bool {
+        self.status.is_empty()
+    }
+
+    /// Current status of vCPU `id`.
+    pub fn status(&self, id: usize) -> VcpuStatus {
+        self.status[id]
+    }
+
+    /// Updates the status of vCPU `id`.
+    pub fn set_status(&mut self, id: usize, status: VcpuStatus) {
+        self.status[id] = status;
+    }
+
+    /// Whether every vCPU has finished its program.
+    pub fn all_finished(&self) -> bool {
+        self.status.iter().all(|s| *s == VcpuStatus::Finished)
+    }
+
+    /// Whether no vCPU is currently `Ready` (all halted or finished).
+    pub fn none_ready(&self) -> bool {
+        !self.status.contains(&VcpuStatus::Ready)
+    }
+
+    /// Picks the next vCPU to run: the `Ready` vCPU with the smallest local
+    /// time, ties broken by lowest id. `local_now[i]` is vCPU i's clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local_now.len()` differs from the vCPU count.
+    pub fn pick(&self, local_now: &[SimTime]) -> Option<usize> {
+        assert_eq!(local_now.len(), self.status.len(), "one clock per vCPU");
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == VcpuStatus::Ready)
+            .min_by_key(|(i, _)| (local_now[*i], *i))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_fills_socket0_first() {
+        let spec = MachineSpec::isca19();
+        let locs = assign_svt_cores(&spec, 10).unwrap();
+        assert_eq!(locs[0], CpuLoc::new(0, 0, 0));
+        assert_eq!(locs[7], CpuLoc::new(0, 7, 0));
+        assert_eq!(locs[8], CpuLoc::new(1, 0, 0));
+        // Distinct physical cores throughout.
+        for (i, a) in locs.iter().enumerate() {
+            for b in &locs[i + 1..] {
+                assert!(!a.same_core(*b), "vCPUs share a core: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn assign_rejects_overcommit() {
+        let spec = MachineSpec::isca19();
+        assert!(assign_svt_cores(&spec, 16).is_ok());
+        assert_eq!(
+            assign_svt_cores(&spec, 17),
+            Err(SchedError::NotEnoughCores {
+                requested: 17,
+                available: 16
+            })
+        );
+    }
+
+    #[test]
+    fn assign_requires_smt() {
+        let spec = MachineSpec {
+            smt_per_core: 1,
+            ..MachineSpec::isca19()
+        };
+        assert_eq!(assign_svt_cores(&spec, 1), Err(SchedError::NoSmtSibling));
+    }
+
+    #[test]
+    fn pick_prefers_smallest_local_time() {
+        let s = VcpuScheduler::new(3);
+        let t = [
+            SimTime::from_ns(50),
+            SimTime::from_ns(10),
+            SimTime::from_ns(30),
+        ];
+        assert_eq!(s.pick(&t), Some(1));
+    }
+
+    #[test]
+    fn pick_ties_break_to_lowest_id() {
+        let s = VcpuScheduler::new(3);
+        let t = [SimTime::from_ns(5); 3];
+        assert_eq!(s.pick(&t), Some(0));
+    }
+
+    #[test]
+    fn pick_skips_halted_and_finished() {
+        let mut s = VcpuScheduler::new(3);
+        let t = [
+            SimTime::from_ns(1),
+            SimTime::from_ns(2),
+            SimTime::from_ns(3),
+        ];
+        s.set_status(0, VcpuStatus::Halted);
+        assert_eq!(s.pick(&t), Some(1));
+        s.set_status(1, VcpuStatus::Finished);
+        assert_eq!(s.pick(&t), Some(2));
+        s.set_status(2, VcpuStatus::Halted);
+        assert_eq!(s.pick(&t), None);
+        assert!(s.none_ready());
+        assert!(!s.all_finished());
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        let mut s = VcpuScheduler::new(2);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        s.set_status(0, VcpuStatus::Finished);
+        s.set_status(1, VcpuStatus::Finished);
+        assert_eq!(s.status(0), VcpuStatus::Finished);
+        assert!(s.all_finished());
+    }
+}

@@ -28,6 +28,96 @@ pub const VECTOR_TIMER: u8 = 0xec;
 /// Interrupt vector used for inter-processor interrupts.
 pub const VECTOR_IPI: u8 = 0xf2;
 
+/// x2APIC IPI delivery mode (ICR bits 10:8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryMode {
+    /// Deliver the vector in the command (encoding 0b000).
+    Fixed,
+    /// INIT: reset the target vCPU to its wait-for-SIPI state (0b101).
+    Init,
+    /// Startup IPI: start the target at the given vector page (0b110).
+    Startup,
+}
+
+impl DeliveryMode {
+    fn encode(self) -> u64 {
+        match self {
+            DeliveryMode::Fixed => 0b000,
+            DeliveryMode::Init => 0b101,
+            DeliveryMode::Startup => 0b110,
+        }
+    }
+
+    fn decode(bits: u64) -> Option<Self> {
+        match bits {
+            0b000 => Some(DeliveryMode::Fixed),
+            0b101 => Some(DeliveryMode::Init),
+            0b110 => Some(DeliveryMode::Startup),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded x2APIC interrupt command (one `WRMSR` to [`MSR_X2APIC_ICR`]).
+///
+/// In x2APIC mode the ICR is a single 64-bit MSR: vector in bits 7:0,
+/// delivery mode in bits 10:8, destination APIC id (= vCPU id in this
+/// machine) in bits 63:32.
+///
+/// # Examples
+///
+/// ```
+/// use svt_vmx::{DeliveryMode, IcrCommand, VECTOR_IPI};
+///
+/// let cmd = IcrCommand::fixed(VECTOR_IPI, 3);
+/// let decoded = IcrCommand::decode(cmd.encode()).unwrap();
+/// assert_eq!(decoded.dest, 3);
+/// assert_eq!(decoded.mode, DeliveryMode::Fixed);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcrCommand {
+    /// Interrupt vector (ignored for INIT).
+    pub vector: u8,
+    /// Delivery mode.
+    pub mode: DeliveryMode,
+    /// Destination APIC id.
+    pub dest: u32,
+}
+
+impl IcrCommand {
+    /// A fixed-vector IPI to one destination.
+    pub const fn fixed(vector: u8, dest: u32) -> Self {
+        IcrCommand {
+            vector,
+            mode: DeliveryMode::Fixed,
+            dest,
+        }
+    }
+
+    /// An INIT IPI to one destination.
+    pub const fn init(dest: u32) -> Self {
+        IcrCommand {
+            vector: 0,
+            mode: DeliveryMode::Init,
+            dest,
+        }
+    }
+
+    /// Encodes the command as the x2APIC ICR MSR value.
+    pub fn encode(self) -> u64 {
+        self.vector as u64 | (self.mode.encode() << 8) | ((self.dest as u64) << 32)
+    }
+
+    /// Decodes an ICR MSR value; `None` for unsupported delivery modes.
+    pub fn decode(value: u64) -> Option<Self> {
+        Some(IcrCommand {
+            vector: (value & 0xff) as u8,
+            mode: DeliveryMode::decode((value >> 8) & 0b111)?,
+            dest: (value >> 32) as u32,
+        })
+    }
+}
+
 /// One vCPU's local interrupt controller.
 ///
 /// # Examples
@@ -230,6 +320,37 @@ mod tests {
         assert_eq!(a.poll_timer(SimTime::from_us(20)), None);
         a.set_tsc_deadline(None);
         assert_eq!(a.poll_timer(SimTime::from_us(100)), None);
+    }
+
+    #[test]
+    fn icr_roundtrip_all_modes() {
+        for cmd in [
+            IcrCommand::fixed(VECTOR_IPI, 0),
+            IcrCommand::fixed(0x20, 7),
+            IcrCommand::init(2),
+            IcrCommand {
+                vector: 0x10,
+                mode: DeliveryMode::Startup,
+                dest: 15,
+            },
+        ] {
+            assert_eq!(IcrCommand::decode(cmd.encode()), Some(cmd));
+        }
+    }
+
+    #[test]
+    fn icr_decode_rejects_unsupported_modes() {
+        // SMI (0b010) and lowest-priority (0b001) are not modeled.
+        assert_eq!(IcrCommand::decode(0x200), None);
+        assert_eq!(IcrCommand::decode(0x100), None);
+    }
+
+    #[test]
+    fn icr_field_packing_matches_x2apic_layout() {
+        let v = IcrCommand::fixed(0xf2, 3).encode();
+        assert_eq!(v & 0xff, 0xf2);
+        assert_eq!((v >> 8) & 0b111, 0);
+        assert_eq!(v >> 32, 3);
     }
 
     #[test]

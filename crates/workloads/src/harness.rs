@@ -24,9 +24,31 @@ pub fn rr_machine(
     source: Box<dyn RequestSource>,
 ) -> (Machine, Rc<RefCell<LoadStats>>) {
     let mut m = nested_machine(mode);
+    let stats = attach_loadgen_for(&mut m, 0, arrival, total_requests, source);
+    (m, stats)
+}
+
+/// Attaches a virtio-blk device (vector [`VECTOR_BLK`]) to a machine.
+pub fn attach_blk(m: &mut Machine) {
+    attach_blk_for(m, 0);
+}
+
+/// Attaches a per-vCPU load-generator NIC on `vcpu`'s workload lane:
+/// queues and MMIO come from [`layout::lane`], and the device's
+/// completions and interrupts are routed to that vCPU only (queue-to-IRQ
+/// affinity). Each lane seeds its request stream differently so the
+/// per-vCPU streams are distinct but deterministic.
+pub fn attach_loadgen_for(
+    m: &mut Machine,
+    vcpu: usize,
+    arrival: ArrivalMode,
+    total_requests: u64,
+    source: Box<dyn RequestSource>,
+) -> Rc<RefCell<LoadStats>> {
     let cost = m.cost.clone();
+    let lane = layout::lane(vcpu);
     let cfg = LoadGenConfig {
-        mmio_base: layout::NET_MMIO,
+        mmio_base: lane.net_mmio,
         irq_vector: svt_vmx::VECTOR_VIRTIO,
         wire_latency: cost.wire_latency,
         kick_service: cost.virtio_backend_service,
@@ -35,25 +57,28 @@ pub fn rr_machine(
         completion_backend_exits: 1,
         arrival,
         total_requests,
-        seed: 0x1509,
+        seed: 0x1509 + vcpu as u64,
     };
     let (dev, stats) = LoadGenNet::new(
         cfg,
         source,
-        Virtqueue::new(layout::TX_QUEUE, QUEUE_SIZE),
-        Virtqueue::new(layout::RX_QUEUE, QUEUE_SIZE),
+        Virtqueue::new(lane.tx_queue, QUEUE_SIZE),
+        Virtqueue::new(lane.rx_queue, QUEUE_SIZE),
     );
-    m.add_device(Box::new(dev));
-    (m, stats)
+    m.add_device_for(Box::new(dev), vcpu);
+    stats
 }
 
-/// Attaches a virtio-blk device (vector [`VECTOR_BLK`]) to a machine.
-pub fn attach_blk(m: &mut Machine) {
+/// Attaches a virtio-blk device on `vcpu`'s workload lane, with its
+/// completion IRQs routed to that vCPU.
+pub fn attach_blk_for(m: &mut Machine, vcpu: usize) {
     let cost = m.cost.clone();
+    let lane = layout::lane(vcpu);
     let mut cfg = BlkConfig::from_cost(&cost);
+    cfg.mmio_base = lane.blk_mmio;
     cfg.irq_vector = VECTOR_BLK;
-    let blk = VirtioBlk::new(cfg, Virtqueue::new(layout::BLK_QUEUE, QUEUE_SIZE));
-    m.add_device(Box::new(blk));
+    let blk = VirtioBlk::new(cfg, Virtqueue::new(lane.blk_queue, QUEUE_SIZE));
+    m.add_device_for(Box::new(blk), vcpu);
 }
 
 /// Closed-loop single-connection arrival (netperf TCP_RR).

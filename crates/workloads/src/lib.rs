@@ -43,6 +43,7 @@ mod kvstore;
 pub mod layout;
 mod loadgen;
 mod server;
+mod smp;
 mod stream;
 mod tpcc;
 mod video;
@@ -59,7 +60,9 @@ pub use fig7::{
 };
 pub use fig8::{default_rates, fig8_series, memcached_point, SLA_NS};
 pub use fig9::tpcc_tpm;
-pub use harness::{attach_blk, rr_arrival, rr_machine, QUEUE_SIZE};
+pub use harness::{
+    attach_blk, attach_blk_for, attach_loadgen_for, rr_arrival, rr_machine, QUEUE_SIZE,
+};
 pub use kvstore::{EtcSource, KvService, KvStore, OP_GET, OP_SET};
 pub use loadgen::{
     regs, ArrivalMode, FixedSource, LoadGenConfig, LoadGenNet, LoadStats, Request, RequestSource,
@@ -68,6 +71,7 @@ pub use loadgen::{
 pub use server::{
     EchoService, ParsedRequest, RrServer, ServeOutput, ServerConfig, ServiceModel, VECTOR_BLK,
 };
+pub use smp::{memcached_smp, tpcc_smp, SmpPoint};
 pub use stream::StreamSender;
 pub use tpcc::{TpccDb, TpccService, TpccSource, TxType};
 pub use video::{VideoConfig, VideoPlayer};

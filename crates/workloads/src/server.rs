@@ -97,6 +97,9 @@ pub struct ServerConfig {
     pub net_mmio: Gpa,
     /// Block-device MMIO base, when the service writes a WAL.
     pub blk_mmio: Option<Gpa>,
+    /// Which vCPU's workload lane ([`layout::lane`]) the server's queues
+    /// and buffer pools live in. Lane 0 is the historical layout.
+    pub lane: usize,
 }
 
 impl ServerConfig {
@@ -112,6 +115,19 @@ impl ServerConfig {
             expected,
             net_mmio: layout::NET_MMIO,
             blk_mmio: None,
+            lane: 0,
+        }
+    }
+
+    /// [`ServerConfig::rr_defaults`] placed on vCPU `lane`'s private
+    /// workload lane: queues, buffer pools and the NIC MMIO window all
+    /// come from [`layout::lane`].
+    pub fn rr_on_lane(cost: &svt_sim::CostModel, expected: u64, lane: usize) -> Self {
+        let l = layout::lane(lane);
+        ServerConfig {
+            net_mmio: l.net_mmio,
+            lane,
+            ..ServerConfig::rr_defaults(cost, expected)
         }
     }
 }
@@ -134,6 +150,7 @@ struct PreparedReply {
 #[derive(Debug)]
 pub struct RrServer {
     cfg: ServerConfig,
+    lane: layout::LaneLayout,
     service: Box<dyn ServiceModel>,
     tx: Virtqueue,
     rx: Virtqueue,
@@ -156,20 +173,23 @@ pub struct RrServer {
 }
 
 impl RrServer {
-    /// Creates the server. Queue geometry comes from [`layout`].
+    /// Creates the server. Queue geometry comes from the [`layout`] lane
+    /// named by `cfg.lane` (lane 0 is the historical single-vCPU layout).
     pub fn new(cfg: ServerConfig, service: Box<dyn ServiceModel>) -> Self {
-        let blk = cfg.blk_mmio.map(|_| Virtqueue::new(layout::BLK_QUEUE, 32));
+        let lane = layout::lane(cfg.lane);
+        let blk = cfg.blk_mmio.map(|_| Virtqueue::new(lane.blk_queue, 32));
         RrServer {
             cfg,
+            lane,
             service,
-            tx: Virtqueue::new(layout::TX_QUEUE, 32),
-            rx: Virtqueue::new(layout::RX_QUEUE, 32),
+            tx: Virtqueue::new(lane.tx_queue, 32),
+            rx: Virtqueue::new(lane.rx_queue, 32),
             blk,
             ops: VecDeque::new(),
             phase: Phase::Init,
             rx_slots: HashMap::new(),
             tx_free: (0..16)
-                .map(|i| layout::TX_BUFS.0 + i * layout::BUF_SIZE)
+                .map(|i| lane.tx_bufs.0 + i * layout::BUF_SIZE)
                 .collect(),
             tx_inflight: HashMap::new(),
             queue: VecDeque::new(),
@@ -273,9 +293,9 @@ impl RrServer {
     fn next_disk_op(&mut self, mem: &mut GuestMemory) {
         let blk_mmio = self.cfg.blk_mmio.expect("disk I/O requires a block device");
         let blk = self.blk.as_mut().expect("blk queue configured");
-        let hdr = layout::BLK_BUFS.0;
-        let data = layout::BLK_BUFS.0 + 0x1000;
-        let status = layout::BLK_BUFS.0 + 0x80;
+        let hdr = self.lane.blk_bufs.0;
+        let data = self.lane.blk_bufs.0 + 0x1000;
+        let status = self.lane.blk_bufs.0 + 0x80;
         let (ty, len) = if self.reads_remaining > 0 {
             self.reads_remaining -= 1;
             (svt_virtio::BLK_T_IN, 8192)
@@ -357,7 +377,7 @@ impl GuestProgram for RrServer {
                     blk.init(ctx.mem).expect("blk ring in RAM");
                 }
                 for i in 0..self.cfg.rx_depth as u64 {
-                    let addr = layout::RX_BUFS.0 + i * layout::BUF_SIZE;
+                    let addr = self.lane.rx_bufs.0 + i * layout::BUF_SIZE;
                     self.post_rx(ctx.mem, addr);
                 }
                 self.phase = Phase::Ready;

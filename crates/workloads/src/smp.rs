@@ -1,0 +1,206 @@
+//! SMP workload runners: sharded memcached and TPC-C on the N-vCPU machine.
+//!
+//! Each vCPU gets a full private serving lane — its own load-generator
+//! NIC (and, for TPC-C, its own virtio-blk WAL device) on its own queue
+//! memory and MMIO window, with device completions routed only to that
+//! vCPU — plus its own shard of the application (a private [`KvService`]
+//! or TPC-C warehouse set, as memcached and most sharded stores deploy on
+//! SMP guests). Throughput is the sum over the per-vCPU load generators;
+//! with one vCPU the numbers are bit-identical to the single-vCPU runners.
+
+use svt_core::{smp_machine, SwitchMode};
+use svt_hv::GuestProgram;
+use svt_sim::{SimDuration, SimTime};
+
+use crate::harness::{attach_blk_for, attach_loadgen_for};
+use crate::kvstore::{EtcSource, KvService};
+use crate::layout;
+use crate::loadgen::ArrivalMode;
+use crate::server::{RrServer, ServerConfig};
+use crate::tpcc::{TpccService, TpccSource};
+
+/// Aggregate result of one SMP serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmpPoint {
+    /// vCPUs the guest ran with.
+    pub n_vcpus: usize,
+    /// Requests (or statements) completed across all lanes.
+    pub completed: u64,
+    /// Aggregate throughput in completions/second over the union of the
+    /// lanes' active windows.
+    pub throughput: f64,
+    /// Mean end-to-end latency over all lanes, in nanoseconds.
+    pub avg_ns: f64,
+    /// Worst per-lane 99th-percentile latency, in nanoseconds.
+    pub p99_ns: f64,
+}
+
+/// Sharded memcached under per-vCPU open-loop ETC load.
+///
+/// Each vCPU serves `rate_qps` of offered load from its own generator
+/// until `requests` requests per lane have been issued.
+///
+/// # Panics
+///
+/// Panics if `n_vcpus` is zero or exceeds the machine's physical cores,
+/// or if no lane completes any request.
+pub fn memcached_smp(mode: SwitchMode, n_vcpus: usize, rate_qps: f64, requests: u64) -> SmpPoint {
+    let mean = SimDuration::from_ns_f64(1e9 / rate_qps);
+    let mut m = smp_machine(mode, n_vcpus);
+    let cost = m.cost.clone();
+    let mut stats = Vec::with_capacity(n_vcpus);
+    let mut servers: Vec<RrServer> = Vec::with_capacity(n_vcpus);
+    for v in 0..n_vcpus {
+        let source = Box::new(EtcSource::new(100_000));
+        stats.push(attach_loadgen_for(
+            &mut m,
+            v,
+            ArrivalMode::OpenLoop {
+                mean_interarrival: mean,
+            },
+            requests,
+            source,
+        ));
+        let mut cfg = ServerConfig::rr_on_lane(&cost, u64::MAX, v);
+        cfg.timer_rearm_every = 4;
+        cfg.replenish_every = 2;
+        // One kv shard per vCPU: no cross-vCPU application state.
+        servers.push(RrServer::new(cfg, Box::new(KvService::new(50_000))));
+    }
+    let horizon = SimTime::ZERO
+        + SimDuration::from_ns_f64(requests as f64 * mean.as_ns())
+        + SimDuration::from_ms(80);
+    run_servers(&mut m, &mut servers, horizon);
+    collect(n_vcpus, &stats)
+}
+
+/// Sharded TPC-C: per-vCPU closed-loop clients, each lane persisting its
+/// WAL to its own virtio-blk device. `transactions` counts whole TPC-C
+/// transactions per lane.
+///
+/// # Panics
+///
+/// Panics if `n_vcpus` is zero or exceeds the machine's physical cores,
+/// or if no lane completes any statement.
+pub fn tpcc_smp(mode: SwitchMode, n_vcpus: usize, transactions: u64) -> SmpPoint {
+    let statements = transactions * 34;
+    let mut m = smp_machine(mode, n_vcpus);
+    let cost = m.cost.clone();
+    let mut stats = Vec::with_capacity(n_vcpus);
+    let mut servers: Vec<RrServer> = Vec::with_capacity(n_vcpus);
+    for v in 0..n_vcpus {
+        let source = Box::new(TpccSource::new(4));
+        stats.push(attach_loadgen_for(
+            &mut m,
+            v,
+            ArrivalMode::ClosedLoop {
+                concurrency: 4,
+                think: SimDuration::from_us(15),
+            },
+            statements,
+            source,
+        ));
+        attach_blk_for(&mut m, v);
+        let mut cfg = ServerConfig::rr_on_lane(&cost, statements, v);
+        cfg.blk_mmio = Some(layout::lane(v).blk_mmio);
+        cfg.timer_rearm_every = 2;
+        cfg.replenish_every = 2;
+        // One warehouse set per vCPU, as sharded OLTP deployments do.
+        let (service, _db) = TpccService::new(4);
+        servers.push(RrServer::new(cfg, Box::new(service)));
+    }
+    run_servers(&mut m, &mut servers, SimTime::MAX);
+    collect(n_vcpus, &stats)
+}
+
+fn run_servers(m: &mut svt_hv::Machine, servers: &mut [RrServer], horizon: SimTime) {
+    let mut progs: Vec<&mut dyn GuestProgram> = servers
+        .iter_mut()
+        .map(|s| s as &mut dyn GuestProgram)
+        .collect();
+    m.run_smp(&mut progs, horizon).expect("smp run completes");
+}
+
+fn collect(
+    n_vcpus: usize,
+    stats: &[std::rc::Rc<std::cell::RefCell<crate::loadgen::LoadStats>>],
+) -> SmpPoint {
+    let mut completed = 0;
+    let mut lat_sum = 0.0;
+    let mut p99 = 0.0f64;
+    let mut first: Option<SimTime> = None;
+    let mut last: Option<SimTime> = None;
+    for s in stats {
+        let s = s.borrow();
+        completed += s.completed;
+        lat_sum += s.latency.mean() * s.completed as f64;
+        p99 = p99.max(s.latency.p99());
+        first = match (first, s.first_send) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        last = match (last, s.last_reply) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+    let span = last
+        .expect("replies received")
+        .since(first.expect("requests sent"))
+        .as_secs();
+    assert!(span > 0.0, "degenerate measurement window");
+    SmpPoint {
+        n_vcpus,
+        completed,
+        throughput: completed as f64 / span,
+        avg_ns: lat_sum / completed as f64,
+        p99_ns: p99,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_vcpu_matches_single_vcpu_memcached() {
+        // The SMP runner at n=1 sees the same machine, same lane, same
+        // seed as the single-vCPU Fig. 8 runner.
+        let smp = memcached_smp(SwitchMode::Baseline, 1, 2_000.0, 120);
+        let single = crate::fig8::memcached_point(SwitchMode::Baseline, 2_000.0, 120);
+        assert!(
+            (smp.throughput - single.throughput).abs() < 1e-6,
+            "smp {} vs single {}",
+            smp.throughput,
+            single.throughput
+        );
+        assert!((smp.avg_ns - single.avg_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memcached_scales_with_vcpus() {
+        let mut prev = 0.0;
+        for n in [1usize, 2, 4] {
+            let p = memcached_smp(SwitchMode::SwSvt, n, 2_000.0, 80);
+            assert!(
+                p.throughput > prev,
+                "{n} vCPUs: {} not above {prev}",
+                p.throughput
+            );
+            prev = p.throughput;
+        }
+    }
+
+    #[test]
+    fn tpcc_scales_with_vcpus() {
+        let one = tpcc_smp(SwitchMode::HwSvt, 1, 30);
+        let two = tpcc_smp(SwitchMode::HwSvt, 2, 30);
+        assert!(
+            two.throughput > one.throughput,
+            "1 vCPU {} vs 2 vCPUs {}",
+            one.throughput,
+            two.throughput
+        );
+        assert_eq!(two.completed, 2 * one.completed);
+    }
+}

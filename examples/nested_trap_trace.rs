@@ -19,7 +19,7 @@ fn main() -> Result<(), MachineError> {
     m.obs.spans.enable();
 
     println!("Executing one cpuid in L2 (Algorithm 1 of the paper):\n");
-    let rip_before = m.vcpu2.rip;
+    let rip_before = m.vcpu2().rip;
     let mut prog = OpLoop::new(GuestOp::Cpuid, 1, 0, SimDuration::ZERO);
     m.run(&mut prog)?;
 
@@ -82,11 +82,12 @@ fn main() -> Result<(), MachineError> {
     println!("\nState effects:");
     println!(
         "   L2 RIP advanced by the emulated instruction: {:#x} -> {:#x}",
-        rip_before, m.vcpu2.rip
+        rip_before,
+        m.vcpu2().rip
     );
     println!(
         "   L1's shadow vmcs12 holds the reflected exit reason: code {}",
-        m.l0.vmcs12.read(svt::vmx::VmcsField::ExitReason)
+        m.vmcs12().read(svt::vmx::VmcsField::ExitReason)
     );
     Ok(())
 }

@@ -12,4 +12,42 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> cargo build --examples --benches"
+cargo build --workspace --examples
+
+echo "==> fig6 speedup regression against BENCH_fig6.json"
+cargo run -q -p svt-bench --bin fig6 -- --json /tmp/fig6.json >/dev/null
+python3 - <<'PY'
+import json, sys
+
+new = {s["name"]: s["speedup"] for s in json.load(open("/tmp/fig6.json"))["speedups"]}
+old = {s["name"]: s["speedup"] for s in json.load(open("BENCH_fig6.json"))["speedups"]}
+
+# The paper's Fig. 6 speedup bands; a run outside these reproduces the
+# wrong result even if it is self-consistent.
+bands = {"sw_svt": (1.15, 1.35), "hw_svt": (1.8, 2.1)}
+
+ok = True
+for name, (lo, hi) in bands.items():
+    got = new.get(name)
+    want = old.get(name)
+    if got is None or want is None:
+        print(f"FAIL {name}: missing from report ({got=}, {want=})")
+        ok = False
+        continue
+    good = True
+    if not lo <= got <= hi:
+        print(f"FAIL {name}: speedup {got:.4f} outside paper band [{lo}, {hi}]")
+        good = False
+    # The simulation is deterministic: any drift from the committed
+    # baseline is a behavior change that needs a BENCH_fig6.json update.
+    if abs(got - want) > 1e-9:
+        print(f"FAIL {name}: speedup {got:.6f} drifted from committed {want:.6f}")
+        good = False
+    if good:
+        print(f"ok   {name}: {got:.4f} in [{lo}, {hi}], matches committed baseline")
+    ok = ok and good
+sys.exit(0 if ok else 1)
+PY
+
 echo "CI green."

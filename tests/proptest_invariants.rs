@@ -215,6 +215,53 @@ fn outlier_filter_is_conservative() {
     }
 }
 
+/// The SMP scheduler is deterministic: the same guest programs on an
+/// identically-configured machine reproduce the exact vCPU interleaving,
+/// the same final time, the same step count, and a byte-identical
+/// metrics report — for any vCPU count, switch mode and program shape.
+#[test]
+fn smp_schedule_is_deterministic() {
+    use svt::core::{smp_machine, SwitchMode};
+    use svt::hv::{GuestOp, GuestProgram, OpLoop};
+    let mut rng = DetRng::seed(0x1a57_000a);
+    for _ in 0..6 {
+        let n = rng.range(2, 4) as usize;
+        let mode = SwitchMode::ALL[rng.below(SwitchMode::ALL.len() as u64) as usize];
+        let iters: Vec<u64> = (0..n).map(|_| rng.range(3, 25)).collect();
+        let gaps: Vec<u64> = (0..n).map(|_| rng.range(1, 400)).collect();
+        let run = |iters: &[u64], gaps: &[u64]| {
+            let mut m = smp_machine(mode, iters.len());
+            m.record_schedule = true;
+            let mut progs: Vec<OpLoop> = iters
+                .iter()
+                .zip(gaps)
+                .map(|(&i, &g)| OpLoop::new(GuestOp::Cpuid, i, g, SimDuration::from_ns(7)))
+                .collect();
+            let mut refs: Vec<&mut dyn GuestProgram> = progs
+                .iter_mut()
+                .map(|p| p as &mut dyn GuestProgram)
+                .collect();
+            let report = m.run_smp(&mut refs, SimTime::MAX).unwrap();
+            (
+                m.schedule_trace.clone(),
+                report.steps,
+                m.clock.now(),
+                m.obs.metrics.to_json().to_string(),
+            )
+        };
+        let a = run(&iters, &gaps);
+        let b = run(&iters, &gaps);
+        assert!(
+            a.0.len() >= iters.len(),
+            "every vCPU must be scheduled at least once"
+        );
+        assert_eq!(a.0, b.0, "vCPU interleaving differs between runs");
+        assert_eq!(a.1, b.1, "step count differs between runs");
+        assert_eq!(a.2, b.2, "final time differs between runs");
+        assert_eq!(a.3, b.3, "metrics report differs between runs");
+    }
+}
+
 /// The Table 1 calibration holds for any surrounding workload size:
 /// the virtualization overhead per cpuid is constant, only part 0
 /// grows.
