@@ -2,7 +2,7 @@
 //! VMCS shadowing, the SW-SVt channel wait mechanism and placement, and
 //! cross-context register access granularity.
 
-use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule};
+use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
 use svt_core::{
     machine_with, BypassReflector, HwSvtReflector, SwSvtReflector, SwitchMode, WaitMode,
 };
@@ -20,6 +20,7 @@ fn cpuid_us(m: &mut Machine, iters: u64) -> f64 {
 }
 
 fn main() {
+    let cli = BenchCli::parse();
     print_header("Ablations");
     let mut sections: Vec<(String, Vec<(String, f64)>)> = Vec::new();
 
@@ -115,5 +116,5 @@ fn main() {
             ),
         ));
     }
-    emit_report(&report);
+    cli.emit_report(&report);
 }

@@ -1,12 +1,13 @@
 //! Regenerates the 6.1 channel study: signaling latency by mechanism,
 //! placement and surrounding workload size.
 
-use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule};
+use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
 use svt_obs::{Json, RunReport};
 use svt_sim::CostModel;
 use svt_workloads::{channel_study, default_workloads, simulate_channel_round_ns, Mechanism};
 
 fn main() {
+    let cli = BenchCli::parse();
     print_header("Section 6.1 - SW SVt communication-channel study");
     let cost = CostModel::default();
     let cells = channel_study(&cost, &default_workloads());
@@ -63,5 +64,5 @@ fn main() {
     report
         .results
         .push(("cells".to_string(), Json::Arr(cell_rows)));
-    emit_report(&report);
+    cli.emit_report(&report);
 }

@@ -1,13 +1,14 @@
 //! Regenerates Fig. 10: video-playback dropped frames.
 
-use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule};
+use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
 use svt_core::SwitchMode;
 use svt_obs::{Json, RunReport};
 use svt_sim::CostModel;
 use svt_workloads::video_playback;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = BenchCli::parse();
+    let quick = cli.flag("--quick");
     let secs = if quick { 60 } else { 300 };
     print_header("Fig. 10 - dropped frames vs frame rate (5 min playback)");
     println!(
@@ -49,5 +50,5 @@ fn main() {
     report
         .results
         .push(("playback_secs".to_string(), Json::from(secs)));
-    emit_report(&report);
+    cli.emit_report(&report);
 }

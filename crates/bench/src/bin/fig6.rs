@@ -1,10 +1,11 @@
 //! Regenerates Fig. 6: cpuid latency on L0/L1/L2/SW SVt/HW SVt.
 
-use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule};
+use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
 use svt_obs::{ExitRow, Json, PartRow, RunReport, SpeedupRow};
 use svt_sim::CostModel;
 
 fn main() {
+    let cli = BenchCli::parse();
     print_header("Fig. 6 - execution time of a cpuid instruction");
     let bars = svt_workloads::fig6(200);
     println!(
@@ -76,5 +77,5 @@ fn main() {
                 .collect(),
         ),
     ));
-    emit_report(&report);
+    cli.emit_report(&report);
 }

@@ -1,14 +1,12 @@
 //! Regenerates Fig. 7: I/O subsystem speedups.
 
-use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule, vs_paper};
+use svt_bench::{cost_model_json, machine_json, print_header, rule, vs_paper, BenchCli};
 use svt_obs::{Json, RunReport, SpeedupRow};
 use svt_sim::CostModel;
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1u64);
+    let cli = BenchCli::parse();
+    let scale = cli.positional_or(0, 1u64);
     print_header("Fig. 7 - speedup of SVt on various I/O subsystems");
     let rows = svt_workloads::fig7(scale);
     println!(
@@ -58,5 +56,5 @@ fn main() {
     report
         .results
         .push(("benchmarks".to_string(), Json::Arr(bench_rows)));
-    emit_report(&report);
+    cli.emit_report(&report);
 }

@@ -1,13 +1,14 @@
 //! Regenerates Fig. 8: memcached latency under Facebook's ETC load.
 
-use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule};
+use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
 use svt_core::SwitchMode;
 use svt_obs::{Json, RunReport, SpeedupRow};
 use svt_sim::CostModel;
 use svt_workloads::{default_rates, fig8_series, SLA_NS};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = BenchCli::parse();
+    let quick = cli.flag("--quick");
     let requests = if quick { 400 } else { 2000 };
     print_header("Fig. 8 - memcached (ETC) latency vs load, SLA 500 usec on p99");
     let rates = default_rates();
@@ -72,5 +73,5 @@ fn main() {
     report
         .results
         .push(("sla_ns".to_string(), Json::Num(SLA_NS)));
-    emit_report(&report);
+    cli.emit_report(&report);
 }

@@ -1,12 +1,13 @@
 //! Regenerates Fig. 9: TPC-C throughput.
 
-use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule, vs_paper};
+use svt_bench::{cost_model_json, machine_json, print_header, rule, vs_paper, BenchCli};
 use svt_core::SwitchMode;
 use svt_obs::{Json, RunReport, SpeedupRow};
 use svt_sim::CostModel;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = BenchCli::parse();
+    let quick = cli.flag("--quick");
     let txns = if quick { 60 } else { 300 };
     print_header("Fig. 9 - TPC-C (sysbench-style, WAL on virtio-blk) throughput");
     let baseline = svt_workloads::tpcc_tpm(SwitchMode::Baseline, txns);
@@ -32,8 +33,8 @@ fn main() {
             ("sw_svt", Json::Num(svt)),
             ("paper_baseline", Json::Num(6370.0)),
             ("paper_speedup", Json::Num(1.18)),
-            ("txns", Json::from(txns as u64)),
+            ("txns", Json::from(txns)),
         ]),
     ));
-    emit_report(&report);
+    cli.emit_report(&report);
 }

@@ -6,7 +6,7 @@
 //! across vCPUs: aggregate throughput stays a roughly constant factor
 //! above the baseline at every machine size.
 
-use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule};
+use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
 use svt_core::SwitchMode;
 use svt_obs::{Json, RunReport, SpeedupRow};
 use svt_sim::CostModel;
@@ -17,6 +17,7 @@ const RATE_QPS: f64 = 2_000.0;
 const REQUESTS: u64 = 150;
 
 fn main() {
+    let cli = BenchCli::parse();
     print_header("SMP scaling - sharded memcached, per-vCPU open-loop load");
     println!(
         "{:<10}{:>8}{:>14}{:>14}{:>12}",
@@ -82,5 +83,5 @@ fn main() {
             ),
         ));
     }
-    emit_report(&report);
+    cli.emit_report(&report);
 }

@@ -2,13 +2,14 @@
 //! reproduction's measurement. Uses reduced iteration counts; the
 //! per-figure binaries produce the full-fidelity versions.
 
-use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule};
+use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
 use svt_core::SwitchMode;
 use svt_hv::Level;
 use svt_obs::{Json, RunReport, SpeedupRow};
 use svt_sim::CostModel;
 
 fn main() {
+    let cli = BenchCli::parse();
     print_header("SVt reproduction - headline summary (quick settings)");
     let mut report = RunReport::new("summary", "Headline summary (quick settings)");
     report.machine = Some(machine_json());
@@ -112,5 +113,5 @@ fn main() {
         ]),
     ));
     println!("See EXPERIMENTS.md for full-fidelity runs and the deviation discussion.");
-    emit_report(&report);
+    cli.emit_report(&report);
 }

@@ -1,10 +1,11 @@
 //! Regenerates Table 1: the time breakdown of one `cpuid` in a nested VM.
 
-use svt_bench::{cost_model_json, emit_report, machine_json, print_header, rule, vs_paper};
+use svt_bench::{cost_model_json, machine_json, print_header, rule, vs_paper, BenchCli};
 use svt_obs::{PartRow, RunReport};
 use svt_sim::CostModel;
 
 fn main() {
+    let cli = BenchCli::parse();
     print_header("Table 1 - cpuid breakdown in a nested VM (baseline)");
     let rows = svt_workloads::table1(200);
     println!(
@@ -39,5 +40,5 @@ fn main() {
             paper_us: Some(r.paper_us),
         });
     }
-    emit_report(&report);
+    cli.emit_report(&report);
 }

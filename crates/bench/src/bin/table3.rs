@@ -4,7 +4,7 @@
 //! KVM +2432, other +227 LOC). The reproduction's equivalent is the size
 //! of the SVt contribution crate relative to the substrate it modifies.
 
-use svt_bench::{emit_report, machine_json, print_header, rule};
+use svt_bench::{machine_json, print_header, rule, BenchCli};
 use svt_obs::{Json, RunReport};
 
 fn count_rust_loc(dir: &str) -> usize {
@@ -28,6 +28,7 @@ fn count_rust_loc(dir: &str) -> usize {
 }
 
 fn main() {
+    let cli = BenchCli::parse();
     print_header("Table 3 analogue - lines of code of this reproduction");
     println!("Paper's prototype patch: QEMU +654, Linux/KVM +2432, Linux/other +227");
     rule();
@@ -58,5 +59,5 @@ fn main() {
     let mut report = RunReport::new("table3", "Code-size inventory (Table 3 analogue)");
     report.machine = Some(machine_json());
     report.results.push(("crates".to_string(), Json::Arr(rows)));
-    emit_report(&report);
+    cli.emit_report(&report);
 }

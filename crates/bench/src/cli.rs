@@ -1,0 +1,140 @@
+//! Unified command-line handling for the benchmark binaries.
+//!
+//! Every `svt-bench` binary accepts the same reporting flags:
+//!
+//! * `--json <path>` (or `--json=<path>`) — write the machine-readable
+//!   [`RunReport`] next to the human-readable table;
+//! * `--trace <path>` (or `--trace=<path>`) — write a Chrome trace
+//!   (`chrome://tracing` / Perfetto) of the run's spans, with causal
+//!   flow arrows when the binary records them;
+//! * bare `--flags` (e.g. `--quick`, `--smoke`) and positional values,
+//!   exposed through [`BenchCli::flag`] and [`BenchCli::positional`].
+//!
+//! Binaries parse once with [`BenchCli::parse`] and report through
+//! [`BenchCli::emit_report`]/[`BenchCli::emit_trace`]; a `--trace` flag
+//! the binary never serviced is called out rather than silently eaten.
+
+use std::cell::Cell;
+use std::path::PathBuf;
+
+use svt_obs::{chrome_trace_with_flows, FlowArrow, RunReport, Span};
+
+/// Parsed command line of one benchmark binary.
+#[derive(Debug, Default)]
+pub struct BenchCli {
+    /// Destination of the machine-readable run report, if requested.
+    pub json: Option<PathBuf>,
+    /// Destination of the Chrome trace, if requested.
+    pub trace: Option<PathBuf>,
+    /// Positional (non-flag) arguments in order.
+    pub positional: Vec<String>,
+    /// Bare `--flag` arguments (everything else starting with `--`).
+    flags: Vec<String>,
+    trace_written: Cell<bool>,
+}
+
+impl BenchCli {
+    /// Parses the process's command line.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (first real argument first).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cli = BenchCli::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            if a == "--json" {
+                cli.json = it.next().map(PathBuf::from);
+            } else if let Some(p) = a.strip_prefix("--json=") {
+                cli.json = Some(PathBuf::from(p));
+            } else if a == "--trace" {
+                cli.trace = it.next().map(PathBuf::from);
+            } else if let Some(p) = a.strip_prefix("--trace=") {
+                cli.trace = Some(PathBuf::from(p));
+            } else if a.starts_with("--") {
+                cli.flags.push(a);
+            } else {
+                cli.positional.push(a);
+            }
+        }
+        cli
+    }
+
+    /// Whether a bare flag (e.g. `"--quick"`) was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Positional argument `i` parsed as a number, or `default` when
+    /// absent or unparsable.
+    pub fn positional_or<T: std::str::FromStr>(&self, i: usize, default: T) -> T {
+        self.positional
+            .get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Writes `report` to the `--json` path when one was given; also
+    /// calls out a `--trace` request the binary never serviced. Call
+    /// this last.
+    pub fn emit_report(&self, report: &RunReport) {
+        if let Some(path) = &self.json {
+            report.write_file(path).expect("write run report");
+            println!("run report written to {}", path.display());
+        }
+        if self.trace.is_some() && !self.trace_written.get() {
+            println!("(--trace ignored: this binary records no machine trace)");
+        }
+    }
+
+    /// Writes the spans (plus causal flow arrows, possibly empty) as a
+    /// Chrome trace to the `--trace` path when one was given.
+    pub fn emit_trace(&self, spans: &[Span], flows: &[FlowArrow]) {
+        let Some(path) = &self.trace else {
+            return;
+        };
+        let json = chrome_trace_with_flows(spans, flows);
+        std::fs::write(path, json.pretty()).expect("write chrome trace");
+        self.trace_written.set(true);
+        println!("chrome trace written to {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> BenchCli {
+        BenchCli::from_args(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_json_and_trace_in_both_forms() {
+        let c = args(&["--json", "r.json", "--trace=t.json"]);
+        assert_eq!(c.json.as_deref(), Some(std::path::Path::new("r.json")));
+        assert_eq!(c.trace.as_deref(), Some(std::path::Path::new("t.json")));
+        let c = args(&["--json=r.json", "--trace", "t.json"]);
+        assert_eq!(c.json.as_deref(), Some(std::path::Path::new("r.json")));
+        assert_eq!(c.trace.as_deref(), Some(std::path::Path::new("t.json")));
+    }
+
+    #[test]
+    fn separates_flags_from_positionals() {
+        let c = args(&["3", "--quick", "memcached", "--json=o.json"]);
+        assert_eq!(c.positional, vec!["3", "memcached"]);
+        assert!(c.flag("--quick"));
+        assert!(!c.flag("--smoke"));
+        assert_eq!(c.positional_or(0, 1u64), 3);
+        assert_eq!(c.positional_or(5, 7u64), 7);
+        assert_eq!(c.positional_or::<u64>(1, 9), 9); // unparsable → default
+    }
+
+    #[test]
+    fn empty_args_have_no_outputs() {
+        let c = args(&[]);
+        assert!(c.json.is_none());
+        assert!(c.trace.is_none());
+        assert!(c.positional.is_empty());
+    }
+}

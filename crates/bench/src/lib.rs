@@ -6,9 +6,10 @@
 
 #![warn(missing_docs)]
 
-use std::path::PathBuf;
+mod cli;
 
-use svt_obs::{Json, RunReport};
+pub use cli::BenchCli;
+use svt_obs::Json;
 use svt_sim::{CostModel, MachineSpec, VmSpec};
 
 /// Prints the standard header with the simulated platform (Table 4).
@@ -48,22 +49,6 @@ pub fn rule() {
     println!("----------------------------------------------------------------");
 }
 
-/// Extracts the `--json <path>` (or `--json=<path>`) argument, if given.
-/// Every bench binary supports it: when present, the binary writes its
-/// [`RunReport`] there in addition to the human-readable table.
-pub fn json_arg() -> Option<PathBuf> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--json" {
-            return args.next().map(PathBuf::from);
-        }
-        if let Some(p) = a.strip_prefix("--json=") {
-            return Some(PathBuf::from(p));
-        }
-    }
-    None
-}
-
 /// The simulated platform (Table 4) as a JSON object for run reports.
 pub fn machine_json() -> Json {
     let m = MachineSpec::isca19();
@@ -91,15 +76,6 @@ pub fn cost_model_json(cost: &CostModel) -> Json {
             .map(|(name, v)| (name.to_string(), Json::Num(v)))
             .collect(),
     )
-}
-
-/// Writes `report` to the `--json` path when one was given on the command
-/// line; prints the destination so runs are self-describing.
-pub fn emit_report(report: &RunReport) {
-    if let Some(path) = json_arg() {
-        report.write_file(&path).expect("write run report");
-        println!("run report written to {}", path.display());
-    }
 }
 
 /// Times `f` over `iters` iterations of wall-clock and prints a one-line

@@ -11,7 +11,7 @@
 
 use svt_cpu::{CtxId, CtxtLevel, Gpr};
 use svt_hv::{Machine, Reflector};
-use svt_obs::MetricKey;
+use svt_obs::{MetricKey, ObsLevel};
 use svt_sim::CostPart;
 use svt_vmx::{ExitReason, VmcsField};
 
@@ -135,12 +135,20 @@ impl HwSvtReflector {
     }
 
     fn stall_resume(&self, m: &mut Machine, part: CostPart, to: CtxId, is_vm: bool) {
+        let begin = m.clock.now();
         m.clock.push_part(part);
         let c = m.cost.svt_stall + m.cost.svt_resume;
         m.clock.charge(c);
         m.clock.pop_part(part);
         m.core.switch_to(to).expect("SVt context exists");
         m.core.micro_mut().is_vm = is_vm;
+        m.obs.span(
+            "svt_stall_resume",
+            "switch",
+            ObsLevel::Machine,
+            begin,
+            m.clock.now(),
+        );
         m.obs
             .metrics
             .inc(MetricKey::new("svt_stall_resume").reflector("hw-svt"));

@@ -133,6 +133,11 @@ impl SwSvtReflector {
 
     /// Pushes one command through a ring, charging the payload's cache-line
     /// transfers at the configured placement.
+    /// Causal-graph key of this vCPU's command or response ring.
+    fn ring_key(m: &Machine, ring_is_cmd: bool) -> u64 {
+        ((m.current_vcpu() as u64) << 1) | u64::from(ring_is_cmd)
+    }
+
     fn send(&mut self, m: &mut Machine, ring_is_cmd: bool, cmd: &Command) {
         let ring = if ring_is_cmd {
             self.cmd_ring.expect("initialized")
@@ -145,6 +150,13 @@ impl SwSvtReflector {
             .expect("ring never fills: lockstep protocol");
         let c = m.cost.cacheline(self.placement) * (cmd.cache_lines() + 1);
         m.clock.charge(c);
+        let phase = if ring_is_cmd {
+            "svt_cmd_enqueue"
+        } else {
+            "svt_resp_enqueue"
+        };
+        let key = Self::ring_key(m, ring_is_cmd);
+        m.obs.causal.ring_enqueue(phase, key, m.clock.now());
     }
 
     fn recv(&mut self, m: &mut Machine, ring_is_cmd: bool) -> Command {
@@ -157,6 +169,13 @@ impl SwSvtReflector {
             .pop(&mut m.ram)
             .expect("ring memory valid")
             .expect("protocol: command present");
+        let phase = if ring_is_cmd {
+            "svt_cmd_dequeue"
+        } else {
+            "svt_resp_dequeue"
+        };
+        let key = Self::ring_key(m, ring_is_cmd);
+        m.obs.causal.ring_dequeue(phase, key, m.clock.now());
         Command::decode(&payload).expect("well-formed command")
     }
 
@@ -172,6 +191,7 @@ impl SwSvtReflector {
             if matches!(ev, MachineEvent::IpiToL1Main) {
                 self.svt_blocked_count += 1;
                 let blocked_begin = m.clock.now();
+                m.obs.causal.blocked_enter(blocked_begin);
                 m.clock.count("svt_blocked");
                 m.obs
                     .metrics
@@ -195,6 +215,7 @@ impl SwSvtReflector {
                 // The blocked window is bounded by the fixed inject+yield
                 // cost; the histogram lets tests assert that bound.
                 let window = m.clock.now().since(blocked_begin);
+                m.obs.causal.blocked_exit(m.clock.now());
                 m.obs.metrics.observe(
                     MetricKey::new("svt_blocked_window_ps").reflector("sw-svt"),
                     window.as_ps(),
@@ -288,7 +309,7 @@ impl Reflector for SwSvtReflector {
         debug_assert_eq!(received.kind, CMD_VM_TRAP);
         self.last_cmd = Some(received);
         m.clock.pop_part(CostPart::Channel);
-        m.obs.spans.record(
+        m.obs.span(
             "svt_cmd_ring",
             "channel",
             ObsLevel::Machine,
@@ -331,7 +352,7 @@ impl Reflector for SwSvtReflector {
         debug_assert_eq!(resp.kind, CMD_VM_RESUME);
         m.vcpu2_mut().gprs = resp.gprs;
         m.clock.pop_part(CostPart::Channel);
-        m.obs.spans.record(
+        m.obs.span(
             "svt_resp_ring",
             "channel",
             ObsLevel::Machine,

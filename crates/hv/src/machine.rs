@@ -426,15 +426,18 @@ impl Machine {
         let mut finished = vec![false; n];
         loop {
             if finished.iter().all(|&f| f) {
+                self.finish_causal();
                 return Ok(report);
             }
-            let pick = (0..n)
-                .filter(|&i| !finished[i])
-                .filter(|&i| {
-                    let v = &self.vcpus[i];
-                    !v.state.halted || !v.inbox.is_empty()
-                })
-                .min_by_key(|&i| (self.local_now(i), i));
+            let pick = svt_sim::pick_min_local_time(
+                (0..n)
+                    .filter(|&i| !finished[i])
+                    .filter(|&i| {
+                        let v = &self.vcpus[i];
+                        !v.state.halted || !v.inbox.is_empty()
+                    })
+                    .map(|i| (i, self.local_now(i))),
+            );
             let Some(i) = pick else {
                 // Every unfinished vCPU is halted: sleep to the next event
                 // and route it to its target vCPU.
@@ -448,6 +451,7 @@ impl Machine {
                             self.advance_vcpu_clock(j, deadline);
                         }
                     }
+                    self.finish_causal();
                     return Ok(report);
                 }
                 let (t, ev) = self.events.pop_next().expect("deadlined event vanished");
@@ -456,7 +460,8 @@ impl Machine {
                     continue;
                 }
                 self.advance_vcpu_clock(target, t);
-                self.vcpus[target].inbox.push_back((t, ev));
+                let cause = self.obs.causal.route("evt_route", target as u32, t, None);
+                self.vcpus[target].inbox.push_back((t, ev, cause));
                 continue;
             };
             self.switch_to(i);
@@ -472,9 +477,26 @@ impl Machine {
             match outcome {
                 SliceOutcome::Finished => finished[i] = true,
                 SliceOutcome::Halted => {}
-                SliceOutcome::Deadline => return Ok(report),
+                SliceOutcome::Deadline => {
+                    self.finish_causal();
+                    return Ok(report);
+                }
             }
         }
+    }
+
+    /// End-of-run causal bookkeeping: sweeps the graph's stale-entry
+    /// watchdogs at the latest local clock and harvests violation counts
+    /// into the metrics registry. No-op when the graph is disabled.
+    fn finish_causal(&mut self) {
+        if !self.obs.causal.is_enabled() {
+            return;
+        }
+        let now = (0..self.vcpus.len())
+            .map(|i| self.local_now(i))
+            .max()
+            .unwrap_or(self.clock.now());
+        self.obs.finish_causal(now);
     }
 
     /// Runs the current vCPU until it finishes, halts, or passes the
@@ -509,6 +531,7 @@ impl Machine {
                 let mut ctx = GuestCtx {
                     now: self.clock.now(),
                     mem: &mut self.ram,
+                    obs: &mut self.obs,
                 };
                 prog.interrupt(v, &mut ctx);
             }
@@ -516,6 +539,7 @@ impl Machine {
                 let mut ctx = GuestCtx {
                     now: self.clock.now(),
                     mem: &mut self.ram,
+                    obs: &mut self.obs,
                 };
                 prog.step(&mut ctx)
             };
@@ -539,7 +563,8 @@ impl Machine {
         std::mem::swap(&mut self.clock, &mut self.vcpus[i].clock);
         std::mem::swap(&mut self.core, &mut self.vcpus[i].core);
         self.cur = i;
-        self.obs.spans.set_vcpu(i as u32);
+        self.obs.set_vcpu(i as u32);
+        self.obs.causal.sched_switch(i as u32, self.clock.now());
         self.obs.metrics.inc(MetricKey::new("vcpu_switch"));
     }
 
@@ -583,7 +608,8 @@ impl Machine {
             if target == self.cur {
                 self.handle_event(r, ev);
             } else {
-                self.vcpus[target].inbox.push_back((t, ev));
+                let cause = self.obs.causal.route("evt_route", target as u32, t, None);
+                self.vcpus[target].inbox.push_back((t, ev, cause));
             }
         }
     }
@@ -591,10 +617,15 @@ impl Machine {
     /// Handles events the scheduler (or another vCPU's pump) routed to the
     /// running vCPU.
     fn drain_inbox(&mut self, r: &mut dyn Reflector) {
-        while let Some((t, ev)) = self.vcpus[self.cur].inbox.pop_front() {
+        while let Some((t, ev, cause)) = self.vcpus[self.cur].inbox.pop_front() {
             if self.vstate().halted {
                 // The vCPU was idle: its local time jumps to the event.
                 self.clock.advance_to(t);
+            }
+            if cause.is_some() {
+                self.obs
+                    .causal
+                    .route_recv("evt_drain", cause, self.clock.now());
             }
             self.handle_event(r, ev);
         }
@@ -645,6 +676,7 @@ impl Machine {
             }
             MachineEvent::Ipi { to, cmd } => {
                 debug_assert_eq!(to, self.cur, "IPI routed to the wrong vCPU");
+                self.obs.causal.ipi_recv(self.clock.now());
                 self.clock.count("ipi_received");
                 self.obs
                     .metrics
@@ -691,6 +723,7 @@ impl Machine {
         }
         let at = self.clock.now() + self.cost.ipi_deliver;
         self.events.schedule(at, MachineEvent::Ipi { to, cmd });
+        self.obs.causal.ipi_send(to as u32, self.clock.now());
         self.clock.count("ipi_sent");
         self.obs
             .metrics
@@ -755,7 +788,9 @@ impl Machine {
                 let now = self.clock.now();
                 let _ = self.vstate_mut().apic.poll_timer(now);
             }
-            IrqWork::Ipi => self.vstate_mut().apic.inject(vector),
+            IrqWork::Ipi => {
+                self.vstate_mut().apic.inject(vector);
+            }
         }
         let c = self.cost.l0_irq_inject + self.cost.l0_entry_prep;
         self.clock.charge(c);
@@ -809,6 +844,7 @@ impl Machine {
             let mut ctx = GuestCtx {
                 now: self.clock.now(),
                 mem: &mut self.ram,
+                obs: &mut self.obs,
             };
             prog.op_result(v, &mut ctx);
         }
@@ -1013,8 +1049,7 @@ impl Machine {
         self.clock.pop_tag(reason.tag());
         let now = self.clock.now();
         self.obs
-            .spans
-            .record("single_trap", "lifecycle", ObsLevel::L1, trap_begin, now);
+            .span("single_trap", "lifecycle", ObsLevel::L1, trap_begin, now);
         self.obs.metrics.observe(
             MetricKey::new("trap_latency_ps")
                 .level(ObsLevel::L1)
@@ -1148,7 +1183,7 @@ impl Machine {
         let trap_begin = self.clock.now();
         self.clock.push_tag(reason.tag());
         r.l2_trap(self); // part 1 (first half)
-        self.obs.spans.record(
+        self.obs.span(
             "l2_exit",
             "trap",
             ObsLevel::L2,
@@ -1165,9 +1200,8 @@ impl Machine {
         self.clock.pop_tag(reason.tag());
         let now = self.clock.now();
         self.obs
-            .spans
-            .record("l2_resume", "trap", ObsLevel::L2, resume_begin, now);
-        self.obs.spans.record(
+            .span("l2_resume", "trap", ObsLevel::L2, resume_begin, now);
+        self.obs.span(
             "nested_trap",
             "lifecycle",
             ObsLevel::Machine,
@@ -1199,8 +1233,7 @@ impl Machine {
         self.clock.charge(c);
         self.clock.pop_part(CostPart::L0Handler);
         self.obs
-            .spans
-            .record("l0_leg_a", "trap", ObsLevel::L0, begin, self.clock.now());
+            .span("l0_leg_a", "trap", ObsLevel::L0, begin, self.clock.now());
     }
 
     /// L0's second leg: validate L1's emulated VMRESUME (Algorithm 1
@@ -1228,8 +1261,7 @@ impl Machine {
         }
         self.clock.pop_part(CostPart::L0Handler);
         self.obs
-            .spans
-            .record("l0_leg_b", "trap", ObsLevel::L0, begin, self.clock.now());
+            .span("l0_leg_b", "trap", ObsLevel::L0, begin, self.clock.now());
     }
 
     /// L0's entry preparation right before resuming L2.
@@ -1239,7 +1271,7 @@ impl Machine {
         let c = self.cost.l0_entry_prep;
         self.clock.charge(c);
         self.clock.pop_part(CostPart::L0Handler);
-        self.obs.spans.record(
+        self.obs.span(
             "l0_entry_finish",
             "trap",
             ObsLevel::L0,
@@ -1313,7 +1345,7 @@ impl Machine {
             self.vm_write(VmcsId::V12, f, v);
         }
         self.clock.pop_part(CostPart::Transform);
-        self.obs.spans.record(
+        self.obs.span(
             "forward_transform",
             "trap",
             ObsLevel::L0,
@@ -1338,7 +1370,7 @@ impl Machine {
             self.vm_write(VmcsId::V02, f, v);
         }
         self.clock.pop_part(CostPart::Transform);
-        self.obs.spans.record(
+        self.obs.span(
             "backward_transform",
             "trap",
             ObsLevel::L0,
@@ -1361,7 +1393,7 @@ impl Machine {
         let c = self.cost.l0_entry_prep;
         self.clock.charge(c);
         self.clock.pop_part(CostPart::L0Handler);
-        self.obs.spans.record(
+        self.obs.span(
             "inject_vmcs12",
             "trap",
             ObsLevel::L0,
@@ -1544,7 +1576,7 @@ impl Machine {
         }
         let c = self.cost.l1_run_loop;
         self.clock.charge(c);
-        self.obs.spans.record(
+        self.obs.span(
             "l1_handler",
             "trap",
             ObsLevel::L1,

@@ -6,17 +6,22 @@
 //! guest's instruction stream interleaves work with privileged operations.
 
 use svt_mem::{Gpa, GuestMemory};
+use svt_obs::Obs;
 use svt_sim::{SimDuration, SimTime};
 
 /// Execution context handed to a guest program on every callback: the
-/// current (virtual) time and the guest's memory, through which real
-/// structures like virtqueues are driven.
+/// current (virtual) time, the guest's memory (through which real
+/// structures like virtqueues are driven), and the machine's
+/// observability bundle, so programs can anchor request start/end
+/// events in the causal graph.
 #[derive(Debug)]
 pub struct GuestCtx<'a> {
     /// Current simulated time as the guest's TSC would report it.
     pub now: SimTime,
     /// The guest's physical memory.
     pub mem: &'a mut GuestMemory,
+    /// The machine's observability bundle (metrics, spans, causal graph).
+    pub obs: &'a mut Obs,
 }
 
 /// One operation a guest performs.
@@ -194,17 +199,19 @@ impl GuestProgram for OpLoop {
 mod tests {
     use super::*;
 
-    fn ctx(mem: &mut GuestMemory) -> GuestCtx<'_> {
+    fn ctx<'a>(mem: &'a mut GuestMemory, obs: &'a mut Obs) -> GuestCtx<'a> {
         GuestCtx {
             now: SimTime::ZERO,
             mem,
+            obs,
         }
     }
 
     #[test]
     fn compute_only_consumes_budget() {
         let mut mem = GuestMemory::new(4096);
-        let mut c = ctx(&mut mem);
+        let mut obs = Obs::new();
+        let mut c = ctx(&mut mem, &mut obs);
         let mut p = ComputeOnly::new(SimDuration::from_ns(100), SimDuration::from_ns(30));
         let mut total = SimDuration::ZERO;
         loop {
@@ -226,7 +233,8 @@ mod tests {
     #[test]
     fn op_loop_interleaves_work_and_ops() {
         let mut mem = GuestMemory::new(4096);
-        let mut c = ctx(&mut mem);
+        let mut obs = Obs::new();
+        let mut c = ctx(&mut mem, &mut obs);
         let mut p = OpLoop::new(GuestOp::Cpuid, 3, 10, SimDuration::from_ns(1));
         let mut seq = Vec::new();
         loop {
@@ -245,7 +253,8 @@ mod tests {
     #[test]
     fn op_loop_zero_workload_is_pure_ops() {
         let mut mem = GuestMemory::new(4096);
-        let mut c = ctx(&mut mem);
+        let mut obs = Obs::new();
+        let mut c = ctx(&mut mem, &mut obs);
         let mut p = OpLoop::new(GuestOp::Cpuid, 2, 0, SimDuration::from_ns(1));
         assert_eq!(p.step(&mut c), GuestOp::Cpuid);
         assert_eq!(p.step(&mut c), GuestOp::Cpuid);

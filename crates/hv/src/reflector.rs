@@ -14,6 +14,7 @@
 use std::fmt;
 
 use svt_cpu::Gpr;
+use svt_obs::ObsLevel;
 use svt_vmx::ExitReason;
 
 use crate::machine::Machine;
@@ -129,20 +130,26 @@ impl Reflector for BaselineReflector {
 
     fn run_l1(&mut self, m: &mut Machine, exit: ExitReason) {
         // Enter the guest hypervisor: full world switch (part 4).
+        let begin = m.clock.now();
         m.clock.push_part(CostPart::SwitchL0L1);
         let enter = m.cost.vm_entry_hw + m.cost.gpr_thunk() + m.world_extra(Level::L1);
         m.clock.charge(enter);
         m.clock.pop_part(CostPart::SwitchL0L1);
+        m.obs
+            .span("l1_entry", "switch", ObsLevel::L1, begin, m.clock.now());
 
         m.clock.push_part(CostPart::L1Handler);
         m.l1_handle_exit(self, exit);
         m.clock.pop_part(CostPart::L1Handler);
 
         // L1's VM-resume traps back into L0 (Algorithm 1 line 12).
+        let begin = m.clock.now();
         m.clock.push_part(CostPart::SwitchL0L1);
         let leave = m.cost.vm_exit_hw + m.cost.gpr_thunk() + m.world_extra(Level::L1);
         m.clock.charge(leave);
         m.clock.pop_part(CostPart::SwitchL0L1);
+        m.obs
+            .span("l1_exit", "switch", ObsLevel::L1, begin, m.clock.now());
     }
 
     fn l1_exit_roundtrip(&mut self, m: &mut Machine, exit: ExitReason, value: u64) -> u64 {

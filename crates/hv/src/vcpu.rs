@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 
 use svt_cpu::SmtCore;
 use svt_mem::Gpa;
+use svt_obs::CausalEventId;
 use svt_sim::{Clock, CpuLoc, EventId, SimTime};
 use svt_vmx::{Vmcs, VmcsRole};
 
@@ -49,8 +50,9 @@ pub struct Vcpu {
     /// Handle of this vCPU's armed physical timer event, if any.
     pub(crate) timer_event: Option<EventId>,
     /// Events routed to this vCPU while another vCPU was executing; each
-    /// entry carries the instant the event was due.
-    pub(crate) inbox: VecDeque<(SimTime, MachineEvent)>,
+    /// entry carries the instant the event was due plus the causal-graph
+    /// id of the routing hop (None when causal tracing is disabled).
+    pub(crate) inbox: VecDeque<(SimTime, MachineEvent, Option<CausalEventId>)>,
 }
 
 impl Vcpu {

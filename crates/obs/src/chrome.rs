@@ -7,6 +7,7 @@
 //! (vCPU, virtualization level) pair gets its own thread lane so an SMP
 //! run shows per-vCPU trap timelines side by side.
 
+use crate::causal::FlowArrow;
 use crate::json::Json;
 use crate::key::ObsLevel;
 use crate::span::Span;
@@ -26,7 +27,17 @@ pub fn lane_tid(vcpu: u32, level: ObsLevel) -> u64 {
 /// (complete) event per span, carrying the exact picosecond begin/end in
 /// `args` alongside the microsecond `ts`/`dur` the viewer consumes.
 pub fn chrome_trace(spans: &[Span]) -> Json {
+    chrome_trace_with_flows(spans, &[])
+}
+
+/// Like [`chrome_trace`], plus causal cross-lane edges rendered as flow
+/// arrows: each [`FlowArrow`] becomes an `"s"` (flow start) / `"t"` (flow
+/// end) event pair bound by a shared `id`, so Perfetto draws IPI and ring
+/// arrows between the per-vCPU lanes. With an empty `flows` slice the
+/// output is byte-identical to [`chrome_trace`].
+pub fn chrome_trace_with_flows(spans: &[Span], flows: &[FlowArrow]) -> Json {
     let mut vcpus: Vec<u32> = spans.iter().map(|s| s.vcpu).collect();
+    vcpus.extend(flows.iter().flat_map(|f| [f.from_vcpu, f.to_vcpu]));
     vcpus.push(0);
     vcpus.sort_unstable();
     vcpus.dedup();
@@ -73,6 +84,24 @@ pub fn chrome_trace(spans: &[Span]) -> Json {
                 ]),
             ),
         ]));
+    }
+    for f in flows {
+        let halves = [
+            ("s", f.from_at, f.from_vcpu, f.from_level),
+            ("t", f.to_at, f.to_vcpu, f.to_level),
+        ];
+        for (ph, at, vcpu, level) in halves {
+            events.push(Json::obj([
+                ("name", Json::from(f.kind)),
+                ("cat", Json::from("causal")),
+                ("ph", Json::from(ph)),
+                ("id", Json::from(f.id)),
+                ("ts", Json::Num(at.as_ps() as f64 / 1e6)),
+                ("pid", Json::from(1u64)),
+                ("tid", Json::from(lane_tid(vcpu, level))),
+                ("bp", Json::from("e")),
+            ]));
+        }
     }
     Json::obj([
         ("traceEvents", Json::Arr(events)),
@@ -181,6 +210,54 @@ mod tests {
             .collect();
         assert!(names.contains(&"vcpu0/L2 (nested guest)".to_string()));
         assert!(names.contains(&"vcpu2/L2 (nested guest)".to_string()));
+    }
+
+    #[test]
+    fn flow_arrows_emit_s_t_pairs_on_their_lanes() {
+        use crate::causal::FlowArrow;
+        let spans = [vspan("exit", ObsLevel::L2, 0, 10, 1, 0)];
+        let flows = [FlowArrow {
+            kind: "ipi",
+            id: 42,
+            from_at: SimTime::from_ns(2),
+            from_vcpu: 0,
+            from_level: ObsLevel::Machine,
+            to_at: SimTime::from_ns(8),
+            to_vcpu: 1,
+            to_level: ObsLevel::Machine,
+        }];
+        let doc = chrome_trace_with_flows(&spans, &flows);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // vCPU 1 appears only via the flow, but still gets its lane block.
+        assert_eq!(events.len(), 2 * ObsLevel::ALL.len() + 1 + 2);
+        let s = &events[events.len() - 2];
+        let t = &events[events.len() - 1];
+        assert_eq!(s.get("ph").unwrap().as_str(), Some("s"));
+        assert_eq!(t.get("ph").unwrap().as_str(), Some("t"));
+        assert_eq!(s.get("id"), t.get("id"));
+        assert_eq!(s.get("id").unwrap().as_i64(), Some(42));
+        assert_eq!(
+            s.get("tid").unwrap().as_i64(),
+            Some(lane_tid(0, ObsLevel::Machine) as i64)
+        );
+        assert_eq!(
+            t.get("tid").unwrap().as_i64(),
+            Some(lane_tid(1, ObsLevel::Machine) as i64)
+        );
+        assert_eq!(s.get("name").unwrap().as_str(), Some("ipi"));
+        assert!(Json::parse(&doc.to_string()).is_ok());
+    }
+
+    #[test]
+    fn empty_flows_match_plain_trace_byte_for_byte() {
+        let spans = [
+            span("exit", ObsLevel::L2, 0, 10, 1),
+            span("l0_handler", ObsLevel::L0, 10, 25, 1),
+        ];
+        assert_eq!(
+            chrome_trace(&spans).to_string(),
+            chrome_trace_with_flows(&spans, &[]).to_string()
+        );
     }
 
     #[test]

@@ -9,6 +9,12 @@
 //!   (exit → transform → L0 handler → reflect → L1 handler → resume) with
 //!   exact simulated-time stamps, exportable as Chrome trace-event JSON
 //!   via [`chrome_trace`] and viewable in Perfetto.
+//! * [`CausalGraph`] — the causal event graph: every traced event gets a
+//!   monotonic [`CausalEventId`] plus happens-before edges, supporting
+//!   per-request critical-path extraction ([`CriticalPath`], folded
+//!   stacks), cross-lane flow arrows in the Chrome trace, and online
+//!   invariant watchdogs (ring deadline, `SVT_BLOCKED` bound, IPI
+//!   exactly-once, span nesting).
 //! * [`RunReport`] — the machine-readable report every `svt-bench` binary
 //!   emits via `--json <path>`, backing the `BENCH_*.json` perf
 //!   trajectory.
@@ -18,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+mod causal;
 mod chrome;
 mod hist;
 mod json;
@@ -26,35 +33,97 @@ mod registry;
 mod report;
 mod span;
 
-pub use chrome::{chrome_trace, lane_tid};
+pub use causal::EventId as CausalEventId;
+pub use causal::{
+    fold_paths, folded_stacks, CausalEvent, CausalGraph, CriticalPath, FlowArrow, PathSegment,
+    WATCHDOGS,
+};
+pub use chrome::{chrome_trace, chrome_trace_with_flows, lane_tid};
 pub use hist::LogHistogram;
 pub use json::{Json, JsonError};
 pub use key::{MetricKey, ObsLevel};
 pub use registry::MetricsRegistry;
-pub use report::{ExitRow, PartRow, RunReport, SpeedupRow, REPORT_SCHEMA_VERSION};
-pub use span::{Span, SpanTracer};
+pub use report::{CriticalPathRow, ExitRow, PartRow, RunReport, SpeedupRow, REPORT_SCHEMA_VERSION};
+pub use span::{Span, SpanTracer, DEFAULT_SPAN_CAPACITY};
 
-/// The per-machine observability bundle: metrics plus spans, carried by
-/// the simulated machine and threaded through every subsystem.
+use svt_sim::SimTime;
+
+/// The per-machine observability bundle: metrics, spans and the causal
+/// event graph, carried by the simulated machine and threaded through
+/// every subsystem.
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     /// Typed metrics.
     pub metrics: MetricsRegistry,
     /// Trap-lifecycle spans.
     pub spans: SpanTracer,
+    /// Causal event graph (critical paths, watchdogs, flow arrows).
+    pub causal: CausalGraph,
 }
 
 impl Obs {
-    /// A fresh bundle with span tracing disabled.
+    /// A fresh bundle with span tracing and the causal graph disabled.
     pub fn new() -> Self {
         Obs::default()
+    }
+
+    /// Sets the vCPU lane for both the span tracer and the causal graph;
+    /// the SMP run loop calls this on every vCPU switch.
+    pub fn set_vcpu(&mut self, vcpu: u32) {
+        self.spans.set_vcpu(vcpu);
+        self.causal.set_vcpu(vcpu);
+    }
+
+    /// Records one completed span in the tracer *and* as causal graph
+    /// nodes. Lifecycle spans (cat `"lifecycle"`) aggregate their
+    /// constituent stages and are kept out of the graph — their children
+    /// already carry the causality.
+    pub fn span(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        level: ObsLevel,
+        begin: SimTime,
+        end: SimTime,
+    ) {
+        self.spans.record(name, cat, level, begin, end);
+        if cat != "lifecycle" {
+            self.causal.span_close(name, level, begin, end);
+        }
+    }
+
+    /// End-of-run bookkeeping: runs the causal graph's stale-entry sweep
+    /// at `now` and harvests watchdog violation counts into the metrics
+    /// registry (idempotent: counts are absolute, set as gauges would be
+    /// wrong — the registry counter is brought up to the graph's total).
+    pub fn finish_causal(&mut self, now: SimTime) {
+        self.causal.finish(now);
+        self.harvest_watchdogs();
+    }
+
+    /// Copies causal watchdog violation counts into the metrics registry
+    /// under their watchdog names, adding only the delta since the last
+    /// harvest.
+    pub fn harvest_watchdogs(&mut self) {
+        let deltas: Vec<(&'static str, u64)> = self
+            .causal
+            .violations()
+            .map(|(name, total)| {
+                let key = MetricKey::new(name);
+                let have = self.metrics.counter(key);
+                (name, total.saturating_sub(have))
+            })
+            .filter(|&(_, d)| d > 0)
+            .collect();
+        for (name, delta) in deltas {
+            self.metrics.add(MetricKey::new(name), delta);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use svt_sim::SimTime;
 
     #[test]
     fn bundle_wires_metrics_and_spans() {
@@ -76,7 +145,46 @@ mod tests {
             1
         );
         assert_eq!(obs.spans.len(), 1);
-        let doc = chrome_trace(obs.spans.spans());
+        let doc = chrome_trace(&obs.spans.to_vec());
         assert!(Json::parse(&doc.to_string()).is_ok());
+    }
+
+    #[test]
+    fn span_feeds_both_tracer_and_graph() {
+        let mut obs = Obs::new();
+        obs.spans.enable();
+        obs.causal.enable();
+        obs.span(
+            "l2_exit",
+            "trap",
+            ObsLevel::L2,
+            SimTime::ZERO,
+            SimTime::from_ns(10),
+        );
+        obs.span(
+            "nested_trap",
+            "lifecycle",
+            ObsLevel::Machine,
+            SimTime::ZERO,
+            SimTime::from_ns(10),
+        );
+        assert_eq!(obs.spans.len(), 2);
+        // Lifecycle span stayed out of the graph: open + close of the
+        // trap span only.
+        assert_eq!(obs.causal.len(), 2);
+    }
+
+    #[test]
+    fn watchdog_harvest_is_idempotent() {
+        let mut obs = Obs::new();
+        obs.causal.enable();
+        obs.causal.ipi_recv(SimTime::from_ns(1)); // duplicate delivery
+        obs.finish_causal(SimTime::from_ns(2));
+        obs.finish_causal(SimTime::from_ns(3));
+        assert_eq!(
+            obs.metrics
+                .counter(MetricKey::new("watchdog_ipi_duplicate")),
+            1
+        );
     }
 }

@@ -13,7 +13,10 @@ use crate::json::Json;
 
 /// Schema version stamped into every report; bump on breaking layout
 /// changes so trajectory tooling can dispatch.
-pub const REPORT_SCHEMA_VERSION: u32 = 1;
+///
+/// History: 1 = initial layout; 2 = added the `critical_path` section
+/// ([`CriticalPathRow`]).
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// One row of a per-`CostPart` breakdown.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +40,22 @@ pub struct ExitRow {
     pub time_ns: f64,
     /// Number of exits with this reason (0 when only time was attributed).
     pub count: u64,
+}
+
+/// One aggregated critical-path bucket: simulated picoseconds the
+/// critical paths of completed requests spent in `(vcpu, level, phase)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathRow {
+    /// Configuration the row belongs to (e.g. `"baseline"`, `"sw-svt"`).
+    pub config: String,
+    /// vCPU the bucket ran on.
+    pub vcpu: u32,
+    /// Virtualization level name (`"L0"`, `"L1"`, `"L2"`, `"machine"`).
+    pub level: String,
+    /// Phase name, e.g. `"l2_exit"` or `"run"`.
+    pub phase: String,
+    /// Total critical-path picoseconds attributed to the bucket.
+    pub ps: u64,
 }
 
 /// One named speedup, e.g. `("sw_svt", 1.25)`.
@@ -68,6 +87,8 @@ pub struct RunReport {
     pub exit_reasons: Vec<ExitRow>,
     /// Named speedups over baseline.
     pub speedups: Vec<SpeedupRow>,
+    /// Aggregated critical-path buckets from the causal profiler.
+    pub critical_path: Vec<CriticalPathRow>,
     /// Workload-specific results (bars, sweep points, grids…).
     pub results: Vec<(String, Json)>,
     /// The metrics registry export, if the bench collected one.
@@ -119,6 +140,19 @@ impl RunReport {
                 ])
             })
             .collect::<Vec<_>>();
+        let critical_path = self
+            .critical_path
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("config", Json::from(c.config.as_str())),
+                    ("vcpu", Json::from(c.vcpu)),
+                    ("level", Json::from(c.level.as_str())),
+                    ("phase", Json::from(c.phase.as_str())),
+                    ("ps", Json::from(c.ps)),
+                ])
+            })
+            .collect::<Vec<_>>();
         Json::obj([
             ("schema_version", Json::from(REPORT_SCHEMA_VERSION)),
             ("bench", Json::from(self.name.as_str())),
@@ -128,6 +162,7 @@ impl RunReport {
             ("parts", Json::Arr(parts)),
             ("exit_reasons", Json::Arr(exits)),
             ("speedups", Json::Arr(speedups)),
+            ("critical_path", Json::Arr(critical_path)),
             (
                 "results",
                 Json::Obj(
@@ -170,6 +205,13 @@ mod tests {
             name: "hw_svt".into(),
             speedup: 1.9,
         });
+        r.critical_path.push(CriticalPathRow {
+            config: "sw-svt".into(),
+            vcpu: 0,
+            level: "L1".into(),
+            phase: "l1_handler".into(),
+            ps: 123_000,
+        });
         r.results
             .push(("bars".into(), Json::arr([Json::Num(10.4)])));
         let j = r.to_json();
@@ -184,6 +226,9 @@ mod tests {
         assert_eq!(exits[0].get("count").unwrap().as_i64(), Some(100));
         let speedups = j.get("speedups").unwrap().as_arr().unwrap();
         assert_eq!(speedups[0].get("speedup").unwrap().as_f64(), Some(1.9));
+        let cp = j.get("critical_path").unwrap().as_arr().unwrap();
+        assert_eq!(cp[0].get("phase").unwrap().as_str(), Some("l1_handler"));
+        assert_eq!(cp[0].get("ps").unwrap().as_i64(), Some(123_000));
         // Round trip.
         assert_eq!(Json::parse(&j.pretty()).unwrap(), j);
     }

@@ -5,6 +5,13 @@
 //! begin/end stamps taken from the discrete-event clock. Spans carry the
 //! trap sequence number they belong to, so a trace groups naturally, and
 //! export to Chrome trace-event JSON via [`crate::chrome_trace`].
+//!
+//! Storage is a bounded ring (like `svt_hv::Tracer`): long SMP runs evict
+//! the oldest spans past capacity instead of growing without bound, and
+//! [`SpanTracer::dropped`] reports the overflow so truncation is never
+//! silent.
+
+use std::collections::VecDeque;
 
 use svt_sim::SimTime;
 
@@ -37,21 +44,50 @@ impl Span {
     }
 }
 
+/// Default span ring capacity: enough for every trap of a bench run,
+/// small enough that an unbounded SMP run cannot exhaust memory.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
+
 /// Collects spans for one run. Disabled by default — recording costs one
 /// branch when off, so instrumentation can stay unconditionally wired in
 /// the hypervisor hot paths.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SpanTracer {
-    spans: Vec<Span>,
+    ring: VecDeque<Span>,
+    capacity: usize,
+    recorded: u64,
     enabled: bool,
     trap_seq: u64,
     cur_vcpu: u32,
 }
 
+impl Default for SpanTracer {
+    fn default() -> Self {
+        SpanTracer::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
 impl SpanTracer {
-    /// A disabled tracer.
+    /// A disabled tracer with the default ring capacity.
     pub fn new() -> Self {
         SpanTracer::default()
+    }
+
+    /// A disabled tracer retaining up to `capacity` spans once enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "span ring needs capacity");
+        SpanTracer {
+            ring: VecDeque::new(),
+            capacity,
+            recorded: 0,
+            enabled: false,
+            trap_seq: 0,
+            cur_vcpu: 0,
+        }
     }
 
     /// Starts collecting spans.
@@ -94,7 +130,8 @@ impl SpanTracer {
         self.cur_vcpu
     }
 
-    /// Records one completed span against the current trap.
+    /// Records one completed span against the current trap, evicting the
+    /// oldest span past capacity.
     pub fn record(
         &mut self,
         name: &'static str,
@@ -106,7 +143,10 @@ impl SpanTracer {
         if !self.enabled {
             return;
         }
-        self.spans.push(Span {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(Span {
             name,
             cat,
             level,
@@ -115,31 +155,55 @@ impl SpanTracer {
             trap_seq: self.trap_seq,
             vcpu: self.cur_vcpu,
         });
+        self.recorded += 1;
     }
 
-    /// All recorded spans, in recording order.
-    pub fn spans(&self) -> &[Span] {
-        &self.spans
+    /// The retained spans, oldest first.
+    pub fn spans(&self) -> &VecDeque<Span> {
+        &self.ring
     }
 
-    /// Number of recorded spans.
+    /// Iterates over retained spans, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        self.ring.iter()
+    }
+
+    /// Clones the retained spans into a contiguous vector (for
+    /// [`crate::chrome_trace`], which wants a slice).
+    pub fn to_vec(&self) -> Vec<Span> {
+        self.ring.iter().cloned().collect()
+    }
+
+    /// Number of retained spans.
     pub fn len(&self) -> usize {
-        self.spans.len()
+        self.ring.len()
     }
 
-    /// Whether no spans were recorded.
+    /// Whether no spans are retained.
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty()
+        self.ring.is_empty()
     }
 
-    /// Discards recorded spans (keeps the enabled flag and trap counter).
+    /// Total spans recorded since construction (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Spans lost to ring overflow or [`SpanTracer::clear`]: recorded
+    /// minus currently retained.
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.ring.len() as u64
+    }
+
+    /// Discards retained spans (keeps the enabled flag and trap counter;
+    /// the total count is preserved, so cleared spans count as dropped).
     pub fn clear(&mut self) {
-        self.spans.clear();
+        self.ring.clear();
     }
 
     /// Spans belonging to trap `seq`.
     pub fn trap_spans(&self, seq: u64) -> Vec<&Span> {
-        self.spans.iter().filter(|s| s.trap_seq == seq).collect()
+        self.ring.iter().filter(|s| s.trap_seq == seq).collect()
     }
 }
 
@@ -193,6 +257,50 @@ mod tests {
         assert_eq!(t.trap_spans(2).len(), 2);
         assert_eq!(t.len(), 3);
         assert_eq!(t.spans()[0].duration(), SimDuration::from_ns(10));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut t = SpanTracer::with_capacity(2);
+        t.enable();
+        for i in 0..5u64 {
+            t.record(
+                "s",
+                "trap",
+                ObsLevel::L2,
+                SimTime::from_ns(i),
+                SimTime::from_ns(i + 1),
+            );
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.dropped(), 3);
+        // Oldest evicted: the two retained spans are the most recent.
+        assert_eq!(t.spans()[0].begin, SimTime::from_ns(3));
+        assert_eq!(t.to_vec().len(), 2);
+    }
+
+    #[test]
+    fn clear_counts_as_dropped() {
+        let mut t = SpanTracer::new();
+        t.enable();
+        t.record(
+            "s",
+            "trap",
+            ObsLevel::L2,
+            SimTime::ZERO,
+            SimTime::from_ns(1),
+        );
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 1);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = SpanTracer::with_capacity(0);
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub use clock::{Clock, ClockSnapshot, CostPart};
 pub use cost::CostModel;
 pub use events::{EventId, EventQueue};
 pub use rng::DetRng;
-pub use sched::{assign_svt_cores, SchedError, VcpuScheduler, VcpuStatus};
+pub use sched::{assign_svt_cores, pick_min_local_time, SchedError, VcpuScheduler, VcpuStatus};
 pub use time::{SimDuration, SimTime};
 pub use topology::{CpuLoc, MachineSpec, Placement, VmSpec};

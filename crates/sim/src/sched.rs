@@ -107,6 +107,30 @@ pub fn assign_svt_cores(spec: &MachineSpec, n: usize) -> Result<Vec<CpuLoc>, Sch
         .collect())
 }
 
+/// Picks the runnable vCPU with the smallest local time, ties broken by
+/// lowest id — the single deterministic pick policy shared by
+/// [`VcpuScheduler::pick`] and the hypervisor's SMP run loop (which
+/// filters runnability itself, from halted flags and inbox depth).
+///
+/// # Examples
+///
+/// ```
+/// use svt_sim::{pick_min_local_time, SimTime};
+///
+/// let runnable = [(0usize, SimTime::from_ns(20)), (2, SimTime::from_ns(5))];
+/// assert_eq!(pick_min_local_time(runnable), Some(2));
+/// assert_eq!(pick_min_local_time(std::iter::empty()), None);
+/// ```
+pub fn pick_min_local_time<I>(runnable: I) -> Option<usize>
+where
+    I: IntoIterator<Item = (usize, SimTime)>,
+{
+    runnable
+        .into_iter()
+        .min_by_key(|&(i, t)| (t, i))
+        .map(|(i, _)| i)
+}
+
 /// The deterministic min-local-time-first vCPU pick policy.
 ///
 /// The scheduler holds only schedulability flags; local clocks stay with
@@ -175,12 +199,13 @@ impl VcpuScheduler {
     /// Panics if `local_now.len()` differs from the vCPU count.
     pub fn pick(&self, local_now: &[SimTime]) -> Option<usize> {
         assert_eq!(local_now.len(), self.status.len(), "one clock per vCPU");
-        self.status
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| **s == VcpuStatus::Ready)
-            .min_by_key(|(i, _)| (local_now[*i], *i))
-            .map(|(i, _)| i)
+        pick_min_local_time(
+            self.status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == VcpuStatus::Ready)
+                .map(|(i, _)| (i, local_now[i])),
+        )
     }
 }
 

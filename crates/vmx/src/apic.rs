@@ -126,7 +126,8 @@ impl IcrCommand {
 /// use svt_vmx::LocalApic;
 ///
 /// let mut apic = LocalApic::new();
-/// apic.inject(0x50);
+/// assert!(apic.inject(0x50)); // newly pending
+/// assert!(!apic.inject(0x50)); // coalesced into the latched request
 /// assert_eq!(apic.ack(), Some(0x50));
 /// apic.eoi();
 /// assert_eq!(apic.ack(), None);
@@ -142,6 +143,10 @@ pub struct LocalApic {
     /// Count of interrupts that were delivered later than the deadline
     /// they were armed for (used by the video-playback experiment).
     late_timer_fires: u64,
+    /// Injections that newly latched a request bit.
+    delivered: u64,
+    /// Injections absorbed by an already-pending request bit.
+    coalesced: u64,
 }
 
 impl LocalApic {
@@ -150,9 +155,30 @@ impl LocalApic {
         LocalApic::default()
     }
 
-    /// Latches an interrupt request.
-    pub fn inject(&mut self, vector: u8) {
-        self.irr[(vector / 64) as usize] |= 1u64 << (vector % 64);
+    /// Latches an interrupt request. Returns whether the vector became
+    /// newly pending (`false`: it was already latched, so this injection
+    /// coalesced — the causal IPI exactly-once watchdog cares).
+    pub fn inject(&mut self, vector: u8) -> bool {
+        let word = (vector / 64) as usize;
+        let bit = 1u64 << (vector % 64);
+        let newly = self.irr[word] & bit == 0;
+        self.irr[word] |= bit;
+        if newly {
+            self.delivered += 1;
+        } else {
+            self.coalesced += 1;
+        }
+        newly
+    }
+
+    /// Injections that newly latched a request bit.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Injections absorbed by an already-pending request bit.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
     }
 
     /// Whether `vector` is pending.
@@ -238,6 +264,20 @@ impl LocalApic {
 mod tests {
     use super::*;
     use svt_sim::SimDuration;
+
+    #[test]
+    fn inject_distinguishes_delivery_from_coalescing() {
+        let mut apic = LocalApic::new();
+        assert!(apic.inject(0x50));
+        assert!(!apic.inject(0x50));
+        assert!(apic.inject(0x51));
+        assert_eq!(apic.delivered(), 2);
+        assert_eq!(apic.coalesced(), 1);
+        // Once acked, the vector can become newly pending again.
+        assert_eq!(apic.ack(), Some(0x51));
+        assert!(apic.inject(0x51));
+        assert_eq!(apic.delivered(), 3);
+    }
 
     #[test]
     fn inject_ack_eoi_cycle() {

@@ -71,7 +71,9 @@ pub use loadgen::{
 pub use server::{
     EchoService, ParsedRequest, RrServer, ServeOutput, ServerConfig, ServiceModel, VECTOR_BLK,
 };
-pub use smp::{memcached_smp, tpcc_smp, SmpPoint};
+pub use smp::{
+    memcached_smp, memcached_smp_profiled, tpcc_smp, tpcc_smp_profiled, CausalProfile, SmpPoint,
+};
 pub use stream::StreamSender;
 pub use tpcc::{TpccDb, TpccService, TpccSource, TxType};
 pub use video::{VideoConfig, VideoPlayer};

@@ -170,6 +170,9 @@ pub struct RrServer {
     reads_remaining: u32,
     wal_pending: u32,
     pending_repost: Vec<u64>,
+    req_seq: u64,
+    cur_req: Option<u64>,
+    end_pending: VecDeque<u64>,
 }
 
 impl RrServer {
@@ -202,6 +205,9 @@ impl RrServer {
             reads_remaining: 0,
             wal_pending: 0,
             pending_repost: Vec::new(),
+            req_seq: 0,
+            cur_req: None,
+            end_pending: VecDeque::new(),
         }
     }
 
@@ -237,6 +243,11 @@ impl RrServer {
             .driver_add(mem, &[(buf, reply.reply_len.max(8), false)])
             .expect("tx ring in RAM");
         self.tx_inflight.insert(head, buf);
+        // The reply is on the wire once the queued TX ops drain; the
+        // request's causal anchor closes then (see `step`).
+        if let Some(k) = self.cur_req.take() {
+            self.end_pending.push_back(k);
+        }
         self.served += 1;
         self.since_replenish += 1;
         self.since_timer += 1;
@@ -358,6 +369,14 @@ impl RrServer {
 
 impl GuestProgram for RrServer {
     fn step(&mut self, ctx: &mut GuestCtx<'_>) -> GuestOp {
+        if self.ops.is_empty() {
+            // All ops queued on behalf of replied-to requests (netstack
+            // compute, doorbell kicks and their traps) have executed:
+            // close those requests' causal anchors.
+            while let Some(k) = self.end_pending.pop_front() {
+                ctx.obs.causal.request_end(k, ctx.now);
+            }
+        }
         if let Some(op) = self.ops.pop_front() {
             return op;
         }
@@ -411,6 +430,10 @@ impl GuestProgram for RrServer {
                     return GuestOp::Done;
                 }
                 if let Some(req) = self.queue.pop_front() {
+                    let key = ((self.cfg.lane as u64) << 32) | self.req_seq;
+                    self.req_seq += 1;
+                    ctx.obs.causal.request_start(key, ctx.now);
+                    self.cur_req = Some(key);
                     self.begin_request(ctx.mem, req);
                     self.step(ctx)
                 } else {

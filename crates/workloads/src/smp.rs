@@ -10,6 +10,7 @@
 
 use svt_core::{smp_machine, SwitchMode};
 use svt_hv::GuestProgram;
+use svt_obs::{folded_stacks, CriticalPath};
 use svt_sim::{SimDuration, SimTime};
 
 use crate::harness::{attach_blk_for, attach_loadgen_for};
@@ -35,6 +36,27 @@ pub struct SmpPoint {
     pub p99_ns: f64,
 }
 
+/// Causal-profiling products of one SMP run: the per-request critical
+/// paths extracted from the machine's causal event graph, their folded
+/// (FlameGraph-style) rendering, and the watchdog verdicts.
+#[derive(Debug, Clone)]
+pub struct CausalProfile {
+    /// One critical path per completed request, in completion order.
+    pub paths: Vec<CriticalPath>,
+    /// Folded stacks (`vcpu;LEVEL;phase weight` lines).
+    pub folded: String,
+    /// `(watchdog name, violation count)` pairs, non-zero entries only.
+    pub violations: Vec<(&'static str, u64)>,
+    /// Causal events recorded over the run.
+    pub events_recorded: u64,
+    /// Events evicted by the graph's bounded ring.
+    pub events_dropped: u64,
+    /// The run's trap-lifecycle spans (for Chrome traces).
+    pub spans: Vec<svt_obs::Span>,
+    /// Cross-lane causal edges as Chrome flow arrows.
+    pub flows: Vec<svt_obs::FlowArrow>,
+}
+
 /// Sharded memcached under per-vCPU open-loop ETC load.
 ///
 /// Each vCPU serves `rate_qps` of offered load from its own generator
@@ -45,8 +67,38 @@ pub struct SmpPoint {
 /// Panics if `n_vcpus` is zero or exceeds the machine's physical cores,
 /// or if no lane completes any request.
 pub fn memcached_smp(mode: SwitchMode, n_vcpus: usize, rate_qps: f64, requests: u64) -> SmpPoint {
+    memcached_run(mode, n_vcpus, rate_qps, requests, false).0
+}
+
+/// [`memcached_smp`] with the causal event graph enabled; additionally
+/// returns the run's critical-path profile.
+///
+/// # Panics
+///
+/// As [`memcached_smp`].
+pub fn memcached_smp_profiled(
+    mode: SwitchMode,
+    n_vcpus: usize,
+    rate_qps: f64,
+    requests: u64,
+) -> (SmpPoint, CausalProfile) {
+    let (p, prof) = memcached_run(mode, n_vcpus, rate_qps, requests, true);
+    (p, prof.expect("profiled run harvests a causal profile"))
+}
+
+fn memcached_run(
+    mode: SwitchMode,
+    n_vcpus: usize,
+    rate_qps: f64,
+    requests: u64,
+    profile: bool,
+) -> (SmpPoint, Option<CausalProfile>) {
     let mean = SimDuration::from_ns_f64(1e9 / rate_qps);
     let mut m = smp_machine(mode, n_vcpus);
+    if profile {
+        m.obs.spans.enable();
+        m.obs.causal.enable();
+    }
     let cost = m.cost.clone();
     let mut stats = Vec::with_capacity(n_vcpus);
     let mut servers: Vec<RrServer> = Vec::with_capacity(n_vcpus);
@@ -71,7 +123,8 @@ pub fn memcached_smp(mode: SwitchMode, n_vcpus: usize, rate_qps: f64, requests: 
         + SimDuration::from_ns_f64(requests as f64 * mean.as_ns())
         + SimDuration::from_ms(80);
     run_servers(&mut m, &mut servers, horizon);
-    collect(n_vcpus, &stats)
+    let prof = profile.then(|| harvest_profile(&m));
+    (collect(n_vcpus, &stats), prof)
 }
 
 /// Sharded TPC-C: per-vCPU closed-loop clients, each lane persisting its
@@ -83,8 +136,36 @@ pub fn memcached_smp(mode: SwitchMode, n_vcpus: usize, rate_qps: f64, requests: 
 /// Panics if `n_vcpus` is zero or exceeds the machine's physical cores,
 /// or if no lane completes any statement.
 pub fn tpcc_smp(mode: SwitchMode, n_vcpus: usize, transactions: u64) -> SmpPoint {
+    tpcc_run(mode, n_vcpus, transactions, false).0
+}
+
+/// [`tpcc_smp`] with the causal event graph enabled; additionally
+/// returns the run's critical-path profile.
+///
+/// # Panics
+///
+/// As [`tpcc_smp`].
+pub fn tpcc_smp_profiled(
+    mode: SwitchMode,
+    n_vcpus: usize,
+    transactions: u64,
+) -> (SmpPoint, CausalProfile) {
+    let (p, prof) = tpcc_run(mode, n_vcpus, transactions, true);
+    (p, prof.expect("profiled run harvests a causal profile"))
+}
+
+fn tpcc_run(
+    mode: SwitchMode,
+    n_vcpus: usize,
+    transactions: u64,
+    profile: bool,
+) -> (SmpPoint, Option<CausalProfile>) {
     let statements = transactions * 34;
     let mut m = smp_machine(mode, n_vcpus);
+    if profile {
+        m.obs.spans.enable();
+        m.obs.causal.enable();
+    }
     let cost = m.cost.clone();
     let mut stats = Vec::with_capacity(n_vcpus);
     let mut servers: Vec<RrServer> = Vec::with_capacity(n_vcpus);
@@ -110,7 +191,25 @@ pub fn tpcc_smp(mode: SwitchMode, n_vcpus: usize, transactions: u64) -> SmpPoint
         servers.push(RrServer::new(cfg, Box::new(service)));
     }
     run_servers(&mut m, &mut servers, SimTime::MAX);
-    collect(n_vcpus, &stats)
+    let prof = profile.then(|| harvest_profile(&m));
+    (collect(n_vcpus, &stats), prof)
+}
+
+/// Extracts the causal products after a profiled run. `run_smp` has
+/// already swept the graph's watchdogs at the end-of-run clock.
+fn harvest_profile(m: &svt_hv::Machine) -> CausalProfile {
+    let paths = m.obs.causal.critical_paths();
+    let folded = folded_stacks(&paths);
+    let violations = m.obs.causal.violations().filter(|&(_, n)| n > 0).collect();
+    CausalProfile {
+        paths,
+        folded,
+        violations,
+        events_recorded: m.obs.causal.recorded(),
+        events_dropped: m.obs.causal.dropped(),
+        spans: m.obs.spans.to_vec(),
+        flows: m.obs.causal.flow_arrows(),
+    }
 }
 
 fn run_servers(m: &mut svt_hv::Machine, servers: &mut [RrServer], horizon: SimTime) {

@@ -50,4 +50,48 @@ for name, (lo, hi) in bands.items():
 sys.exit(0 if ok else 1)
 PY
 
+echo "==> profile smoke: causal critical paths present and schema current"
+cargo run -q -p svt-bench --bin profile -- memcached 2 --smoke --json /tmp/profile.json >/dev/null
+python3 - <<'PY'
+import json, sys
+
+rep = json.load(open("/tmp/profile.json"))
+
+# The report schema must be the causal-profiling one (v2: critical_path
+# rows + folded stacks in results).
+if rep.get("schema_version") != 2:
+    sys.exit(f"FAIL: schema_version {rep.get('schema_version')} != 2")
+
+rows = rep.get("critical_path", [])
+if not rows:
+    sys.exit("FAIL: no critical_path rows in the profile report")
+
+results = dict(rep.get("results", []))
+ok = True
+for cfg in ("memcached/baseline", "memcached/sw_svt"):
+    folded = results.get(f"{cfg}/folded_stacks", "")
+    if not folded.strip():
+        print(f"FAIL {cfg}: empty folded stacks")
+        ok = False
+        continue
+    n = len(folded.strip().splitlines())
+    print(f"ok   {cfg}: {n} folded-stack buckets, "
+          f"{results[f'{cfg}/requests']} requests, "
+          f"{results[f'{cfg}/watchdog_violations']} watchdog violations")
+    if results.get(f"{cfg}/watchdog_violations", 0) != 0:
+        print(f"FAIL {cfg}: watchdog violations in a clean run")
+        ok = False
+
+# The acceptance claim: SW SVt's critical path spends less in
+# exit/resume than the baseline's.
+b = results.get("memcached/baseline/exit_resume_ps", 0)
+s = results.get("memcached/sw_svt/exit_resume_ps", 0)
+if not (0 < s < b):
+    print(f"FAIL: exit/resume not reduced (baseline {b} ps, sw-svt {s} ps)")
+    ok = False
+else:
+    print(f"ok   exit/resume on the critical path: baseline {b} ps -> sw-svt {s} ps")
+sys.exit(0 if ok else 1)
+PY
+
 echo "CI green."

@@ -21,7 +21,7 @@ fn traced_cpuid_run(mode: SwitchMode, traps: u64) -> (Vec<Span>, u64) {
     let first_seq = m.obs.spans.current_trap() + 1;
     let mut prog = OpLoop::new(GuestOp::Cpuid, traps, 0, SimDuration::ZERO);
     m.run(&mut prog).expect("cpuid never blocks");
-    (m.obs.spans.spans().to_vec(), first_seq)
+    (m.obs.spans.to_vec(), first_seq)
 }
 
 #[test]
