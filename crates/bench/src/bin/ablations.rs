@@ -101,6 +101,12 @@ fn main() {
     let mut report = RunReport::new("ablations", "Design-choice ablations (DESIGN.md)");
     report.machine = Some(machine_json());
     report.cost_model = Some(cost_model_json(&CostModel::default()));
+    // cpuid ablations are load-free; the seed is recorded so every bench
+    // report carries the same reproducibility field.
+    report.results.push((
+        "seed".to_string(),
+        Json::from(cli.seed_or(svt_workloads::DEFAULT_LANE_SEED)),
+    ));
     for (name, rows) in sections {
         report.results.push((
             name,

@@ -61,6 +61,12 @@ fn main() {
     );
     report.machine = Some(machine_json());
     report.cost_model = Some(cost_model_json(&cost));
+    // The channel study is analytic; the seed is recorded so every bench
+    // report carries the same reproducibility field.
+    report.results.push((
+        "seed".to_string(),
+        Json::from(cli.seed_or(svt_workloads::DEFAULT_LANE_SEED)),
+    ));
     report
         .results
         .push(("cells".to_string(), Json::Arr(cell_rows)));

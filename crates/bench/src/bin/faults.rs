@@ -1,0 +1,130 @@
+//! Chaos campaign: serving throughput under deterministic fault injection.
+//!
+//! Sweeps the fault rate across engines (baseline vs. SW SVt) on the
+//! sharded memcached workload. Every cell reports per-kind injection
+//! counts, the protocol's recovery work (retransmits, timeouts,
+//! duplicate drops), the degradation state machine's transitions and
+//! fallback share, and the causal watchdog verdicts — which must all be
+//! zero: injected faults may cost time, never correctness.
+//!
+//! `--seed <n>` picks the fault plan's seed (default `0xC4A05EED`);
+//! `--smoke` runs the two-point CI variant.
+
+use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
+use svt_core::SwitchMode;
+use svt_obs::{Json, RunReport};
+use svt_sim::{CostModel, FaultPlan};
+use svt_workloads::{memcached_chaos, ChaosPoint};
+
+const N_VCPUS: usize = 2;
+const RATE_QPS: f64 = 2_000.0;
+const DEFAULT_SEED: u64 = 0xC4A0_5EED;
+
+fn main() {
+    let cli = BenchCli::parse();
+    let smoke = cli.flag("--smoke");
+    let seed = cli.seed_or(DEFAULT_SEED);
+    let requests: u64 = if smoke { 60 } else { 150 };
+    let rates: &[f64] = if smoke {
+        &[0.0, 0.05]
+    } else {
+        &[0.0, 0.01, 0.05, 0.2]
+    };
+    let modes = [SwitchMode::Baseline, SwitchMode::SwSvt];
+
+    print_header("Chaos campaign - memcached under deterministic fault injection");
+    println!("fault plan seed: {seed:#x}");
+    println!(
+        "{:<10}{:>7}{:>12}{:>10}{:>9}{:>9}{:>10}{:>11}",
+        "System", "rate", "Tput [rps]", "injected", "retries", "timeout", "fallback", "watchdogs"
+    );
+    rule();
+
+    let mut report = RunReport::new(
+        "faults",
+        "Fault-rate sweep: injection, recovery and degradation per engine",
+    );
+    report.machine = Some(machine_json());
+    report.cost_model = Some(cost_model_json(&CostModel::default()));
+    report.results.push(("seed".to_string(), Json::from(seed)));
+
+    let mut cells = Vec::new();
+    for mode in modes {
+        for &rate in rates {
+            let plan = if rate == 0.0 {
+                FaultPlan::none()
+            } else {
+                FaultPlan::uniform(seed, rate)
+            };
+            let p = memcached_chaos(mode, N_VCPUS, RATE_QPS, requests, plan);
+            assert_eq!(
+                p.watchdog_violations(),
+                0,
+                "{} at rate {rate}: watchdogs fired: {:?}",
+                mode.label(),
+                p.watchdogs
+            );
+            println!(
+                "{:<10}{:>7.2}{:>12.0}{:>10}{:>9}{:>9}{:>9.1}%{:>11}",
+                mode.label(),
+                rate,
+                p.point.throughput,
+                p.total_injected,
+                p.retransmits,
+                p.timeouts,
+                p.fallback_rate() * 100.0,
+                p.watchdog_violations()
+            );
+            cells.push(cell_json(mode, rate, &p));
+        }
+        rule();
+    }
+    report
+        .results
+        .push(("campaign".to_string(), Json::Arr(cells)));
+    cli.emit_report(&report);
+}
+
+fn cell_json(mode: SwitchMode, rate: f64, p: &ChaosPoint) -> Json {
+    let injected = p
+        .injected
+        .iter()
+        .map(|&(k, n)| (k, Json::from(n)))
+        .collect::<Vec<_>>();
+    let transitions = p
+        .transitions
+        .iter()
+        .map(|&(k, n)| (k, Json::from(n)))
+        .collect::<Vec<_>>();
+    let watchdogs = p
+        .watchdogs
+        .iter()
+        .map(|&(k, n)| (k, Json::from(n)))
+        .collect::<Vec<_>>();
+    Json::obj([
+        ("engine", Json::Str(mode.label().to_string())),
+        ("fault_rate", Json::Num(rate)),
+        ("seed", Json::from(p.seed)),
+        ("throughput_rps", Json::Num(p.point.throughput)),
+        ("avg_ns", Json::Num(p.point.avg_ns)),
+        ("p99_ns", Json::Num(p.point.p99_ns)),
+        ("completed", Json::from(p.point.completed)),
+        ("injected", Json::obj(injected)),
+        ("total_injected", Json::from(p.total_injected)),
+        ("retransmits", Json::from(p.retransmits)),
+        ("timeouts", Json::from(p.timeouts)),
+        ("duplicates_dropped", Json::from(p.duplicates_dropped)),
+        ("protocol_errors", Json::from(p.protocol_errors)),
+        ("ipi_retransmits", Json::from(p.ipi_retransmits)),
+        (
+            "ipi_duplicates_absorbed",
+            Json::from(p.ipi_duplicates_absorbed),
+        ),
+        ("transitions", Json::obj(transitions)),
+        ("ring_traps", Json::from(p.ring_traps)),
+        ("fallback_traps", Json::from(p.fallback_traps)),
+        ("resume_fallbacks", Json::from(p.resume_fallbacks)),
+        ("fallback_rate", Json::Num(p.fallback_rate())),
+        ("watchdogs", Json::obj(watchdogs)),
+    ])
+}

@@ -44,6 +44,12 @@ fn main() {
     let mut report = RunReport::new("fig10", "Video-playback dropped frames (Fig. 10)");
     report.machine = Some(machine_json());
     report.cost_model = Some(cost_model_json(&CostModel::default()));
+    // Fixed frame cadence, no random load; the seed is recorded so every
+    // bench report carries the same reproducibility field.
+    report.results.push((
+        "seed".to_string(),
+        Json::from(cli.seed_or(svt_workloads::DEFAULT_LANE_SEED)),
+    ));
     report
         .results
         .push(("frame_rates".to_string(), Json::Arr(rows)));

@@ -33,6 +33,12 @@ fn main() {
     let mut report = RunReport::new("fig6", "Execution time of a cpuid instruction (Fig. 6)");
     report.machine = Some(machine_json());
     report.cost_model = Some(cost_model_json(&CostModel::default()));
+    // The cpuid micro-benchmark is load-free; the seed is recorded so
+    // every bench report carries the same reproducibility field.
+    report.results.push((
+        "seed".to_string(),
+        Json::from(cli.seed_or(svt_workloads::DEFAULT_LANE_SEED)),
+    ));
     let paper = [0.05, 0.81, 1.29, 4.89, 1.40, 1.96];
     for row in svt_workloads::table1(200) {
         report.parts.push(PartRow {

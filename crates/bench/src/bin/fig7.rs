@@ -32,6 +32,12 @@ fn main() {
     let mut report = RunReport::new("fig7", "Speedup of SVt on I/O subsystems (Fig. 7)");
     report.machine = Some(machine_json());
     report.cost_model = Some(cost_model_json(&CostModel::default()));
+    // Fixed-pattern I/O clients; the seed is recorded so every bench
+    // report carries the same reproducibility field.
+    report.results.push((
+        "seed".to_string(),
+        Json::from(cli.seed_or(svt_workloads::DEFAULT_LANE_SEED)),
+    ));
     let mut bench_rows = Vec::new();
     for r in &rows {
         report.speedups.push(SpeedupRow {

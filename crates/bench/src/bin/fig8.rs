@@ -4,18 +4,19 @@ use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
 use svt_core::SwitchMode;
 use svt_obs::{Json, RunReport, SpeedupRow};
 use svt_sim::CostModel;
-use svt_workloads::{default_rates, fig8_series, SLA_NS};
+use svt_workloads::{default_rates, fig8_series_seeded, DEFAULT_LANE_SEED, SLA_NS};
 
 fn main() {
     let cli = BenchCli::parse();
     let quick = cli.flag("--quick");
+    let seed = cli.seed_or(DEFAULT_LANE_SEED);
     let requests = if quick { 400 } else { 2000 };
     print_header("Fig. 8 - memcached (ETC) latency vs load, SLA 500 usec on p99");
     let rates = default_rates();
     let mut within = Vec::new();
     let mut series_rows = Vec::new();
     for mode in [SwitchMode::Baseline, SwitchMode::SwSvt] {
-        let series = fig8_series(mode, &rates, requests);
+        let series = fig8_series_seeded(mode, &rates, requests, seed);
         println!("\n[{}]", series.name);
         println!(
             "{:>12}{:>16}{:>14}{:>14}",
@@ -55,6 +56,7 @@ fn main() {
     let mut report = RunReport::new("fig8", "memcached ETC latency vs load (Fig. 8)");
     report.machine = Some(machine_json());
     report.cost_model = Some(cost_model_json(&CostModel::default()));
+    report.results.push(("seed".to_string(), Json::from(seed)));
     for (name, t) in &within {
         let speedup = t / base;
         println!(

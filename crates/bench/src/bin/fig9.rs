@@ -8,10 +8,11 @@ use svt_sim::CostModel;
 fn main() {
     let cli = BenchCli::parse();
     let quick = cli.flag("--quick");
+    let seed = cli.seed_or(svt_workloads::DEFAULT_LANE_SEED);
     let txns = if quick { 60 } else { 300 };
     print_header("Fig. 9 - TPC-C (sysbench-style, WAL on virtio-blk) throughput");
-    let baseline = svt_workloads::tpcc_tpm(SwitchMode::Baseline, txns);
-    let svt = svt_workloads::tpcc_tpm(SwitchMode::SwSvt, txns);
+    let baseline = svt_workloads::tpcc_tpm_seeded(SwitchMode::Baseline, txns, seed);
+    let svt = svt_workloads::tpcc_tpm_seeded(SwitchMode::SwSvt, txns, seed);
     println!("{:<12}{:>40}", "System", "Throughput [tpm]");
     rule();
     println!("{:<12}{:>40}", "Baseline", vs_paper(baseline, 6370.0));
@@ -22,6 +23,7 @@ fn main() {
     let mut report = RunReport::new("fig9", "TPC-C throughput (Fig. 9)");
     report.machine = Some(machine_json());
     report.cost_model = Some(cost_model_json(&CostModel::default()));
+    report.results.push(("seed".to_string(), Json::from(seed)));
     report.speedups.push(SpeedupRow {
         name: "sw_svt/tpcc_tpm".to_string(),
         speedup: svt / baseline,

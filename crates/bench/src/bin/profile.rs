@@ -24,7 +24,10 @@ use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
 use svt_core::SwitchMode;
 use svt_obs::{fold_paths, CriticalPathRow, Json, ObsLevel, RunReport};
 use svt_sim::CostModel;
-use svt_workloads::{memcached_smp_profiled, tpcc_smp_profiled, CausalProfile, SmpPoint};
+use svt_workloads::{
+    memcached_smp_profiled_seeded, tpcc_smp_profiled_seeded, CausalProfile, SmpPoint,
+    DEFAULT_LANE_SEED,
+};
 
 /// Phases billed to the exit/resume rollup: the L2<->L0 hardware switch
 /// halves plus the baseline's L0<->L1 world switches.
@@ -154,6 +157,7 @@ fn main() {
         .unwrap_or("all")
         .to_string();
     let n_vcpus = cli.positional_or(1, 2usize);
+    let seed = cli.seed_or(DEFAULT_LANE_SEED);
     let (mc_requests, tpcc_tx) = if smoke { (60, 6) } else { (400, 40) };
 
     print_header("Causal critical-path profile - SW SVt vs baseline");
@@ -163,12 +167,19 @@ fn main() {
     );
     report.machine = Some(machine_json());
     report.cost_model = Some(cost_model_json(&CostModel::default()));
+    report.results.push(("seed".to_string(), Json::from(seed)));
 
     let mut runs: Vec<(&str, ConfigRun, ConfigRun)> = Vec::new();
     if workload == "all" || workload == "memcached" {
-        let (bp, bprof) =
-            memcached_smp_profiled(SwitchMode::Baseline, n_vcpus, 2_000.0, mc_requests);
-        let (sp, sprof) = memcached_smp_profiled(SwitchMode::SwSvt, n_vcpus, 2_000.0, mc_requests);
+        let (bp, bprof) = memcached_smp_profiled_seeded(
+            SwitchMode::Baseline,
+            n_vcpus,
+            2_000.0,
+            mc_requests,
+            seed,
+        );
+        let (sp, sprof) =
+            memcached_smp_profiled_seeded(SwitchMode::SwSvt, n_vcpus, 2_000.0, mc_requests, seed);
         runs.push((
             "memcached",
             ConfigRun {
@@ -184,8 +195,8 @@ fn main() {
         ));
     }
     if workload == "all" || workload == "tpcc" {
-        let (bp, bprof) = tpcc_smp_profiled(SwitchMode::Baseline, n_vcpus, tpcc_tx);
-        let (sp, sprof) = tpcc_smp_profiled(SwitchMode::SwSvt, n_vcpus, tpcc_tx);
+        let (bp, bprof) = tpcc_smp_profiled_seeded(SwitchMode::Baseline, n_vcpus, tpcc_tx, seed);
+        let (sp, sprof) = tpcc_smp_profiled_seeded(SwitchMode::SwSvt, n_vcpus, tpcc_tx, seed);
         runs.push((
             "tpcc",
             ConfigRun {

@@ -10,7 +10,7 @@ use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
 use svt_core::SwitchMode;
 use svt_obs::{Json, RunReport, SpeedupRow};
 use svt_sim::CostModel;
-use svt_workloads::{memcached_smp, SmpPoint};
+use svt_workloads::{memcached_smp_seeded, SmpPoint, DEFAULT_LANE_SEED};
 
 const VCPU_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const RATE_QPS: f64 = 2_000.0;
@@ -18,6 +18,7 @@ const REQUESTS: u64 = 150;
 
 fn main() {
     let cli = BenchCli::parse();
+    let seed = cli.seed_or(DEFAULT_LANE_SEED);
     print_header("SMP scaling - sharded memcached, per-vCPU open-loop load");
     println!(
         "{:<10}{:>8}{:>14}{:>14}{:>12}",
@@ -28,7 +29,7 @@ fn main() {
     for mode in SwitchMode::ALL {
         let mut points = Vec::new();
         for &n in &VCPU_COUNTS {
-            let p = memcached_smp(mode, n, RATE_QPS, REQUESTS);
+            let p = memcached_smp_seeded(mode, n, RATE_QPS, REQUESTS, seed);
             println!(
                 "{:<10}{:>8}{:>14.0}{:>14.1}{:>12.1}",
                 mode.label(),
@@ -46,6 +47,7 @@ fn main() {
     let mut report = RunReport::new("smp", "Sharded memcached scaling over 1-8 vCPUs");
     report.machine = Some(machine_json());
     report.cost_model = Some(cost_model_json(&CostModel::default()));
+    report.results.push(("seed".to_string(), Json::from(seed)));
     let baseline = &series[0].1;
     for (mode, points) in &series {
         if *mode != SwitchMode::Baseline {

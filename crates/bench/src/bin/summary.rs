@@ -10,10 +10,12 @@ use svt_sim::CostModel;
 
 fn main() {
     let cli = BenchCli::parse();
+    let seed = cli.seed_or(svt_workloads::DEFAULT_LANE_SEED);
     print_header("SVt reproduction - headline summary (quick settings)");
     let mut report = RunReport::new("summary", "Headline summary (quick settings)");
     report.machine = Some(machine_json());
     report.cost_model = Some(cost_model_json(&CostModel::default()));
+    report.results.push(("seed".to_string(), Json::from(seed)));
 
     // Table 1 / Fig. 6.
     let t1: f64 = svt_workloads::table1(50).iter().map(|r| r.time_us).sum();
@@ -59,8 +61,8 @@ fn main() {
     rule();
 
     // Fig. 8 at one moderate load point.
-    let b = svt_workloads::memcached_point(SwitchMode::Baseline, 10_000.0, 400);
-    let s = svt_workloads::memcached_point(SwitchMode::SwSvt, 10_000.0, 400);
+    let b = svt_workloads::memcached_point_seeded(SwitchMode::Baseline, 10_000.0, 400, seed);
+    let s = svt_workloads::memcached_point_seeded(SwitchMode::SwSvt, 10_000.0, 400, seed);
     println!(
         "Fig. 8   avg latency @10kQPS       paper 1.43x     measured {:.2}x ({:.0}us -> {:.0}us)",
         b.avg_ns / s.avg_ns,
@@ -73,8 +75,8 @@ fn main() {
     });
 
     // Fig. 9.
-    let tb = svt_workloads::tpcc_tpm(SwitchMode::Baseline, 60);
-    let ts = svt_workloads::tpcc_tpm(SwitchMode::SwSvt, 60);
+    let tb = svt_workloads::tpcc_tpm_seeded(SwitchMode::Baseline, 60, seed);
+    let ts = svt_workloads::tpcc_tpm_seeded(SwitchMode::SwSvt, 60, seed);
     println!(
         "Fig. 9   TPC-C speedup             paper 1.18x     measured {:.2}x ({tb:.0} -> {ts:.0} tpm)",
         ts / tb

@@ -1,7 +1,7 @@
 //! Regenerates Table 1: the time breakdown of one `cpuid` in a nested VM.
 
 use svt_bench::{cost_model_json, machine_json, print_header, rule, vs_paper, BenchCli};
-use svt_obs::{PartRow, RunReport};
+use svt_obs::{Json, PartRow, RunReport};
 use svt_sim::CostModel;
 
 fn main() {
@@ -32,6 +32,12 @@ fn main() {
     let mut report = RunReport::new("table1", "cpuid breakdown in a nested VM (Table 1)");
     report.machine = Some(machine_json());
     report.cost_model = Some(cost_model_json(&CostModel::default()));
+    // The cpuid micro-benchmark is load-free; the seed is recorded so
+    // every bench report carries the same reproducibility field.
+    report.results.push((
+        "seed".to_string(),
+        Json::from(cli.seed_or(svt_workloads::DEFAULT_LANE_SEED)),
+    ));
     for r in &rows {
         report.parts.push(PartRow {
             part: r.part as u32,

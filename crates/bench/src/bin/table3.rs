@@ -58,6 +58,12 @@ fn main() {
 
     let mut report = RunReport::new("table3", "Code-size inventory (Table 3 analogue)");
     report.machine = Some(machine_json());
+    // A static inventory; the seed is recorded so every bench report
+    // carries the same reproducibility field.
+    report.results.push((
+        "seed".to_string(),
+        Json::from(cli.seed_or(svt_workloads::DEFAULT_LANE_SEED)),
+    ));
     report.results.push(("crates".to_string(), Json::Arr(rows)));
     cli.emit_report(&report);
 }

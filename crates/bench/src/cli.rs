@@ -7,6 +7,9 @@
 //! * `--trace <path>` (or `--trace=<path>`) — write a Chrome trace
 //!   (`chrome://tracing` / Perfetto) of the run's spans, with causal
 //!   flow arrows when the binary records them;
+//! * `--seed <n>` (or `--seed=<n>`) — deterministic seed for whatever
+//!   randomness the binary drives (load generators, fault plans); every
+//!   binary records the seed it ran with in its report;
 //! * bare `--flags` (e.g. `--quick`, `--smoke`) and positional values,
 //!   exposed through [`BenchCli::flag`] and [`BenchCli::positional`].
 //!
@@ -26,6 +29,8 @@ pub struct BenchCli {
     pub json: Option<PathBuf>,
     /// Destination of the Chrome trace, if requested.
     pub trace: Option<PathBuf>,
+    /// Deterministic seed (`--seed`), if given.
+    pub seed: Option<u64>,
     /// Positional (non-flag) arguments in order.
     pub positional: Vec<String>,
     /// Bare `--flag` arguments (everything else starting with `--`).
@@ -52,6 +57,10 @@ impl BenchCli {
                 cli.trace = it.next().map(PathBuf::from);
             } else if let Some(p) = a.strip_prefix("--trace=") {
                 cli.trace = Some(PathBuf::from(p));
+            } else if a == "--seed" {
+                cli.seed = it.next().and_then(|s| s.parse().ok());
+            } else if let Some(p) = a.strip_prefix("--seed=") {
+                cli.seed = p.parse().ok();
             } else if a.starts_with("--") {
                 cli.flags.push(a);
             } else {
@@ -64,6 +73,11 @@ impl BenchCli {
     /// Whether a bare flag (e.g. `"--quick"`) was given.
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
+    }
+
+    /// The `--seed` value, or `default` when none was given.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
     }
 
     /// Positional argument `i` parsed as a number, or `default` when
@@ -135,6 +149,16 @@ mod tests {
         let c = args(&[]);
         assert!(c.json.is_none());
         assert!(c.trace.is_none());
+        assert!(c.seed.is_none());
         assert!(c.positional.is_empty());
+    }
+
+    #[test]
+    fn parses_seed_in_both_forms() {
+        assert_eq!(args(&["--seed", "42"]).seed, Some(42));
+        assert_eq!(args(&["--seed=7"]).seed, Some(7));
+        assert_eq!(args(&["--seed=x"]).seed, None);
+        assert_eq!(args(&[]).seed_or(5), 5);
+        assert_eq!(args(&["--seed=9"]).seed_or(5), 9);
     }
 }

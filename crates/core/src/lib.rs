@@ -39,12 +39,14 @@
 
 mod bypass;
 mod commands;
+mod degrade;
 mod hw;
 mod stack;
 mod sw;
 
 pub use bypass::BypassReflector;
-pub use commands::{Command, CMD_VM_RESUME, CMD_VM_TRAP, PAYLOAD_LEN};
+pub use commands::{Command, ProtocolError, CMD_VM_RESUME, CMD_VM_TRAP, PAYLOAD_LEN};
+pub use degrade::{transition_label, DegradeFsm, SvtHealth};
 pub use hw::HwSvtReflector;
 pub use stack::{machine_with, nested_machine, smp_machine, smp_machine_with, SwitchMode};
 pub use sw::{SwSvtReflector, WaitMode};

@@ -8,15 +8,29 @@
 //! unidirectional shared-memory rings — real byte-level rings in
 //! simulated guest memory — and wait for each other with
 //! `monitor`/`mwait` on the ring doorbell line.
+//!
+//! # Hardened protocol
+//!
+//! The channel is treated as unreliable: commands carry sequence numbers
+//! and an FNV-1a checksum, every `mwait` is bounded by a TSC-deadline
+//! ([`svt_sim::CostModel::mwait_timeout`]), and each leg retries with a
+//! fresh sequence number until it succeeds or the [`DegradeFsm`] decides
+//! the channel is broken. A broken channel never hangs the trap: the
+//! reflector *falls back per-trap* to the classic exit/resume
+//! world-switch path and keeps probing the ring so a healed channel is
+//! re-promoted. Every injected fault, retry, timeout and state
+//! transition is counted in the metrics registry and visible on the
+//! causal graph.
 
 use svt_cpu::Gpr;
-use svt_hv::{Machine, MachineEvent, Reflector};
+use svt_hv::{Level, Machine, MachineEvent, Reflector};
 use svt_mem::{CommandRing, Hpa};
 use svt_obs::{MetricKey, ObsLevel};
-use svt_sim::{CostPart, Placement, SimDuration};
+use svt_sim::{CostPart, FaultKind, Placement, SimDuration};
 use svt_vmx::ExitReason;
 
-use crate::commands::{Command, CMD_VM_RESUME, CMD_VM_TRAP, PAYLOAD_LEN};
+use crate::commands::{Command, ProtocolError, CMD_VM_RESUME, CMD_VM_TRAP, PAYLOAD_LEN};
+use crate::degrade::{transition_label, DegradeFsm, SvtHealth, Transition};
 
 /// How a waiting side detects new commands (the § 6.1 channel study).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +55,10 @@ const POLL_STEAL_RATIO: f64 = 0.18;
 /// to the pre-SMP machine; each further vCPU's rings live one stride up,
 /// so two vCPUs trapping back-to-back never touch each other's rings.
 const SVT_RING_STRIDE: u64 = 0x1_0000;
+
+/// Upper bound on channel attempts per leg. A backstop only: the
+/// [`DegradeFsm`] (default K = 4) normally aborts the leg first.
+const MAX_ATTEMPTS: u32 = 8;
 
 /// The software-only SVt engine.
 ///
@@ -68,6 +86,20 @@ pub struct SwSvtReflector {
     resp_ring: Option<CommandRing>,
     last_cmd: Option<Command>,
     svt_blocked_count: u64,
+    /// Next command sequence number (shared across both rings; strictly
+    /// increasing, so any stale ring entry sorts below the live one).
+    next_seq: u64,
+    /// The degradation policy deciding ring vs. fallback per trap.
+    fsm: DegradeFsm,
+    /// Whether any channel attempt failed during the current trap (a
+    /// trap only counts as clean for healing if this stays false).
+    retried_this_trap: bool,
+    /// Whether the current trap fell back mid-flight (set by `run_l1`,
+    /// read by `reflect` to pick the classic exit legs).
+    fell_back_mid_trap: bool,
+    /// True while the classic world-switch path serves a trap, so
+    /// `l1_read_exit_info` uses vmreads instead of the command payload.
+    fallback_active: bool,
 }
 
 impl SwSvtReflector {
@@ -95,12 +127,27 @@ impl SwSvtReflector {
             resp_ring: None,
             last_cmd: None,
             svt_blocked_count: 0,
+            next_seq: 0,
+            fsm: DegradeFsm::new(),
+            retried_this_trap: false,
+            fell_back_mid_trap: false,
+            fallback_active: false,
         }
     }
 
     /// Number of times the § 5.3 deadlock-avoidance path ran.
     pub fn svt_blocked_count(&self) -> u64 {
         self.svt_blocked_count
+    }
+
+    /// Current channel health as judged by the degradation policy.
+    pub fn health(&self) -> SvtHealth {
+        self.fsm.state()
+    }
+
+    /// The degradation policy (counters and tunables).
+    pub fn fsm(&self) -> &DegradeFsm {
+        &self.fsm
     }
 
     fn ensure_init(&mut self, m: &mut Machine) {
@@ -131,52 +178,316 @@ impl SwSvtReflector {
         }
     }
 
-    /// Pushes one command through a ring, charging the payload's cache-line
-    /// transfers at the configured placement.
+    /// What one expired bounded wait costs: the TSC-deadline window plus
+    /// (under mwait) re-arming the monitor for the retry.
+    fn timeout_cost(&self, m: &Machine) -> SimDuration {
+        let rearm = match self.wait {
+            WaitMode::Mwait => m.cost.monitor_arm,
+            WaitMode::Poll | WaitMode::Mutex => SimDuration::ZERO,
+        };
+        m.cost.mwait_timeout + rearm
+    }
+
     /// Causal-graph key of this vCPU's command or response ring.
     fn ring_key(m: &Machine, ring_is_cmd: bool) -> u64 {
         ((m.current_vcpu() as u64) << 1) | u64::from(ring_is_cmd)
     }
 
-    fn send(&mut self, m: &mut Machine, ring_is_cmd: bool, cmd: &Command) {
-        let ring = if ring_is_cmd {
+    fn ring(&self, ring_is_cmd: bool) -> CommandRing {
+        if ring_is_cmd {
             self.cmd_ring.expect("initialized")
         } else {
             self.resp_ring.expect("initialized")
-        };
-        let payload = cmd.encode();
-        debug_assert_eq!(payload.len(), PAYLOAD_LEN);
-        ring.push(&mut m.ram, &payload)
-            .expect("ring never fills: lockstep protocol");
-        let c = m.cost.cacheline(self.placement) * (cmd.cache_lines() + 1);
-        m.clock.charge(c);
-        let phase = if ring_is_cmd {
-            "svt_cmd_enqueue"
-        } else {
-            "svt_resp_enqueue"
-        };
-        let key = Self::ring_key(m, ring_is_cmd);
-        m.obs.causal.ring_enqueue(phase, key, m.clock.now());
+        }
     }
 
-    fn recv(&mut self, m: &mut Machine, ring_is_cmd: bool) -> Command {
-        let ring = if ring_is_cmd {
-            self.cmd_ring.expect("initialized")
+    /// Pushes one command through a ring, charging the payload's
+    /// cache-line transfers at the configured placement. A full ring is
+    /// *backpressure*, not a panic: the oldest (necessarily stale) entry
+    /// is discarded to make room; if the ring is still full the leg
+    /// reports [`ProtocolError::RingFull`] and the retry logic takes
+    /// over.
+    fn send(
+        &mut self,
+        m: &mut Machine,
+        ring_is_cmd: bool,
+        cmd: &Command,
+    ) -> Result<(), ProtocolError> {
+        let ring = self.ring(ring_is_cmd);
+        let payload = cmd.encode();
+        debug_assert_eq!(payload.len(), PAYLOAD_LEN);
+        let (enq, deq) = if ring_is_cmd {
+            ("svt_cmd_enqueue", "svt_cmd_dequeue")
         } else {
-            self.resp_ring.expect("initialized")
+            ("svt_resp_enqueue", "svt_resp_dequeue")
         };
-        let payload = ring
-            .pop(&mut m.ram)
-            .expect("ring memory valid")
-            .expect("protocol: command present");
+        let key = Self::ring_key(m, ring_is_cmd);
+        if ring.push(&mut m.ram, &payload).is_err() {
+            m.clock.count("svt_ring_full");
+            m.obs
+                .metrics
+                .inc(MetricKey::new("svt_ring_full").reflector("sw-svt"));
+            // Every queued entry is from an earlier, already-failed
+            // attempt (the protocol is lockstep); discard the oldest.
+            match ring.pop(&mut m.ram) {
+                Ok(Some(_)) => {
+                    m.obs.causal.ring_dequeue(deq, key, m.clock.now());
+                    m.clock.count("svt_stale_discarded");
+                }
+                _ => return Err(ProtocolError::RingFull),
+            }
+            if ring.push(&mut m.ram, &payload).is_err() {
+                return Err(ProtocolError::RingFull);
+            }
+        }
+        let c = m.cost.cacheline(self.placement) * (cmd.cache_lines() + 1);
+        m.clock.charge(c);
+        m.obs.causal.ring_enqueue(enq, key, m.clock.now());
+        Ok(())
+    }
+
+    /// Pops until the command with sequence `want_seq` arrives, validating
+    /// length, checksum and kind on the way. Stale entries (lower
+    /// sequence numbers left behind by failed attempts, or injected
+    /// duplicates) are dropped and counted; a malformed, corrupt or
+    /// wrong-kind head entry fails the attempt.
+    fn try_recv(
+        &mut self,
+        m: &mut Machine,
+        ring_is_cmd: bool,
+        want_kind: u32,
+        want_seq: u64,
+    ) -> Result<Command, ProtocolError> {
+        let ring = self.ring(ring_is_cmd);
         let phase = if ring_is_cmd {
             "svt_cmd_dequeue"
         } else {
             "svt_resp_dequeue"
         };
         let key = Self::ring_key(m, ring_is_cmd);
-        m.obs.causal.ring_dequeue(phase, key, m.clock.now());
-        Command::decode(&payload).expect("well-formed command")
+        loop {
+            let payload = match ring.pop(&mut m.ram) {
+                Ok(Some(p)) => p,
+                Ok(None) => return Err(ProtocolError::Empty),
+                Err(_) => return Err(ProtocolError::Malformed),
+            };
+            m.obs.causal.ring_dequeue(phase, key, m.clock.now());
+            let Some(cmd) = Command::decode(&payload) else {
+                return Err(ProtocolError::Malformed);
+            };
+            if !cmd.verify() {
+                return Err(ProtocolError::Corrupt);
+            }
+            if cmd.seq < want_seq {
+                // Leftover from a failed attempt, or a duplicate of an
+                // already-accepted command: drop and keep looking.
+                m.clock.count("svt_duplicates_dropped");
+                m.obs
+                    .metrics
+                    .inc(MetricKey::new("svt_duplicates_dropped").reflector("sw-svt"));
+                continue;
+            }
+            if cmd.kind != want_kind {
+                return Err(ProtocolError::BadKind {
+                    got: cmd.kind,
+                    want: want_kind,
+                });
+            }
+            // Accepted. Drain any residual entries (duplicates of this
+            // very command) so the ring is empty between legs and the
+            // ring-deadline watchdog never sees a lingering entry.
+            self.drain_ring(m, ring_is_cmd);
+            return Ok(cmd);
+        }
+    }
+
+    /// Empties a ring, counting each discarded entry. The lockstep
+    /// protocol requires an empty ring between legs; this restores that
+    /// invariant after duplicates or an aborted leg.
+    fn drain_ring(&mut self, m: &mut Machine, ring_is_cmd: bool) {
+        let ring = self.ring(ring_is_cmd);
+        let phase = if ring_is_cmd {
+            "svt_cmd_dequeue"
+        } else {
+            "svt_resp_dequeue"
+        };
+        let key = Self::ring_key(m, ring_is_cmd);
+        while let Ok(Some(_)) = ring.pop(&mut m.ram) {
+            m.obs.causal.ring_dequeue(phase, key, m.clock.now());
+            m.clock.count("svt_duplicates_dropped");
+            m.obs
+                .metrics
+                .inc(MetricKey::new("svt_duplicates_dropped").reflector("sw-svt"));
+        }
+    }
+
+    /// Records a degradation-policy transition in the metrics registry
+    /// and on the causal graph.
+    fn note_transition(&mut self, m: &mut Machine, t: Transition) {
+        let label = transition_label(t);
+        m.clock.count("svt_state_transition");
+        m.obs.metrics.inc(
+            MetricKey::new("svt_state_transition")
+                .exit(label)
+                .reflector("sw-svt"),
+        );
+        let now = m.clock.now();
+        m.obs
+            .span("svt_degrade", "fault", ObsLevel::Machine, now, now);
+    }
+
+    /// One failed channel attempt: feed the policy, surface the
+    /// transition if one was taken.
+    fn note_failure(&mut self, m: &mut Machine) {
+        self.retried_this_trap = true;
+        if let Some(t) = self.fsm.on_failure() {
+            self.note_transition(m, t);
+        }
+    }
+
+    /// One reliable command transfer: send-with-doorbell, bounded wait,
+    /// validated receive — retrying with fresh sequence numbers until the
+    /// command lands or the degradation policy gives up. The fault-free
+    /// path charges *exactly* the costs of the original lockstep
+    /// protocol: one payload transfer, one wake, in that order.
+    fn xfer(
+        &mut self,
+        m: &mut Machine,
+        ring_is_cmd: bool,
+        want_kind: u32,
+        code: u64,
+        qual: u64,
+        steal: SimDuration,
+    ) -> Result<Command, ProtocolError> {
+        let begin = m.clock.now();
+        m.clock.push_part(CostPart::Channel);
+        if steal > SimDuration::ZERO {
+            // A busy-polling L0 sibling stole cycles from the handler.
+            m.clock.charge(steal);
+        }
+        let mut outcome = Err(ProtocolError::Empty);
+        for attempt in 0..MAX_ATTEMPTS {
+            if attempt > 0 {
+                m.clock.count("svt_retransmits");
+                m.obs
+                    .metrics
+                    .inc(MetricKey::new("svt_retransmits").reflector("sw-svt"));
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let cmd = Command::new(want_kind, seq, code, qual, m.vcpu2().gprs);
+
+            // -- sender side -------------------------------------------
+            let dropped = m.roll_fault(FaultKind::CmdDrop);
+            if dropped {
+                // The store leaves the sender's cache but never lands in
+                // the ring: the transfer cost is paid, nothing arrives.
+                let c = m.cost.cacheline(self.placement) * (cmd.cache_lines() + 1);
+                m.clock.charge(c);
+                m.clock.count("svt_cmds_lost");
+            } else {
+                if let Err(e) = self.send(m, ring_is_cmd, &cmd) {
+                    outcome = Err(e);
+                    self.note_failure(m);
+                    if self.fsm.state() == SvtHealth::FallenBack {
+                        break;
+                    }
+                    continue;
+                }
+                if m.roll_fault(FaultKind::CmdCorrupt) {
+                    let ring = self.ring(ring_is_cmd);
+                    let byte = (seq as usize).wrapping_mul(31) % PAYLOAD_LEN;
+                    let _ = ring.corrupt_newest(&mut m.ram, byte);
+                    m.clock.count("svt_cmds_corrupted");
+                }
+                if m.roll_fault(FaultKind::CmdDuplicate) {
+                    // A spurious second copy with the same sequence
+                    // number; the receiver's sequence check absorbs it.
+                    let _ = self.ring(ring_is_cmd).push(&mut m.ram, &cmd.encode());
+                    let key = Self::ring_key(m, ring_is_cmd);
+                    let enq = if ring_is_cmd {
+                        "svt_cmd_enqueue"
+                    } else {
+                        "svt_resp_enqueue"
+                    };
+                    m.obs.causal.ring_enqueue(enq, key, m.clock.now());
+                    m.clock.count("svt_cmds_duplicated");
+                }
+            }
+
+            // -- waiter side -------------------------------------------
+            if m.roll_fault(FaultKind::DoorbellSpurious) {
+                // A premature wake: pay the wake, find no doorbell,
+                // re-arm and go back to waiting.
+                let c = self.wake_cost(m);
+                m.clock.charge(c);
+                m.clock.count("svt_spurious_wakeups");
+                m.obs
+                    .metrics
+                    .inc(MetricKey::new("svt_spurious_wakeups").reflector("sw-svt"));
+            }
+            let doorbell_lost = dropped || m.roll_fault(FaultKind::DoorbellLost);
+            if doorbell_lost {
+                // The monitor never fires; the armed TSC-deadline bounds
+                // the wait and the waiter re-arms for a retry.
+                let c = self.timeout_cost(m);
+                m.clock.charge(c);
+                m.clock.count("svt_timeouts");
+                m.obs
+                    .metrics
+                    .inc(MetricKey::new("svt_timeouts").reflector("sw-svt"));
+                outcome = Err(ProtocolError::Empty);
+                self.note_failure(m);
+                if self.fsm.state() == SvtHealth::FallenBack {
+                    break;
+                }
+                continue;
+            }
+            let c = self.wake_cost(m);
+            m.clock.charge(c);
+            match self.try_recv(m, ring_is_cmd, want_kind, seq) {
+                Ok(received) => {
+                    outcome = Ok(received);
+                    break;
+                }
+                Err(e) => {
+                    m.clock.count("svt_protocol_errors");
+                    m.obs.metrics.inc(
+                        MetricKey::new("svt_protocol_errors")
+                            .exit(e.name())
+                            .reflector("sw-svt"),
+                    );
+                    outcome = Err(e);
+                    self.note_failure(m);
+                    if self.fsm.state() == SvtHealth::FallenBack {
+                        break;
+                    }
+                }
+            }
+        }
+        if outcome.is_err() {
+            // Leave nothing behind for the fallback path to trip over.
+            self.drain_ring(m, ring_is_cmd);
+        }
+        m.clock.pop_part(CostPart::Channel);
+        let span_name = if ring_is_cmd {
+            "svt_cmd_ring"
+        } else {
+            "svt_resp_ring"
+        };
+        m.obs.span(
+            span_name,
+            "channel",
+            ObsLevel::Machine,
+            begin,
+            m.clock.now(),
+        );
+        if outcome.is_ok() {
+            m.obs
+                .metrics
+                .inc(MetricKey::new("svt_commands").reflector("sw-svt"));
+        }
+        outcome
     }
 
     /// The § 5.3 deadlock-avoidance check: while waiting for the
@@ -228,6 +539,49 @@ impl SwSvtReflector {
             m.events.schedule(at, ev);
         }
     }
+
+    /// A whole trap on the classic exit/resume world-switch path — what
+    /// the machine would do under [`svt_hv::BaselineReflector`]. Used
+    /// when the degradation policy has written the ring off.
+    fn reflect_fallback(&mut self, m: &mut Machine, exit: ExitReason) {
+        m.clock.count("svt_trap_fallback");
+        m.obs
+            .metrics
+            .inc(MetricKey::new("svt_trap_fallback").reflector("sw-svt"));
+        m.l0_leg_a(self.elides_lazy_sync());
+        m.forward_transform();
+        m.inject_into_vmcs12(exit);
+        self.fallback_run_l1(m, exit);
+        m.l0_leg_b(self.elides_lazy_sync());
+        m.backward_transform();
+        m.l0_entry_finish();
+    }
+
+    /// L1's handler via a full world switch (baseline mechanics), with
+    /// `fallback_active` steering `l1_read_exit_info` to vmreads.
+    fn fallback_run_l1(&mut self, m: &mut Machine, exit: ExitReason) {
+        self.fallback_active = true;
+        let begin = m.clock.now();
+        m.clock.push_part(CostPart::SwitchL0L1);
+        let enter = m.cost.vm_entry_hw + m.cost.gpr_thunk() + m.world_extra(Level::L1);
+        m.clock.charge(enter);
+        m.clock.pop_part(CostPart::SwitchL0L1);
+        m.obs
+            .span("l1_entry", "switch", ObsLevel::L1, begin, m.clock.now());
+
+        m.clock.push_part(CostPart::L1Handler);
+        m.l1_handle_exit(self, exit);
+        m.clock.pop_part(CostPart::L1Handler);
+
+        let begin = m.clock.now();
+        m.clock.push_part(CostPart::SwitchL0L1);
+        let leave = m.cost.vm_exit_hw + m.cost.gpr_thunk() + m.world_extra(Level::L1);
+        m.clock.charge(leave);
+        m.clock.pop_part(CostPart::SwitchL0L1);
+        m.obs
+            .span("l1_exit", "switch", ObsLevel::L1, begin, m.clock.now());
+        self.fallback_active = false;
+    }
 }
 
 impl Default for SwSvtReflector {
@@ -261,6 +615,13 @@ impl Reflector for SwSvtReflector {
     }
 
     fn reflect(&mut self, m: &mut Machine, exit: ExitReason) {
+        self.ensure_init(m);
+        if !self.fsm.use_ring() {
+            // The channel is written off: classic path, no ring touched.
+            self.fsm.note_fallback_trap();
+            self.reflect_fallback(m, exit);
+            return;
+        }
         // L0 still runs its exit prologue and keeps vmcs12 coherent (KVM
         // syncs the shadow regardless), but the command ring replaces the
         // vmcs12 event injection, the world switches into/out of L1 and
@@ -268,6 +629,15 @@ impl Reflector for SwSvtReflector {
         m.l0_leg_a(self.elides_lazy_sync());
         m.forward_transform();
         self.run_l1(m, exit);
+        if self.fell_back_mid_trap {
+            // The ring gave up mid-trap; `run_l1` already took the
+            // classic injection + world-switch legs where needed, so the
+            // trap finishes through the classic exit path.
+            m.l0_leg_b(self.elides_lazy_sync());
+            m.backward_transform();
+            m.l0_entry_finish();
+            return;
+        }
         // Post-wake: L0's vcpu loop performs its usual pre-entry
         // bookkeeping and applies the response payload to vmcs02.
         m.clock.push_part(CostPart::L0Handler);
@@ -289,38 +659,38 @@ impl Reflector for SwSvtReflector {
 
     fn run_l1(&mut self, m: &mut Machine, exit: ExitReason) {
         self.ensure_init(m);
+        self.retried_this_trap = false;
+        self.fell_back_mid_trap = false;
         let (code, qual) = exit.encode();
 
         // L0 sends CMD_VM_TRAP with the registers and trap id (Fig. 5,
         // step 2), then monitors the response ring.
-        let cmd_begin = m.clock.now();
-        m.clock.push_part(CostPart::Channel);
-        let trap_cmd = Command {
-            kind: CMD_VM_TRAP,
-            code,
-            qual,
-            gprs: m.vcpu2().gprs,
-        };
-        self.send(m, true, &trap_cmd);
-        // The SVt-thread wakes from its wait.
-        let c = self.wake_cost(m);
-        m.clock.charge(c);
-        let received = self.recv(m, true);
-        debug_assert_eq!(received.kind, CMD_VM_TRAP);
-        self.last_cmd = Some(received);
-        m.clock.pop_part(CostPart::Channel);
-        m.obs.span(
-            "svt_cmd_ring",
-            "channel",
-            ObsLevel::Machine,
-            cmd_begin,
-            m.clock.now(),
-        );
-        m.obs
-            .metrics
-            .inc(MetricKey::new("svt_commands").reflector("sw-svt"));
+        match self.xfer(m, true, CMD_VM_TRAP, code, qual, SimDuration::ZERO) {
+            Ok(received) => self.last_cmd = Some(received),
+            Err(_) => {
+                // The SVt-thread never saw the trap; its handler has not
+                // run. Serve this trap's middle the classic way.
+                self.fell_back_mid_trap = true;
+                m.clock.count("svt_trap_fallback");
+                m.obs
+                    .metrics
+                    .inc(MetricKey::new("svt_trap_fallback").reflector("sw-svt"));
+                m.inject_into_vmcs12(exit);
+                self.fallback_run_l1(m, exit);
+                return;
+            }
+        }
 
-        // The SVt-thread (L1_1) handles the trap on the sibling thread.
+        // The SVt-thread (L1_1) handles the trap on the sibling thread —
+        // unless the scheduler stole or delayed the sibling first.
+        if m.roll_fault(FaultKind::SiblingDelay) {
+            let d = m.faults.delay();
+            m.clock.charge_as(CostPart::L1Handler, d);
+            m.clock.count("svt_sibling_delays");
+            m.obs
+                .metrics
+                .inc(MetricKey::new("svt_sibling_delays").reflector("sw-svt"));
+        }
         let before = m.clock.now();
         m.clock.push_part(CostPart::L1Handler);
         m.l1_handle_exit(self, exit);
@@ -330,38 +700,39 @@ impl Reflector for SwSvtReflector {
         // While waiting, L0 services IPIs for L1's main vCPU (§ 5.3).
         self.check_blocked_ipis(m);
 
-        let resp_begin = m.clock.now();
-        m.clock.push_part(CostPart::Channel);
-        if self.wait == WaitMode::Poll {
-            // A busy-polling L0 sibling steals cycles from the handler.
-            let steal = SimDuration::from_ns_f64(handling.as_ns() * POLL_STEAL_RATIO);
-            m.clock.charge(steal);
-        }
         // SVt-thread responds CMD_VM_RESUME with updated registers
         // (Fig. 5, step 3); L0 wakes and applies them.
-        let resume_cmd = Command {
-            kind: CMD_VM_RESUME,
-            code,
-            qual,
-            gprs: m.vcpu2().gprs,
+        let steal = if self.wait == WaitMode::Poll {
+            // A busy-polling L0 sibling steals cycles from the handler.
+            SimDuration::from_ns_f64(handling.as_ns() * POLL_STEAL_RATIO)
+        } else {
+            SimDuration::ZERO
         };
-        self.send(m, false, &resume_cmd);
-        let c = self.wake_cost(m);
-        m.clock.charge(c);
-        let resp = self.recv(m, false);
-        debug_assert_eq!(resp.kind, CMD_VM_RESUME);
-        m.vcpu2_mut().gprs = resp.gprs;
-        m.clock.pop_part(CostPart::Channel);
-        m.obs.span(
-            "svt_resp_ring",
-            "channel",
-            ObsLevel::Machine,
-            resp_begin,
-            m.clock.now(),
-        );
-        m.obs
-            .metrics
-            .inc(MetricKey::new("svt_commands").reflector("sw-svt"));
+        match self.xfer(m, false, CMD_VM_RESUME, code, qual, steal) {
+            Ok(resp) => {
+                m.vcpu2_mut().gprs = resp.gprs;
+                m.clock.count("svt_trap_ring");
+                m.obs
+                    .metrics
+                    .inc(MetricKey::new("svt_trap_ring").reflector("sw-svt"));
+                if !self.retried_this_trap {
+                    if let Some(t) = self.fsm.on_clean() {
+                        self.note_transition(m, t);
+                    }
+                }
+            }
+            Err(_) => {
+                // The handler already ran on the SVt-thread and the
+                // register state is coherent in memory; only the resume
+                // doorbell is gone. L0's bounded wait expired — finish
+                // through the classic exit path.
+                self.fell_back_mid_trap = true;
+                m.clock.count("svt_resume_fallback");
+                m.obs
+                    .metrics
+                    .inc(MetricKey::new("svt_resume_fallback").reflector("sw-svt"));
+            }
+        }
     }
 
     fn l1_exit_roundtrip(&mut self, m: &mut Machine, exit: ExitReason, value: u64) -> u64 {
@@ -377,7 +748,25 @@ impl Reflector for SwSvtReflector {
         out
     }
 
-    fn l1_read_exit_info(&mut self, _m: &mut Machine) -> (u64, u64) {
+    fn l1_read_exit_info(&mut self, m: &mut Machine) -> (u64, u64) {
+        if self.fallback_active {
+            // Classic path: two vmreads of vmcs01' (shadow-satisfied when
+            // shadowing is on, full traps otherwise).
+            let field = |s: &mut Self, m: &mut Machine, f: svt_vmx::VmcsField| {
+                if m.shadowing {
+                    let c = m.cost.vmread;
+                    m.clock.charge(c);
+                    m.clock.count("shadow_vmread");
+                    m.vmcs12().read(f)
+                } else {
+                    m.clock.count("l1_vmread_exit");
+                    s.l1_exit_roundtrip(m, ExitReason::Vmread { field: f }, 0)
+                }
+            };
+            let code = field(self, m, svt_vmx::VmcsField::ExitReason);
+            let qual = field(self, m, svt_vmx::VmcsField::ExitQualification);
+            return (code, qual);
+        }
         // The trap identifier arrived in the CMD_VM_TRAP payload.
         let cmd = self.last_cmd.as_ref().expect("command received");
         (cmd.code, cmd.qual)

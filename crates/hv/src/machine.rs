@@ -23,8 +23,8 @@ use svt_cpu::{Gpr, SmtCore};
 use svt_mem::{Gpa, GuestMemory};
 use svt_obs::{MetricKey, Obs, ObsLevel};
 use svt_sim::{
-    assign_svt_cores, Clock, CostModel, CostPart, CpuLoc, EventQueue, MachineSpec, SimDuration,
-    SimTime,
+    assign_svt_cores, Clock, CostModel, CostPart, CpuLoc, EventQueue, FaultKind, FaultPlan,
+    MachineSpec, SimDuration, SimTime,
 };
 use svt_vmx::{
     Access, DeliveryMode, EptFault, ExitReason, IcrCommand, VmcsField, MSR_TSC_DEADLINE,
@@ -138,6 +138,9 @@ pub struct Machine {
     /// Structured observability: typed metrics plus trap-lifecycle spans
     /// (span recording disabled by default; counters always on).
     pub obs: Obs,
+    /// Deterministic fault-injection schedule. [`FaultPlan::none`] by
+    /// default: fault-free runs draw nothing and stay bit-identical.
+    pub faults: FaultPlan,
     /// When set, [`Machine::run_smp`] appends each scheduled vCPU index to
     /// [`Machine::schedule_trace`] (determinism checks).
     pub record_schedule: bool,
@@ -185,6 +188,7 @@ impl Machine {
             shadowing: cfg.shadowing,
             tracer: Tracer::default(),
             obs: Obs::new(),
+            faults: FaultPlan::none(),
             record_schedule: false,
             schedule_trace: Vec::new(),
             level: cfg.level,
@@ -674,8 +678,19 @@ impl Machine {
                 self.l1.apic.eoi();
                 self.clock.count("l1_ipi_direct");
             }
-            MachineEvent::Ipi { to, cmd } => {
+            MachineEvent::Ipi { to, cmd, seq } => {
                 debug_assert_eq!(to, self.cur, "IPI routed to the wrong vCPU");
+                // Exactly-once: a redelivered sequence number (an injected
+                // duplicate, or the late copy of a delayed IPI) is absorbed
+                // here, before the causal graph's receive edge or the APIC
+                // ever see it.
+                if !self.vcpus[to].ipi_rx_seen.insert(seq) {
+                    self.clock.count("ipi_duplicates_absorbed");
+                    self.obs
+                        .metrics
+                        .inc(MetricKey::new("ipi_duplicates_absorbed").vcpu(to as u32));
+                    return;
+                }
                 self.obs.causal.ipi_recv(self.clock.now());
                 self.clock.count("ipi_received");
                 self.obs
@@ -721,13 +736,49 @@ impl Machine {
             self.clock.count("ipi_dropped");
             return;
         }
+        let seq = self.vcpus[to].ipi_tx_seq;
+        self.vcpus[to].ipi_tx_seq += 1;
         let at = self.clock.now() + self.cost.ipi_deliver;
-        self.events.schedule(at, MachineEvent::Ipi { to, cmd });
+        if self.roll_fault(FaultKind::IpiDrop) {
+            // The interconnect loses the message; the (modeled) sender-side
+            // retry redelivers the same sequence number one deliver-latency
+            // later, so exactly-once survives and the causal edge resolves.
+            let redeliver = at + self.cost.ipi_deliver;
+            self.events
+                .schedule(redeliver, MachineEvent::Ipi { to, cmd, seq });
+            self.clock.count("ipi_retransmits");
+            self.obs
+                .metrics
+                .inc(MetricKey::new("ipi_retransmits").vcpu(self.cur as u32));
+        } else {
+            self.events.schedule(at, MachineEvent::Ipi { to, cmd, seq });
+            if self.roll_fault(FaultKind::IpiDuplicate) {
+                // A spurious second copy with the same sequence number; the
+                // receiver's exactly-once check will absorb it.
+                self.events.schedule(
+                    at + self.cost.ipi_deliver,
+                    MachineEvent::Ipi { to, cmd, seq },
+                );
+            }
+        }
         self.obs.causal.ipi_send(to as u32, self.clock.now());
         self.clock.count("ipi_sent");
         self.obs
             .metrics
             .inc(MetricKey::new("ipi_sent").vcpu(self.cur as u32));
+    }
+
+    /// Rolls the machine's fault plan for `kind` at the current simulated
+    /// instant. On a hit the injection is counted in the metrics registry
+    /// (dimension: fault kind); fault-free plans never draw from the RNG.
+    pub fn roll_fault(&mut self, kind: FaultKind) -> bool {
+        if !self.faults.roll_at(self.clock.now(), kind) {
+            return false;
+        }
+        self.obs
+            .metrics
+            .inc(MetricKey::new("fault_injected").exit(kind.name()));
+        true
     }
 
     // ------------------------------------------------------------------

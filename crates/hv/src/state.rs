@@ -65,6 +65,10 @@ pub enum MachineEvent {
         to: usize,
         /// The decoded ICR command being delivered.
         cmd: IcrCommand,
+        /// Interconnect sequence number, assigned per destination at send
+        /// time. The receiving APIC absorbs a redelivered sequence, so an
+        /// injected duplicate cannot double-deliver (exactly-once).
+        seq: u64,
     },
 }
 

@@ -53,6 +53,13 @@ pub struct Vcpu {
     /// entry carries the instant the event was due plus the causal-graph
     /// id of the routing hop (None when causal tracing is disabled).
     pub(crate) inbox: VecDeque<(SimTime, MachineEvent, Option<CausalEventId>)>,
+    /// Next interconnect sequence number for IPIs *to* this vCPU
+    /// (incremented by the sender).
+    pub(crate) ipi_tx_seq: u64,
+    /// Sequence numbers of IPIs this vCPU has already accepted; a
+    /// redelivery (injected duplicate) is absorbed by this exactly-once
+    /// check before it reaches the APIC.
+    pub(crate) ipi_rx_seen: std::collections::BTreeSet<u64>,
 }
 
 impl Vcpu {
@@ -76,6 +83,8 @@ impl Vcpu {
             reflector: Some(reflector),
             timer_event: None,
             inbox: VecDeque::new(),
+            ipi_tx_seq: 0,
+            ipi_rx_seen: std::collections::BTreeSet::new(),
         }
     }
 

@@ -129,12 +129,21 @@ impl CommandRing {
         Ok(())
     }
 
+    /// Indices live in `[0, 2 * num_slots)`: one extra lap distinguishes
+    /// full from empty, and — unlike free-running u32 indices — the wrap
+    /// point is a multiple of `num_slots`, so `index % num_slots` stays
+    /// continuous across it. (Free-running indices silently collide slots
+    /// at the u32 boundary whenever `num_slots` is not a power of two.)
+    fn index_wrap(&self) -> u32 {
+        2 * self.num_slots
+    }
+
     fn head(&self, ram: &GuestMemory) -> Result<u32, RingError> {
-        Ok(ram.read_u32(self.base + HEAD_OFF)?)
+        Ok(ram.read_u32(self.base + HEAD_OFF)? % self.index_wrap())
     }
 
     fn tail(&self, ram: &GuestMemory) -> Result<u32, RingError> {
-        Ok(ram.read_u32(self.base + TAIL_OFF)?)
+        Ok(ram.read_u32(self.base + TAIL_OFF)? % self.index_wrap())
     }
 
     /// Number of queued commands.
@@ -143,7 +152,9 @@ impl CommandRing {
     ///
     /// Returns an error if the ring's memory is out of range.
     pub fn len(&self, ram: &GuestMemory) -> Result<u32, RingError> {
-        Ok(self.head(ram)?.wrapping_sub(self.tail(ram)?))
+        let wrap = self.index_wrap();
+        let (head, tail) = (self.head(ram)?, self.tail(ram)?);
+        Ok((head + wrap - tail) % wrap)
     }
 
     /// Whether no commands are queued.
@@ -190,7 +201,7 @@ impl CommandRing {
         let slot = self.slot_addr(head);
         ram.write_u32(slot, payload.len() as u32)?;
         ram.write(slot + 4, payload)?;
-        ram.write_u32(self.base + HEAD_OFF, head.wrapping_add(1))?;
+        ram.write_u32(self.base + HEAD_OFF, (head + 1) % self.index_wrap())?;
         Ok(())
     }
 
@@ -208,7 +219,7 @@ impl CommandRing {
         let len = ram.read_u32(slot)? as usize;
         let mut payload = vec![0u8; len.min(self.max_payload())];
         ram.read(slot + 4, &mut payload)?;
-        ram.write_u32(self.base + TAIL_OFF, tail.wrapping_add(1))?;
+        ram.write_u32(self.base + TAIL_OFF, (tail + 1) % self.index_wrap())?;
         Ok(Some(payload))
     }
 
@@ -233,6 +244,31 @@ impl CommandRing {
     /// index), as an address — used by the mwait channel model.
     pub fn doorbell_line(&self) -> Hpa {
         self.base + HEAD_OFF
+    }
+
+    /// Flips one payload byte of the most recently queued command — the
+    /// fault injector's hook for modelling shared-memory corruption.
+    /// Returns `false` (and touches nothing) when the ring is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the ring's memory is out of range.
+    pub fn corrupt_newest(&self, ram: &mut GuestMemory, byte: usize) -> Result<bool, RingError> {
+        if self.is_empty(ram)? {
+            return Ok(false);
+        }
+        let wrap = self.index_wrap();
+        let newest = (self.head(ram)? + wrap - 1) % wrap;
+        let slot = self.slot_addr(newest);
+        let len = (ram.read_u32(slot)? as usize).min(self.max_payload());
+        if len == 0 {
+            return Ok(false);
+        }
+        let off = slot + 4 + (byte % len) as u64;
+        let mut b = [0u8; 1];
+        ram.read(off, &mut b)?;
+        ram.write(off, &[b[0] ^ 0xa5])?;
+        Ok(true)
     }
 }
 
@@ -324,6 +360,25 @@ mod tests {
         b.push(&mut ram, b"to-l0").unwrap();
         assert_eq!(a.pop(&mut ram).unwrap().unwrap(), b"to-l1");
         assert_eq!(b.pop(&mut ram).unwrap().unwrap(), b"to-l0");
+    }
+
+    #[test]
+    fn corrupt_newest_flips_exactly_one_byte_of_newest() {
+        let (mut ram, ring) = setup();
+        ring.push(&mut ram, b"aaaa").unwrap();
+        ring.push(&mut ram, b"bbbb").unwrap();
+        assert!(ring.corrupt_newest(&mut ram, 1).unwrap());
+        // The oldest entry is untouched; the newest has one byte flipped.
+        assert_eq!(ring.pop(&mut ram).unwrap().unwrap(), b"aaaa");
+        let got = ring.pop(&mut ram).unwrap().unwrap();
+        assert_eq!(got, [b'b', b'b' ^ 0xa5, b'b', b'b']);
+    }
+
+    #[test]
+    fn corrupt_empty_ring_is_a_no_op() {
+        let (mut ram, ring) = setup();
+        assert!(!ring.corrupt_newest(&mut ram, 0).unwrap());
+        assert!(ring.is_empty(&ram).unwrap());
     }
 
     #[test]

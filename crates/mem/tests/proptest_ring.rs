@@ -32,6 +32,56 @@ fn ring_capacity_is_exact() {
 }
 
 #[test]
+fn wraparound_preserves_fifo_and_full_is_typed() {
+    // Random interleavings of pushes and pops across many index
+    // wraparounds, at arbitrary (including non-power-of-two) slot
+    // counts. The ring wraps its indices at 2*num_slots, so a few
+    // hundred operations cross the wrap point many times; the model
+    // queue must agree after every operation, a full ring must yield
+    // the typed `Full` error (never a silent overwrite), and capacity
+    // must be exactly `num_slots` at all times.
+    let mut rng = DetRng::seed(0x51a7_0003);
+    for case in 0..48 {
+        let slots = rng.range(2, 32) as u32;
+        let mut ram = GuestMemory::new(1 << 20);
+        let ring = CommandRing::new(Hpa(0x8000), 64, slots);
+        ring.init(&mut ram).unwrap();
+        let mut model = std::collections::VecDeque::new();
+        let mut next = 0u32;
+        for op in 0..(slots as usize * 20) {
+            if rng.chance(0.55) {
+                let payload = next.to_le_bytes();
+                next += 1;
+                let res = ring.push(&mut ram, &payload);
+                if model.len() == slots as usize {
+                    assert_eq!(
+                        res,
+                        Err(svt_mem::RingError::Full),
+                        "case {case} op {op}: full ring must reject, not overwrite"
+                    );
+                } else {
+                    res.unwrap();
+                    model.push_back(payload.to_vec());
+                }
+            } else {
+                assert_eq!(
+                    ring.pop(&mut ram).unwrap(),
+                    model.pop_front(),
+                    "case {case} op {op}: FIFO order broken across wraparound"
+                );
+            }
+            assert_eq!(ring.len(&ram).unwrap() as usize, model.len());
+            assert_eq!(ring.is_full(&ram).unwrap(), model.len() == slots as usize);
+        }
+        // Drain: everything queued comes back, in order.
+        while let Some(want) = model.pop_front() {
+            assert_eq!(ring.pop(&mut ram).unwrap().unwrap(), want);
+        }
+        assert!(ring.is_empty(&ram).unwrap());
+    }
+}
+
+#[test]
 fn rings_with_disjoint_footprints_never_interfere() {
     let mut rng = DetRng::seed(0x51a7_0002);
     for _ in 0..64 {

@@ -169,6 +169,10 @@ pub struct CostModel {
     pub mwait_wake_cross_core: SimDuration,
     /// Wake-from-`mwait` latency across NUMA nodes.
     pub mwait_wake_cross_node: SimDuration,
+    /// Bound on one `mwait` wait: the hardened SW-SVt protocol arms a
+    /// TSC-deadline alongside the monitor so a lost doorbell wakes the
+    /// waiter after this window instead of hanging it forever.
+    pub mwait_timeout: SimDuration,
     /// One polling-loop check iteration (load + compare + branch).
     pub poll_iter: SimDuration,
     /// Cycles an SMT sibling's polling steals from the active thread, as a
@@ -260,6 +264,7 @@ impl Default for CostModel {
             mwait_wake_smt: ns(700),
             mwait_wake_cross_core: ns(950),
             mwait_wake_cross_node: ns(4500),
+            mwait_timeout: ns(3000),
             poll_iter: ns(10),
             poll_smt_steal: ns(7),
             mutex_wake: ns(2200),
@@ -377,6 +382,7 @@ impl CostModel {
                 "mwait_wake_cross_node_ns",
                 self.mwait_wake_cross_node.as_ns(),
             ),
+            ("mwait_timeout_ns", self.mwait_timeout.as_ns()),
             ("poll_iter_ns", self.poll_iter.as_ns()),
             ("poll_smt_steal_ns", self.poll_smt_steal.as_ns()),
             ("mutex_wake_ns", self.mutex_wake.as_ns()),

@@ -10,7 +10,9 @@
 //! * [`EventQueue`] — a deterministic discrete-event queue;
 //! * [`MachineSpec`]/[`CpuLoc`]/[`Placement`] — the physical topology from
 //!   Table 4 of the paper;
-//! * [`DetRng`] — seeded deterministic randomness.
+//! * [`DetRng`] — seeded deterministic randomness;
+//! * [`FaultPlan`] — seeded deterministic fault injection (chaos
+//!   campaigns that replay bit-for-bit from their seed).
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@
 mod clock;
 mod cost;
 mod events;
+mod faults;
 mod rng;
 mod sched;
 mod time;
@@ -40,6 +43,7 @@ mod topology;
 pub use clock::{Clock, ClockSnapshot, CostPart};
 pub use cost::CostModel;
 pub use events::{EventId, EventQueue};
+pub use faults::{FaultKind, FaultPlan};
 pub use rng::DetRng;
 pub use sched::{assign_svt_cores, pick_min_local_time, SchedError, VcpuScheduler, VcpuStatus};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,237 @@
+//! Chaos campaigns: serving workloads under deterministic fault injection.
+//!
+//! Runs the sharded memcached SMP workload with an armed
+//! [`FaultPlan`] installed in the machine and harvests everything the
+//! robustness story needs in one structured point: per-kind injection
+//! counts, the recovery counters (retries, timeouts, duplicate drops),
+//! the degradation state machine's transitions and fallback share, and
+//! all causal-graph watchdog verdicts. One `(seed, rate)` pair fully
+//! determines a run.
+
+use svt_core::{smp_machine, SwitchMode};
+use svt_hv::GuestProgram;
+use svt_obs::{MetricKey, WATCHDOGS};
+use svt_sim::{FaultPlan, SimDuration, SimTime};
+
+use crate::harness::attach_loadgen_for_seeded;
+use crate::kvstore::{EtcSource, KvService};
+use crate::loadgen::ArrivalMode;
+use crate::server::{RrServer, ServerConfig};
+use crate::smp::SmpPoint;
+
+/// Everything one chaos run reports.
+#[derive(Debug, Clone)]
+pub struct ChaosPoint {
+    /// The serving-side result (throughput, latency), as in fault-free runs.
+    pub point: SmpPoint,
+    /// The fault plan's seed.
+    pub seed: u64,
+    /// Per-kind injected-fault counts, `(kind name, count)`.
+    pub injected: Vec<(&'static str, u64)>,
+    /// Total faults injected across all kinds.
+    pub total_injected: u64,
+    /// Channel retransmission attempts.
+    pub retransmits: u64,
+    /// Bounded-wait expirations (lost doorbells / dropped commands).
+    pub timeouts: u64,
+    /// Stale or duplicated ring entries discarded by the sequence check.
+    pub duplicates_dropped: u64,
+    /// Commands rejected for corruption, malformation or wrong kind.
+    pub protocol_errors: u64,
+    /// Interconnect-level IPI retransmissions (injected drops).
+    pub ipi_retransmits: u64,
+    /// Duplicate IPIs absorbed by the receiver's exactly-once check.
+    pub ipi_duplicates_absorbed: u64,
+    /// Degradation-policy transitions, `(label, count)`, taken edges only.
+    pub transitions: Vec<(&'static str, u64)>,
+    /// Traps served through the ring protocol.
+    pub ring_traps: u64,
+    /// Traps served through the classic world-switch fallback.
+    pub fallback_traps: u64,
+    /// Traps whose resume leg alone fell back.
+    pub resume_fallbacks: u64,
+    /// Every causal watchdog with its violation count (zeros included).
+    pub watchdogs: Vec<(&'static str, u64)>,
+}
+
+impl ChaosPoint {
+    /// Share of reflected traps served by the fallback path, in [0, 1].
+    pub fn fallback_rate(&self) -> f64 {
+        let total = self.ring_traps + self.fallback_traps;
+        if total == 0 {
+            0.0
+        } else {
+            self.fallback_traps as f64 / total as f64
+        }
+    }
+
+    /// Sum of all watchdog violations (zero on a healthy run).
+    pub fn watchdog_violations(&self) -> u64 {
+        self.watchdogs.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+/// Sharded memcached under per-vCPU open-loop ETC load with `plan`
+/// armed on the machine. The same `(plan seed, rates, schedule)` always
+/// produces the same point, bit for bit.
+///
+/// # Panics
+///
+/// Panics if `n_vcpus` is zero or exceeds the machine's physical cores,
+/// or if no lane completes any request (an injection-survival failure:
+/// liveness is part of the contract).
+pub fn memcached_chaos(
+    mode: SwitchMode,
+    n_vcpus: usize,
+    rate_qps: f64,
+    requests: u64,
+    plan: FaultPlan,
+) -> ChaosPoint {
+    let mean = SimDuration::from_ns_f64(1e9 / rate_qps);
+    let mut m = smp_machine(mode, n_vcpus);
+    let seed = plan.seed();
+    m.faults = plan;
+    // The causal graph doubles as the run's invariant monitor: its
+    // watchdogs must stay silent even under injection.
+    m.obs.causal.enable();
+    let cost = m.cost.clone();
+    let mut stats = Vec::with_capacity(n_vcpus);
+    let mut servers: Vec<RrServer> = Vec::with_capacity(n_vcpus);
+    for v in 0..n_vcpus {
+        let source = Box::new(EtcSource::new(100_000));
+        // Lanes keep the default request streams regardless of the fault
+        // seed: every cell of a fault-rate sweep then serves identical
+        // load, so throughput differences are attributable to the faults.
+        stats.push(attach_loadgen_for_seeded(
+            &mut m,
+            v,
+            ArrivalMode::OpenLoop {
+                mean_interarrival: mean,
+            },
+            requests,
+            source,
+            crate::harness::DEFAULT_LANE_SEED,
+        ));
+        let mut cfg = ServerConfig::rr_on_lane(&cost, u64::MAX, v);
+        cfg.timer_rearm_every = 4;
+        cfg.replenish_every = 2;
+        servers.push(RrServer::new(cfg, Box::new(KvService::new(50_000))));
+    }
+    let horizon = SimTime::ZERO
+        + SimDuration::from_ns_f64(requests as f64 * mean.as_ns())
+        + SimDuration::from_ms(80);
+    let mut progs: Vec<&mut dyn GuestProgram> = servers
+        .iter_mut()
+        .map(|s| s as &mut dyn GuestProgram)
+        .collect();
+    m.run_smp(&mut progs, horizon)
+        .expect("chaos run survives injection");
+    harvest(&m, seed, crate::smp::collect(n_vcpus, &stats))
+}
+
+fn harvest(m: &svt_hv::Machine, seed: u64, point: SmpPoint) -> ChaosPoint {
+    let total = |name: &str| m.obs.metrics.counter_total(name);
+    let injected = m.faults.injected_counts();
+    let total_injected = m.faults.total_injected();
+    let taken: Vec<(&'static str, u64)> = [
+        "healthy->degraded",
+        "degraded->fallen_back",
+        "fallen_back->degraded",
+        "degraded->healthy",
+    ]
+    .into_iter()
+    .map(|label| {
+        let key = MetricKey::new("svt_state_transition")
+            .exit(label)
+            .reflector("sw-svt");
+        (label, m.obs.metrics.counter(key))
+    })
+    .filter(|&(_, n)| n > 0)
+    .collect();
+    let watchdogs = WATCHDOGS
+        .iter()
+        .map(|&name| {
+            let n = m
+                .obs
+                .causal
+                .violations()
+                .find(|&(k, _)| k == name)
+                .map_or(0, |(_, n)| n);
+            (name, n)
+        })
+        .collect();
+    ChaosPoint {
+        point,
+        seed,
+        injected,
+        total_injected,
+        retransmits: total("svt_retransmits"),
+        timeouts: total("svt_timeouts"),
+        duplicates_dropped: total("svt_duplicates_dropped"),
+        protocol_errors: total("svt_protocol_errors"),
+        ipi_retransmits: total("ipi_retransmits"),
+        ipi_duplicates_absorbed: total("ipi_duplicates_absorbed"),
+        transitions: taken,
+        ring_traps: total("svt_trap_ring"),
+        fallback_traps: total("svt_trap_fallback"),
+        resume_fallbacks: total("svt_resume_fallback"),
+        watchdogs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_chaos_matches_plain_smp() {
+        let plain = crate::smp::memcached_smp(SwitchMode::SwSvt, 2, 2_000.0, 60);
+        let chaos = memcached_chaos(SwitchMode::SwSvt, 2, 2_000.0, 60, FaultPlan::none());
+        assert_eq!(chaos.point, plain);
+        assert_eq!(chaos.total_injected, 0);
+        assert_eq!(chaos.retransmits, 0);
+        assert_eq!(chaos.watchdog_violations(), 0);
+        assert_eq!(chaos.fallback_rate(), 0.0);
+    }
+
+    #[test]
+    fn injected_faults_are_survived_and_counted() {
+        let plan = FaultPlan::uniform(0xC4A05, 0.08);
+        let chaos = memcached_chaos(SwitchMode::SwSvt, 2, 2_000.0, 80, plan);
+        assert!(chaos.total_injected > 0, "plan injected nothing");
+        assert!(chaos.point.completed > 0, "no requests survived");
+        assert_eq!(
+            chaos.watchdog_violations(),
+            0,
+            "watchdogs fired: {:?}",
+            chaos.watchdogs
+        );
+        // Recovery actually ran: injected channel faults left retry marks.
+        assert!(
+            chaos.retransmits + chaos.timeouts + chaos.duplicates_dropped > 0,
+            "{chaos:?}"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_campaigns() {
+        let a = memcached_chaos(
+            SwitchMode::SwSvt,
+            2,
+            2_000.0,
+            60,
+            FaultPlan::uniform(7, 0.05),
+        );
+        let b = memcached_chaos(
+            SwitchMode::SwSvt,
+            2,
+            2_000.0,
+            60,
+            FaultPlan::uniform(7, 0.05),
+        );
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.injected, b.injected);
+        assert_eq!(a.retransmits, b.retransmits);
+        assert_eq!(a.transitions, b.transitions);
+    }
+}

@@ -8,7 +8,7 @@ use svt_core::SwitchMode;
 use svt_sim::SimDuration;
 use svt_stats::{SweepPoint, SweepSeries};
 
-use crate::harness::rr_machine;
+use crate::harness::{rr_machine_seeded, DEFAULT_LANE_SEED};
 use crate::kvstore::{EtcSource, KvService};
 use crate::loadgen::ArrivalMode;
 use crate::server::{RrServer, ServerConfig};
@@ -18,15 +18,26 @@ pub const SLA_NS: f64 = 500_000.0;
 
 /// One point of the latency-vs-load sweep.
 pub fn memcached_point(mode: SwitchMode, rate_qps: f64, requests: u64) -> SweepPoint {
+    memcached_point_seeded(mode, rate_qps, requests, DEFAULT_LANE_SEED)
+}
+
+/// [`memcached_point`] with an explicit request-stream seed.
+pub fn memcached_point_seeded(
+    mode: SwitchMode,
+    rate_qps: f64,
+    requests: u64,
+    seed: u64,
+) -> SweepPoint {
     let mean = SimDuration::from_ns_f64(1e9 / rate_qps);
     let source = Box::new(EtcSource::new(100_000));
-    let (mut m, stats) = rr_machine(
+    let (mut m, stats) = rr_machine_seeded(
         mode,
         ArrivalMode::OpenLoop {
             mean_interarrival: mean,
         },
         requests,
         source,
+        seed,
     );
     let cost = m.cost.clone();
     // Serve whatever arrives: under overload some requests are dropped
@@ -56,9 +67,19 @@ pub fn memcached_point(mode: SwitchMode, rate_qps: f64, requests: u64) -> SweepP
 
 /// Sweeps offered load and returns the latency curve.
 pub fn fig8_series(mode: SwitchMode, rates_kqps: &[f64], requests: u64) -> SweepSeries {
+    fig8_series_seeded(mode, rates_kqps, requests, DEFAULT_LANE_SEED)
+}
+
+/// [`fig8_series`] with an explicit request-stream seed.
+pub fn fig8_series_seeded(
+    mode: SwitchMode,
+    rates_kqps: &[f64],
+    requests: u64,
+    seed: u64,
+) -> SweepSeries {
     let mut series = SweepSeries::new(mode.label());
     for &r in rates_kqps {
-        series.push(memcached_point(mode, r * 1000.0, requests));
+        series.push(memcached_point_seeded(mode, r * 1000.0, requests, seed));
     }
     series
 }

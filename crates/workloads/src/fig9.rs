@@ -7,7 +7,7 @@
 use svt_core::SwitchMode;
 use svt_sim::SimDuration;
 
-use crate::harness::{attach_blk, rr_machine};
+use crate::harness::{attach_blk, rr_machine_seeded, DEFAULT_LANE_SEED};
 use crate::layout;
 use crate::loadgen::ArrivalMode;
 use crate::server::{RrServer, ServerConfig};
@@ -16,10 +16,15 @@ use crate::tpcc::{TpccService, TpccSource};
 /// Transactions per minute at the given engine. `transactions` counts
 /// whole TPC-C transactions (each tens of statements on the wire).
 pub fn tpcc_tpm(mode: SwitchMode, transactions: u64) -> f64 {
+    tpcc_tpm_seeded(mode, transactions, DEFAULT_LANE_SEED)
+}
+
+/// [`tpcc_tpm`] with an explicit request-stream seed.
+pub fn tpcc_tpm_seeded(mode: SwitchMode, transactions: u64, seed: u64) -> f64 {
     // ~34 statements per average transaction in the standard mix.
     let statements = transactions * 34;
     let source = Box::new(TpccSource::new(4));
-    let (mut m, stats) = rr_machine(
+    let (mut m, stats) = rr_machine_seeded(
         mode,
         ArrivalMode::ClosedLoop {
             concurrency: 4,
@@ -27,6 +32,7 @@ pub fn tpcc_tpm(mode: SwitchMode, transactions: u64) -> f64 {
         },
         statements,
         source,
+        seed,
     );
     attach_blk(&mut m);
     let cost = m.cost.clone();

@@ -15,6 +15,11 @@ use crate::server::VECTOR_BLK;
 /// Queue size shared by the workload programs and device models.
 pub const QUEUE_SIZE: u16 = 32;
 
+/// Historical base seed of the per-lane request streams (lane `v` draws
+/// from `DEFAULT_LANE_SEED + v`). Runs that don't pass an explicit seed
+/// stay bit-identical to every earlier release.
+pub const DEFAULT_LANE_SEED: u64 = 0x1509;
+
 /// Builds a nested machine with a load-generator NIC attached; returns the
 /// machine and the shared statistics handle.
 pub fn rr_machine(
@@ -23,8 +28,20 @@ pub fn rr_machine(
     total_requests: u64,
     source: Box<dyn RequestSource>,
 ) -> (Machine, Rc<RefCell<LoadStats>>) {
+    rr_machine_seeded(mode, arrival, total_requests, source, DEFAULT_LANE_SEED)
+}
+
+/// [`rr_machine`] with an explicit request-stream seed, so single-vCPU
+/// benchmark runs are reproducible from one `--seed` value.
+pub fn rr_machine_seeded(
+    mode: SwitchMode,
+    arrival: ArrivalMode,
+    total_requests: u64,
+    source: Box<dyn RequestSource>,
+    seed: u64,
+) -> (Machine, Rc<RefCell<LoadStats>>) {
     let mut m = nested_machine(mode);
-    let stats = attach_loadgen_for(&mut m, 0, arrival, total_requests, source);
+    let stats = attach_loadgen_for_seeded(&mut m, 0, arrival, total_requests, source, seed);
     (m, stats)
 }
 
@@ -45,6 +62,20 @@ pub fn attach_loadgen_for(
     total_requests: u64,
     source: Box<dyn RequestSource>,
 ) -> Rc<RefCell<LoadStats>> {
+    attach_loadgen_for_seeded(m, vcpu, arrival, total_requests, source, DEFAULT_LANE_SEED)
+}
+
+/// [`attach_loadgen_for`] with an explicit base seed: lane `vcpu` draws
+/// its request stream from `base_seed + vcpu`, so a whole run is
+/// reproducible from one `--seed` value.
+pub fn attach_loadgen_for_seeded(
+    m: &mut Machine,
+    vcpu: usize,
+    arrival: ArrivalMode,
+    total_requests: u64,
+    source: Box<dyn RequestSource>,
+    base_seed: u64,
+) -> Rc<RefCell<LoadStats>> {
     let cost = m.cost.clone();
     let lane = layout::lane(vcpu);
     let cfg = LoadGenConfig {
@@ -57,7 +88,7 @@ pub fn attach_loadgen_for(
         completion_backend_exits: 1,
         arrival,
         total_requests,
-        seed: 0x1509 + vcpu as u64,
+        seed: base_seed + vcpu as u64,
     };
     let (dev, stats) = LoadGenNet::new(
         cfg,

@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 mod channel;
+mod chaos;
 mod cpuid;
 mod disk;
 mod fig10;
@@ -52,16 +53,20 @@ pub use channel::{
     channel_cell, channel_study, default_workloads, simulate_channel_round_ns, ChannelCell,
     Mechanism, POLL_SMT_STEAL_RATIO,
 };
+pub use chaos::{memcached_chaos, ChaosPoint};
 pub use cpuid::{cpuid_observed, cpuid_us, fig6, table1, ExitAttribution, Fig6Bar, Table1Row};
 pub use disk::{DiskBench, DiskMode};
 pub use fig10::{video_playback, PlaybackResult};
 pub use fig7::{
     disk_bandwidth_kb_s, disk_latency_us, fig7, net_rr_latency_us, net_stream_mbps, IoRow,
 };
-pub use fig8::{default_rates, fig8_series, memcached_point, SLA_NS};
-pub use fig9::tpcc_tpm;
+pub use fig8::{
+    default_rates, fig8_series, fig8_series_seeded, memcached_point, memcached_point_seeded, SLA_NS,
+};
+pub use fig9::{tpcc_tpm, tpcc_tpm_seeded};
 pub use harness::{
-    attach_blk, attach_blk_for, attach_loadgen_for, rr_arrival, rr_machine, QUEUE_SIZE,
+    attach_blk, attach_blk_for, attach_loadgen_for, attach_loadgen_for_seeded, rr_arrival,
+    rr_machine, rr_machine_seeded, DEFAULT_LANE_SEED, QUEUE_SIZE,
 };
 pub use kvstore::{EtcSource, KvService, KvStore, OP_GET, OP_SET};
 pub use loadgen::{
@@ -72,7 +77,9 @@ pub use server::{
     EchoService, ParsedRequest, RrServer, ServeOutput, ServerConfig, ServiceModel, VECTOR_BLK,
 };
 pub use smp::{
-    memcached_smp, memcached_smp_profiled, tpcc_smp, tpcc_smp_profiled, CausalProfile, SmpPoint,
+    memcached_smp, memcached_smp_profiled, memcached_smp_profiled_seeded, memcached_smp_seeded,
+    tpcc_smp, tpcc_smp_profiled, tpcc_smp_profiled_seeded, tpcc_smp_seeded, CausalProfile,
+    SmpPoint,
 };
 pub use stream::StreamSender;
 pub use tpcc::{TpccDb, TpccService, TpccSource, TxType};

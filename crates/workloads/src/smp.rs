@@ -13,7 +13,7 @@ use svt_hv::GuestProgram;
 use svt_obs::{folded_stacks, CriticalPath};
 use svt_sim::{SimDuration, SimTime};
 
-use crate::harness::{attach_blk_for, attach_loadgen_for};
+use crate::harness::{attach_blk_for, attach_loadgen_for_seeded, DEFAULT_LANE_SEED};
 use crate::kvstore::{EtcSource, KvService};
 use crate::layout;
 use crate::loadgen::ArrivalMode;
@@ -67,7 +67,23 @@ pub struct CausalProfile {
 /// Panics if `n_vcpus` is zero or exceeds the machine's physical cores,
 /// or if no lane completes any request.
 pub fn memcached_smp(mode: SwitchMode, n_vcpus: usize, rate_qps: f64, requests: u64) -> SmpPoint {
-    memcached_run(mode, n_vcpus, rate_qps, requests, false).0
+    memcached_run(mode, n_vcpus, rate_qps, requests, false, DEFAULT_LANE_SEED).0
+}
+
+/// [`memcached_smp`] with an explicit base seed for the per-lane request
+/// streams (lane `v` draws from `seed + v`).
+///
+/// # Panics
+///
+/// As [`memcached_smp`].
+pub fn memcached_smp_seeded(
+    mode: SwitchMode,
+    n_vcpus: usize,
+    rate_qps: f64,
+    requests: u64,
+    seed: u64,
+) -> SmpPoint {
+    memcached_run(mode, n_vcpus, rate_qps, requests, false, seed).0
 }
 
 /// [`memcached_smp`] with the causal event graph enabled; additionally
@@ -82,7 +98,23 @@ pub fn memcached_smp_profiled(
     rate_qps: f64,
     requests: u64,
 ) -> (SmpPoint, CausalProfile) {
-    let (p, prof) = memcached_run(mode, n_vcpus, rate_qps, requests, true);
+    memcached_smp_profiled_seeded(mode, n_vcpus, rate_qps, requests, DEFAULT_LANE_SEED)
+}
+
+/// [`memcached_smp_profiled`] with an explicit base seed for the
+/// per-lane request streams.
+///
+/// # Panics
+///
+/// As [`memcached_smp`].
+pub fn memcached_smp_profiled_seeded(
+    mode: SwitchMode,
+    n_vcpus: usize,
+    rate_qps: f64,
+    requests: u64,
+    seed: u64,
+) -> (SmpPoint, CausalProfile) {
+    let (p, prof) = memcached_run(mode, n_vcpus, rate_qps, requests, true, seed);
     (p, prof.expect("profiled run harvests a causal profile"))
 }
 
@@ -92,6 +124,7 @@ fn memcached_run(
     rate_qps: f64,
     requests: u64,
     profile: bool,
+    lane_seed: u64,
 ) -> (SmpPoint, Option<CausalProfile>) {
     let mean = SimDuration::from_ns_f64(1e9 / rate_qps);
     let mut m = smp_machine(mode, n_vcpus);
@@ -104,7 +137,7 @@ fn memcached_run(
     let mut servers: Vec<RrServer> = Vec::with_capacity(n_vcpus);
     for v in 0..n_vcpus {
         let source = Box::new(EtcSource::new(100_000));
-        stats.push(attach_loadgen_for(
+        stats.push(attach_loadgen_for_seeded(
             &mut m,
             v,
             ArrivalMode::OpenLoop {
@@ -112,6 +145,7 @@ fn memcached_run(
             },
             requests,
             source,
+            lane_seed,
         ));
         let mut cfg = ServerConfig::rr_on_lane(&cost, u64::MAX, v);
         cfg.timer_rearm_every = 4;
@@ -136,7 +170,17 @@ fn memcached_run(
 /// Panics if `n_vcpus` is zero or exceeds the machine's physical cores,
 /// or if no lane completes any statement.
 pub fn tpcc_smp(mode: SwitchMode, n_vcpus: usize, transactions: u64) -> SmpPoint {
-    tpcc_run(mode, n_vcpus, transactions, false).0
+    tpcc_run(mode, n_vcpus, transactions, false, DEFAULT_LANE_SEED).0
+}
+
+/// [`tpcc_smp`] with an explicit base seed for the per-lane request
+/// streams (lane `v` draws from `seed + v`).
+///
+/// # Panics
+///
+/// As [`tpcc_smp`].
+pub fn tpcc_smp_seeded(mode: SwitchMode, n_vcpus: usize, transactions: u64, seed: u64) -> SmpPoint {
+    tpcc_run(mode, n_vcpus, transactions, false, seed).0
 }
 
 /// [`tpcc_smp`] with the causal event graph enabled; additionally
@@ -150,7 +194,22 @@ pub fn tpcc_smp_profiled(
     n_vcpus: usize,
     transactions: u64,
 ) -> (SmpPoint, CausalProfile) {
-    let (p, prof) = tpcc_run(mode, n_vcpus, transactions, true);
+    tpcc_smp_profiled_seeded(mode, n_vcpus, transactions, DEFAULT_LANE_SEED)
+}
+
+/// [`tpcc_smp_profiled`] with an explicit base seed for the per-lane
+/// request streams.
+///
+/// # Panics
+///
+/// As [`tpcc_smp`].
+pub fn tpcc_smp_profiled_seeded(
+    mode: SwitchMode,
+    n_vcpus: usize,
+    transactions: u64,
+    seed: u64,
+) -> (SmpPoint, CausalProfile) {
+    let (p, prof) = tpcc_run(mode, n_vcpus, transactions, true, seed);
     (p, prof.expect("profiled run harvests a causal profile"))
 }
 
@@ -159,6 +218,7 @@ fn tpcc_run(
     n_vcpus: usize,
     transactions: u64,
     profile: bool,
+    lane_seed: u64,
 ) -> (SmpPoint, Option<CausalProfile>) {
     let statements = transactions * 34;
     let mut m = smp_machine(mode, n_vcpus);
@@ -171,7 +231,7 @@ fn tpcc_run(
     let mut servers: Vec<RrServer> = Vec::with_capacity(n_vcpus);
     for v in 0..n_vcpus {
         let source = Box::new(TpccSource::new(4));
-        stats.push(attach_loadgen_for(
+        stats.push(attach_loadgen_for_seeded(
             &mut m,
             v,
             ArrivalMode::ClosedLoop {
@@ -180,6 +240,7 @@ fn tpcc_run(
             },
             statements,
             source,
+            lane_seed,
         ));
         attach_blk_for(&mut m, v);
         let mut cfg = ServerConfig::rr_on_lane(&cost, statements, v);
@@ -220,7 +281,7 @@ fn run_servers(m: &mut svt_hv::Machine, servers: &mut [RrServer], horizon: SimTi
     m.run_smp(&mut progs, horizon).expect("smp run completes");
 }
 
-fn collect(
+pub(crate) fn collect(
     n_vcpus: usize,
     stats: &[std::rc::Rc<std::cell::RefCell<crate::loadgen::LoadStats>>],
 ) -> SmpPoint {

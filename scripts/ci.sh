@@ -94,4 +94,51 @@ else:
 sys.exit(0 if ok else 1)
 PY
 
+echo "==> chaos smoke: fault injection survived, watchdogs silent, fallback in band"
+cargo run -q -p svt-bench --bin faults -- --smoke --json /tmp/faults.json >/dev/null
+python3 - <<'PY'
+import json, sys
+
+rep = json.load(open("/tmp/faults.json"))
+cells = dict(rep.get("results", [])).get("campaign", [])
+if not cells:
+    sys.exit("FAIL: no campaign cells in the faults report")
+
+ok = True
+for c in cells:
+    tag = f"{c['engine']} @ rate {c['fault_rate']}"
+    cell_ok = True
+    # Injected faults may cost time, never correctness.
+    wd = sum(c.get("watchdogs", {}).values())
+    if wd != 0:
+        print(f"FAIL {tag}: {wd} causal watchdog violations")
+        cell_ok = False
+    # Rate-0 cells are the control: a disarmed plan must inject nothing.
+    if c["fault_rate"] == 0 and c["total_injected"] != 0:
+        print(f"FAIL {tag}: disarmed plan injected {c['total_injected']} faults")
+        cell_ok = False
+    if cell_ok:
+        print(f"ok   {tag}: {c['total_injected']} injected, "
+              f"{c['retransmits']} retransmits, "
+              f"{100 * c['fallback_rate']:.1f}% fallback, {wd} watchdogs")
+    ok = ok and cell_ok
+
+# The degradation policy's committed operating point for the smoke cell
+# (seed 0xC4A05EED, rate 0.05, 60 requests): ~26% of traps fall back.
+# Outside [5%, 45%] the policy regressed (thrashing or never degrading).
+sw = [c for c in cells if c["engine"] == "SW SVt" and c["fault_rate"] == 0.05]
+if len(sw) != 1:
+    sys.exit("FAIL: missing the SW SVt rate-0.05 smoke cell")
+fb = sw[0]["fallback_rate"]
+if not 0.05 <= fb <= 0.45:
+    print(f"FAIL: SW SVt fallback rate {fb:.3f} outside committed band [0.05, 0.45]")
+    ok = False
+else:
+    print(f"ok   SW SVt fallback rate {fb:.3f} within committed band [0.05, 0.45]")
+if sw[0]["total_injected"] == 0:
+    print("FAIL: armed smoke cell injected nothing")
+    ok = False
+sys.exit(0 if ok else 1)
+PY
+
 echo "CI green."
