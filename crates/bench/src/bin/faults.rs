@@ -7,30 +7,26 @@
 //! fallback share, and the causal watchdog verdicts — which must all be
 //! zero: injected faults may cost time, never correctness.
 //!
-//! `--seed <n>` picks the fault plan's seed (default `0xC4A05EED`);
-//! `--smoke` runs the two-point CI variant.
+//! The `engine × rate` grid fans across `--jobs` sweep workers and
+//! merges in grid order, so output is byte-identical at any worker
+//! count. `--seed <n>` picks the fault plan's seed (default
+//! `0xC4A05EED`); `--smoke` runs the two-point CI variant.
 
-use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
-use svt_core::SwitchMode;
-use svt_obs::{Json, RunReport};
-use svt_sim::{CostModel, FaultPlan};
-use svt_workloads::{memcached_chaos, ChaosPoint};
-
-const N_VCPUS: usize = 2;
-const RATE_QPS: f64 = 2_000.0;
-const DEFAULT_SEED: u64 = 0xC4A0_5EED;
+use svt_bench::{
+    faults_campaign, faults_report, print_header, rule, BenchCli, FAULTS_DEFAULT_SEED, FAULTS_MODES,
+};
 
 fn main() {
     let cli = BenchCli::parse();
+    cli.handle_help("svt-bench faults [--smoke] [--json r.json] [--seed n] [--jobs n]");
     let smoke = cli.flag("--smoke");
-    let seed = cli.seed_or(DEFAULT_SEED);
+    let seed = cli.seed_or(FAULTS_DEFAULT_SEED);
     let requests: u64 = if smoke { 60 } else { 150 };
     let rates: &[f64] = if smoke {
         &[0.0, 0.05]
     } else {
         &[0.0, 0.01, 0.05, 0.2]
     };
-    let modes = [SwitchMode::Baseline, SwitchMode::SwSvt];
 
     print_header("Chaos campaign - memcached under deterministic fault injection");
     println!("fault plan seed: {seed:#x}");
@@ -40,34 +36,14 @@ fn main() {
     );
     rule();
 
-    let mut report = RunReport::new(
-        "faults",
-        "Fault-rate sweep: injection, recovery and degradation per engine",
-    );
-    report.machine = Some(machine_json());
-    report.cost_model = Some(cost_model_json(&CostModel::default()));
-    report.results.push(("seed".to_string(), Json::from(seed)));
-
-    let mut cells = Vec::new();
-    for mode in modes {
-        for &rate in rates {
-            let plan = if rate == 0.0 {
-                FaultPlan::none()
-            } else {
-                FaultPlan::uniform(seed, rate)
-            };
-            let p = memcached_chaos(mode, N_VCPUS, RATE_QPS, requests, plan);
-            assert_eq!(
-                p.watchdog_violations(),
-                0,
-                "{} at rate {rate}: watchdogs fired: {:?}",
-                mode.label(),
-                p.watchdogs
-            );
+    let cells = faults_campaign(&FAULTS_MODES, rates, requests, seed, cli.jobs());
+    for chunk in cells.chunks(rates.len()) {
+        for c in chunk {
+            let p = &c.point;
             println!(
                 "{:<10}{:>7.2}{:>12.0}{:>10}{:>9}{:>9}{:>9.1}%{:>11}",
-                mode.label(),
-                rate,
+                c.mode.label(),
+                c.rate,
                 p.point.throughput,
                 p.total_injected,
                 p.retransmits,
@@ -75,56 +51,8 @@ fn main() {
                 p.fallback_rate() * 100.0,
                 p.watchdog_violations()
             );
-            cells.push(cell_json(mode, rate, &p));
         }
         rule();
     }
-    report
-        .results
-        .push(("campaign".to_string(), Json::Arr(cells)));
-    cli.emit_report(&report);
-}
-
-fn cell_json(mode: SwitchMode, rate: f64, p: &ChaosPoint) -> Json {
-    let injected = p
-        .injected
-        .iter()
-        .map(|&(k, n)| (k, Json::from(n)))
-        .collect::<Vec<_>>();
-    let transitions = p
-        .transitions
-        .iter()
-        .map(|&(k, n)| (k, Json::from(n)))
-        .collect::<Vec<_>>();
-    let watchdogs = p
-        .watchdogs
-        .iter()
-        .map(|&(k, n)| (k, Json::from(n)))
-        .collect::<Vec<_>>();
-    Json::obj([
-        ("engine", Json::Str(mode.label().to_string())),
-        ("fault_rate", Json::Num(rate)),
-        ("seed", Json::from(p.seed)),
-        ("throughput_rps", Json::Num(p.point.throughput)),
-        ("avg_ns", Json::Num(p.point.avg_ns)),
-        ("p99_ns", Json::Num(p.point.p99_ns)),
-        ("completed", Json::from(p.point.completed)),
-        ("injected", Json::obj(injected)),
-        ("total_injected", Json::from(p.total_injected)),
-        ("retransmits", Json::from(p.retransmits)),
-        ("timeouts", Json::from(p.timeouts)),
-        ("duplicates_dropped", Json::from(p.duplicates_dropped)),
-        ("protocol_errors", Json::from(p.protocol_errors)),
-        ("ipi_retransmits", Json::from(p.ipi_retransmits)),
-        (
-            "ipi_duplicates_absorbed",
-            Json::from(p.ipi_duplicates_absorbed),
-        ),
-        ("transitions", Json::obj(transitions)),
-        ("ring_traps", Json::from(p.ring_traps)),
-        ("fallback_traps", Json::from(p.fallback_traps)),
-        ("resume_fallbacks", Json::from(p.resume_fallbacks)),
-        ("fallback_rate", Json::Num(p.fallback_rate())),
-        ("watchdogs", Json::obj(watchdogs)),
-    ])
+    cli.emit_report(&faults_report(&cells, seed));
 }

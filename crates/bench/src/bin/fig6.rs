@@ -1,19 +1,22 @@
 //! Regenerates Fig. 6: cpuid latency on L0/L1/L2/SW SVt/HW SVt.
+//!
+//! The five bars plus the Table 1 and exit-attribution cells run as one
+//! sweep grid (`--jobs` workers), merged in grid order: the printed
+//! table and the `--json` report are byte-identical at any worker count.
 
-use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
-use svt_obs::{ExitRow, Json, PartRow, RunReport, SpeedupRow};
-use svt_sim::CostModel;
+use svt_bench::{fig6_report, print_header, rule, BenchCli};
 
 fn main() {
     let cli = BenchCli::parse();
+    cli.handle_help("svt-bench fig6 [--json r.json] [--jobs n]");
     print_header("Fig. 6 - execution time of a cpuid instruction");
-    let bars = svt_workloads::fig6(200);
+    let grid = svt_workloads::fig6_grid(200, cli.jobs());
     println!(
         "{:<10}{:>12}{:>14}{:>16}",
         "System", "Time [us]", "Speedup", "Paper speedup"
     );
     rule();
-    for b in &bars {
+    for b in &grid.bars {
         let paper = match b.label {
             "SW SVt" => "1.23x".to_string(),
             "HW SVt" => "1.94x".to_string(),
@@ -30,58 +33,8 @@ fn main() {
         );
     }
 
-    let mut report = RunReport::new("fig6", "Execution time of a cpuid instruction (Fig. 6)");
-    report.machine = Some(machine_json());
-    report.cost_model = Some(cost_model_json(&CostModel::default()));
     // The cpuid micro-benchmark is load-free; the seed is recorded so
     // every bench report carries the same reproducibility field.
-    report.results.push((
-        "seed".to_string(),
-        Json::from(cli.seed_or(svt_workloads::DEFAULT_LANE_SEED)),
-    ));
-    let paper = [0.05, 0.81, 1.29, 4.89, 1.40, 1.96];
-    for row in svt_workloads::table1(200) {
-        report.parts.push(PartRow {
-            part: row.part as u32,
-            label: row.label.clone(),
-            time_us: row.time_us,
-            paper_us: paper.get(row.part).copied(),
-        });
-    }
-    let (exits, metrics) = svt_workloads::cpuid_observed(svt_core::SwitchMode::Baseline, 200);
-    for e in &exits {
-        report.exit_reasons.push(ExitRow {
-            reason: e.reason.to_string(),
-            time_ns: e.time_ns,
-            count: e.count,
-        });
-    }
-    report.metrics = Some(metrics);
-    for b in &bars {
-        if b.speedup > 1.0 {
-            report.speedups.push(SpeedupRow {
-                name: match b.label {
-                    "SW SVt" => "sw_svt".to_string(),
-                    "HW SVt" => "hw_svt".to_string(),
-                    other => other.to_string(),
-                },
-                speedup: b.speedup,
-            });
-        }
-    }
-    report.results.push((
-        "bars".to_string(),
-        Json::Arr(
-            bars.iter()
-                .map(|b| {
-                    Json::obj([
-                        ("label", Json::from(b.label)),
-                        ("time_us", Json::Num(b.time_us)),
-                        ("speedup", Json::Num(b.speedup)),
-                    ])
-                })
-                .collect(),
-        ),
-    ));
+    let report = fig6_report(&grid, cli.seed_or(svt_workloads::DEFAULT_LANE_SEED));
     cli.emit_report(&report);
 }

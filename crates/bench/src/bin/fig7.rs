@@ -6,6 +6,7 @@ use svt_sim::CostModel;
 
 fn main() {
     let cli = BenchCli::parse();
+    cli.handle_help("svt-bench fig7 [scale] [--json r.json]");
     let scale = cli.positional_or(0, 1u64);
     print_header("Fig. 7 - speedup of SVt on various I/O subsystems");
     let rows = svt_workloads::fig7(scale);

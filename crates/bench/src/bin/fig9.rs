@@ -7,6 +7,7 @@ use svt_sim::CostModel;
 
 fn main() {
     let cli = BenchCli::parse();
+    cli.handle_help("svt-bench fig9 [--quick] [--json r.json] [--seed n]");
     let quick = cli.flag("--quick");
     let seed = cli.seed_or(svt_workloads::DEFAULT_LANE_SEED);
     let txns = if quick { 60 } else { 300 };

@@ -149,6 +149,7 @@ fn report_rows(report: &mut RunReport, workload: &str, run: &ConfigRun) {
 
 fn main() {
     let cli = BenchCli::parse();
+    cli.handle_help("svt-bench profile [memcached|tpcc|all] [vcpus] [--smoke] [--jobs n]");
     let smoke = cli.flag("--smoke");
     let workload = cli
         .positional
@@ -169,52 +170,50 @@ fn main() {
     report.cost_model = Some(cost_model_json(&CostModel::default()));
     report.results.push(("seed".to_string(), Json::from(seed)));
 
-    let mut runs: Vec<(&str, ConfigRun, ConfigRun)> = Vec::new();
+    // The profiled configurations form a `workload × engine` grid of
+    // independent machines; fan it across the sweep workers and merge in
+    // grid order (baseline before SW SVt within each workload).
+    let mut grid: Vec<&'static str> = Vec::new();
     if workload == "all" || workload == "memcached" {
-        let (bp, bprof) = memcached_smp_profiled_seeded(
-            SwitchMode::Baseline,
-            n_vcpus,
-            2_000.0,
-            mc_requests,
-            seed,
-        );
-        let (sp, sprof) =
-            memcached_smp_profiled_seeded(SwitchMode::SwSvt, n_vcpus, 2_000.0, mc_requests, seed);
-        runs.push((
-            "memcached",
-            ConfigRun {
-                config: "baseline",
-                point: bp,
-                profile: bprof,
-            },
-            ConfigRun {
-                config: "sw_svt",
-                point: sp,
-                profile: sprof,
-            },
-        ));
+        grid.push("memcached");
     }
     if workload == "all" || workload == "tpcc" {
-        let (bp, bprof) = tpcc_smp_profiled_seeded(SwitchMode::Baseline, n_vcpus, tpcc_tx, seed);
-        let (sp, sprof) = tpcc_smp_profiled_seeded(SwitchMode::SwSvt, n_vcpus, tpcc_tx, seed);
+        grid.push("tpcc");
+    }
+    assert!(
+        !grid.is_empty(),
+        "unknown workload {workload:?} (expected memcached, tpcc or all)"
+    );
+    let cells = svt_sim::sweep(2 * grid.len(), cli.jobs(), |i| {
+        let mode = if i % 2 == 0 {
+            SwitchMode::Baseline
+        } else {
+            SwitchMode::SwSvt
+        };
+        match grid[i / 2] {
+            "memcached" => memcached_smp_profiled_seeded(mode, n_vcpus, 2_000.0, mc_requests, seed),
+            _ => tpcc_smp_profiled_seeded(mode, n_vcpus, tpcc_tx, seed),
+        }
+    });
+    let mut runs: Vec<(&str, ConfigRun, ConfigRun)> = Vec::new();
+    for (name, pair) in grid.iter().zip(cells.chunks(2)) {
+        let [(bp, bprof), (sp, sprof)] = pair else {
+            unreachable!("two engines per workload")
+        };
         runs.push((
-            "tpcc",
+            name,
             ConfigRun {
                 config: "baseline",
-                point: bp,
-                profile: bprof,
+                point: bp.clone(),
+                profile: bprof.clone(),
             },
             ConfigRun {
                 config: "sw_svt",
-                point: sp,
-                profile: sprof,
+                point: sp.clone(),
+                profile: sprof.clone(),
             },
         ));
     }
-    assert!(
-        !runs.is_empty(),
-        "unknown workload {workload:?} (expected memcached, tpcc or all)"
-    );
 
     for (name, base, sw) in &runs {
         print_side_by_side(name, base, sw);

@@ -5,85 +5,45 @@
 //! The sweep shows that the per-trap savings of SW/HW SVt compound
 //! across vCPUs: aggregate throughput stays a roughly constant factor
 //! above the baseline at every machine size.
+//!
+//! The `mode × vCPUs` grid fans across `--jobs` sweep workers and merges
+//! in grid order: output is byte-identical at any worker count.
 
-use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
-use svt_core::SwitchMode;
-use svt_obs::{Json, RunReport, SpeedupRow};
-use svt_sim::CostModel;
-use svt_workloads::{memcached_smp_seeded, SmpPoint, DEFAULT_LANE_SEED};
-
-const VCPU_COUNTS: [usize; 4] = [1, 2, 4, 8];
-const RATE_QPS: f64 = 2_000.0;
-const REQUESTS: u64 = 150;
+use svt_bench::{
+    print_header, rule, smp_report, smp_series, BenchCli, SERVE_RATE_QPS, SMP_REQUESTS,
+    SMP_VCPU_COUNTS,
+};
+use svt_workloads::DEFAULT_LANE_SEED;
 
 fn main() {
     let cli = BenchCli::parse();
+    cli.handle_help("svt-bench smp [--json r.json] [--seed n] [--jobs n]");
     let seed = cli.seed_or(DEFAULT_LANE_SEED);
     print_header("SMP scaling - sharded memcached, per-vCPU open-loop load");
+    let series = smp_series(
+        &SMP_VCPU_COUNTS,
+        SERVE_RATE_QPS,
+        SMP_REQUESTS,
+        seed,
+        cli.jobs(),
+    );
     println!(
         "{:<10}{:>8}{:>14}{:>14}{:>12}",
         "System", "vCPUs", "Tput [rps]", "Avg [us]", "p99 [us]"
     );
     rule();
-    let mut series: Vec<(SwitchMode, Vec<SmpPoint>)> = Vec::new();
-    for mode in SwitchMode::ALL {
-        let mut points = Vec::new();
-        for &n in &VCPU_COUNTS {
-            let p = memcached_smp_seeded(mode, n, RATE_QPS, REQUESTS, seed);
+    for (mode, points) in &series {
+        for p in points {
             println!(
                 "{:<10}{:>8}{:>14.0}{:>14.1}{:>12.1}",
                 mode.label(),
-                n,
+                p.n_vcpus,
                 p.throughput,
                 p.avg_ns / 1000.0,
                 p.p99_ns / 1000.0
             );
-            points.push(p);
         }
         rule();
-        series.push((mode, points));
     }
-
-    let mut report = RunReport::new("smp", "Sharded memcached scaling over 1-8 vCPUs");
-    report.machine = Some(machine_json());
-    report.cost_model = Some(cost_model_json(&CostModel::default()));
-    report.results.push(("seed".to_string(), Json::from(seed)));
-    let baseline = &series[0].1;
-    for (mode, points) in &series {
-        if *mode != SwitchMode::Baseline {
-            // Mean throughput gain over the baseline across the sweep.
-            let gain: f64 = points
-                .iter()
-                .zip(baseline)
-                .map(|(p, b)| p.throughput / b.throughput)
-                .sum::<f64>()
-                / points.len() as f64;
-            report.speedups.push(SpeedupRow {
-                name: match mode.label() {
-                    "SW SVt" => "sw_svt_smp".to_string(),
-                    "HW SVt" => "hw_svt_smp".to_string(),
-                    other => other.to_string(),
-                },
-                speedup: gain,
-            });
-        }
-        report.results.push((
-            format!("scaling_{}", mode.label().replace(' ', "_").to_lowercase()),
-            Json::Arr(
-                points
-                    .iter()
-                    .map(|p| {
-                        Json::obj([
-                            ("n_vcpus", Json::Num(p.n_vcpus as f64)),
-                            ("completed", Json::Num(p.completed as f64)),
-                            ("throughput_rps", Json::Num(p.throughput)),
-                            ("avg_ns", Json::Num(p.avg_ns)),
-                            ("p99_ns", Json::Num(p.p99_ns)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ));
-    }
-    cli.emit_report(&report);
+    cli.emit_report(&smp_report(&series, seed));
 }

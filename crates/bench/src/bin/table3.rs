@@ -29,6 +29,7 @@ fn count_rust_loc(dir: &str) -> usize {
 
 fn main() {
     let cli = BenchCli::parse();
+    cli.handle_help("svt-bench table3 [--json r.json]");
     print_header("Table 3 analogue - lines of code of this reproduction");
     println!("Paper's prototype patch: QEMU +654, Linux/KVM +2432, Linux/other +227");
     rule();

@@ -10,6 +10,11 @@
 //! * `--seed <n>` (or `--seed=<n>`) — deterministic seed for whatever
 //!   randomness the binary drives (load generators, fault plans); every
 //!   binary records the seed it ran with in its report;
+//! * `--jobs <n>` (or `--jobs=<n>`) — worker threads for the parallel
+//!   sweep engine, falling back to the `SVT_JOBS` environment variable
+//!   and then the host's available parallelism. Results are merged in
+//!   grid order, so any `--jobs` value produces identical output;
+//! * `--help` — usage plus this standard-flag reference;
 //! * bare `--flags` (e.g. `--quick`, `--smoke`) and positional values,
 //!   exposed through [`BenchCli::flag`] and [`BenchCli::positional`].
 //!
@@ -31,6 +36,8 @@ pub struct BenchCli {
     pub trace: Option<PathBuf>,
     /// Deterministic seed (`--seed`), if given.
     pub seed: Option<u64>,
+    /// Explicit sweep worker count (`--jobs`), if given.
+    pub jobs: Option<usize>,
     /// Positional (non-flag) arguments in order.
     pub positional: Vec<String>,
     /// Bare `--flag` arguments (everything else starting with `--`).
@@ -61,6 +68,10 @@ impl BenchCli {
                 cli.seed = it.next().and_then(|s| s.parse().ok());
             } else if let Some(p) = a.strip_prefix("--seed=") {
                 cli.seed = p.parse().ok();
+            } else if a == "--jobs" {
+                cli.jobs = it.next().and_then(|s| s.parse().ok());
+            } else if let Some(p) = a.strip_prefix("--jobs=") {
+                cli.jobs = p.parse().ok();
             } else if a.starts_with("--") {
                 cli.flags.push(a);
             } else {
@@ -78,6 +89,34 @@ impl BenchCli {
     /// The `--seed` value, or `default` when none was given.
     pub fn seed_or(&self, default: u64) -> u64 {
         self.seed.unwrap_or(default)
+    }
+
+    /// The sweep worker count: `--jobs` wins, then the `SVT_JOBS`
+    /// environment variable, then the host's available parallelism.
+    /// Always at least 1. The merged output is identical for every value
+    /// (the sweep engine merges in grid order).
+    pub fn jobs(&self) -> usize {
+        svt_sim::resolve_jobs(self.jobs)
+    }
+
+    /// When `--help` was given, prints `usage` followed by the standard
+    /// flag reference shared by every bench binary, then exits. Call
+    /// right after [`BenchCli::parse`].
+    pub fn handle_help(&self, usage: &str) {
+        if !self.flag("--help") {
+            return;
+        }
+        println!("usage: {usage}");
+        println!();
+        println!("standard flags (every svt-bench binary):");
+        println!("  --json <path>   write the machine-readable run report (schema v2)");
+        println!("  --trace <path>  write a Chrome trace of the run's spans, if recorded");
+        println!("  --seed <n>      deterministic seed for load generators / fault plans");
+        println!("  --jobs <n>      sweep worker threads (env fallback SVT_JOBS, default =");
+        println!("                  available parallelism); output is byte-identical for");
+        println!("                  any value — results merge in grid order");
+        println!("  --help          this message");
+        std::process::exit(0);
     }
 
     /// Positional argument `i` parsed as a number, or `default` when
@@ -160,5 +199,16 @@ mod tests {
         assert_eq!(args(&["--seed=x"]).seed, None);
         assert_eq!(args(&[]).seed_or(5), 5);
         assert_eq!(args(&["--seed=9"]).seed_or(5), 9);
+    }
+
+    #[test]
+    fn parses_jobs_in_both_forms() {
+        assert_eq!(args(&["--jobs", "4"]).jobs, Some(4));
+        assert_eq!(args(&["--jobs=2"]).jobs, Some(2));
+        assert_eq!(args(&["--jobs=x"]).jobs, None);
+        assert_eq!(args(&["--jobs=4"]).jobs(), 4);
+        assert!(args(&[]).jobs() >= 1);
+        // Zero is not a valid worker count; the resolver falls through.
+        assert!(args(&["--jobs=0"]).jobs() >= 1);
     }
 }

@@ -7,8 +7,14 @@
 #![warn(missing_docs)]
 
 mod cli;
+mod runs;
 
 pub use cli::BenchCli;
+pub use runs::{
+    fault_cell_json, faults_campaign, faults_report, fig6_report, smp_report, smp_series,
+    FaultCell, FAULTS_DEFAULT_SEED, FAULTS_MODES, FAULTS_N_VCPUS, SERVE_RATE_QPS, SMP_REQUESTS,
+    SMP_VCPU_COUNTS,
+};
 use svt_obs::Json;
 use svt_sim::{CostModel, MachineSpec, VmSpec};
 

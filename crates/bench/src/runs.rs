@@ -1,0 +1,279 @@
+//! Sweep-based grid runners and report builders shared by the benchmark
+//! binaries and the determinism tests.
+//!
+//! Each runner fans its grid of independent machine configurations
+//! across the sim crate's parallel sweep engine ([`svt_sim::sweep`]) and
+//! merges in grid order, so a given configuration produces the same
+//! merged results — and therefore byte-identical [`RunReport`] JSON —
+//! at any worker count. The report builders live here too, so a binary
+//! and a test assembling the same grid emit the same bytes.
+
+use svt_core::SwitchMode;
+use svt_obs::{ExitRow, Json, PartRow, RunReport, SpeedupRow};
+use svt_sim::{CostModel, FaultPlan};
+use svt_workloads::{memcached_chaos, memcached_smp_seeded, ChaosPoint, Fig6Grid, SmpPoint};
+
+use crate::{cost_model_json, machine_json};
+
+/// vCPU counts of the SMP scaling sweep.
+pub const SMP_VCPU_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Offered per-lane load of the serving sweeps, queries/second.
+pub const SERVE_RATE_QPS: f64 = 2_000.0;
+
+/// Requests per lane of the full SMP scaling sweep.
+pub const SMP_REQUESTS: u64 = 150;
+
+/// vCPUs of every fault-campaign cell.
+pub const FAULTS_N_VCPUS: usize = 2;
+
+/// Default fault-plan seed of the chaos campaign.
+pub const FAULTS_DEFAULT_SEED: u64 = 0xC4A0_5EED;
+
+/// The engines the chaos campaign compares.
+pub const FAULTS_MODES: [SwitchMode; 2] = [SwitchMode::Baseline, SwitchMode::SwSvt];
+
+/// Builds the Fig. 6 run report from a computed grid (see
+/// [`svt_workloads::fig6_grid`]). `seed` is recorded for
+/// reproducibility; the micro-benchmark itself is load-free.
+pub fn fig6_report(grid: &Fig6Grid, seed: u64) -> RunReport {
+    let mut report = RunReport::new("fig6", "Execution time of a cpuid instruction (Fig. 6)");
+    report.machine = Some(machine_json());
+    report.cost_model = Some(cost_model_json(&CostModel::default()));
+    report.results.push(("seed".to_string(), Json::from(seed)));
+    let paper = [0.05, 0.81, 1.29, 4.89, 1.40, 1.96];
+    for row in &grid.table1 {
+        report.parts.push(PartRow {
+            part: row.part as u32,
+            label: row.label.clone(),
+            time_us: row.time_us,
+            paper_us: paper.get(row.part).copied(),
+        });
+    }
+    for e in &grid.exits {
+        report.exit_reasons.push(ExitRow {
+            reason: e.reason.to_string(),
+            time_ns: e.time_ns,
+            count: e.count,
+        });
+    }
+    report.metrics = Some(grid.metrics.clone());
+    for b in &grid.bars {
+        if b.speedup > 1.0 {
+            report.speedups.push(SpeedupRow {
+                name: match b.label {
+                    "SW SVt" => "sw_svt".to_string(),
+                    "HW SVt" => "hw_svt".to_string(),
+                    other => other.to_string(),
+                },
+                speedup: b.speedup,
+            });
+        }
+    }
+    report.results.push((
+        "bars".to_string(),
+        Json::Arr(
+            grid.bars
+                .iter()
+                .map(|b| {
+                    Json::obj([
+                        ("label", Json::from(b.label)),
+                        ("time_us", Json::Num(b.time_us)),
+                        ("speedup", Json::Num(b.speedup)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    report
+}
+
+/// Runs the SMP scaling sweep — every [`SwitchMode`] at every vCPU count
+/// — as one `modes × counts` grid across `jobs` workers, returning one
+/// point series per mode in mode order.
+pub fn smp_series(
+    vcpu_counts: &[usize],
+    rate_qps: f64,
+    requests: u64,
+    seed: u64,
+    jobs: usize,
+) -> Vec<(SwitchMode, Vec<SmpPoint>)> {
+    let modes = SwitchMode::ALL;
+    let points = svt_sim::sweep(modes.len() * vcpu_counts.len(), jobs, |i| {
+        let mode = modes[i / vcpu_counts.len()];
+        let n = vcpu_counts[i % vcpu_counts.len()];
+        memcached_smp_seeded(mode, n, rate_qps, requests, seed)
+    });
+    modes
+        .iter()
+        .zip(points.chunks(vcpu_counts.len()))
+        .map(|(&mode, chunk)| (mode, chunk.to_vec()))
+        .collect()
+}
+
+/// Builds the SMP scaling run report from a merged series (the first
+/// series must be the baseline, as [`smp_series`] returns it).
+pub fn smp_report(series: &[(SwitchMode, Vec<SmpPoint>)], seed: u64) -> RunReport {
+    let mut report = RunReport::new("smp", "Sharded memcached scaling over 1-8 vCPUs");
+    report.machine = Some(machine_json());
+    report.cost_model = Some(cost_model_json(&CostModel::default()));
+    report.results.push(("seed".to_string(), Json::from(seed)));
+    let baseline = &series[0].1;
+    for (mode, points) in series {
+        if *mode != SwitchMode::Baseline {
+            // Mean throughput gain over the baseline across the sweep.
+            let gain: f64 = points
+                .iter()
+                .zip(baseline)
+                .map(|(p, b)| p.throughput / b.throughput)
+                .sum::<f64>()
+                / points.len() as f64;
+            report.speedups.push(SpeedupRow {
+                name: match mode.label() {
+                    "SW SVt" => "sw_svt_smp".to_string(),
+                    "HW SVt" => "hw_svt_smp".to_string(),
+                    other => other.to_string(),
+                },
+                speedup: gain,
+            });
+        }
+        report.results.push((
+            format!("scaling_{}", mode.label().replace(' ', "_").to_lowercase()),
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("n_vcpus", Json::Num(p.n_vcpus as f64)),
+                            ("completed", Json::Num(p.completed as f64)),
+                            ("throughput_rps", Json::Num(p.throughput)),
+                            ("avg_ns", Json::Num(p.avg_ns)),
+                            ("p99_ns", Json::Num(p.p99_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    report
+}
+
+/// One cell of the fault-injection campaign.
+#[derive(Debug, Clone)]
+pub struct FaultCell {
+    /// The reflection engine under test.
+    pub mode: SwitchMode,
+    /// Per-site fault probability of this cell's plan.
+    pub rate: f64,
+    /// Everything the chaos run reported.
+    pub point: ChaosPoint,
+}
+
+/// Runs the `modes × rates` fault campaign across `jobs` workers. Cells
+/// merge in grid order (mode-major). Every cell must finish with silent
+/// causal watchdogs: injected faults may cost time, never correctness.
+///
+/// # Panics
+///
+/// Panics if any cell reports a watchdog violation.
+pub fn faults_campaign(
+    modes: &[SwitchMode],
+    rates: &[f64],
+    requests: u64,
+    seed: u64,
+    jobs: usize,
+) -> Vec<FaultCell> {
+    let cells = svt_sim::sweep(modes.len() * rates.len(), jobs, |i| {
+        let rate = rates[i % rates.len()];
+        let plan = if rate == 0.0 {
+            FaultPlan::none()
+        } else {
+            FaultPlan::uniform(seed, rate)
+        };
+        memcached_chaos(
+            modes[i / rates.len()],
+            FAULTS_N_VCPUS,
+            SERVE_RATE_QPS,
+            requests,
+            plan,
+        )
+    });
+    let cells: Vec<FaultCell> = cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, point)| FaultCell {
+            mode: modes[i / rates.len()],
+            rate: rates[i % rates.len()],
+            point,
+        })
+        .collect();
+    for c in &cells {
+        assert_eq!(
+            c.point.watchdog_violations(),
+            0,
+            "{} at rate {}: watchdogs fired: {:?}",
+            c.mode.label(),
+            c.rate,
+            c.point.watchdogs
+        );
+    }
+    cells
+}
+
+/// Builds the chaos-campaign run report from merged cells.
+pub fn faults_report(cells: &[FaultCell], seed: u64) -> RunReport {
+    let mut report = RunReport::new(
+        "faults",
+        "Fault-rate sweep: injection, recovery and degradation per engine",
+    );
+    report.machine = Some(machine_json());
+    report.cost_model = Some(cost_model_json(&CostModel::default()));
+    report.results.push(("seed".to_string(), Json::from(seed)));
+    report.results.push((
+        "campaign".to_string(),
+        Json::Arr(
+            cells
+                .iter()
+                .map(|c| fault_cell_json(c.mode, c.rate, &c.point))
+                .collect(),
+        ),
+    ));
+    report
+}
+
+/// One campaign cell as the report's JSON object.
+pub fn fault_cell_json(mode: SwitchMode, rate: f64, p: &ChaosPoint) -> Json {
+    let pairs = |kv: &[(&'static str, u64)]| {
+        Json::obj(
+            kv.iter()
+                .map(|&(k, n)| (k, Json::from(n)))
+                .collect::<Vec<_>>(),
+        )
+    };
+    Json::obj([
+        ("engine", Json::Str(mode.label().to_string())),
+        ("fault_rate", Json::Num(rate)),
+        ("seed", Json::from(p.seed)),
+        ("throughput_rps", Json::Num(p.point.throughput)),
+        ("avg_ns", Json::Num(p.point.avg_ns)),
+        ("p99_ns", Json::Num(p.point.p99_ns)),
+        ("completed", Json::from(p.point.completed)),
+        ("injected", pairs(&p.injected)),
+        ("total_injected", Json::from(p.total_injected)),
+        ("retransmits", Json::from(p.retransmits)),
+        ("timeouts", Json::from(p.timeouts)),
+        ("duplicates_dropped", Json::from(p.duplicates_dropped)),
+        ("protocol_errors", Json::from(p.protocol_errors)),
+        ("ipi_retransmits", Json::from(p.ipi_retransmits)),
+        (
+            "ipi_duplicates_absorbed",
+            Json::from(p.ipi_duplicates_absorbed),
+        ),
+        ("transitions", pairs(&p.transitions)),
+        ("ring_traps", Json::from(p.ring_traps)),
+        ("fallback_traps", Json::from(p.fallback_traps)),
+        ("resume_fallbacks", Json::from(p.resume_fallbacks)),
+        ("fallback_rate", Json::Num(p.fallback_rate())),
+        ("watchdogs", pairs(&p.watchdogs)),
+    ])
+}

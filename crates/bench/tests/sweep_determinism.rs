@@ -1,0 +1,45 @@
+//! The sweep contract, end to end: `--jobs 1` and `--jobs N` produce
+//! byte-identical merged run reports.
+//!
+//! The binaries and these tests share the grid runners and report
+//! builders in `svt_bench::runs`, so equality of the built reports'
+//! pretty-printed JSON is exactly the equality of the bytes the binaries
+//! write through `--json`. (The per-cell workloads are deterministic
+//! pure functions of their configuration; the sweep engine merges in
+//! grid order regardless of worker completion order — see the ordering
+//! property tests in `svt_sim::sweep`.)
+
+use svt_bench::{
+    faults_campaign, faults_report, fig6_report, smp_report, smp_series, FAULTS_DEFAULT_SEED,
+    FAULTS_MODES, SERVE_RATE_QPS,
+};
+use svt_workloads::{fig6_grid, DEFAULT_LANE_SEED};
+
+#[test]
+fn fig6_report_is_byte_identical_across_worker_counts() {
+    let a = fig6_report(&fig6_grid(30, 1), DEFAULT_LANE_SEED);
+    let b = fig6_report(&fig6_grid(30, 4), DEFAULT_LANE_SEED);
+    assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+}
+
+#[test]
+fn smp_report_is_byte_identical_across_worker_counts() {
+    let counts = [1usize, 2];
+    let a = smp_series(&counts, SERVE_RATE_QPS, 60, DEFAULT_LANE_SEED, 1);
+    let b = smp_series(&counts, SERVE_RATE_QPS, 60, DEFAULT_LANE_SEED, 4);
+    assert_eq!(
+        smp_report(&a, DEFAULT_LANE_SEED).to_json().pretty(),
+        smp_report(&b, DEFAULT_LANE_SEED).to_json().pretty()
+    );
+}
+
+#[test]
+fn faults_report_is_byte_identical_across_worker_counts() {
+    let rates = [0.0, 0.05];
+    let a = faults_campaign(&FAULTS_MODES, &rates, 60, FAULTS_DEFAULT_SEED, 1);
+    let b = faults_campaign(&FAULTS_MODES, &rates, 60, FAULTS_DEFAULT_SEED, 4);
+    assert_eq!(
+        faults_report(&a, FAULTS_DEFAULT_SEED).to_json().pretty(),
+        faults_report(&b, FAULTS_DEFAULT_SEED).to_json().pretty()
+    );
+}

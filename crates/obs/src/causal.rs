@@ -38,13 +38,77 @@ use crate::key::ObsLevel;
 ///
 /// Exported from the crate root as `CausalEventId` (the simulator's event
 /// queue already owns the bare name `EventId`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
 impl EventId {
     /// The raw id value.
     pub fn raw(self) -> u64 {
         self.0
+    }
+}
+
+/// Inline happens-before predecessor list.
+///
+/// An event has at most two predecessors — its program-order edge plus
+/// one cross edge — so the list lives inline in the event node and
+/// recording never allocates on the steady path. Dereferences to
+/// `&[EventId]`, so it reads like the `Vec` it replaced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Preds {
+    len: u8,
+    ids: [EventId; 2],
+}
+
+impl Preds {
+    /// A single-predecessor list.
+    pub fn one(id: EventId) -> Self {
+        let mut p = Preds::default();
+        p.push(id);
+        p
+    }
+
+    /// Appends a predecessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds two predecessors (the recording
+    /// sites above never produce more).
+    #[inline]
+    pub fn push(&mut self, id: EventId) {
+        assert!((self.len as usize) < self.ids.len(), "too many preds");
+        self.ids[self.len as usize] = id;
+        self.len += 1;
+    }
+
+    /// The predecessors as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[EventId] {
+        &self.ids[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for Preds {
+    type Target = [EventId];
+
+    #[inline]
+    fn deref(&self) -> &[EventId] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq<Vec<EventId>> for Preds {
+    fn eq(&self, other: &Vec<EventId>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Preds {
+    type Item = &'a EventId;
+    type IntoIter = std::slice::Iter<'a, EventId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
     }
 }
 
@@ -62,7 +126,7 @@ pub struct CausalEvent {
     /// Simulated instant the event completed.
     pub at: SimTime,
     /// Happens-before predecessors (program order plus cross edges).
-    pub preds: Vec<EventId>,
+    pub preds: Preds,
 }
 
 /// A resolved cross-lane edge, ready for Chrome trace flow arrows.
@@ -181,12 +245,14 @@ pub struct CausalGraph {
     events: VecDeque<CausalEvent>,
     first_id: u64,
     recorded: u64,
-    last_on_vcpu: BTreeMap<u32, EventId>,
+    // Dense per-vCPU program-order tails: consulted on every record, so
+    // indexed by vcpu rather than tree-searched.
+    last_on_vcpu: Vec<Option<EventId>>,
     cross: VecDeque<(&'static str, EventId, EventId)>,
     pending_ipi: BTreeMap<u32, VecDeque<EventId>>,
     pending_ring: BTreeMap<u64, VecDeque<EventId>>,
     open_blocked: BTreeMap<u32, SimTime>,
-    last_span: BTreeMap<u32, (SimTime, SimTime)>,
+    last_span: Vec<Option<(SimTime, SimTime)>>,
     open_requests: BTreeMap<(u32, u64), (EventId, SimTime)>,
     requests: Vec<RequestRecord>,
     violations: BTreeMap<&'static str, u64>,
@@ -223,12 +289,12 @@ impl CausalGraph {
             events: VecDeque::new(),
             first_id: 1,
             recorded: 0,
-            last_on_vcpu: BTreeMap::new(),
+            last_on_vcpu: Vec::new(),
             cross: VecDeque::new(),
             pending_ipi: BTreeMap::new(),
             pending_ring: BTreeMap::new(),
             open_blocked: BTreeMap::new(),
-            last_span: BTreeMap::new(),
+            last_span: Vec::new(),
             open_requests: BTreeMap::new(),
             requests: Vec::new(),
             violations: BTreeMap::new(),
@@ -316,7 +382,7 @@ impl CausalGraph {
         vcpu: u32,
         level: ObsLevel,
         at: SimTime,
-        preds: Vec<EventId>,
+        preds: Preds,
     ) -> EventId {
         let id = EventId(self.next_id);
         self.next_id += 1;
@@ -345,11 +411,14 @@ impl CausalGraph {
     }
 
     /// Records a point event on the current vCPU's program order. Returns
-    /// `None` when disabled.
+    /// `None` when disabled (a single branch — no formatting or
+    /// allocation happens before the enabled check).
+    #[inline]
     pub fn record(&mut self, phase: &'static str, level: ObsLevel, at: SimTime) -> Option<EventId> {
         self.record_with(phase, level, at, None)
     }
 
+    #[inline]
     fn record_with(
         &mut self,
         phase: &'static str,
@@ -361,11 +430,11 @@ impl CausalGraph {
             return None;
         }
         let vcpu = self.cur_vcpu;
-        let mut preds = Vec::with_capacity(2);
+        let mut preds = Preds::default();
         // Program-order edge; dropped if the predecessor finished *after*
         // this event's stamp (a span recorded out of order), which would
         // break the walk's monotonicity.
-        if let Some(&prev) = self.last_on_vcpu.get(&vcpu) {
+        if let Some(prev) = self.last_on_vcpu.get(vcpu as usize).copied().flatten() {
             if self.get(prev).is_some_and(|p| p.at <= at) {
                 preds.push(prev);
             }
@@ -376,7 +445,11 @@ impl CausalGraph {
             }
         }
         let id = self.push(phase, vcpu, level, at, preds);
-        self.last_on_vcpu.insert(vcpu, id);
+        let lane = vcpu as usize;
+        if lane >= self.last_on_vcpu.len() {
+            self.last_on_vcpu.resize(lane + 1, None);
+        }
+        self.last_on_vcpu[lane] = Some(id);
         Some(id)
     }
 
@@ -395,7 +468,7 @@ impl CausalGraph {
         }
         let preds = cause
             .filter(|&c| self.get(c).is_some_and(|p| p.at <= at))
-            .map(|c| vec![c])
+            .map(Preds::one)
             .unwrap_or_default();
         Some(self.push(phase, vcpu, ObsLevel::Machine, at, preds))
     }
@@ -434,21 +507,27 @@ impl CausalGraph {
             return;
         }
         let vcpu = self.cur_vcpu;
-        if let Some(&(pb, pe)) = self.last_span.get(&vcpu) {
+        if let Some((pb, pe)) = self.last_span.get(vcpu as usize).copied().flatten() {
             let overlaps_tail = begin > pb && begin < pe && end > pe;
             let overlaps_head = begin < pb && end > pb && end < pe;
             if overlaps_tail || overlaps_head {
                 self.violate(WATCHDOG_SPAN_NESTING);
             }
         }
-        self.last_span.insert(vcpu, (begin, end));
+        let lane = vcpu as usize;
+        if lane >= self.last_span.len() {
+            self.last_span.resize(lane + 1, None);
+        }
+        self.last_span[lane] = Some((begin, end));
         // Skip the open node when an inner span was already recorded past
         // `begin` (spans record at completion, innermost first): linking
         // the close straight to the inner event keeps the chain monotone.
         let open_in_order = self
             .last_on_vcpu
-            .get(&vcpu)
-            .and_then(|&p| self.get(p))
+            .get(vcpu as usize)
+            .copied()
+            .flatten()
+            .and_then(|p| self.get(p))
             .is_none_or(|p| p.at <= begin);
         if open_in_order {
             self.record_with("run", level, begin, None);

@@ -5,12 +5,74 @@
 //! counterpart to the `Clock`'s stringly counters: everything here can be
 //! exported to JSON, sliced by level/exit-reason/reflector, and diffed
 //! across runs.
+//!
+//! # Storage layout
+//!
+//! Metric updates sit on the simulator's per-trap hot path, so the
+//! registry does not pay a `HashMap<MetricKey, _>` probe per update.
+//! Instead every key is interned once into a small integer id (an
+//! FNV-keyed id table — the key population per run is tiny and fixed
+//! after warm-up), and each category (counters/gauges/histograms) stores
+//! its values in a dense id-indexed vector. The id list of each category
+//! is kept sorted by key as ids are admitted, so the `*_sorted` report
+//! accessors are cached reads rather than collect-then-sort churn.
 
-use std::collections::HashMap;
+use svt_sim::FnvHashMap;
 
 use crate::hist::LogHistogram;
 use crate::json::Json;
 use crate::key::MetricKey;
+
+/// One metric category's dense store: values indexed by interned key id,
+/// plus the category's id list pre-sorted by key order.
+#[derive(Debug, Clone, Default)]
+struct Dense<T> {
+    slots: Vec<Option<T>>,
+    sorted: Vec<u32>,
+}
+
+impl<T> Dense<T> {
+    /// The slot for `id`, created via `init` on first touch (which also
+    /// binary-inserts the id into the category's sorted order — rare, so
+    /// the O(n) insert never shows up in profiles).
+    #[inline]
+    fn ensure(&mut self, id: u32, keys: &[MetricKey], init: impl FnOnce() -> T) -> &mut T {
+        let i = id as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        if self.slots[i].is_none() {
+            self.slots[i] = Some(init());
+            let key = keys[i];
+            let pos = self.sorted.partition_point(|&j| keys[j as usize] < key);
+            self.sorted.insert(pos, id);
+        }
+        self.slots[i].as_mut().expect("slot just ensured")
+    }
+
+    #[inline]
+    fn get(&self, id: u32) -> Option<&T> {
+        self.slots.get(id as usize).and_then(|s| s.as_ref())
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.sorted.clear();
+    }
+
+    /// Values in key order, without sorting (the order is maintained).
+    fn iter_sorted<'a>(
+        &'a self,
+        keys: &'a [MetricKey],
+    ) -> impl Iterator<Item = (MetricKey, &'a T)> + 'a {
+        self.sorted.iter().map(move |&id| {
+            (
+                keys[id as usize],
+                self.slots[id as usize].as_ref().expect("sorted id is live"),
+            )
+        })
+    }
+}
 
 /// Counters, gauges and histograms for one run.
 ///
@@ -27,9 +89,11 @@ use crate::key::MetricKey;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    counters: HashMap<MetricKey, u64>,
-    gauges: HashMap<MetricKey, f64>,
-    hists: HashMap<MetricKey, LogHistogram>,
+    ids: FnvHashMap<MetricKey, u32>,
+    keys: Vec<MetricKey>,
+    counters: Dense<u64>,
+    gauges: Dense<f64>,
+    hists: Dense<LogHistogram>,
 }
 
 impl MetricsRegistry {
@@ -38,74 +102,121 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// Interns `key`, returning its small-int id (stable for the life of
+    /// the registry).
+    #[inline]
+    fn intern(&mut self, key: MetricKey) -> u32 {
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        self.intern_slow(key)
+    }
+
+    #[cold]
+    fn intern_slow(&mut self, key: MetricKey) -> u32 {
+        let id = u32::try_from(self.keys.len()).expect("metric key population overflow");
+        self.keys.push(key);
+        self.ids.insert(key, id);
+        id
+    }
+
+    #[inline]
+    fn id_of(&self, key: MetricKey) -> Option<u32> {
+        self.ids.get(&key).copied()
+    }
+
     /// Increments a counter by one.
+    #[inline]
     pub fn inc(&mut self, key: MetricKey) {
         self.add(key, 1);
     }
 
     /// Adds `n` to a counter.
+    #[inline]
     pub fn add(&mut self, key: MetricKey, n: u64) {
-        *self.counters.entry(key).or_default() += n;
+        let id = self.intern(key);
+        *self.counters.ensure(id, &self.keys, || 0) += n;
     }
 
     /// Current counter value (0 if never incremented).
+    #[inline]
     pub fn counter(&self, key: MetricKey) -> u64 {
-        self.counters.get(&key).copied().unwrap_or(0)
+        self.id_of(key)
+            .and_then(|id| self.counters.get(id))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Sets a gauge to an instantaneous value.
+    #[inline]
     pub fn set_gauge(&mut self, key: MetricKey, v: f64) {
-        self.gauges.insert(key, v);
+        let id = self.intern(key);
+        *self.gauges.ensure(id, &self.keys, || 0.0) = v;
     }
 
     /// Current gauge value, if ever set.
     pub fn gauge(&self, key: MetricKey) -> Option<f64> {
-        self.gauges.get(&key).copied()
+        self.id_of(key).and_then(|id| self.gauges.get(id)).copied()
     }
 
     /// Records one value into the key's histogram.
+    #[inline]
     pub fn observe(&mut self, key: MetricKey, v: u64) {
-        self.hists.entry(key).or_default().record(v);
+        let id = self.intern(key);
+        self.hists
+            .ensure(id, &self.keys, LogHistogram::default)
+            .record(v);
     }
 
     /// The histogram for a key, if any values were observed.
     pub fn histogram(&self, key: MetricKey) -> Option<&LogHistogram> {
-        self.hists.get(&key)
+        self.id_of(key).and_then(|id| self.hists.get(id))
+    }
+
+    /// All counters in key order, without allocating (the sort is
+    /// maintained incrementally as keys are admitted).
+    pub fn iter_counters_sorted(&self) -> impl Iterator<Item = (MetricKey, u64)> + '_ {
+        self.counters.iter_sorted(&self.keys).map(|(k, &n)| (k, n))
+    }
+
+    /// All gauges in key order, without allocating.
+    pub fn iter_gauges_sorted(&self) -> impl Iterator<Item = (MetricKey, f64)> + '_ {
+        self.gauges.iter_sorted(&self.keys).map(|(k, &v)| (k, v))
+    }
+
+    /// All histograms in key order, without allocating.
+    pub fn iter_histograms_sorted(&self) -> impl Iterator<Item = (MetricKey, &LogHistogram)> {
+        self.hists.iter_sorted(&self.keys)
     }
 
     /// All counters, sorted by key for deterministic iteration.
     pub fn counters_sorted(&self) -> Vec<(MetricKey, u64)> {
-        let mut v: Vec<_> = self.counters.iter().map(|(k, n)| (*k, *n)).collect();
-        v.sort_by_key(|(k, _)| *k);
-        v
+        self.iter_counters_sorted().collect()
     }
 
     /// All gauges, sorted by key.
     pub fn gauges_sorted(&self) -> Vec<(MetricKey, f64)> {
-        let mut v: Vec<_> = self.gauges.iter().map(|(k, n)| (*k, *n)).collect();
-        v.sort_by_key(|(k, _)| *k);
-        v
+        self.iter_gauges_sorted().collect()
     }
 
     /// All histograms, sorted by key.
     pub fn histograms_sorted(&self) -> Vec<(MetricKey, &LogHistogram)> {
-        let mut v: Vec<_> = self.hists.iter().map(|(k, h)| (*k, h)).collect();
-        v.sort_by_key(|(k, _)| *k);
-        v
+        self.iter_histograms_sorted().collect()
     }
 
     /// Sum of all counters sharing `name`, across every dimension
     /// combination.
     pub fn counter_total(&self, name: &str) -> u64 {
-        self.counters
-            .iter()
+        self.iter_counters_sorted()
             .filter(|(k, _)| k.name == name)
-            .map(|(_, n)| *n)
+            .map(|(_, n)| n)
             .sum()
     }
 
     /// Drops all recorded metrics.
     pub fn clear(&mut self) {
+        self.ids.clear();
+        self.keys.clear();
         self.counters.clear();
         self.gauges.clear();
         self.hists.clear();
@@ -115,18 +226,15 @@ impl MetricsRegistry {
     /// `histograms` sections, each keyed by the metric's display form.
     pub fn to_json(&self) -> Json {
         let counters = self
-            .counters_sorted()
-            .into_iter()
+            .iter_counters_sorted()
             .map(|(k, n)| (k.to_string(), Json::from(n)))
             .collect::<Vec<_>>();
         let gauges = self
-            .gauges_sorted()
-            .into_iter()
+            .iter_gauges_sorted()
             .map(|(k, v)| (k.to_string(), Json::Num(v)))
             .collect::<Vec<_>>();
         let hists = self
-            .histograms_sorted()
-            .into_iter()
+            .iter_histograms_sorted()
             .map(|(k, h)| {
                 let [p50, p90, p99, p999] = h.summary();
                 (
@@ -230,5 +338,45 @@ mod tests {
         m.clear();
         assert_eq!(m.counter(MetricKey::new("x")), 0);
         assert!(m.counters_sorted().is_empty());
+    }
+
+    #[test]
+    fn cached_sort_matches_full_sort_under_interleaved_admission() {
+        // Keys admitted in adversarial order across all three categories
+        // must still iterate in exactly the order a collect-then-sort
+        // would have produced.
+        let mut m = MetricsRegistry::new();
+        let names = ["zeta", "alpha", "mid", "beta", "omega", "a", "z"];
+        for (i, n) in names.iter().enumerate() {
+            let k = MetricKey::new(n).vcpu(i as u32 % 3);
+            m.add(k, i as u64 + 1);
+            m.set_gauge(k, i as f64);
+            m.observe(k, 10 + i as u64);
+        }
+        // Same name with different dimensions interleaved too.
+        m.inc(MetricKey::new("mid"));
+        m.inc(MetricKey::new("mid").level(ObsLevel::L0));
+
+        let mut expect: Vec<(MetricKey, u64)> = m.counters_sorted();
+        expect.sort_by_key(|(k, _)| *k);
+        assert_eq!(m.counters_sorted(), expect);
+
+        let gauge_keys: Vec<MetricKey> = m.iter_gauges_sorted().map(|(k, _)| k).collect();
+        let mut sorted_gauge_keys = gauge_keys.clone();
+        sorted_gauge_keys.sort();
+        assert_eq!(gauge_keys, sorted_gauge_keys);
+
+        let hist_keys: Vec<MetricKey> = m.iter_histograms_sorted().map(|(k, _)| k).collect();
+        let mut sorted_hist_keys = hist_keys.clone();
+        sorted_hist_keys.sort();
+        assert_eq!(hist_keys, sorted_hist_keys);
+    }
+
+    #[test]
+    fn add_zero_admits_the_key() {
+        // `add(key, 0)` has always created the entry; reports rely on it.
+        let mut m = MetricsRegistry::new();
+        m.add(MetricKey::new("seen"), 0);
+        assert_eq!(m.counters_sorted(), vec![(MetricKey::new("seen"), 0)]);
     }
 }

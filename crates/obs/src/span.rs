@@ -131,7 +131,9 @@ impl SpanTracer {
     }
 
     /// Records one completed span against the current trap, evicting the
-    /// oldest span past capacity.
+    /// oldest span past capacity. When disabled this is a single branch —
+    /// instrumentation sites stay unconditionally wired in hot paths.
+    #[inline]
     pub fn record(
         &mut self,
         name: &'static str,

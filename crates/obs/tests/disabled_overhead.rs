@@ -1,0 +1,63 @@
+//! Microbench: `ObsLevel`-disabled recording must be a cheap early return.
+//!
+//! Instrumentation sites stay unconditionally wired in the simulator's
+//! hot paths, so the disabled-path cost of spans and causal recording is
+//! paid on *every* simulated trap of every un-traced run. This test pins
+//! that cost to "one branch" territory: no formatting, no allocation, no
+//! map probe before the enabled check. The bound is deliberately generous
+//! (debug builds, noisy CI hosts) — it exists to catch a regression that
+//! puts real work in front of the early return, which shows up as a
+//! 10-100× blowup, not a 2× one.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use svt_obs::{Obs, ObsLevel};
+use svt_sim::SimTime;
+
+/// Generous per-op ceiling. An early-return branch costs single-digit
+/// nanoseconds even unoptimized; allocation or formatting on the path
+/// costs hundreds.
+const MAX_DISABLED_NS_PER_OP: f64 = 250.0;
+
+const ITERS: u64 = 1_000_000;
+
+#[test]
+fn disabled_span_and_causal_recording_is_an_early_return() {
+    let mut obs = Obs::new();
+    assert!(!obs.spans.is_enabled());
+    assert!(!obs.causal.is_enabled());
+
+    // Warm up so lazy init and cache effects don't bill the measurement.
+    for i in 0..10_000u64 {
+        obs.span(
+            "l2_exit",
+            "trap",
+            ObsLevel::L2,
+            SimTime::from_ns(i),
+            SimTime::from_ns(i + 1),
+        );
+    }
+
+    let start = Instant::now();
+    for i in 0..ITERS {
+        let t = SimTime::from_ns(black_box(i));
+        obs.span("l2_exit", "trap", ObsLevel::L2, t, SimTime::from_ns(i + 1));
+        black_box(obs.causal.record("l0_handler", ObsLevel::L0, t));
+        obs.spans.record("reflect", "trap", ObsLevel::L1, t, t);
+    }
+    let elapsed = start.elapsed();
+
+    // Nothing may have been recorded...
+    assert_eq!(obs.spans.recorded(), 0);
+    assert_eq!(obs.causal.recorded(), 0);
+
+    // ...and the disabled path must have stayed branch-cheap. Three
+    // recording calls per iteration.
+    let ns_per_op = elapsed.as_nanos() as f64 / (ITERS * 3) as f64;
+    assert!(
+        ns_per_op < MAX_DISABLED_NS_PER_OP,
+        "disabled-path recording costs {ns_per_op:.1} ns/op (bound {MAX_DISABLED_NS_PER_OP} ns) — \
+         something heavier than an early return is on the disabled path"
+    );
+}

@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::hash::FnvHashMap;
 use crate::time::{SimDuration, SimTime};
 
 /// Attribution bucket matching Table 1 of the paper, plus buckets for the
@@ -53,7 +54,45 @@ impl CostPart {
         CostPart::SwitchL0L1,
         CostPart::L1Handler,
     ];
+
+    /// Every attribution bucket, in declaration order. The clock stores
+    /// per-part time in a dense array indexed by discriminant, so this
+    /// list must stay in sync with the enum (the `COUNT` assertion below
+    /// catches drift at compile time).
+    pub const ALL: [CostPart; CostPart::COUNT] = [
+        CostPart::L2Guest,
+        CostPart::SwitchL2L0,
+        CostPart::Transform,
+        CostPart::L0Handler,
+        CostPart::SwitchL0L1,
+        CostPart::L1Handler,
+        CostPart::L1Guest,
+        CostPart::L0Native,
+        CostPart::Channel,
+        CostPart::Device,
+        CostPart::Wire,
+        CostPart::Idle,
+        CostPart::Other,
+    ];
+
+    /// Number of attribution buckets (the size of the dense time array).
+    pub const COUNT: usize = 13;
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
 }
+
+// Every variant must appear in ALL exactly once at its own discriminant,
+// otherwise dense indexing would misattribute time.
+const _: () = {
+    let mut i = 0;
+    while i < CostPart::COUNT {
+        assert!(CostPart::ALL[i] as usize == i);
+        i += 1;
+    }
+};
 
 impl fmt::Display for CostPart {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -94,10 +133,13 @@ impl fmt::Display for CostPart {
 pub struct Clock {
     now: SimTime,
     part_stack: Vec<CostPart>,
-    part_time: HashMap<CostPart, SimDuration>,
+    // Dense: one slot per CostPart, indexed by discriminant. `charge` is
+    // the hottest function in the simulator (every primitive cost passes
+    // through it), so attribution must not pay a map lookup per call.
+    part_time: [SimDuration; CostPart::COUNT],
     tag_stack: Vec<&'static str>,
-    tag_time: HashMap<&'static str, SimDuration>,
-    counters: HashMap<&'static str, u64>,
+    tag_time: FnvHashMap<&'static str, SimDuration>,
+    counters: FnvHashMap<&'static str, u64>,
 }
 
 impl Clock {
@@ -107,15 +149,17 @@ impl Clock {
     }
 
     /// The current simulated instant.
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
 
     /// Advances time by `d`, attributing it to the current part and tag.
+    #[inline]
     pub fn charge(&mut self, d: SimDuration) {
         self.now += d;
         let part = self.part_stack.last().copied().unwrap_or(CostPart::Other);
-        *self.part_time.entry(part).or_default() += d;
+        self.part_time[part.index()] += d;
         if let Some(tag) = self.tag_stack.last() {
             *self.tag_time.entry(tag).or_default() += d;
         }
@@ -135,11 +179,12 @@ impl Clock {
         if t > self.now {
             let gap = t.since(self.now);
             self.now = t;
-            *self.part_time.entry(CostPart::Idle).or_default() += gap;
+            self.part_time[CostPart::Idle.index()] += gap;
         }
     }
 
     /// Enters an attribution part; nested parts shadow outer ones.
+    #[inline]
     pub fn push_part(&mut self, part: CostPart) {
         self.part_stack.push(part);
     }
@@ -150,6 +195,7 @@ impl Clock {
     ///
     /// Panics if `part` is not the innermost entered part (push/pop must
     /// nest).
+    #[inline]
     pub fn pop_part(&mut self, part: CostPart) {
         let top = self.part_stack.pop();
         assert_eq!(top, Some(part), "mismatched CostPart pop");
@@ -171,8 +217,9 @@ impl Clock {
     }
 
     /// Total time attributed to `part` so far.
+    #[inline]
     pub fn part_time(&self, part: CostPart) -> SimDuration {
-        self.part_time.get(&part).copied().unwrap_or_default()
+        self.part_time[part.index()]
     }
 
     /// Total time attributed to `tag` so far.
@@ -190,17 +237,23 @@ impl Clock {
     /// All parts with attributed time, sorted by descending time (used by
     /// report emitters that want the full attribution, not just Table 1).
     pub fn parts_by_time(&self) -> Vec<(CostPart, SimDuration)> {
-        let mut v: Vec<_> = self.part_time.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut v: Vec<_> = CostPart::ALL
+            .iter()
+            .map(|&p| (p, self.part_time[p.index()]))
+            .filter(|(_, d)| !d.is_zero())
+            .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }
 
     /// Increments a named counter (e.g. `"vm_exit"`).
+    #[inline]
     pub fn count(&mut self, name: &'static str) {
         self.count_by(name, 1);
     }
 
     /// Adds `n` to a named counter.
+    #[inline]
     pub fn count_by(&mut self, name: &'static str, n: u64) {
         *self.counters.entry(name).or_default() += n;
     }
@@ -220,36 +273,40 @@ impl Clock {
     /// Resets attribution and counters but keeps the current instant
     /// (used to discard warm-up iterations).
     pub fn reset_attribution(&mut self) {
-        self.part_time.clear();
+        self.part_time = [SimDuration::ZERO; CostPart::COUNT];
         self.tag_time.clear();
         self.counters.clear();
     }
 
     /// Takes a snapshot of the attribution state for later differencing.
+    ///
+    /// The snapshot keeps the public `HashMap` shape (the dense array is
+    /// an internal representation); only parts with non-zero time appear.
     pub fn snapshot(&self) -> ClockSnapshot {
         ClockSnapshot {
             now: self.now,
-            part_time: self.part_time.clone(),
-            tag_time: self.tag_time.clone(),
-            counters: self.counters.clone(),
+            part_time: CostPart::ALL
+                .iter()
+                .map(|&p| (p, self.part_time[p.index()]))
+                .filter(|(_, d)| !d.is_zero())
+                .collect(),
+            tag_time: self.tag_time.iter().map(|(k, v)| (*k, *v)).collect(),
+            counters: self.counters.iter().map(|(k, v)| (*k, *v)).collect(),
         }
     }
 
     /// Attribution accumulated since `base` was snapshot.
     pub fn since_snapshot(&self, base: &ClockSnapshot) -> ClockSnapshot {
-        let diff_map = |cur: &HashMap<CostPart, SimDuration>,
-                        old: &HashMap<CostPart, SimDuration>| {
-            cur.iter()
-                .map(|(k, v)| {
-                    let prev = old.get(k).copied().unwrap_or_default();
-                    (*k, v.saturating_sub(prev))
-                })
-                .filter(|(_, v)| !v.is_zero())
-                .collect()
-        };
         ClockSnapshot {
             now: self.now,
-            part_time: diff_map(&self.part_time, &base.part_time),
+            part_time: CostPart::ALL
+                .iter()
+                .map(|&p| {
+                    let prev = base.part_time.get(&p).copied().unwrap_or_default();
+                    (p, self.part_time[p.index()].saturating_sub(prev))
+                })
+                .filter(|(_, v)| !v.is_zero())
+                .collect(),
             tag_time: self
                 .tag_time
                 .iter()

@@ -8,6 +8,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::hash::FnvHashSet;
 use crate::time::SimTime;
 
 /// Handle to a scheduled event, usable for cancellation.
@@ -58,7 +59,9 @@ impl<T> Ord for Entry<T> {
 pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     next_seq: u64,
-    live: std::collections::HashSet<EventId>,
+    // FNV-keyed: the live set is touched on every schedule/pop, and ids
+    // are trusted sequence numbers, so SipHash buys nothing here.
+    live: FnvHashSet<EventId>,
     cancelled: Vec<EventId>,
 }
 
@@ -74,13 +77,27 @@ impl<T> EventQueue<T> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            live: std::collections::HashSet::new(),
+            live: FnvHashSet::default(),
             cancelled: Vec::new(),
+        }
+    }
+
+    /// Removes `id` from the pending-cancellation list if present.
+    /// Out-of-line: cancellations are rare, the empty check in the pop
+    /// paths should stay small enough to inline.
+    #[cold]
+    fn take_cancelled(&mut self, id: EventId) -> bool {
+        if let Some(pos) = self.cancelled.iter().position(|c| *c == id) {
+            self.cancelled.swap_remove(pos);
+            true
+        } else {
+            false
         }
     }
 
     /// Schedules `payload` to fire at instant `at`. Returns a handle that can
     /// later be passed to [`EventQueue::cancel`].
+    #[inline]
     pub fn schedule(&mut self, at: SimTime, payload: T) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -105,6 +122,7 @@ impl<T> EventQueue<T> {
 
     /// Pops the earliest event whose deadline is `<= now`, if any, together
     /// with its deadline. Cancelled events are silently discarded.
+    #[inline]
     pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, T)> {
         loop {
             let due = matches!(self.heap.peek(), Some(e) if e.at <= now);
@@ -112,8 +130,7 @@ impl<T> EventQueue<T> {
                 return None;
             }
             let e = self.heap.pop().expect("peeked entry vanished");
-            if let Some(pos) = self.cancelled.iter().position(|c| *c == e.id) {
-                self.cancelled.swap_remove(pos);
+            if !self.cancelled.is_empty() && self.take_cancelled(e.id) {
                 continue;
             }
             self.live.remove(&e.id);
@@ -123,11 +140,11 @@ impl<T> EventQueue<T> {
 
     /// Pops the earliest event unconditionally (used when a CPU idles and
     /// time jumps forward to the next event). Returns its deadline.
+    #[inline]
     pub fn pop_next(&mut self) -> Option<(SimTime, T)> {
         loop {
             let e = self.heap.pop()?;
-            if let Some(pos) = self.cancelled.iter().position(|c| *c == e.id) {
-                self.cancelled.swap_remove(pos);
+            if !self.cancelled.is_empty() && self.take_cancelled(e.id) {
                 continue;
             }
             self.live.remove(&e.id);
@@ -136,22 +153,24 @@ impl<T> EventQueue<T> {
     }
 
     /// Deadline of the earliest live event, if any.
+    #[inline]
     pub fn next_deadline(&mut self) -> Option<SimTime> {
         loop {
             let (is_cancelled, at) = match self.heap.peek() {
                 None => return None,
-                Some(e) => (self.cancelled.contains(&e.id), e.at),
+                Some(e) => (
+                    !self.cancelled.is_empty() && self.cancelled.contains(&e.id),
+                    e.at,
+                ),
             };
             if !is_cancelled {
                 return Some(at);
             }
             let e = self.heap.pop().expect("peeked entry vanished");
-            let pos = self
-                .cancelled
-                .iter()
-                .position(|c| *c == e.id)
-                .expect("entry was cancelled a moment ago");
-            self.cancelled.swap_remove(pos);
+            assert!(
+                self.take_cancelled(e.id),
+                "entry was cancelled a moment ago"
+            );
         }
     }
 
@@ -161,6 +180,13 @@ impl<T> EventQueue<T> {
     pub fn peek_next(&mut self) -> Option<(SimTime, &T)> {
         self.next_deadline()?;
         self.heap.peek().map(|e| (e.at, &e.payload))
+    }
+
+    /// Total events ever scheduled on this queue — live, fired or
+    /// cancelled. The wall-clock self-benchmark uses this as the
+    /// simulator's unit of work.
+    pub fn scheduled(&self) -> u64 {
+        self.next_seq
     }
 
     /// Number of live scheduled events.

@@ -35,8 +35,10 @@ mod clock;
 mod cost;
 mod events;
 mod faults;
+mod hash;
 mod rng;
 mod sched;
+mod sweep;
 mod time;
 mod topology;
 
@@ -44,7 +46,9 @@ pub use clock::{Clock, ClockSnapshot, CostPart};
 pub use cost::CostModel;
 pub use events::{EventId, EventQueue};
 pub use faults::{FaultKind, FaultPlan};
+pub use hash::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use rng::DetRng;
 pub use sched::{assign_svt_cores, pick_min_local_time, SchedError, VcpuScheduler, VcpuStatus};
+pub use sweep::{host_parallelism, resolve_jobs, sweep};
 pub use time::{SimDuration, SimTime};
 pub use topology::{CpuLoc, MachineSpec, Placement, VmSpec};

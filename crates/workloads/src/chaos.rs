@@ -52,6 +52,9 @@ pub struct ChaosPoint {
     pub resume_fallbacks: u64,
     /// Every causal watchdog with its violation count (zeros included).
     pub watchdogs: Vec<(&'static str, u64)>,
+    /// Simulated traps the run served (L2 vm-exits plus L0 direct
+    /// exits) — the self-benchmark's unit of work.
+    pub traps: u64,
 }
 
 impl ChaosPoint {
@@ -176,6 +179,7 @@ fn harvest(m: &svt_hv::Machine, seed: u64, point: SmpPoint) -> ChaosPoint {
         fallback_traps: total("svt_trap_fallback"),
         resume_fallbacks: total("svt_resume_fallback"),
         watchdogs,
+        traps: total("vm_exit") + total("l0_direct_exit"),
     }
 }
 

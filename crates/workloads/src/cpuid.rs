@@ -42,46 +42,124 @@ fn measure_cpuid(m: &mut Machine, iters: u64) -> svt_sim::ClockSnapshot {
 
 /// cpuid latency in µs at a given level/mode.
 pub fn cpuid_us(level: Level, mode: SwitchMode, iters: u64) -> f64 {
+    cpuid_counted(level, mode, iters).0
+}
+
+/// [`cpuid_us`] additionally returning the number of simulated traps
+/// the run served (L2 vm-exits plus L0 direct exits) — the wall-clock
+/// self-benchmark's unit of work.
+pub fn cpuid_counted(level: Level, mode: SwitchMode, iters: u64) -> (f64, u64) {
     let mut m = if level == Level::L2 {
         nested_machine(mode)
     } else {
         Machine::baseline(MachineConfig::at_level(level))
     };
     let d = measure_cpuid(&mut m, iters);
-    d.busy_time().as_us() / iters as f64
+    let traps =
+        m.obs.metrics.counter_total("vm_exit") + m.obs.metrics.counter_total("l0_direct_exit");
+    (d.busy_time().as_us() / iters as f64, traps)
+}
+
+/// The five Fig. 6 cells in bar order. Each cell is an independent
+/// machine configuration, so the figure sweeps cleanly.
+const FIG6_CELLS: [(&str, Level, SwitchMode); 5] = [
+    ("L0", Level::L0, SwitchMode::Baseline),
+    ("L1", Level::L1, SwitchMode::Baseline),
+    ("L2", Level::L2, SwitchMode::Baseline),
+    ("SW SVt", Level::L2, SwitchMode::SwSvt),
+    ("HW SVt", Level::L2, SwitchMode::HwSvt),
+];
+
+fn bars_from_times(times: &[f64]) -> Vec<Fig6Bar> {
+    let l2 = times[2];
+    FIG6_CELLS
+        .iter()
+        .zip(times)
+        .map(|(&(label, _, mode), &t)| Fig6Bar {
+            label,
+            time_us: t,
+            speedup: if mode == SwitchMode::Baseline {
+                1.0
+            } else {
+                l2 / t
+            },
+        })
+        .collect()
 }
 
 /// Reproduces Fig. 6: the five bars with speedups against baseline L2.
 pub fn fig6(iters: u64) -> Vec<Fig6Bar> {
-    let l2 = cpuid_us(Level::L2, SwitchMode::Baseline, iters);
-    let bar = |label, t: f64, svt: bool| Fig6Bar {
-        label,
-        time_us: t,
-        speedup: if svt { l2 / t } else { 1.0 },
+    fig6_jobs(iters, 1)
+}
+
+/// [`fig6`] with the five cells fanned across `jobs` sweep workers.
+/// Results merge in bar order, so every worker count produces the same
+/// bars, bit for bit.
+pub fn fig6_jobs(iters: u64, jobs: usize) -> Vec<Fig6Bar> {
+    let times = svt_sim::sweep(FIG6_CELLS.len(), jobs, |i| {
+        let (_, level, mode) = FIG6_CELLS[i];
+        cpuid_us(level, mode, iters)
+    });
+    bars_from_times(&times)
+}
+
+/// Everything the Fig. 6 report carries, computed as one sweep grid:
+/// the five bars, the Table 1 breakdown, and the observed per-exit
+/// attribution with the metrics export.
+#[derive(Debug, Clone)]
+pub struct Fig6Grid {
+    /// The five Fig. 6 bars, in bar order.
+    pub bars: Vec<Fig6Bar>,
+    /// The Table 1 six-part breakdown of one nested cpuid.
+    pub table1: Vec<Table1Row>,
+    /// Per-exit-reason attribution of the observed baseline run.
+    pub exits: Vec<ExitAttribution>,
+    /// The observed run's metrics export (counters, gauges, histograms).
+    pub metrics: Json,
+}
+
+enum GridCell {
+    Bar(f64),
+    Table(Vec<Table1Row>),
+    Observed(Box<(Vec<ExitAttribution>, Json)>),
+}
+
+/// Runs the full Fig. 6 grid — five bar cells plus the Table 1 and
+/// observed-attribution cells — across `jobs` sweep workers. All seven
+/// cells build independent machines, and the merge is in grid order, so
+/// the grid is byte-identical for every `jobs` value.
+pub fn fig6_grid(iters: u64, jobs: usize) -> Fig6Grid {
+    let n_bars = FIG6_CELLS.len();
+    let mut cells = svt_sim::sweep(n_bars + 2, jobs, |i| {
+        if i < n_bars {
+            let (_, level, mode) = FIG6_CELLS[i];
+            GridCell::Bar(cpuid_us(level, mode, iters))
+        } else if i == n_bars {
+            GridCell::Table(table1(iters))
+        } else {
+            GridCell::Observed(Box::new(cpuid_observed(SwitchMode::Baseline, iters)))
+        }
+    });
+    let Some(GridCell::Observed(observed)) = cells.pop() else {
+        unreachable!("last grid cell is the observed run")
     };
-    vec![
-        bar(
-            "L0",
-            cpuid_us(Level::L0, SwitchMode::Baseline, iters),
-            false,
-        ),
-        bar(
-            "L1",
-            cpuid_us(Level::L1, SwitchMode::Baseline, iters),
-            false,
-        ),
-        bar("L2", l2, false),
-        bar(
-            "SW SVt",
-            cpuid_us(Level::L2, SwitchMode::SwSvt, iters),
-            true,
-        ),
-        bar(
-            "HW SVt",
-            cpuid_us(Level::L2, SwitchMode::HwSvt, iters),
-            true,
-        ),
-    ]
+    let Some(GridCell::Table(table1)) = cells.pop() else {
+        unreachable!("sixth grid cell is the Table 1 breakdown")
+    };
+    let times: Vec<f64> = cells
+        .into_iter()
+        .map(|c| match c {
+            GridCell::Bar(t) => t,
+            _ => unreachable!("first five grid cells are bars"),
+        })
+        .collect();
+    let (exits, metrics) = *observed;
+    Fig6Grid {
+        bars: bars_from_times(&times),
+        table1,
+        exits,
+        metrics,
+    }
 }
 
 /// Per-exit-reason attribution of a nested cpuid run.
@@ -175,6 +253,17 @@ mod tests {
             "{}",
             bars[4].speedup
         );
+    }
+
+    #[test]
+    fn fig6_grid_matches_sequential_runs_at_any_worker_count() {
+        let grid = fig6_grid(20, 4);
+        assert_eq!(grid.bars, fig6(20));
+        assert_eq!(grid.table1, table1(20));
+        let (exits, metrics) = cpuid_observed(SwitchMode::Baseline, 20);
+        assert_eq!(grid.exits, exits);
+        assert_eq!(grid.metrics.pretty(), metrics.pretty());
+        assert_eq!(fig6_jobs(20, 3), grid.bars);
     }
 
     #[test]

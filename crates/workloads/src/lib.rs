@@ -54,7 +54,10 @@ pub use channel::{
     Mechanism, POLL_SMT_STEAL_RATIO,
 };
 pub use chaos::{memcached_chaos, ChaosPoint};
-pub use cpuid::{cpuid_observed, cpuid_us, fig6, table1, ExitAttribution, Fig6Bar, Table1Row};
+pub use cpuid::{
+    cpuid_counted, cpuid_observed, cpuid_us, fig6, fig6_grid, fig6_jobs, table1, ExitAttribution,
+    Fig6Bar, Fig6Grid, Table1Row,
+};
 pub use disk::{DiskBench, DiskMode};
 pub use fig10::{video_playback, PlaybackResult};
 pub use fig7::{
@@ -77,9 +80,9 @@ pub use server::{
     EchoService, ParsedRequest, RrServer, ServeOutput, ServerConfig, ServiceModel, VECTOR_BLK,
 };
 pub use smp::{
-    memcached_smp, memcached_smp_profiled, memcached_smp_profiled_seeded, memcached_smp_seeded,
-    tpcc_smp, tpcc_smp_profiled, tpcc_smp_profiled_seeded, tpcc_smp_seeded, CausalProfile,
-    SmpPoint,
+    memcached_smp, memcached_smp_counted_seeded, memcached_smp_profiled,
+    memcached_smp_profiled_seeded, memcached_smp_seeded, tpcc_smp, tpcc_smp_profiled,
+    tpcc_smp_profiled_seeded, tpcc_smp_seeded, CausalProfile, SmpPoint,
 };
 pub use stream::StreamSender;
 pub use tpcc::{TpccDb, TpccService, TpccSource, TxType};

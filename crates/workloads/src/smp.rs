@@ -86,6 +86,24 @@ pub fn memcached_smp_seeded(
     memcached_run(mode, n_vcpus, rate_qps, requests, false, seed).0
 }
 
+/// [`memcached_smp_seeded`] additionally returning the number of
+/// simulated traps the run served (L2 vm-exits plus L0 direct exits) —
+/// the unit of work the wall-clock self-benchmark divides host time by.
+///
+/// # Panics
+///
+/// As [`memcached_smp`].
+pub fn memcached_smp_counted_seeded(
+    mode: SwitchMode,
+    n_vcpus: usize,
+    rate_qps: f64,
+    requests: u64,
+    seed: u64,
+) -> (SmpPoint, u64) {
+    let (p, _, traps) = memcached_run(mode, n_vcpus, rate_qps, requests, false, seed);
+    (p, traps)
+}
+
 /// [`memcached_smp`] with the causal event graph enabled; additionally
 /// returns the run's critical-path profile.
 ///
@@ -114,7 +132,7 @@ pub fn memcached_smp_profiled_seeded(
     requests: u64,
     seed: u64,
 ) -> (SmpPoint, CausalProfile) {
-    let (p, prof) = memcached_run(mode, n_vcpus, rate_qps, requests, true, seed);
+    let (p, prof, _) = memcached_run(mode, n_vcpus, rate_qps, requests, true, seed);
     (p, prof.expect("profiled run harvests a causal profile"))
 }
 
@@ -125,7 +143,7 @@ fn memcached_run(
     requests: u64,
     profile: bool,
     lane_seed: u64,
-) -> (SmpPoint, Option<CausalProfile>) {
+) -> (SmpPoint, Option<CausalProfile>, u64) {
     let mean = SimDuration::from_ns_f64(1e9 / rate_qps);
     let mut m = smp_machine(mode, n_vcpus);
     if profile {
@@ -158,7 +176,9 @@ fn memcached_run(
         + SimDuration::from_ms(80);
     run_servers(&mut m, &mut servers, horizon);
     let prof = profile.then(|| harvest_profile(&m));
-    (collect(n_vcpus, &stats), prof)
+    let traps =
+        m.obs.metrics.counter_total("vm_exit") + m.obs.metrics.counter_total("l0_direct_exit");
+    (collect(n_vcpus, &stats), prof, traps)
 }
 
 /// Sharded TPC-C: per-vCPU closed-loop clients, each lane persisting its

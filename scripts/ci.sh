@@ -50,6 +50,60 @@ for name, (lo, hi) in bands.items():
 sys.exit(0 if ok else 1)
 PY
 
+echo "==> sweep determinism: fig6 --jobs 2 byte-identical to --jobs 1"
+cargo run -q -p svt-bench --bin fig6 -- --jobs 1 --json /tmp/fig6_j1.json >/dev/null
+cargo run -q -p svt-bench --bin fig6 -- --jobs 2 --json /tmp/fig6_j2.json >/dev/null
+if ! cmp -s /tmp/fig6_j1.json /tmp/fig6_j2.json; then
+    echo "FAIL: fig6 report differs between --jobs 1 and --jobs 2"
+    diff /tmp/fig6_j1.json /tmp/fig6_j2.json | head -20
+    exit 1
+fi
+echo "ok   fig6 --jobs 1 and --jobs 2 reports are byte-identical"
+
+echo "==> selfperf smoke: wall-clock self-benchmark schema and speedup band"
+cargo run -q -p svt-bench --bin selfperf -- --smoke --json /tmp/selfperf.json >/dev/null
+python3 - <<'PY'
+import json, sys
+
+rep = json.load(open("/tmp/selfperf.json"))
+results = dict(rep.get("results", []))
+host = results.get("host_parallelism", 0)
+jobs = results.get("jobs_parallel", 0)
+rows = {w["name"]: w for w in results.get("workloads", [])}
+
+ok = True
+for name in ("fig6", "smp", "faults"):
+    w = rows.get(name)
+    if w is None:
+        print(f"FAIL {name}: missing from selfperf report")
+        ok = False
+        continue
+    if w["sim_traps"] <= 0 or w["wall_ns_jobs1"] <= 0 or w["wall_ns_jobsn"] <= 0:
+        print(f"FAIL {name}: degenerate measurement {w}")
+        ok = False
+        continue
+    print(f"ok   {name}: {w['sim_traps']} traps, "
+          f"{w['events_per_sec_jobsn']:.0f} ev/s, "
+          f"{w['ns_per_event_jobsn']:.0f} ns/ev, "
+          f"speedup {w['speedup']:.2f}x at jobs={jobs}")
+
+# The speedup band scales with what the host can actually deliver: a
+# >=4-way host running >=4 workers must show real parallelism on the
+# best-scaling workload; a 1-2 way host only has to avoid pathological
+# slowdown from the worker pool itself.
+if rows:
+    best = max(w["speedup"] for w in rows.values())
+    floor = 1.8 if (host >= 4 and jobs >= 4) else 0.6
+    if best < floor:
+        print(f"FAIL: best sweep speedup {best:.2f}x below floor {floor}x "
+              f"(host parallelism {host}, jobs {jobs})")
+        ok = False
+    else:
+        print(f"ok   best sweep speedup {best:.2f}x >= floor {floor}x "
+              f"(host parallelism {host}, jobs {jobs})")
+sys.exit(0 if ok else 1)
+PY
+
 echo "==> profile smoke: causal critical paths present and schema current"
 cargo run -q -p svt-bench --bin profile -- memcached 2 --smoke --json /tmp/profile.json >/dev/null
 python3 - <<'PY'
