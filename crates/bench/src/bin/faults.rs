@@ -11,14 +11,28 @@
 //! merges in grid order, so output is byte-identical at any worker
 //! count. `--seed <n>` picks the fault plan's seed (default
 //! `0xC4A05EED`); `--smoke` runs the two-point CI variant.
+//!
+//! Telemetry flags re-run the *worst cell* — SW SVt at the campaign's
+//! highest fault rate — with the windowed sampler and flight recorder
+//! armed: `--timeline <path>` writes that cell's columnar timeline,
+//! `--dump <path>` writes its flight-recorder crash dump (forced
+//! fallbacks trip it; `--dump-on-exit` guarantees a dump even when the
+//! cell never degrades).
 
 use svt_bench::{
-    faults_campaign, faults_report, print_header, rule, BenchCli, FAULTS_DEFAULT_SEED, FAULTS_MODES,
+    faults_campaign, faults_report, print_header, rule, BenchCli, FAULTS_DEFAULT_SEED,
+    FAULTS_MODES, FAULTS_N_VCPUS, SERVE_RATE_QPS,
 };
+use svt_core::SwitchMode;
+use svt_sim::FaultPlan;
+use svt_workloads::{memcached_telemetry, TelemetryOpts};
 
 fn main() {
     let cli = BenchCli::parse();
-    cli.handle_help("svt-bench faults [--smoke] [--json r.json] [--seed n] [--jobs n]");
+    cli.handle_help(
+        "svt-bench faults [--smoke] [--json r.json] [--timeline t.json] [--dump d.json] \
+         [--dump-on-exit] [--seed n] [--jobs n]",
+    );
     let smoke = cli.flag("--smoke");
     let seed = cli.seed_or(FAULTS_DEFAULT_SEED);
     let requests: u64 = if smoke { 60 } else { 150 };
@@ -53,6 +67,37 @@ fn main() {
             );
         }
         rule();
+    }
+    if cli.timeline.is_some() || cli.dump.is_some() || cli.dump_on_exit() {
+        let rate = rates.last().copied().unwrap_or(0.0);
+        let plan = if rate > 0.0 {
+            FaultPlan::uniform(seed, rate)
+        } else {
+            FaultPlan::none()
+        };
+        let opts = TelemetryOpts {
+            dump_on_exit: cli.dump_on_exit(),
+            ..TelemetryOpts::default()
+        };
+        let p = memcached_telemetry(
+            SwitchMode::SwSvt,
+            FAULTS_N_VCPUS,
+            SERVE_RATE_QPS,
+            requests,
+            plan,
+            &opts,
+        );
+        println!(
+            "telemetry cell: SW SVt @ rate {rate:.2}: {} windows, {} flight trip(s)",
+            p.windows, p.flight_trips
+        );
+        if let Some(path) = &cli.timeline {
+            cli.emit_json("timeline export", path, &p.timeline);
+        }
+        if let Some(path) = &cli.dump {
+            let dump = p.flight.clone().unwrap_or(svt_obs::Json::Null);
+            cli.emit_json("flight dump", path, &dump);
+        }
     }
     cli.emit_report(&faults_report(&cells, seed));
 }

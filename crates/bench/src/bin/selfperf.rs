@@ -4,98 +4,26 @@
 //! the *host* regenerates it. Three representative workloads — the
 //! single-vCPU Fig. 6 cpuid grid, the 4-vCPU SMP serving sweep, and the
 //! fault-injection chaos grid — each run twice through the parallel
-//! sweep engine, at `--jobs 1` and at the resolved `--jobs` value, and
-//! the report carries host events/second and nanoseconds/event for both,
-//! plus the parallel speedup. The unit of work is the simulated trap
-//! (L2 vm-exits plus L0 direct exits), counted identically at every
-//! worker count — the two passes must agree exactly, and the binary
-//! asserts that they do.
+//! sweep engine, at `--jobs 1` and at the per-workload worker count
+//! (the `--jobs` request clamped to the grid's cell count, so a 3-cell
+//! grid never reports an oversubscribed "speedup"), and the report
+//! carries host events/second and nanoseconds/event for both, plus the
+//! parallel speedup. The unit of work is the simulated trap (L2
+//! vm-exits plus L0 direct exits), counted identically at every worker
+//! count — the two passes must agree exactly, and the binary asserts
+//! that they do.
 //!
 //! `BENCH_selfperf.json` in the repo root is a committed reference run
 //! (release build); `scripts/ci.sh` smoke-checks the schema and the
 //! speedup band against the host's actual parallelism, since wall-clock
-//! numbers themselves are host-dependent.
+//! numbers themselves are host-dependent, and the `perfgate` binary
+//! diffs fresh runs against it with explicit noise bands.
+//!
+//! The measurement machinery lives in `svt_bench::selfperf_rows` so the
+//! gate re-runs exactly the grids the baseline was produced from.
 
-use std::hint::black_box;
-use std::time::Instant;
-
-use svt_bench::{
-    print_header, rule, BenchCli, FAULTS_DEFAULT_SEED, FAULTS_MODES, FAULTS_N_VCPUS, SERVE_RATE_QPS,
-};
-use svt_core::SwitchMode;
-use svt_hv::Level;
-use svt_obs::{Json, RunReport};
-use svt_sim::FaultPlan;
-use svt_workloads::{
-    cpuid_counted, memcached_chaos, memcached_smp_counted_seeded, DEFAULT_LANE_SEED,
-};
-
-/// The Fig. 6 cells, as in the figure's sweep grid.
-const FIG6_GRID: [(Level, SwitchMode); 5] = [
-    (Level::L0, SwitchMode::Baseline),
-    (Level::L1, SwitchMode::Baseline),
-    (Level::L2, SwitchMode::Baseline),
-    (Level::L2, SwitchMode::SwSvt),
-    (Level::L2, SwitchMode::HwSvt),
-];
-
-/// vCPUs of the SMP workload (the paper's mid-size machine).
-const SMP_VCPUS: usize = 4;
-
-/// Fault rates of the chaos workload cells.
-const FAULT_RATES: [f64; 2] = [0.0, 0.05];
-
-struct Measured {
-    name: &'static str,
-    cells: usize,
-    traps: u64,
-    wall_ns_j1: f64,
-    wall_ns_jn: f64,
-}
-
-impl Measured {
-    fn events_per_sec(&self, wall_ns: f64) -> f64 {
-        self.traps as f64 * 1e9 / wall_ns
-    }
-
-    fn ns_per_event(&self, wall_ns: f64) -> f64 {
-        wall_ns / self.traps as f64
-    }
-
-    fn speedup(&self) -> f64 {
-        self.wall_ns_j1 / self.wall_ns_jn
-    }
-}
-
-/// Runs one workload grid at `--jobs 1` and at `jobs_n`, timing each
-/// pass. The per-cell trap counts must merge identically at both worker
-/// counts — a drift means the sweep engine broke determinism.
-fn measure<F>(name: &'static str, cells: usize, jobs_n: usize, f: F) -> Measured
-where
-    F: Fn(usize) -> u64 + Sync,
-{
-    // Warm one cell outside the timed region (lazy init, allocator,
-    // cold caches).
-    black_box(f(0));
-    let start = Instant::now();
-    let traps_j1: u64 = svt_sim::sweep(cells, 1, &f).iter().sum();
-    let wall_ns_j1 = start.elapsed().as_nanos() as f64;
-    let start = Instant::now();
-    let traps_jn: u64 = svt_sim::sweep(cells, jobs_n, &f).iter().sum();
-    let wall_ns_jn = start.elapsed().as_nanos() as f64;
-    assert_eq!(
-        traps_j1, traps_jn,
-        "{name}: merged trap count drifted across worker counts"
-    );
-    assert!(traps_j1 > 0, "{name}: workload served no traps");
-    Measured {
-        name,
-        cells,
-        traps: traps_j1,
-        wall_ns_j1,
-        wall_ns_jn,
-    }
-}
+use svt_bench::{print_header, rule, selfperf_report, selfperf_rows, BenchCli};
+use svt_workloads::DEFAULT_LANE_SEED;
 
 fn main() {
     let cli = BenchCli::parse();
@@ -104,62 +32,32 @@ fn main() {
     let seed = cli.seed_or(DEFAULT_LANE_SEED);
     let jobs_n = cli.jobs();
     let host = svt_sim::host_parallelism();
-    let fig6_iters: u64 = if smoke { 50 } else { 200 };
-    let smp_requests: u64 = if smoke { 60 } else { 150 };
-    let faults_requests: u64 = if smoke { 60 } else { 100 };
 
     print_header("selfperf - wall-clock cost of regenerating the simulation");
-    println!("host parallelism {host}, comparing --jobs 1 vs --jobs {jobs_n}");
+    println!("host parallelism {host}, comparing --jobs 1 vs --jobs {jobs_n} (clamped per grid)");
     rule();
 
-    let rows = [
-        measure("fig6", FIG6_GRID.len(), jobs_n, |i| {
-            let (level, mode) = FIG6_GRID[i];
-            cpuid_counted(level, mode, fig6_iters).1
-        }),
-        measure("smp", SwitchMode::ALL.len(), jobs_n, |i| {
-            memcached_smp_counted_seeded(
-                SwitchMode::ALL[i],
-                SMP_VCPUS,
-                SERVE_RATE_QPS,
-                smp_requests,
-                seed,
-            )
-            .1
-        }),
-        measure(
-            "faults",
-            FAULTS_MODES.len() * FAULT_RATES.len(),
-            jobs_n,
-            |i| {
-                let rate = FAULT_RATES[i % FAULT_RATES.len()];
-                let plan = if rate == 0.0 {
-                    FaultPlan::none()
-                } else {
-                    FaultPlan::uniform(FAULTS_DEFAULT_SEED, rate)
-                };
-                memcached_chaos(
-                    FAULTS_MODES[i / FAULT_RATES.len()],
-                    FAULTS_N_VCPUS,
-                    SERVE_RATE_QPS,
-                    faults_requests,
-                    plan,
-                )
-                .traps
-            },
-        ),
-    ];
+    let rows = selfperf_rows(smoke, seed, cli.jobs);
 
     println!(
-        "{:<10}{:>6}{:>9}{:>13}{:>13}{:>12}{:>11}{:>9}",
-        "workload", "cells", "traps", "j1 [ms]", "jN [ms]", "ev/s (jN)", "ns/ev(jN)", "speedup"
+        "{:<10}{:>6}{:>6}{:>9}{:>13}{:>13}{:>12}{:>11}{:>9}",
+        "workload",
+        "cells",
+        "jobs",
+        "traps",
+        "j1 [ms]",
+        "jN [ms]",
+        "ev/s (jN)",
+        "ns/ev(jN)",
+        "speedup"
     );
     rule();
     for r in &rows {
         println!(
-            "{:<10}{:>6}{:>9}{:>13.2}{:>13.2}{:>12.0}{:>11.0}{:>8.2}x",
+            "{:<10}{:>6}{:>6}{:>9}{:>13.2}{:>13.2}{:>12.0}{:>11.0}{:>8.2}x",
             r.name,
             r.cells,
+            r.jobs,
             r.traps,
             r.wall_ns_j1 / 1e6,
             r.wall_ns_jn / 1e6,
@@ -170,49 +68,5 @@ fn main() {
     }
     rule();
 
-    let mut report = RunReport::new(
-        "selfperf",
-        "Wall-clock self-benchmark: host cost of regenerating the simulation",
-    );
-    report.results.push(("seed".to_string(), Json::from(seed)));
-    report
-        .results
-        .push(("host_parallelism".to_string(), Json::from(host as u64)));
-    report
-        .results
-        .push(("jobs_parallel".to_string(), Json::from(jobs_n as u64)));
-    report.results.push((
-        "workloads".to_string(),
-        Json::Arr(
-            rows.iter()
-                .map(|r| {
-                    Json::obj([
-                        ("name", Json::from(r.name)),
-                        ("cells", Json::from(r.cells as u64)),
-                        ("sim_traps", Json::from(r.traps)),
-                        ("wall_ns_jobs1", Json::Num(r.wall_ns_j1)),
-                        ("wall_ns_jobsn", Json::Num(r.wall_ns_jn)),
-                        (
-                            "events_per_sec_jobs1",
-                            Json::Num(r.events_per_sec(r.wall_ns_j1)),
-                        ),
-                        (
-                            "events_per_sec_jobsn",
-                            Json::Num(r.events_per_sec(r.wall_ns_jn)),
-                        ),
-                        (
-                            "ns_per_event_jobs1",
-                            Json::Num(r.ns_per_event(r.wall_ns_j1)),
-                        ),
-                        (
-                            "ns_per_event_jobsn",
-                            Json::Num(r.ns_per_event(r.wall_ns_jn)),
-                        ),
-                        ("speedup", Json::Num(r.speedup())),
-                    ])
-                })
-                .collect(),
-        ),
-    ));
-    cli.emit_report(&report);
+    cli.emit_report(&selfperf_report(&rows, seed, jobs_n));
 }

@@ -8,16 +8,27 @@
 //!
 //! The `mode × vCPUs` grid fans across `--jobs` sweep workers and merges
 //! in grid order: output is byte-identical at any worker count.
+//!
+//! Telemetry flags re-run the largest SW-SVt cell with the windowed
+//! sampler and flight recorder armed: `--timeline <path>` writes its
+//! columnar timeline, `--dump <path>` with `--dump-on-exit` writes an
+//! end-of-run flight dump (a healthy sweep never trips the recorder on
+//! its own).
 
 use svt_bench::{
     print_header, rule, smp_report, smp_series, BenchCli, SERVE_RATE_QPS, SMP_REQUESTS,
     SMP_VCPU_COUNTS,
 };
-use svt_workloads::DEFAULT_LANE_SEED;
+use svt_core::SwitchMode;
+use svt_sim::FaultPlan;
+use svt_workloads::{memcached_telemetry, TelemetryOpts, DEFAULT_LANE_SEED};
 
 fn main() {
     let cli = BenchCli::parse();
-    cli.handle_help("svt-bench smp [--json r.json] [--seed n] [--jobs n]");
+    cli.handle_help(
+        "svt-bench smp [--json r.json] [--timeline t.json] [--dump d.json] [--dump-on-exit] \
+         [--seed n] [--jobs n]",
+    );
     let seed = cli.seed_or(DEFAULT_LANE_SEED);
     print_header("SMP scaling - sharded memcached, per-vCPU open-loop load");
     let series = smp_series(
@@ -44,6 +55,32 @@ fn main() {
             );
         }
         rule();
+    }
+    if cli.timeline.is_some() || cli.dump.is_some() || cli.dump_on_exit() {
+        let n_vcpus = *SMP_VCPU_COUNTS.last().unwrap();
+        let opts = TelemetryOpts {
+            dump_on_exit: cli.dump_on_exit(),
+            ..TelemetryOpts::default()
+        };
+        let p = memcached_telemetry(
+            SwitchMode::SwSvt,
+            n_vcpus,
+            SERVE_RATE_QPS,
+            SMP_REQUESTS,
+            FaultPlan::none(),
+            &opts,
+        );
+        println!(
+            "telemetry cell: SW SVt @ {n_vcpus} vCPUs: {} windows, {} flight trip(s)",
+            p.windows, p.flight_trips
+        );
+        if let Some(path) = &cli.timeline {
+            cli.emit_json("timeline export", path, &p.timeline);
+        }
+        if let Some(path) = &cli.dump {
+            let dump = p.flight.clone().unwrap_or(svt_obs::Json::Null);
+            cli.emit_json("flight dump", path, &dump);
+        }
     }
     cli.emit_report(&smp_report(&series, seed));
 }

@@ -14,6 +14,9 @@
 //!   sweep engine, falling back to the `SVT_JOBS` environment variable
 //!   and then the host's available parallelism. Results are merged in
 //!   grid order, so any `--jobs` value produces identical output;
+//! * `--timeline <path>` / `--dump <path>` / `--dump-on-exit` — windowed
+//!   time-series export and flight-recorder crash dumps, on binaries
+//!   that sample them;
 //! * `--help` — usage plus this standard-flag reference;
 //! * bare `--flags` (e.g. `--quick`, `--smoke`) and positional values,
 //!   exposed through [`BenchCli::flag`] and [`BenchCli::positional`].
@@ -34,6 +37,15 @@ pub struct BenchCli {
     pub json: Option<PathBuf>,
     /// Destination of the Chrome trace, if requested.
     pub trace: Option<PathBuf>,
+    /// Destination of the windowed timeline export (`--timeline`), if
+    /// requested.
+    pub timeline: Option<PathBuf>,
+    /// Destination of flight-recorder crash dumps (`--dump`), if
+    /// requested.
+    pub dump: Option<PathBuf>,
+    /// Wall-clock noise band override (`--band`), if given — the maximum
+    /// fresh-vs-baseline regression ratio `perfgate` tolerates.
+    pub band: Option<f64>,
     /// Deterministic seed (`--seed`), if given.
     pub seed: Option<u64>,
     /// Explicit sweep worker count (`--jobs`), if given.
@@ -64,6 +76,18 @@ impl BenchCli {
                 cli.trace = it.next().map(PathBuf::from);
             } else if let Some(p) = a.strip_prefix("--trace=") {
                 cli.trace = Some(PathBuf::from(p));
+            } else if a == "--timeline" {
+                cli.timeline = it.next().map(PathBuf::from);
+            } else if let Some(p) = a.strip_prefix("--timeline=") {
+                cli.timeline = Some(PathBuf::from(p));
+            } else if a == "--dump" {
+                cli.dump = it.next().map(PathBuf::from);
+            } else if let Some(p) = a.strip_prefix("--dump=") {
+                cli.dump = Some(PathBuf::from(p));
+            } else if a == "--band" {
+                cli.band = it.next().and_then(|s| s.parse().ok());
+            } else if let Some(p) = a.strip_prefix("--band=") {
+                cli.band = p.parse().ok();
             } else if a == "--seed" {
                 cli.seed = it.next().and_then(|s| s.parse().ok());
             } else if let Some(p) = a.strip_prefix("--seed=") {
@@ -99,6 +123,20 @@ impl BenchCli {
         svt_sim::resolve_jobs(self.jobs)
     }
 
+    /// [`BenchCli::jobs`] clamped to a grid's cell count: what the sweep
+    /// engine will actually use on a `cells`-cell grid, so wall-clock
+    /// speedup math divides by real workers, not an oversubscribed
+    /// request.
+    pub fn jobs_for(&self, cells: usize) -> usize {
+        svt_sim::resolve_jobs_for(self.jobs, cells)
+    }
+
+    /// Whether `--dump-on-exit` was given (bench binaries with flight
+    /// recording trip an unconditional end-of-run dump).
+    pub fn dump_on_exit(&self) -> bool {
+        self.flag("--dump-on-exit")
+    }
+
     /// When `--help` was given, prints `usage` followed by the standard
     /// flag reference shared by every bench binary, then exits. Call
     /// right after [`BenchCli::parse`].
@@ -113,8 +151,12 @@ impl BenchCli {
         println!("  --trace <path>  write a Chrome trace of the run's spans, if recorded");
         println!("  --seed <n>      deterministic seed for load generators / fault plans");
         println!("  --jobs <n>      sweep worker threads (env fallback SVT_JOBS, default =");
-        println!("                  available parallelism); output is byte-identical for");
-        println!("                  any value — results merge in grid order");
+        println!("                  available parallelism, clamped to the grid size);");
+        println!("                  output is byte-identical for any value — results");
+        println!("                  merge in grid order");
+        println!("  --timeline <path>  write the windowed time-series export, if sampled");
+        println!("  --dump <path>   write flight-recorder crash dumps, if recorded");
+        println!("  --dump-on-exit  trip the flight recorder at end of run regardless");
         println!("  --help          this message");
         std::process::exit(0);
     }
@@ -131,26 +173,124 @@ impl BenchCli {
     /// Writes `report` to the `--json` path when one was given; also
     /// calls out a `--trace` request the binary never serviced. Call
     /// this last.
+    ///
+    /// A failed write (bad path, permissions, full disk) is reported on
+    /// stderr and exits the process with a nonzero status — partial
+    /// output must never look like success to a caller checking `$?`.
     pub fn emit_report(&self, report: &RunReport) {
+        if let Err(e) = self.try_emit_report(report) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    /// [`BenchCli::emit_report`] returning the write failure instead of
+    /// exiting, for callers composing their own error handling.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O failure, annotated with the destination path.
+    pub fn try_emit_report(&self, report: &RunReport) -> Result<(), EmitError> {
         if let Some(path) = &self.json {
-            report.write_file(path).expect("write run report");
+            report
+                .write_file(path)
+                .map_err(|e| EmitError::new("run report", path, e))?;
             println!("run report written to {}", path.display());
         }
         if self.trace.is_some() && !self.trace_written.get() {
             println!("(--trace ignored: this binary records no machine trace)");
         }
+        Ok(())
     }
 
     /// Writes the spans (plus causal flow arrows, possibly empty) as a
-    /// Chrome trace to the `--trace` path when one was given.
+    /// Chrome trace to the `--trace` path when one was given. Failed
+    /// writes report on stderr and exit nonzero, as in
+    /// [`BenchCli::emit_report`].
     pub fn emit_trace(&self, spans: &[Span], flows: &[FlowArrow]) {
+        if let Err(e) = self.try_emit_trace(spans, flows) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    /// [`BenchCli::emit_trace`] returning the write failure instead of
+    /// exiting.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O failure, annotated with the destination path.
+    pub fn try_emit_trace(&self, spans: &[Span], flows: &[FlowArrow]) -> Result<(), EmitError> {
         let Some(path) = &self.trace else {
-            return;
+            return Ok(());
         };
         let json = chrome_trace_with_flows(spans, flows);
-        std::fs::write(path, json.pretty()).expect("write chrome trace");
+        std::fs::write(path, json.pretty()).map_err(|e| EmitError::new("chrome trace", path, e))?;
         self.trace_written.set(true);
         println!("chrome trace written to {}", path.display());
+        Ok(())
+    }
+
+    /// Writes an arbitrary JSON document (timeline export, flight dump)
+    /// to `path`. Failed writes report on stderr and exit nonzero.
+    pub fn emit_json(&self, what: &str, path: &std::path::Path, doc: &svt_obs::Json) {
+        if let Err(e) = Self::try_emit_json(what, path, doc) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    /// [`BenchCli::emit_json`] returning the write failure instead of
+    /// exiting.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O failure, annotated with the destination path.
+    pub fn try_emit_json(
+        what: &str,
+        path: &std::path::Path,
+        doc: &svt_obs::Json,
+    ) -> Result<(), EmitError> {
+        std::fs::write(path, doc.pretty()).map_err(|e| EmitError::new(what, path, e))?;
+        println!("{what} written to {}", path.display());
+        Ok(())
+    }
+}
+
+/// A failed output-file write: what was being written, where to, and the
+/// underlying I/O error.
+#[derive(Debug)]
+pub struct EmitError {
+    what: String,
+    path: PathBuf,
+    source: std::io::Error,
+}
+
+impl EmitError {
+    fn new(what: &str, path: &std::path::Path, source: std::io::Error) -> Self {
+        EmitError {
+            what: what.to_string(),
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "writing {} to {} failed: {}",
+            self.what,
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for EmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
     }
 }
 
@@ -210,5 +350,47 @@ mod tests {
         assert!(args(&[]).jobs() >= 1);
         // Zero is not a valid worker count; the resolver falls through.
         assert!(args(&["--jobs=0"]).jobs() >= 1);
+    }
+
+    #[test]
+    fn jobs_for_clamps_to_grid_size() {
+        assert_eq!(args(&["--jobs=8"]).jobs_for(3), 3);
+        assert_eq!(args(&["--jobs=2"]).jobs_for(8), 2);
+        assert_eq!(args(&["--jobs=8"]).jobs_for(0), 1);
+    }
+
+    #[test]
+    fn parses_timeline_and_dump_flags() {
+        let c = args(&["--timeline", "tl.json", "--dump=fd.json", "--dump-on-exit"]);
+        assert_eq!(c.timeline.as_deref(), Some(std::path::Path::new("tl.json")));
+        assert_eq!(c.dump.as_deref(), Some(std::path::Path::new("fd.json")));
+        assert!(c.dump_on_exit());
+        let c = args(&["--timeline=tl.json", "--dump", "fd.json"]);
+        assert_eq!(c.timeline.as_deref(), Some(std::path::Path::new("tl.json")));
+        assert_eq!(c.dump.as_deref(), Some(std::path::Path::new("fd.json")));
+        assert!(!c.dump_on_exit());
+    }
+
+    #[test]
+    fn bad_output_paths_error_instead_of_panicking() {
+        let c = args(&["--json=/nonexistent-dir/report.json"]);
+        let err = c
+            .try_emit_report(&RunReport::default())
+            .expect_err("bad path must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("run report"), "{msg}");
+        assert!(msg.contains("/nonexistent-dir/report.json"), "{msg}");
+
+        let c = args(&["--trace=/nonexistent-dir/trace.json"]);
+        let err = c.try_emit_trace(&[], &[]).expect_err("bad path must fail");
+        assert!(err.to_string().contains("chrome trace"), "{err}");
+
+        let err = BenchCli::try_emit_json(
+            "timeline",
+            std::path::Path::new("/nonexistent-dir/tl.json"),
+            &svt_obs::Json::from(true),
+        )
+        .expect_err("bad path must fail");
+        assert!(err.to_string().contains("timeline"), "{err}");
     }
 }

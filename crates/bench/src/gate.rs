@@ -1,0 +1,347 @@
+//! The perf-regression gate: diff fresh benchmark runs against the
+//! committed `BENCH_*.json` baselines.
+//!
+//! Two kinds of comparison, with deliberately different noise bands:
+//!
+//! * **Wall-clock metrics** (selfperf's events/sec, ns/trap, parallel
+//!   speedup) are host-noise-limited — CI machines share cores, thermal
+//!   state drifts, the allocator warms differently. The gate therefore
+//!   allows a generous [`GateBands::max_slowdown`] ratio (default 1.8×)
+//!   and only fails on regressions that clear it. A 2× slowdown — the
+//!   canonical "someone put a `clone()` in the hot loop" regression —
+//!   always fails.
+//! * **Simulated metrics** (fig6 speedups) are pure functions of the
+//!   cost model and must reproduce bit-for-bit; the gate allows only
+//!   [`GateBands::fig6_drift`] (default 1e-9) of float-formatting slack.
+//!
+//! The gate never compares wall-clock numbers *across hosts* blindly:
+//! ratios are fresh-vs-baseline on the same metric, so a uniformly slow
+//! host shifts both runs of a CI re-measure equally only when the
+//! baseline was produced on comparable hardware. The committed baselines
+//! record `host_parallelism` so a mismatch is visible in the table.
+
+use std::fmt;
+
+use svt_obs::Json;
+
+/// Noise bands of the perf-regression gate.
+#[derive(Debug, Clone, Copy)]
+pub struct GateBands {
+    /// Maximum allowed regression ratio on wall-clock metrics
+    /// (fresh-worse-than-baseline factor). Default 1.8×.
+    pub max_slowdown: f64,
+    /// Maximum allowed absolute drift on simulated fig6 speedups.
+    /// Default 1e-9 (float-formatting slack only).
+    pub fig6_drift: f64,
+}
+
+impl Default for GateBands {
+    fn default() -> Self {
+        GateBands {
+            max_slowdown: 1.8,
+            fig6_drift: 1e-9,
+        }
+    }
+}
+
+/// One gated metric: baseline vs fresh, the regression ratio (or drift),
+/// the band it was held to, and the verdict.
+#[derive(Debug, Clone)]
+pub struct WorkloadDelta {
+    /// Workload (selfperf row name, or fig6 speedup name).
+    pub name: String,
+    /// Metric compared.
+    pub metric: &'static str,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub fresh: f64,
+    /// Regression ratio (wall-clock metrics, ≥ 1 means fresh is worse)
+    /// or absolute drift (simulated metrics).
+    pub ratio: f64,
+    /// The band `ratio` was held to.
+    pub band: f64,
+    /// Whether the metric stayed inside its band.
+    pub ok: bool,
+}
+
+impl WorkloadDelta {
+    fn wall_clock(
+        name: &str,
+        metric: &'static str,
+        baseline: f64,
+        fresh: f64,
+        worse: f64,
+        band: f64,
+    ) -> Self {
+        WorkloadDelta {
+            name: name.to_string(),
+            metric,
+            baseline,
+            fresh,
+            ratio: worse,
+            band,
+            ok: worse <= band,
+        }
+    }
+}
+
+impl fmt::Display for WorkloadDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} {:<22} {:>14.4} {:>14.4} {:>8.3} {:>8.3} {}",
+            self.name,
+            self.metric,
+            self.baseline,
+            self.fresh,
+            self.ratio,
+            self.band,
+            if self.ok { "ok" } else { "FAIL" }
+        )
+    }
+}
+
+/// Renders the per-workload delta table the gate prints (and CI shows on
+/// failure).
+pub fn delta_table(deltas: &[WorkloadDelta]) -> String {
+    let mut out = format!(
+        "{:<16} {:<22} {:>14} {:>14} {:>8} {:>8} status\n",
+        "workload", "metric", "baseline", "fresh", "ratio", "band"
+    );
+    for d in deltas {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn results_of<'a>(doc: &'a Json, what: &str) -> Result<&'a Json, String> {
+    doc.get("results")
+        .ok_or_else(|| format!("{what}: report has no `results` object"))
+}
+
+fn num_field(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{what}: missing numeric field `{key}`"))
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{what}: missing string field `{key}`"))
+}
+
+/// Gates a fresh selfperf report against the committed baseline.
+///
+/// Every baseline workload must exist in the fresh run; for each, three
+/// wall-clock metrics are held to [`GateBands::max_slowdown`]:
+///
+/// * `ns_per_event_jobsn` — fresh/baseline (cost per simulated trap);
+/// * `events_per_sec_jobsn` — baseline/fresh (throughput);
+/// * `speedup` — baseline/fresh (parallel scaling).
+///
+/// Returns the full delta table (pass and fail rows alike) so callers
+/// can print it; malformed reports are an `Err`, not a panic.
+pub fn gate_selfperf(
+    baseline: &Json,
+    fresh: &Json,
+    bands: &GateBands,
+) -> Result<Vec<WorkloadDelta>, String> {
+    let base_rows = results_of(baseline, "baseline selfperf")?
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or("baseline selfperf: missing `workloads` array")?;
+    let fresh_rows = results_of(fresh, "fresh selfperf")?
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or("fresh selfperf: missing `workloads` array")?;
+    let mut deltas = Vec::new();
+    for b in base_rows {
+        let name = str_field(b, "name", "baseline selfperf workload")?;
+        let f = fresh_rows
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+            .ok_or_else(|| format!("fresh selfperf run is missing workload `{name}`"))?;
+        let what = &format!("selfperf workload `{name}`");
+
+        // Lower is better: a fresh value above baseline regresses.
+        let (bv, fv) = (
+            num_field(b, "ns_per_event_jobsn", what)?,
+            num_field(f, "ns_per_event_jobsn", what)?,
+        );
+        deltas.push(WorkloadDelta::wall_clock(
+            name,
+            "ns_per_event_jobsn",
+            bv,
+            fv,
+            fv / bv,
+            bands.max_slowdown,
+        ));
+
+        // Higher is better: a fresh value below baseline regresses.
+        let (bv, fv) = (
+            num_field(b, "events_per_sec_jobsn", what)?,
+            num_field(f, "events_per_sec_jobsn", what)?,
+        );
+        deltas.push(WorkloadDelta::wall_clock(
+            name,
+            "events_per_sec_jobsn",
+            bv,
+            fv,
+            bv / fv,
+            bands.max_slowdown,
+        ));
+
+        let (bv, fv) = (
+            num_field(b, "speedup", what)?,
+            num_field(f, "speedup", what)?,
+        );
+        deltas.push(WorkloadDelta::wall_clock(
+            name,
+            "speedup",
+            bv,
+            fv,
+            bv / fv,
+            bands.max_slowdown,
+        ));
+    }
+    Ok(deltas)
+}
+
+/// Gates a fresh fig6 report against the committed baseline: the
+/// simulated SW-SVt and HW-SVt speedups must match within
+/// [`GateBands::fig6_drift`] — the simulation is deterministic, so any
+/// real drift is a behavior change, not noise.
+pub fn gate_fig6(
+    baseline: &Json,
+    fresh: &Json,
+    bands: &GateBands,
+) -> Result<Vec<WorkloadDelta>, String> {
+    let base = baseline
+        .get("speedups")
+        .and_then(Json::as_arr)
+        .ok_or("baseline fig6: missing `speedups` array")?;
+    let fresh = fresh
+        .get("speedups")
+        .and_then(Json::as_arr)
+        .ok_or("fresh fig6: missing `speedups` array")?;
+    let mut deltas = Vec::new();
+    for b in base {
+        let name = str_field(b, "name", "baseline fig6 speedup")?;
+        let f = fresh
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+            .ok_or_else(|| format!("fresh fig6 run is missing speedup `{name}`"))?;
+        let what = &format!("fig6 speedup `{name}`");
+        let (bv, fv) = (
+            num_field(b, "speedup", what)?,
+            num_field(f, "speedup", what)?,
+        );
+        let drift = (fv - bv).abs();
+        deltas.push(WorkloadDelta {
+            name: name.to_string(),
+            metric: "speedup_drift",
+            baseline: bv,
+            fresh: fv,
+            ratio: drift,
+            band: bands.fig6_drift,
+            ok: drift <= bands.fig6_drift,
+        });
+    }
+    Ok(deltas)
+}
+
+/// Whether every delta stayed inside its band.
+pub fn gate_passes(deltas: &[WorkloadDelta]) -> bool {
+    deltas.iter().all(|d| d.ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn selfperf_doc(ns_per_event: f64, events_per_sec: f64, speedup: f64) -> Json {
+        Json::obj([(
+            "results",
+            Json::obj([(
+                "workloads",
+                Json::Arr(vec![Json::obj([
+                    ("name", Json::from("fig6")),
+                    ("ns_per_event_jobsn", Json::Num(ns_per_event)),
+                    ("events_per_sec_jobsn", Json::Num(events_per_sec)),
+                    ("speedup", Json::Num(speedup)),
+                ])]),
+            )]),
+        )])
+    }
+
+    fn fig6_doc(sw: f64, hw: f64) -> Json {
+        Json::obj([(
+            "speedups",
+            Json::Arr(vec![
+                Json::obj([("name", Json::from("sw_svt")), ("speedup", Json::Num(sw))]),
+                Json::obj([("name", Json::from("hw_svt")), ("speedup", Json::Num(hw))]),
+            ]),
+        )])
+    }
+
+    #[test]
+    fn identical_selfperf_runs_pass() {
+        let doc = selfperf_doc(8500.0, 117_000.0, 1.0);
+        let deltas = gate_selfperf(&doc, &doc, &GateBands::default()).unwrap();
+        assert_eq!(deltas.len(), 3);
+        assert!(gate_passes(&deltas));
+    }
+
+    #[test]
+    fn a_2x_ns_per_trap_regression_fails() {
+        let base = selfperf_doc(8500.0, 117_000.0, 1.0);
+        let fresh = selfperf_doc(17_000.0, 58_500.0, 1.0);
+        let deltas = gate_selfperf(&base, &fresh, &GateBands::default()).unwrap();
+        assert!(!gate_passes(&deltas));
+        let bad: Vec<_> = deltas.iter().filter(|d| !d.ok).collect();
+        assert_eq!(bad.len(), 2, "ns/trap and events/sec both cleared 1.8x");
+        assert!((bad[0].ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_inside_the_band_passes() {
+        let base = selfperf_doc(8500.0, 117_000.0, 1.0);
+        let fresh = selfperf_doc(8500.0 * 1.5, 117_000.0 / 1.5, 1.0 / 1.5);
+        let deltas = gate_selfperf(&base, &fresh, &GateBands::default()).unwrap();
+        assert!(gate_passes(&deltas), "{}", delta_table(&deltas));
+    }
+
+    #[test]
+    fn missing_fresh_workload_is_an_error() {
+        let base = selfperf_doc(8500.0, 117_000.0, 1.0);
+        let fresh = Json::obj([("results", Json::obj([("workloads", Json::Arr(vec![]))]))]);
+        let err = gate_selfperf(&base, &fresh, &GateBands::default()).unwrap_err();
+        assert!(err.contains("missing workload `fig6`"), "{err}");
+    }
+
+    #[test]
+    fn fig6_speedup_drift_fails_but_formatting_slack_passes() {
+        let base = fig6_doc(1.2410501193317423, 1.9065077910174153);
+        let same = fig6_doc(1.2410501193317423 + 1e-12, 1.9065077910174153);
+        let deltas = gate_fig6(&base, &same, &GateBands::default()).unwrap();
+        assert!(gate_passes(&deltas));
+        let drifted = fig6_doc(1.25, 1.9065077910174153);
+        let deltas = gate_fig6(&base, &drifted, &GateBands::default()).unwrap();
+        assert!(!gate_passes(&deltas));
+        assert!(!deltas[0].ok && deltas[1].ok);
+    }
+
+    #[test]
+    fn delta_table_renders_every_row_with_verdicts() {
+        let base = selfperf_doc(8500.0, 117_000.0, 1.0);
+        let fresh = selfperf_doc(17_000.0, 117_000.0, 1.0);
+        let deltas = gate_selfperf(&base, &fresh, &GateBands::default()).unwrap();
+        let table = delta_table(&deltas);
+        assert!(table.contains("workload"));
+        assert!(table.contains("FAIL"));
+        assert!(table.contains("ns_per_event_jobsn"));
+    }
+}

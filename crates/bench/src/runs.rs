@@ -8,10 +8,17 @@
 //! at any worker count. The report builders live here too, so a binary
 //! and a test assembling the same grid emit the same bytes.
 
+use std::hint::black_box;
+use std::time::Instant;
+
 use svt_core::SwitchMode;
+use svt_hv::Level;
 use svt_obs::{ExitRow, Json, PartRow, RunReport, SpeedupRow};
-use svt_sim::{CostModel, FaultPlan};
-use svt_workloads::{memcached_chaos, memcached_smp_seeded, ChaosPoint, Fig6Grid, SmpPoint};
+use svt_sim::{CostModel, FaultPlan, SimDuration};
+use svt_workloads::{
+    cpuid_counted, memcached_chaos, memcached_smp_counted_seeded, memcached_smp_seeded,
+    memcached_telemetry, ChaosPoint, Fig6Grid, SmpPoint, TelemetryOpts, TelemetryPoint,
+};
 
 use crate::{cost_model_json, machine_json};
 
@@ -239,6 +246,327 @@ pub fn faults_report(cells: &[FaultCell], seed: u64) -> RunReport {
         ),
     ));
     report
+}
+
+// ----------------------------------------------------------------------
+// The selfperf measurement grids (shared by the selfperf binary and the
+// perfgate regression gate, which re-runs them fresh).
+// ----------------------------------------------------------------------
+
+/// The Fig. 6 cells of the selfperf workload, as in the figure's sweep.
+pub const SELFPERF_FIG6_GRID: [(Level, SwitchMode); 5] = [
+    (Level::L0, SwitchMode::Baseline),
+    (Level::L1, SwitchMode::Baseline),
+    (Level::L2, SwitchMode::Baseline),
+    (Level::L2, SwitchMode::SwSvt),
+    (Level::L2, SwitchMode::HwSvt),
+];
+
+/// vCPUs of the selfperf SMP workload (the paper's mid-size machine).
+pub const SELFPERF_SMP_VCPUS: usize = 4;
+
+/// Fault rates of the selfperf chaos workload cells.
+pub const SELFPERF_FAULT_RATES: [f64; 2] = [0.0, 0.05];
+
+/// One measured selfperf workload: the grid run at `--jobs 1` and at the
+/// per-workload clamped worker count, wall-clock timed.
+#[derive(Debug, Clone)]
+pub struct SelfperfRow {
+    /// Workload name (`fig6`, `smp`, `faults`).
+    pub name: &'static str,
+    /// Grid cells the workload sweeps.
+    pub cells: usize,
+    /// Workers the parallel pass actually used ([`svt_sim::resolve_jobs_for`]
+    /// clamps the request to the cell count).
+    pub jobs: usize,
+    /// Simulated traps the grid served (identical at both worker counts).
+    pub traps: u64,
+    /// Wall-clock of the `--jobs 1` pass, nanoseconds.
+    pub wall_ns_j1: f64,
+    /// Wall-clock of the parallel pass, nanoseconds.
+    pub wall_ns_jn: f64,
+}
+
+impl SelfperfRow {
+    /// Host events/second at the given pass's wall-clock.
+    pub fn events_per_sec(&self, wall_ns: f64) -> f64 {
+        self.traps as f64 * 1e9 / wall_ns
+    }
+
+    /// Host nanoseconds per simulated trap at the given pass's wall-clock.
+    pub fn ns_per_event(&self, wall_ns: f64) -> f64 {
+        wall_ns / self.traps as f64
+    }
+
+    /// Parallel speedup of the jN pass over the j1 pass.
+    pub fn speedup(&self) -> f64 {
+        self.wall_ns_j1 / self.wall_ns_jn
+    }
+}
+
+/// Runs one workload grid at `--jobs 1` and at `jobs_n`, timing each
+/// pass. The per-cell trap counts must merge identically at both worker
+/// counts — a drift means the sweep engine broke determinism.
+///
+/// # Panics
+///
+/// Panics if the merged trap counts differ between the passes or the
+/// workload serves no traps.
+pub fn selfperf_measure<F>(name: &'static str, cells: usize, jobs_n: usize, f: F) -> SelfperfRow
+where
+    F: Fn(usize) -> u64 + Sync,
+{
+    // Warm one cell outside the timed region (lazy init, allocator,
+    // cold caches).
+    black_box(f(0));
+    let start = Instant::now();
+    let traps_j1: u64 = svt_sim::sweep(cells, 1, &f).iter().sum();
+    let wall_ns_j1 = start.elapsed().as_nanos() as f64;
+    let start = Instant::now();
+    let traps_jn: u64 = svt_sim::sweep(cells, jobs_n, &f).iter().sum();
+    let wall_ns_jn = start.elapsed().as_nanos() as f64;
+    assert_eq!(
+        traps_j1, traps_jn,
+        "{name}: merged trap count drifted across worker counts"
+    );
+    assert!(traps_j1 > 0, "{name}: workload served no traps");
+    SelfperfRow {
+        name,
+        cells,
+        jobs: jobs_n,
+        traps: traps_j1,
+        wall_ns_j1,
+        wall_ns_jn,
+    }
+}
+
+/// Runs the three selfperf workload grids (fig6, smp, faults) and
+/// returns the measured rows. `jobs` is the `--jobs` request; each
+/// workload clamps it to its own cell count.
+pub fn selfperf_rows(smoke: bool, seed: u64, jobs: Option<usize>) -> Vec<SelfperfRow> {
+    let fig6_iters: u64 = if smoke { 50 } else { 200 };
+    let smp_requests: u64 = if smoke { 60 } else { 150 };
+    let faults_requests: u64 = if smoke { 60 } else { 100 };
+    vec![
+        selfperf_measure(
+            "fig6",
+            SELFPERF_FIG6_GRID.len(),
+            svt_sim::resolve_jobs_for(jobs, SELFPERF_FIG6_GRID.len()),
+            |i| {
+                let (level, mode) = SELFPERF_FIG6_GRID[i];
+                cpuid_counted(level, mode, fig6_iters).1
+            },
+        ),
+        selfperf_measure(
+            "smp",
+            SwitchMode::ALL.len(),
+            svt_sim::resolve_jobs_for(jobs, SwitchMode::ALL.len()),
+            |i| {
+                memcached_smp_counted_seeded(
+                    SwitchMode::ALL[i],
+                    SELFPERF_SMP_VCPUS,
+                    SERVE_RATE_QPS,
+                    smp_requests,
+                    seed,
+                )
+                .1
+            },
+        ),
+        selfperf_measure(
+            "faults",
+            FAULTS_MODES.len() * SELFPERF_FAULT_RATES.len(),
+            svt_sim::resolve_jobs_for(jobs, FAULTS_MODES.len() * SELFPERF_FAULT_RATES.len()),
+            |i| {
+                let rate = SELFPERF_FAULT_RATES[i % SELFPERF_FAULT_RATES.len()];
+                let plan = if rate == 0.0 {
+                    FaultPlan::none()
+                } else {
+                    FaultPlan::uniform(FAULTS_DEFAULT_SEED, rate)
+                };
+                memcached_chaos(
+                    FAULTS_MODES[i / SELFPERF_FAULT_RATES.len()],
+                    FAULTS_N_VCPUS,
+                    SERVE_RATE_QPS,
+                    faults_requests,
+                    plan,
+                )
+                .traps
+            },
+        ),
+    ]
+}
+
+/// Builds the selfperf run report from measured rows. `jobs_requested`
+/// is the resolved `--jobs` value before per-workload clamping; each
+/// workload row records the workers it actually used.
+pub fn selfperf_report(rows: &[SelfperfRow], seed: u64, jobs_requested: usize) -> RunReport {
+    let mut report = RunReport::new(
+        "selfperf",
+        "Wall-clock self-benchmark: host cost of regenerating the simulation",
+    );
+    report.results.push(("seed".to_string(), Json::from(seed)));
+    report.results.push((
+        "host_parallelism".to_string(),
+        Json::from(svt_sim::host_parallelism() as u64),
+    ));
+    report.results.push((
+        "jobs_parallel".to_string(),
+        Json::from(jobs_requested as u64),
+    ));
+    report.results.push((
+        "workloads".to_string(),
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("name", Json::from(r.name)),
+                        ("cells", Json::from(r.cells as u64)),
+                        ("jobs", Json::from(r.jobs as u64)),
+                        ("sim_traps", Json::from(r.traps)),
+                        ("wall_ns_jobs1", Json::Num(r.wall_ns_j1)),
+                        ("wall_ns_jobsn", Json::Num(r.wall_ns_jn)),
+                        (
+                            "events_per_sec_jobs1",
+                            Json::Num(r.events_per_sec(r.wall_ns_j1)),
+                        ),
+                        (
+                            "events_per_sec_jobsn",
+                            Json::Num(r.events_per_sec(r.wall_ns_jn)),
+                        ),
+                        (
+                            "ns_per_event_jobs1",
+                            Json::Num(r.ns_per_event(r.wall_ns_j1)),
+                        ),
+                        (
+                            "ns_per_event_jobsn",
+                            Json::Num(r.ns_per_event(r.wall_ns_jn)),
+                        ),
+                        ("speedup", Json::Num(r.speedup())),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    report
+}
+
+// ----------------------------------------------------------------------
+// The timeline sweep (the `timeline` binary and its determinism test).
+// ----------------------------------------------------------------------
+
+/// vCPUs of every timeline-sweep cell.
+pub const TIMELINE_N_VCPUS: usize = 2;
+
+/// Fault rate of the timeline sweep's armed SW-SVt cell (the chaos
+/// smoke's committed operating point, which forces `FallenBack`).
+pub const TIMELINE_FAULT_RATE: f64 = 0.05;
+
+/// One cell of the timeline sweep.
+#[derive(Debug, Clone)]
+pub struct TimelineCell {
+    /// Stable cell name (`baseline`, `sw_svt`, `hw_svt`, `sw_svt_faulted`).
+    pub name: String,
+    /// The telemetry run's products.
+    pub point: TelemetryPoint,
+}
+
+/// Runs the timeline sweep: every engine fault-free plus the armed
+/// SW-SVt cell, each with the windowed sampler and flight recorder on,
+/// fanned across `jobs` workers and merged in grid order.
+pub fn timeline_cells(
+    requests: u64,
+    seed: u64,
+    cadence: SimDuration,
+    dump_on_exit: bool,
+    jobs: usize,
+) -> Vec<TimelineCell> {
+    let n = SwitchMode::ALL.len() + 1;
+    let opts = TelemetryOpts {
+        cadence,
+        dump_on_exit,
+        ..TelemetryOpts::default()
+    };
+    svt_sim::sweep(n, jobs, |i| {
+        let (name, mode, plan) = if i < SwitchMode::ALL.len() {
+            let mode = SwitchMode::ALL[i];
+            let name = mode.label().replace(' ', "_").to_lowercase();
+            (name, mode, FaultPlan::none())
+        } else {
+            (
+                "sw_svt_faulted".to_string(),
+                SwitchMode::SwSvt,
+                FaultPlan::uniform(seed, TIMELINE_FAULT_RATE),
+            )
+        };
+        let point = memcached_telemetry(
+            mode,
+            TIMELINE_N_VCPUS,
+            SERVE_RATE_QPS,
+            requests,
+            plan,
+            &opts,
+        );
+        TimelineCell { name, point }
+    })
+}
+
+/// Builds the timeline run report from merged cells: per-cell summary
+/// rows plus the full columnar timelines (and flight dumps, when a cell
+/// tripped) under `results`.
+pub fn timeline_report(cells: &[TimelineCell], seed: u64, cadence: SimDuration) -> RunReport {
+    let mut report = RunReport::new(
+        "timeline",
+        "Windowed time-series telemetry across engines (plus an armed SW-SVt cell)",
+    );
+    report.machine = Some(machine_json());
+    report.cost_model = Some(cost_model_json(&CostModel::default()));
+    report.results.push(("seed".to_string(), Json::from(seed)));
+    report
+        .results
+        .push(("cadence_ps".to_string(), Json::from(cadence.as_ps())));
+    report.results.push((
+        "cells".to_string(),
+        Json::Arr(
+            cells
+                .iter()
+                .map(|c| {
+                    let p = &c.point;
+                    Json::obj([
+                        ("name", Json::Str(c.name.clone())),
+                        ("traps", Json::from(p.traps)),
+                        ("windows", Json::from(p.windows as u64)),
+                        ("throughput_rps", Json::Num(p.point.throughput)),
+                        ("total_injected", Json::from(p.total_injected)),
+                        ("fallback_traps", Json::from(p.fallback_traps)),
+                        ("flight_trips", Json::from(p.flight_trips)),
+                        ("watchdog_violations", Json::from(p.watchdog_violations)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    for c in cells {
+        report
+            .results
+            .push((format!("{}/timeline", c.name), c.point.timeline.clone()));
+        if let Some(dump) = &c.point.flight {
+            report
+                .results
+                .push((format!("{}/flight", c.name), dump.clone()));
+        }
+    }
+    report
+}
+
+/// The merged timeline export the `--timeline` flag writes: one columnar
+/// timeline per cell, keyed by cell name.
+pub fn timelines_json(cells: &[TimelineCell]) -> Json {
+    Json::Obj(
+        cells
+            .iter()
+            .map(|c| (c.name.clone(), c.point.timeline.clone()))
+            .collect(),
+    )
 }
 
 /// One campaign cell as the report's JSON object.

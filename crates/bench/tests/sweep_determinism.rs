@@ -10,9 +10,10 @@
 //! property tests in `svt_sim::sweep`.)
 
 use svt_bench::{
-    faults_campaign, faults_report, fig6_report, smp_report, smp_series, FAULTS_DEFAULT_SEED,
-    FAULTS_MODES, SERVE_RATE_QPS,
+    faults_campaign, faults_report, fig6_report, smp_report, smp_series, timeline_cells,
+    timeline_report, timelines_json, FAULTS_DEFAULT_SEED, FAULTS_MODES, SERVE_RATE_QPS,
 };
+use svt_obs::DEFAULT_TIMELINE_CADENCE;
 use svt_workloads::{fig6_grid, DEFAULT_LANE_SEED};
 
 #[test]
@@ -31,6 +32,34 @@ fn smp_report_is_byte_identical_across_worker_counts() {
         smp_report(&a, DEFAULT_LANE_SEED).to_json().pretty(),
         smp_report(&b, DEFAULT_LANE_SEED).to_json().pretty()
     );
+}
+
+/// The tentpole determinism claim: the windowed timeline export — every
+/// sampled counter delta, part attribution, ring depth and health state
+/// — merges byte-identically at any worker count, including the armed
+/// fault-injecting cell whose flight recorder trips mid-run.
+#[test]
+fn timeline_export_is_byte_identical_across_worker_counts() {
+    let a = timeline_cells(60, DEFAULT_LANE_SEED, DEFAULT_TIMELINE_CADENCE, false, 1);
+    let b = timeline_cells(60, DEFAULT_LANE_SEED, DEFAULT_TIMELINE_CADENCE, false, 4);
+    assert_eq!(
+        timelines_json(&a).pretty(),
+        timelines_json(&b).pretty(),
+        "timeline export differs between --jobs 1 and --jobs 4"
+    );
+    // The full run report (summaries + embedded timelines and flight
+    // dumps) must agree too.
+    assert_eq!(
+        timeline_report(&a, DEFAULT_LANE_SEED, DEFAULT_TIMELINE_CADENCE)
+            .to_json()
+            .pretty(),
+        timeline_report(&b, DEFAULT_LANE_SEED, DEFAULT_TIMELINE_CADENCE)
+            .to_json()
+            .pretty()
+    );
+    // And the armed cell must actually have exercised the recorder, or
+    // the equality above proves less than it claims.
+    assert!(a.last().unwrap().point.flight_trips > 0);
 }
 
 #[test]

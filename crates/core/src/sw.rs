@@ -321,8 +321,27 @@ impl SwSvtReflector {
         }
     }
 
+    /// Pushes this lane's current protocol state (ring occupancy, blocked
+    /// flag, degradation health) to the timeline sampler and flight
+    /// recorder. Early-returns on their shared enabled check, so plain
+    /// runs pay two flag loads here and nothing else.
+    fn push_protocol(&self, m: &mut Machine, blocked: bool) {
+        if !m.obs.protocol_enabled() {
+            return;
+        }
+        let mut depth = 0;
+        for ring in [self.cmd_ring, self.resp_ring].into_iter().flatten() {
+            depth += ring.len(&m.ram).unwrap_or(0);
+        }
+        let vcpu = m.current_vcpu() as u32;
+        m.obs
+            .note_protocol(vcpu, depth, blocked, self.fsm.state().name());
+    }
+
     /// Records a degradation-policy transition in the metrics registry
-    /// and on the causal graph.
+    /// and on the causal graph. Entering `FallenBack` — the channel
+    /// written off — is a crash-dump moment: it trips the flight
+    /// recorder so the causal tail leading up to the failure survives.
     fn note_transition(&mut self, m: &mut Machine, t: Transition) {
         let label = transition_label(t);
         m.clock.count("svt_state_transition");
@@ -334,6 +353,10 @@ impl SwSvtReflector {
         let now = m.clock.now();
         m.obs
             .span("svt_degrade", "fault", ObsLevel::Machine, now, now);
+        self.push_protocol(m, false);
+        if t == (SvtHealth::Degraded, SvtHealth::FallenBack) && m.obs.flight.is_enabled() {
+            m.obs.flight_trip("forced_fallback", now);
+        }
     }
 
     /// One failed channel attempt: feed the policy, surface the
@@ -470,6 +493,7 @@ impl SwSvtReflector {
             self.drain_ring(m, ring_is_cmd);
         }
         m.clock.pop_part(CostPart::Channel);
+        self.push_protocol(m, false);
         let span_name = if ring_is_cmd {
             "svt_cmd_ring"
         } else {
@@ -503,6 +527,7 @@ impl SwSvtReflector {
                 self.svt_blocked_count += 1;
                 let blocked_begin = m.clock.now();
                 m.obs.causal.blocked_enter(blocked_begin);
+                self.push_protocol(m, true);
                 m.clock.count("svt_blocked");
                 m.obs
                     .metrics
@@ -527,6 +552,7 @@ impl SwSvtReflector {
                 // cost; the histogram lets tests assert that bound.
                 let window = m.clock.now().since(blocked_begin);
                 m.obs.causal.blocked_exit(m.clock.now());
+                self.push_protocol(m, false);
                 m.obs.metrics.observe(
                     MetricKey::new("svt_blocked_window_ps").reflector("sw-svt"),
                     window.as_ps(),

@@ -489,18 +489,67 @@ impl Machine {
         }
     }
 
-    /// End-of-run causal bookkeeping: sweeps the graph's stale-entry
+    /// End-of-run telemetry: sweeps the causal graph's stale-entry
     /// watchdogs at the latest local clock and harvests violation counts
-    /// into the metrics registry. No-op when the graph is disabled.
+    /// into the metrics registry, flushes the timeline's final partial
+    /// window, and gives the flight recorder a last look at the watchdog
+    /// verdicts. No-op when nothing is enabled.
     fn finish_causal(&mut self) {
-        if !self.obs.causal.is_enabled() {
+        let causal = self.obs.causal.is_enabled();
+        let timeline = self.obs.timeline.is_enabled();
+        let flight = self.obs.flight.is_enabled();
+        if !causal && !timeline && !flight {
             return;
         }
         let now = (0..self.vcpus.len())
             .map(|i| self.local_now(i))
             .max()
             .unwrap_or(self.clock.now());
-        self.obs.finish_causal(now);
+        if causal {
+            self.obs.finish_causal(now);
+        }
+        if timeline {
+            let parts = self.total_part_time();
+            self.obs.flush_timeline(now, &parts);
+        }
+        if flight {
+            self.obs.watch_flight(now);
+        }
+    }
+
+    /// Machine-wide per-[`CostPart`] attribution totals: the active clock
+    /// plus every parked vCPU clock. (The parked slot belonging to the
+    /// running vCPU holds an untouched placeholder and is skipped.) Each
+    /// bucket is monotone in simulated time across vCPU switches, so the
+    /// timeline's per-window deltas are non-negative.
+    pub fn total_part_time(&self) -> [SimDuration; CostPart::COUNT] {
+        let mut parts = [SimDuration::ZERO; CostPart::COUNT];
+        for p in CostPart::ALL {
+            let mut total = self.clock.part_time(p);
+            for (j, v) in self.vcpus.iter().enumerate() {
+                if j != self.cur {
+                    total += v.clock.part_time(p);
+                }
+            }
+            parts[p as usize] = total;
+        }
+        parts
+    }
+
+    /// The per-step telemetry hook: one timeline-due check (a flag load
+    /// and a time compare) on the fast path; sampling and watchdog
+    /// polling only run once a window boundary has been crossed.
+    #[inline]
+    fn telemetry_tick(&mut self) {
+        let now = self.clock.now();
+        if !self.obs.timeline.due(now) {
+            return;
+        }
+        let parts = self.total_part_time();
+        self.obs.sample_timeline(now, &parts);
+        if self.obs.flight.is_enabled() {
+            self.obs.watch_flight(now);
+        }
     }
 
     /// Runs the current vCPU until it finishes, halts, or passes the
@@ -516,6 +565,7 @@ impl Machine {
             if self.clock.now() >= deadline {
                 return SliceOutcome::Deadline;
             }
+            self.telemetry_tick();
             self.drain_inbox(r);
             self.pump(r);
             if self.vstate().halted {

@@ -26,12 +26,14 @@
 
 mod causal;
 mod chrome;
+mod flight;
 mod hist;
 mod json;
 mod key;
 mod registry;
 mod report;
 mod span;
+mod timeline;
 
 pub use causal::EventId as CausalEventId;
 pub use causal::{
@@ -39,14 +41,16 @@ pub use causal::{
     WATCHDOGS,
 };
 pub use chrome::{chrome_trace, chrome_trace_with_flows, lane_tid};
+pub use flight::{FlightRecorder, DEFAULT_FLIGHT_K};
 pub use hist::LogHistogram;
 pub use json::{Json, JsonError};
 pub use key::{MetricKey, ObsLevel};
 pub use registry::MetricsRegistry;
 pub use report::{CriticalPathRow, ExitRow, PartRow, RunReport, SpeedupRow, REPORT_SCHEMA_VERSION};
 pub use span::{Span, SpanTracer, DEFAULT_SPAN_CAPACITY};
+pub use timeline::{Timeline, TimelineRow, DEFAULT_MAX_WINDOWS, DEFAULT_TIMELINE_CADENCE};
 
-use svt_sim::SimTime;
+use svt_sim::{CostPart, SimDuration, SimTime};
 
 /// The per-machine observability bundle: metrics, spans and the causal
 /// event graph, carried by the simulated machine and threaded through
@@ -59,6 +63,12 @@ pub struct Obs {
     pub spans: SpanTracer,
     /// Causal event graph (critical paths, watchdogs, flow arrows).
     pub causal: CausalGraph,
+    /// Windowed time-series sampler (counter/part deltas per sim-time
+    /// window).
+    pub timeline: Timeline,
+    /// Crash-dump flight recorder (per-vCPU causal tails + protocol
+    /// state).
+    pub flight: FlightRecorder,
 }
 
 impl Obs {
@@ -99,6 +109,71 @@ impl Obs {
     pub fn finish_causal(&mut self, now: SimTime) {
         self.causal.finish(now);
         self.harvest_watchdogs();
+    }
+
+    /// Whether any consumer of reflector-pushed protocol state (timeline
+    /// sampler or flight recorder) is live. The reflector checks this
+    /// before computing ring occupancy, so disabled runs pay two flag
+    /// loads and nothing else.
+    #[inline]
+    pub fn protocol_enabled(&self) -> bool {
+        self.timeline.is_enabled() || self.flight.is_enabled()
+    }
+
+    /// Fans the latest SW-SVt protocol state for a lane out to the
+    /// timeline sampler and the flight recorder.
+    pub fn note_protocol(
+        &mut self,
+        vcpu: u32,
+        ring_depth: u32,
+        blocked: bool,
+        health: &'static str,
+    ) {
+        self.timeline
+            .note_protocol(vcpu, ring_depth, blocked, health);
+        self.flight.note_protocol(vcpu, ring_depth, blocked, health);
+    }
+
+    /// Drives the timeline sampler with the machine-wide per-part
+    /// attribution totals at `now`. The machine calls this only when
+    /// [`Timeline::due`] already fired.
+    pub fn sample_timeline(&mut self, now: SimTime, parts: &[SimDuration; CostPart::COUNT]) {
+        let Obs {
+            timeline, metrics, ..
+        } = self;
+        timeline.sample(now, parts, metrics);
+    }
+
+    /// Flushes the timeline's final partial window at end of run.
+    pub fn flush_timeline(&mut self, now: SimTime, parts: &[SimDuration; CostPart::COUNT]) {
+        let Obs {
+            timeline, metrics, ..
+        } = self;
+        timeline.flush(now, parts, metrics);
+    }
+
+    /// Polls the flight recorder against the causal graph's watchdog
+    /// verdicts; a fresh violation produces a crash dump.
+    pub fn watch_flight(&mut self, now: SimTime) -> bool {
+        let Obs {
+            flight,
+            causal,
+            metrics,
+            ..
+        } = self;
+        flight.watch(now, causal, metrics)
+    }
+
+    /// Trips the flight recorder unconditionally (forced fallback,
+    /// `--dump-on-exit`).
+    pub fn flight_trip(&mut self, reason: &str, now: SimTime) {
+        let Obs {
+            flight,
+            causal,
+            metrics,
+            ..
+        } = self;
+        flight.trip(reason, now, causal, metrics);
     }
 
     /// Copies causal watchdog violation counts into the metrics registry

@@ -61,3 +61,40 @@ fn disabled_span_and_causal_recording_is_an_early_return() {
          something heavier than an early return is on the disabled path"
     );
 }
+
+#[test]
+fn disabled_timeline_and_flight_gates_are_an_early_return() {
+    let obs = Obs::new();
+    assert!(!obs.timeline.is_enabled());
+    assert!(!obs.flight.is_enabled());
+
+    // The three gates the machine and reflector hit on every slice/trap
+    // of an un-sampled run: the sampler's cadence check, the combined
+    // protocol-telemetry gate, and the recorder's arm check.
+    for i in 0..10_000u64 {
+        black_box(obs.timeline.due(SimTime::from_ns(i)));
+    }
+
+    let start = Instant::now();
+    for i in 0..ITERS {
+        let t = SimTime::from_ns(black_box(i));
+        black_box(obs.timeline.due(t));
+        black_box(obs.protocol_enabled());
+        black_box(obs.flight.is_enabled());
+    }
+    let elapsed = start.elapsed();
+
+    // Nothing may have been sampled or tripped...
+    assert!(obs.timeline.is_empty());
+    assert_eq!(obs.timeline.dropped_windows(), 0);
+    assert!(obs.flight.last_dump().is_none());
+
+    // ...and the gates must have stayed branch-cheap.
+    let ns_per_op = elapsed.as_nanos() as f64 / (ITERS * 3) as f64;
+    assert!(
+        ns_per_op < MAX_DISABLED_NS_PER_OP,
+        "disabled timeline/flight gates cost {ns_per_op:.1} ns/op (bound \
+         {MAX_DISABLED_NS_PER_OP} ns) — something heavier than an early return guards the \
+         telemetry hot path"
+    );
+}

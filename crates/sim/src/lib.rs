@@ -49,6 +49,6 @@ pub use faults::{FaultKind, FaultPlan};
 pub use hash::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use rng::DetRng;
 pub use sched::{assign_svt_cores, pick_min_local_time, SchedError, VcpuScheduler, VcpuStatus};
-pub use sweep::{host_parallelism, resolve_jobs, sweep};
+pub use sweep::{host_parallelism, resolve_jobs, resolve_jobs_for, sweep};
 pub use time::{SimDuration, SimTime};
 pub use topology::{CpuLoc, MachineSpec, Placement, VmSpec};

@@ -66,6 +66,26 @@ pub fn resolve_jobs(explicit: Option<usize>) -> usize {
     host_parallelism()
 }
 
+/// [`resolve_jobs`] clamped to the grid's cell count: a sweep can never
+/// use more workers than it has cells, so benches measuring a narrow grid
+/// (e.g. the 3-cell smp series) report the parallelism they actually got
+/// instead of an oversubscribed worker count that dilutes wall-clock
+/// "speedups" below 1.0. The result is always at least 1, even for an
+/// empty grid.
+///
+/// # Examples
+///
+/// ```
+/// use svt_sim::resolve_jobs_for;
+///
+/// assert_eq!(resolve_jobs_for(Some(8), 3), 3);
+/// assert_eq!(resolve_jobs_for(Some(2), 5), 2);
+/// assert_eq!(resolve_jobs_for(Some(4), 0), 1);
+/// ```
+pub fn resolve_jobs_for(explicit: Option<usize>, cells: usize) -> usize {
+    resolve_jobs(explicit).min(cells.max(1))
+}
+
 /// Runs `f(0..n)` across at most `jobs` worker threads and returns the
 /// results **in index order**, regardless of which worker finished first.
 ///
@@ -192,5 +212,16 @@ mod tests {
     #[test]
     fn host_parallelism_is_positive() {
         assert!(host_parallelism() >= 1);
+    }
+
+    #[test]
+    fn resolve_jobs_for_clamps_to_cell_count() {
+        assert_eq!(resolve_jobs_for(Some(64), 3), 3);
+        assert_eq!(resolve_jobs_for(Some(2), 64), 2);
+        // An empty or single-cell grid still gets one worker.
+        assert_eq!(resolve_jobs_for(Some(8), 0), 1);
+        assert_eq!(resolve_jobs_for(Some(8), 1), 1);
+        // The default sources are clamped too.
+        assert!(resolve_jobs_for(None, 2) <= 2);
     }
 }

@@ -46,6 +46,7 @@ mod loadgen;
 mod server;
 mod smp;
 mod stream;
+mod telemetry;
 mod tpcc;
 mod video;
 
@@ -85,5 +86,6 @@ pub use smp::{
     tpcc_smp_profiled_seeded, tpcc_smp_seeded, CausalProfile, SmpPoint,
 };
 pub use stream::StreamSender;
+pub use telemetry::{memcached_telemetry, TelemetryOpts, TelemetryPoint};
 pub use tpcc::{TpccDb, TpccService, TpccSource, TxType};
 pub use video::{VideoConfig, VideoPlayer};

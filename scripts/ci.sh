@@ -195,4 +195,59 @@ if sw[0]["total_injected"] == 0:
 sys.exit(0 if ok else 1)
 PY
 
+echo "==> flight-recorder smoke: forced fallback produces a parseable crash dump"
+cargo run -q -p svt-bench --bin faults -- --smoke --dump /tmp/flight.json >/dev/null
+python3 - <<'PY'
+import json, sys
+
+dump = json.load(open("/tmp/flight.json"))
+if dump.get("kind") != "svt-flight-dump":
+    sys.exit(f"FAIL: dump kind {dump.get('kind')!r} != 'svt-flight-dump'")
+# The smoke campaign's armed SW-SVt cell (rate 0.05) forces FallenBack,
+# which must trip the recorder — not just --dump-on-exit.
+if dump.get("reason") != "forced_fallback":
+    sys.exit(f"FAIL: dump reason {dump.get('reason')!r} != 'forced_fallback'")
+k = dump.get("k", 0)
+vcpus = dump.get("vcpus", [])
+if not vcpus:
+    sys.exit("FAIL: dump has no per-vCPU state")
+ok = True
+for v in vcpus:
+    events = v.get("events", [])
+    if not 0 < len(events) <= k:
+        print(f"FAIL vcpu {v.get('vcpu')}: {len(events)} events outside (0, {k}]")
+        ok = False
+        continue
+    ats = [e["at_ps"] for e in events]
+    if ats != sorted(ats):
+        print(f"FAIL vcpu {v.get('vcpu')}: event tail not in causal time order")
+        ok = False
+        continue
+    print(f"ok   vcpu {v['vcpu']}: last {len(events)} events, health {v['health']}, "
+          f"ring depth {v['ring_depth']}")
+print(f"ok   flight dump: reason {dump['reason']}, trip #{dump['trip']}, "
+      f"{dump['causal']['recorded']} causal events recorded")
+sys.exit(0 if ok else 1)
+PY
+
+echo "==> timeline determinism: --jobs 4 export byte-identical to --jobs 1"
+cargo run -q -p svt-bench --bin timeline -- --smoke --jobs 1 --timeline /tmp/tl_j1.json >/dev/null
+cargo run -q -p svt-bench --bin timeline -- --smoke --jobs 4 --timeline /tmp/tl_j4.json >/dev/null
+if ! cmp -s /tmp/tl_j1.json /tmp/tl_j4.json; then
+    echo "FAIL: timeline export differs between --jobs 1 and --jobs 4"
+    diff /tmp/tl_j1.json /tmp/tl_j4.json | head -20
+    exit 1
+fi
+echo "ok   timeline --jobs 1 and --jobs 4 exports are byte-identical"
+
+echo "==> perfgate: fresh release run vs committed BENCH_*.json baselines"
+# The committed baselines are release-build, full-size runs, so the gate
+# re-measures under the same conditions. Noise bands (see svt_bench::gate):
+#   - wall-clock metrics (events/sec, ns/trap, sweep speedup) may regress
+#     up to 1.8x before failing — shared CI hosts are noisy, but the
+#     canonical 2x hot-loop regression always trips;
+#   - simulated fig6 speedups must reproduce within 1e-9 (determinism:
+#     drift is a behavior change, and needs a BENCH_fig6.json update).
+cargo run -q --release -p svt-bench --bin perfgate -- --json /tmp/perfgate.json
+
 echo "CI green."
