@@ -67,7 +67,7 @@ impl DeliveryMode {
 /// # Examples
 ///
 /// ```
-/// use svt_vmx::{DeliveryMode, IcrCommand, VECTOR_IPI};
+/// use svt_arch::{DeliveryMode, IcrCommand, VECTOR_IPI};
 ///
 /// let cmd = IcrCommand::fixed(VECTOR_IPI, 3);
 /// let decoded = IcrCommand::decode(cmd.encode()).unwrap();
@@ -123,7 +123,7 @@ impl IcrCommand {
 /// # Examples
 ///
 /// ```
-/// use svt_vmx::LocalApic;
+/// use svt_arch::LocalApic;
 ///
 /// let mut apic = LocalApic::new();
 /// assert!(apic.inject(0x50)); // newly pending

@@ -26,12 +26,12 @@ mod bits {
 /// # Examples
 ///
 /// ```
-/// use svt_vmx::ExecPolicy;
+/// use svt_arch::ExecPolicy;
 ///
 /// let mut p = ExecPolicy::kvm_default();
-/// assert!(p.msr_exits(svt_vmx::MSR_TSC_DEADLINE));
-/// p.pass_through_msr(svt_vmx::MSR_TSC_DEADLINE);
-/// assert!(!p.msr_exits(svt_vmx::MSR_TSC_DEADLINE));
+/// assert!(p.msr_exits(svt_arch::MSR_TSC_DEADLINE));
+/// p.pass_through_msr(svt_arch::MSR_TSC_DEADLINE);
+/// assert!(!p.msr_exits(svt_arch::MSR_TSC_DEADLINE));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecPolicy {

@@ -101,7 +101,7 @@ enum Entry {
 /// # Examples
 ///
 /// ```
-/// use svt_vmx::{Access, Ept, EptPerms};
+/// use svt_arch::{Access, Ept, EptPerms};
 /// use svt_mem::{Gpa, PAGE_SIZE};
 ///
 /// let mut ept = Ept::new();

@@ -97,6 +97,17 @@ pub enum ExitReason {
     /// SW-SVt synthetic trap: L0 asks L1's main vCPU to service pending
     /// interrupts while its SVt-thread holds a command (paper § 5.3).
     SvtBlocked,
+    /// RISC-V virtual-instruction trap (`scause` 22): the guest executed
+    /// an instruction the H-extension forwards to its hypervisor for
+    /// emulation — the backend's analogue of an unconditionally-exiting
+    /// `cpuid`.
+    VirtInstr,
+    /// RISC-V SBI call (`ecall` from VS-mode, `scause` 10): the
+    /// H-extension's hypercall, analogue of `vmcall`.
+    SbiCall {
+        /// SBI function number (from `a7`/`a6`).
+        nr: u64,
+    },
 }
 
 impl ExitReason {
@@ -124,6 +135,8 @@ impl ExitReason {
             ExitReason::PreemptionTimer => "PREEMPTION_TIMER",
             ExitReason::SvtFault => "SVT_FAULT",
             ExitReason::SvtBlocked => "SVT_BLOCKED",
+            ExitReason::VirtInstr => "VIRT_INSTR",
+            ExitReason::SbiCall { .. } => "SBI_CALL",
         }
     }
 
@@ -151,6 +164,8 @@ impl ExitReason {
             ExitReason::PreemptionTimer => (52, 0),
             ExitReason::SvtFault => (60, 0),
             ExitReason::SvtBlocked => (61, 0),
+            ExitReason::VirtInstr => (62, 0),
+            ExitReason::SbiCall { nr } => (63, nr),
         }
     }
 
@@ -188,6 +203,8 @@ impl ExitReason {
             52 => ExitReason::PreemptionTimer,
             60 => ExitReason::SvtFault,
             61 => ExitReason::SvtBlocked,
+            62 => ExitReason::VirtInstr,
+            63 => ExitReason::SbiCall { nr: qual },
             _ => return None,
         })
     }
@@ -245,6 +262,8 @@ mod tests {
             ExitReason::PreemptionTimer,
             ExitReason::SvtFault,
             ExitReason::SvtBlocked,
+            ExitReason::VirtInstr,
+            ExitReason::SbiCall { nr: 0x10 },
         ]
     }
 

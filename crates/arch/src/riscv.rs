@@ -1,0 +1,288 @@
+//! RISC-V H-extension backend.
+//!
+//! Maps the ISA-neutral layer onto the hypervisor extension described in
+//! the RISC-V privileged specification and modeled on the CVA6
+//! implementation ("CVA6 RISC-V Virtualization", PAPERS.md):
+//!
+//! * the **hs/vs CSR file** plays the VMCS role — [`crate::Vmcs`] holds
+//!   the same neutral fields, but on this backend there is *no* VMCS
+//!   shadowing hardware (CVA6 has no shadow-CSR analogue), so every
+//!   guest-hypervisor access to a vs-CSR of its nested guest traps to L0
+//!   ([`super::ArchId::default_shadowing`] is `false`);
+//! * **`hgatp`/`vsatp` two-stage translation** plays the EPT role:
+//!   [`crate::Ept`] models the G-stage table, guest-page faults
+//!   (`scause` 20/21/23) are the [`crate::ExitReason::EptViolation`]
+//!   analogue and MMIO regions trap like misconfigured G-stage entries;
+//! * **SBI calls** (`ecall` from VS-mode, `scause` 10) and
+//!   **virtual-instruction traps** (`scause` 22) are the hypercall and
+//!   forced-emulation exits ([`crate::ExitReason::SbiCall`],
+//!   [`crate::ExitReason::VirtInstr`]);
+//! * the **IMSIC interrupt file** plays the x2APIC role: the neutral
+//!   ICR/EOI register indices map onto `seteipnum`/`vstopei` and
+//!   `vstimecmp` (see [`crate::MSR_X2APIC_ICR`] and friends).
+//!
+//! Exit reasons encode into `(scause, stval)`-shaped pairs where a real
+//! cause code exists; traps that only exist in this simulation (the
+//! SRET-mediated nested entry/exit protocol, SVt synthetics) use
+//! synthetic codes ≥ 24, above the architected exception range.
+
+use svt_mem::Gpa;
+
+use crate::exit::ExitReason;
+use crate::fields::VmcsField;
+
+/// Interrupt bit of `scause`: set for interrupt causes, clear for
+/// exceptions (bit 63 on RV64).
+pub const SCAUSE_INTERRUPT: u64 = 1 << 63;
+
+/// `scause` for a supervisor external interrupt (code 9), the cause the
+/// IMSIC raises when a guest interrupt file delivers.
+pub const SCAUSE_EXTERNAL: u64 = SCAUSE_INTERRUPT | 9;
+
+/// `scause` for an environment call from VS-mode (SBI call), code 10.
+pub const SCAUSE_SBI_CALL: u64 = 10;
+
+/// `scause` for a load guest-page fault, code 21.
+pub const SCAUSE_LOAD_GPF: u64 = 21;
+
+/// `scause` for a virtual-instruction trap, code 22.
+pub const SCAUSE_VIRT_INSTR: u64 = 22;
+
+/// `scause` for a store/AMO guest-page fault, code 23.
+pub const SCAUSE_STORE_GPF: u64 = 23;
+
+/// First synthetic cause code: simulation-only traps (nested-entry
+/// protocol, port I/O, SVt synthetics) encode above the architected
+/// exception range.
+pub const SCAUSE_SYNTHETIC_BASE: u64 = 24;
+
+/// Short stable tag for profiling on the RISC-V backend. Where a trap
+/// has an architected name (WFI, guest-page fault, SBI call) the tag
+/// uses it; SVt synthetics keep their ISA-neutral names so SVt metrics
+/// compare across backends.
+pub fn tag(reason: ExitReason) -> &'static str {
+    match reason {
+        ExitReason::ExternalInterrupt { .. } => "EXTERNAL_INTERRUPT",
+        // `cpuid` has no RISC-V equivalent; if a neutral Cpuid reason
+        // ever reaches this backend it reports as the virtual-instruction
+        // trap that would have carried it.
+        ExitReason::Cpuid | ExitReason::VirtInstr => "VIRT_INSTR",
+        ExitReason::Hlt => "WFI",
+        ExitReason::Vmcall { .. } | ExitReason::SbiCall { .. } => "SBI_CALL",
+        ExitReason::IoInstruction { .. } => "IO_INSTRUCTION",
+        ExitReason::EptViolation { .. } => "GUEST_PAGE_FAULT",
+        ExitReason::EptMisconfig { .. } => "GPF_MMIO",
+        ExitReason::MsrRead { .. } => "CSR_READ",
+        ExitReason::MsrWrite { .. } => "CSR_WRITE",
+        ExitReason::Vmptrld { .. } => "HCTX_LOAD",
+        ExitReason::Vmclear { .. } => "HCTX_CLEAR",
+        ExitReason::Vmlaunch => "SRET_ENTER",
+        ExitReason::Vmresume => "SRET_RESUME",
+        ExitReason::Vmread { .. } => "VS_CSR_READ",
+        ExitReason::Vmwrite { .. } => "VS_CSR_WRITE",
+        ExitReason::Invept => "HFENCE_GVMA",
+        ExitReason::InterruptWindow => "INTERRUPT_WINDOW",
+        ExitReason::PreemptionTimer => "STIMER",
+        ExitReason::SvtFault => "SVT_FAULT",
+        ExitReason::SvtBlocked => "SVT_BLOCKED",
+    }
+}
+
+/// Encodes into an `(scause, stval)`-shaped pair for the exit-information
+/// fields. Injective over all reasons: [`decode`] round-trips exactly.
+pub fn encode(reason: ExitReason) -> (u64, u64) {
+    match reason {
+        ExitReason::ExternalInterrupt { vector } => (SCAUSE_EXTERNAL, vector as u64),
+        ExitReason::VirtInstr => (SCAUSE_VIRT_INSTR, 0),
+        // WFI traps as a virtual instruction; stval 1 distinguishes it
+        // from the generic forced-emulation trap.
+        ExitReason::Hlt => (SCAUSE_VIRT_INSTR, 1),
+        ExitReason::Cpuid => (SCAUSE_VIRT_INSTR, 2),
+        ExitReason::SbiCall { nr } => (SCAUSE_SBI_CALL, nr),
+        ExitReason::EptViolation { gpa, write } => {
+            if write {
+                (SCAUSE_STORE_GPF, gpa.0)
+            } else {
+                (SCAUSE_LOAD_GPF, gpa.0)
+            }
+        }
+        // Synthetic codes: traps with no architected scause.
+        ExitReason::Vmcall { nr } => (24, nr),
+        ExitReason::EptMisconfig { gpa } => (25, gpa.0),
+        ExitReason::MsrRead { msr } => (26, msr as u64),
+        ExitReason::MsrWrite { msr } => (27, msr as u64),
+        ExitReason::IoInstruction { port, write } => (28, (port as u64) << 1 | write as u64),
+        ExitReason::Vmptrld { region } => (29, region.0),
+        ExitReason::Vmclear { region } => (30, region.0),
+        ExitReason::Vmlaunch => (31, 0),
+        ExitReason::Vmresume => (32, 0),
+        ExitReason::Vmread { field } => (33, field.index() as u64),
+        ExitReason::Vmwrite { field } => (34, field.index() as u64),
+        ExitReason::Invept => (35, 0),
+        ExitReason::InterruptWindow => (36, 0),
+        ExitReason::PreemptionTimer => (37, 0),
+        ExitReason::SvtFault => (60, 0),
+        ExitReason::SvtBlocked => (61, 0),
+    }
+}
+
+/// Decodes from an `(scause, stval)` pair. Returns `None` for unknown
+/// cause codes.
+pub fn decode(code: u64, qual: u64) -> Option<ExitReason> {
+    Some(match code {
+        SCAUSE_EXTERNAL => ExitReason::ExternalInterrupt { vector: qual as u8 },
+        SCAUSE_VIRT_INSTR => match qual {
+            0 => ExitReason::VirtInstr,
+            1 => ExitReason::Hlt,
+            2 => ExitReason::Cpuid,
+            _ => return None,
+        },
+        SCAUSE_SBI_CALL => ExitReason::SbiCall { nr: qual },
+        SCAUSE_LOAD_GPF => ExitReason::EptViolation {
+            gpa: Gpa(qual),
+            write: false,
+        },
+        SCAUSE_STORE_GPF => ExitReason::EptViolation {
+            gpa: Gpa(qual),
+            write: true,
+        },
+        24 => ExitReason::Vmcall { nr: qual },
+        25 => ExitReason::EptMisconfig { gpa: Gpa(qual) },
+        26 => ExitReason::MsrRead { msr: qual as u32 },
+        27 => ExitReason::MsrWrite { msr: qual as u32 },
+        28 => ExitReason::IoInstruction {
+            port: (qual >> 1) as u16,
+            write: qual & 1 != 0,
+        },
+        29 => ExitReason::Vmptrld { region: Gpa(qual) },
+        30 => ExitReason::Vmclear { region: Gpa(qual) },
+        31 => ExitReason::Vmlaunch,
+        32 => ExitReason::Vmresume,
+        33 => ExitReason::Vmread {
+            field: *VmcsField::ALL.get(qual as usize)?,
+        },
+        34 => ExitReason::Vmwrite {
+            field: *VmcsField::ALL.get(qual as usize)?,
+        },
+        35 => ExitReason::Invept,
+        36 => ExitReason::InterruptWindow,
+        37 => ExitReason::PreemptionTimer,
+        60 => ExitReason::SvtFault,
+        61 => ExitReason::SvtBlocked,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<ExitReason> {
+        vec![
+            ExitReason::ExternalInterrupt { vector: 0xec },
+            ExitReason::Cpuid,
+            ExitReason::Hlt,
+            ExitReason::Vmcall { nr: 7 },
+            ExitReason::IoInstruction {
+                port: 0x3f8,
+                write: true,
+            },
+            ExitReason::EptViolation {
+                gpa: Gpa(0x1000),
+                write: true,
+            },
+            ExitReason::EptViolation {
+                gpa: Gpa(0x1000),
+                write: false,
+            },
+            ExitReason::EptMisconfig {
+                gpa: Gpa(0xfee0_0000),
+            },
+            ExitReason::MsrRead { msr: 0x6e0 },
+            ExitReason::MsrWrite { msr: 0x6e0 },
+            ExitReason::Vmptrld {
+                region: Gpa(0x8000),
+            },
+            ExitReason::Vmclear {
+                region: Gpa(0x8000),
+            },
+            ExitReason::Vmlaunch,
+            ExitReason::Vmresume,
+            ExitReason::Vmread {
+                field: VmcsField::GuestRip,
+            },
+            ExitReason::Vmwrite {
+                field: VmcsField::EptPointer,
+            },
+            ExitReason::Invept,
+            ExitReason::InterruptWindow,
+            ExitReason::PreemptionTimer,
+            ExitReason::SvtFault,
+            ExitReason::SvtBlocked,
+            ExitReason::VirtInstr,
+            ExitReason::SbiCall { nr: 0x10 },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for r in all_variants() {
+            let (code, qual) = encode(r);
+            assert_eq!(decode(code, qual), Some(r), "{r}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_injective() {
+        let mut pairs: Vec<(u64, u64)> = all_variants().iter().map(|&r| encode(r)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), all_variants().len());
+    }
+
+    #[test]
+    fn unknown_cause_decodes_to_none() {
+        assert_eq!(decode(9999, 0), None);
+        assert_eq!(decode(SCAUSE_VIRT_INSTR, 99), None);
+        assert_eq!(decode(33, 10_000), None);
+    }
+
+    #[test]
+    fn architected_causes_match_the_spec() {
+        assert_eq!(encode(ExitReason::SbiCall { nr: 1 }).0, 10);
+        assert_eq!(encode(ExitReason::VirtInstr).0, 22);
+        assert_eq!(
+            encode(ExitReason::EptViolation {
+                gpa: Gpa(0),
+                write: false
+            })
+            .0,
+            21
+        );
+        assert_eq!(
+            encode(ExitReason::EptViolation {
+                gpa: Gpa(0),
+                write: true
+            })
+            .0,
+            23
+        );
+        assert!(encode(ExitReason::ExternalInterrupt { vector: 0 }).0 & SCAUSE_INTERRUPT != 0);
+    }
+
+    #[test]
+    fn svt_tags_are_backend_neutral() {
+        // SVt metrics must compare across backends.
+        assert_eq!(tag(ExitReason::SvtFault), ExitReason::SvtFault.tag());
+        assert_eq!(tag(ExitReason::SvtBlocked), ExitReason::SvtBlocked.tag());
+        // WFI and guest-page faults take their architected names.
+        assert_eq!(tag(ExitReason::Hlt), "WFI");
+        assert_eq!(
+            tag(ExitReason::EptViolation {
+                gpa: Gpa(0),
+                write: false
+            }),
+            "GUEST_PAGE_FAULT"
+        );
+    }
+}

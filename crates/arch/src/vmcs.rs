@@ -33,7 +33,7 @@ pub enum VmcsRole {
 /// # Examples
 ///
 /// ```
-/// use svt_vmx::{Vmcs, VmcsField, VmcsRole};
+/// use svt_arch::{Vmcs, VmcsField, VmcsRole};
 /// use svt_mem::Gpa;
 ///
 /// let mut v = Vmcs::new(VmcsRole::Host { guest_level: 1 }, Gpa(0x1000));

@@ -22,6 +22,7 @@ fn cpuid_us(m: &mut Machine, iters: u64) -> f64 {
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help("svt-bench ablations [--json r.json]");
+    cli.require_arch_x86("ablations");
     print_header("Ablations");
     let mut sections: Vec<(String, Vec<(String, f64)>)> = Vec::new();
 

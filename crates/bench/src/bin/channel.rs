@@ -9,6 +9,7 @@ use svt_workloads::{channel_study, default_workloads, simulate_channel_round_ns,
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help("svt-bench channel [--json r.json]");
+    cli.require_arch_x86("channel");
     print_header("Section 6.1 - SW SVt communication-channel study");
     let cost = CostModel::default();
     let cells = channel_study(&cost, &default_workloads());

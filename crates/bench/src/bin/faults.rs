@@ -33,6 +33,7 @@ fn main() {
         "svt-bench faults [--smoke] [--json r.json] [--timeline t.json] [--dump d.json] \
          [--dump-on-exit] [--seed n] [--jobs n]",
     );
+    cli.require_arch_x86("faults");
     let smoke = cli.flag("--smoke");
     let seed = cli.seed_or(FAULTS_DEFAULT_SEED);
     let requests: u64 = if smoke { 60 } else { 150 };

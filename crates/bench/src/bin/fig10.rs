@@ -9,6 +9,7 @@ use svt_workloads::video_playback;
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help("svt-bench fig10 [--quick] [--json r.json] [--seed n]");
+    cli.require_arch_x86("fig10");
     let quick = cli.flag("--quick");
     let secs = if quick { 60 } else { 300 };
     print_header("Fig. 10 - dropped frames vs frame rate (5 min playback)");

@@ -7,6 +7,7 @@ use svt_sim::CostModel;
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help("svt-bench fig7 [scale] [--json r.json]");
+    cli.require_arch_x86("fig7");
     let scale = cli.positional_or(0, 1u64);
     print_header("Fig. 7 - speedup of SVt on various I/O subsystems");
     let rows = svt_workloads::fig7(scale);

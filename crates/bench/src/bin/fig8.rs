@@ -9,6 +9,7 @@ use svt_workloads::{default_rates, fig8_series_seeded, DEFAULT_LANE_SEED, SLA_NS
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help("svt-bench fig8 [--quick] [--json r.json] [--seed n]");
+    cli.require_arch_x86("fig8");
     let quick = cli.flag("--quick");
     let seed = cli.seed_or(DEFAULT_LANE_SEED);
     let requests = if quick { 400 } else { 2000 };

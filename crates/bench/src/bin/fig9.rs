@@ -8,6 +8,7 @@ use svt_sim::CostModel;
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help("svt-bench fig9 [--quick] [--json r.json] [--seed n]");
+    cli.require_arch_x86("fig9");
     let quick = cli.flag("--quick");
     let seed = cli.seed_or(svt_workloads::DEFAULT_LANE_SEED);
     let txns = if quick { 60 } else { 300 };

@@ -60,6 +60,7 @@ fn main() {
         "svt-bench perfgate [--smoke] [--band r] [--seed n] [--jobs n] [--json r.json] \
          [selfperf_baseline] [fig6_baseline]",
     );
+    cli.require_arch_x86("perfgate");
     let smoke = cli.flag("--smoke");
     let seed = cli.seed_or(DEFAULT_LANE_SEED);
     let mut bands = GateBands::default();

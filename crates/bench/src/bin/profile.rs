@@ -150,6 +150,7 @@ fn report_rows(report: &mut RunReport, workload: &str, run: &ConfigRun) {
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help("svt-bench profile [memcached|tpcc|all] [vcpus] [--smoke] [--jobs n]");
+    cli.require_arch_x86("profile");
     let smoke = cli.flag("--smoke");
     let workload = cli
         .positional

@@ -28,6 +28,7 @@ use svt_workloads::DEFAULT_LANE_SEED;
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help("svt-bench selfperf [--smoke] [--json r.json] [--seed n] [--jobs n]");
+    cli.require_arch_x86("selfperf");
     let smoke = cli.flag("--smoke");
     let seed = cli.seed_or(DEFAULT_LANE_SEED);
     let jobs_n = cli.jobs();

@@ -15,8 +15,9 @@
 //! end-of-run flight dump (a healthy sweep never trips the recorder on
 //! its own).
 
+use svt_arch::ArchId;
 use svt_bench::{
-    print_header, rule, smp_report, smp_series, BenchCli, SERVE_RATE_QPS, SMP_REQUESTS,
+    print_header, rule, smp_report_on, smp_series_on, BenchCli, SERVE_RATE_QPS, SMP_REQUESTS,
     SMP_VCPU_COUNTS,
 };
 use svt_core::SwitchMode;
@@ -27,11 +28,18 @@ fn main() {
     let cli = BenchCli::parse();
     cli.handle_help(
         "svt-bench smp [--json r.json] [--timeline t.json] [--dump d.json] [--dump-on-exit] \
-         [--seed n] [--jobs n]",
+         [--seed n] [--jobs n] [--arch x86|riscv]",
     );
+    let arch = cli.arch();
     let seed = cli.seed_or(DEFAULT_LANE_SEED);
-    print_header("SMP scaling - sharded memcached, per-vCPU open-loop load");
-    let series = smp_series(
+    match arch {
+        ArchId::X86 => print_header("SMP scaling - sharded memcached, per-vCPU open-loop load"),
+        ArchId::Riscv => {
+            print_header("SMP scaling (riscv) - sharded memcached on the H-extension backend")
+        }
+    }
+    let series = smp_series_on(
+        arch,
         &SMP_VCPU_COUNTS,
         SERVE_RATE_QPS,
         SMP_REQUESTS,
@@ -56,7 +64,10 @@ fn main() {
         }
         rule();
     }
-    if cli.timeline.is_some() || cli.dump.is_some() || cli.dump_on_exit() {
+    if arch != ArchId::X86 && (cli.timeline.is_some() || cli.dump.is_some() || cli.dump_on_exit()) {
+        println!("(telemetry flags are x86-only; dropping --timeline/--dump for this run)");
+    }
+    if arch == ArchId::X86 && (cli.timeline.is_some() || cli.dump.is_some() || cli.dump_on_exit()) {
         let n_vcpus = *SMP_VCPU_COUNTS.last().unwrap();
         let opts = TelemetryOpts {
             dump_on_exit: cli.dump_on_exit(),
@@ -82,5 +93,5 @@ fn main() {
             cli.emit_json("flight dump", path, &dump);
         }
     }
-    cli.emit_report(&smp_report(&series, seed));
+    cli.emit_report(&smp_report_on(arch, &series, seed));
 }

@@ -11,6 +11,7 @@ use svt_sim::CostModel;
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help("svt-bench summary [--json r.json] [--seed n]");
+    cli.require_arch_x86("summary");
     let seed = cli.seed_or(svt_workloads::DEFAULT_LANE_SEED);
     print_header("SVt reproduction - headline summary (quick settings)");
     let mut report = RunReport::new("summary", "Headline summary (quick settings)");

@@ -7,6 +7,7 @@ use svt_sim::CostModel;
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help("svt-bench table1 [--json r.json]");
+    cli.require_arch_x86("table1");
     print_header("Table 1 - cpuid breakdown in a nested VM (baseline)");
     let rows = svt_workloads::table1(200);
     println!(

@@ -30,6 +30,7 @@ fn count_rust_loc(dir: &str) -> usize {
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help("svt-bench table3 [--json r.json]");
+    cli.require_arch_x86("table3");
     print_header("Table 3 analogue - lines of code of this reproduction");
     println!("Paper's prototype patch: QEMU +654, Linux/KVM +2432, Linux/other +227");
     rule();
@@ -37,7 +38,8 @@ fn main() {
         ("svt-core (the SVt contribution)", "crates/core"),
         ("svt-hv (KVM-like substrate)", "crates/hv"),
         ("svt-cpu (SMT core model)", "crates/cpu"),
-        ("svt-vmx (VT-x model)", "crates/vmx"),
+        ("svt-arch (ISA-neutral arch layer)", "crates/arch"),
+        ("svt-vmx (VT-x backend facade)", "crates/vmx"),
         ("svt-virtio", "crates/virtio"),
         ("svt-mem", "crates/mem"),
         ("svt-sim", "crates/sim"),

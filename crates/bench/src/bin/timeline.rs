@@ -27,6 +27,7 @@ fn main() {
         "svt-bench timeline [cadence_us] [--smoke] [--json r.json] [--timeline t.json] \
          [--dump d.json] [--dump-on-exit] [--seed n] [--jobs n]",
     );
+    cli.require_arch_x86("timeline");
     let smoke = cli.flag("--smoke");
     let seed = cli.seed_or(DEFAULT_LANE_SEED);
     let cadence = SimDuration::from_us(cli.positional_or(0, 10u64));

@@ -14,6 +14,9 @@
 //!   sweep engine, falling back to the `SVT_JOBS` environment variable
 //!   and then the host's available parallelism. Results are merged in
 //!   grid order, so any `--jobs` value produces identical output;
+//! * `--arch <x86|riscv>` (or `--arch=<a>`) — the ISA backend the
+//!   machines run on, defaulting to `x86` so committed baselines stay
+//!   valid; binaries without a riscv path say so and exit cleanly;
 //! * `--timeline <path>` / `--dump <path>` / `--dump-on-exit` — windowed
 //!   time-series export and flight-recorder crash dumps, on binaries
 //!   that sample them;
@@ -50,6 +53,9 @@ pub struct BenchCli {
     pub seed: Option<u64>,
     /// Explicit sweep worker count (`--jobs`), if given.
     pub jobs: Option<usize>,
+    /// ISA backend spelling (`--arch`), if given; resolved by
+    /// [`BenchCli::arch`].
+    pub arch: Option<String>,
     /// Positional (non-flag) arguments in order.
     pub positional: Vec<String>,
     /// Bare `--flag` arguments (everything else starting with `--`).
@@ -96,6 +102,10 @@ impl BenchCli {
                 cli.jobs = it.next().and_then(|s| s.parse().ok());
             } else if let Some(p) = a.strip_prefix("--jobs=") {
                 cli.jobs = p.parse().ok();
+            } else if a == "--arch" {
+                cli.arch = it.next();
+            } else if let Some(p) = a.strip_prefix("--arch=") {
+                cli.arch = Some(p.to_string());
             } else if a.starts_with("--") {
                 cli.flags.push(a);
             } else {
@@ -137,6 +147,40 @@ impl BenchCli {
         self.flag("--dump-on-exit")
     }
 
+    /// The ISA backend requested with `--arch`, defaulting to
+    /// [`svt_arch::ArchId::X86`] so that committed baseline reports stay
+    /// valid. An unrecognized spelling is reported on stderr and exits
+    /// the process with a nonzero status.
+    pub fn arch(&self) -> svt_arch::ArchId {
+        let Some(spelling) = &self.arch else {
+            return svt_arch::ArchId::default();
+        };
+        match svt_arch::ArchId::parse(spelling) {
+            Some(arch) => arch,
+            None => {
+                eprintln!(
+                    "error: unknown --arch {spelling:?}; known backends: {}",
+                    svt_arch::ArchId::ALL.map(|a| a.label()).join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// For binaries whose figure only exists on the x86 backend: when a
+    /// non-x86 `--arch` was requested, says so and exits successfully
+    /// (the request is understood, the figure just has no analogue
+    /// there). Call right after [`BenchCli::handle_help`].
+    pub fn require_arch_x86(&self, bin: &str) {
+        let arch = self.arch();
+        if arch != svt_arch::ArchId::X86 {
+            println!(
+                "{bin}: the {arch} backend has no {bin} figure; x86 only (see fig6 --arch riscv)"
+            );
+            std::process::exit(0);
+        }
+    }
+
     /// When `--help` was given, prints `usage` followed by the standard
     /// flag reference shared by every bench binary, then exits. Call
     /// right after [`BenchCli::parse`].
@@ -154,6 +198,8 @@ impl BenchCli {
         println!("                  available parallelism, clamped to the grid size);");
         println!("                  output is byte-identical for any value — results");
         println!("                  merge in grid order");
+        println!("  --arch <a>      ISA backend: x86 (default) or riscv; binaries whose");
+        println!("                  figure is x86-only say so and exit cleanly");
         println!("  --timeline <path>  write the windowed time-series export, if sampled");
         println!("  --dump <path>   write flight-recorder crash dumps, if recorded");
         println!("  --dump-on-exit  trip the flight recorder at end of run regardless");
@@ -350,6 +396,15 @@ mod tests {
         assert!(args(&[]).jobs() >= 1);
         // Zero is not a valid worker count; the resolver falls through.
         assert!(args(&["--jobs=0"]).jobs() >= 1);
+    }
+
+    #[test]
+    fn parses_arch_in_both_forms() {
+        assert_eq!(args(&["--arch", "riscv"]).arch(), svt_arch::ArchId::Riscv);
+        assert_eq!(args(&["--arch=rv64"]).arch(), svt_arch::ArchId::Riscv);
+        assert_eq!(args(&["--arch=x86"]).arch(), svt_arch::ArchId::X86);
+        // No flag: the default backend keeps committed baselines valid.
+        assert_eq!(args(&[]).arch(), svt_arch::ArchId::X86);
     }
 
     #[test]

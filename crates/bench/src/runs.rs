@@ -11,13 +11,15 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use svt_arch::ArchId;
 use svt_core::SwitchMode;
 use svt_hv::Level;
 use svt_obs::{ExitRow, Json, PartRow, RunReport, SpeedupRow};
 use svt_sim::{CostModel, FaultPlan, SimDuration};
 use svt_workloads::{
-    cpuid_counted, memcached_chaos, memcached_smp_counted_seeded, memcached_smp_seeded,
-    memcached_telemetry, ChaosPoint, Fig6Grid, SmpPoint, TelemetryOpts, TelemetryPoint,
+    cpuid_counted, fig6_bars_on, memcached_chaos, memcached_smp_counted_seeded,
+    memcached_smp_seeded_on, memcached_telemetry, ChaosPoint, Fig6Bar, Fig6Grid, SmpPoint,
+    TelemetryOpts, TelemetryPoint,
 };
 
 use crate::{cost_model_json, machine_json};
@@ -95,6 +97,113 @@ pub fn fig6_report(grid: &Fig6Grid, seed: u64) -> RunReport {
     report
 }
 
+/// vCPUs of the riscv report's memcached cells (CVA6 is a small in-order
+/// core; a modest guest keeps the smoke quick).
+pub const RISCV_SMP_VCPUS: usize = 2;
+
+/// The bars and memcached points of the riscv backend report, computed
+/// as one parallel sweep each and merged in grid order — byte-identical
+/// output at any `jobs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiscvGrid {
+    /// The five Fig. 6-style bars on the H-extension backend.
+    pub bars: Vec<Fig6Bar>,
+    /// One memcached point per engine, in [`SwitchMode::ALL`] order.
+    pub memcached: Vec<(SwitchMode, SmpPoint)>,
+}
+
+/// Runs the riscv backend's fig6-style grid: the cpuid-analogue
+/// (virtual-instruction trap) micro-benchmark bars plus memcached
+/// through every engine, all on [`ArchId::Riscv`] with the
+/// CVA6-calibrated cost model.
+pub fn riscv_grid(iters: u64, requests: u64, seed: u64, jobs: usize) -> RiscvGrid {
+    let bars = fig6_bars_on(ArchId::Riscv, iters, jobs);
+    let memcached = svt_sim::sweep(SwitchMode::ALL.len(), jobs, |i| {
+        let mode = SwitchMode::ALL[i];
+        let p = memcached_smp_seeded_on(
+            mode,
+            ArchId::Riscv,
+            RISCV_SMP_VCPUS,
+            SERVE_RATE_QPS,
+            requests,
+            seed,
+        );
+        (mode, p)
+    });
+    RiscvGrid { bars, memcached }
+}
+
+/// Builds the riscv backend run report: Fig. 6-style speedup bars (the
+/// paper's figure has no riscv column, so no `paper_us` reference) plus
+/// the per-engine memcached throughputs, with the CVA6 cost model
+/// embedded where the x86 reports embed the calibrated VT-x model.
+pub fn riscv_report(grid: &RiscvGrid, seed: u64) -> RunReport {
+    let mut report = RunReport::new(
+        "fig6-riscv",
+        "Trap-and-emulate latency and memcached on the RISC-V H-extension backend",
+    );
+    report.machine = Some(machine_json());
+    report.cost_model = Some(cost_model_json(&CostModel::cva6()));
+    report
+        .results
+        .push(("arch".to_string(), Json::from(ArchId::Riscv.label())));
+    report.results.push(("seed".to_string(), Json::from(seed)));
+    for b in &grid.bars {
+        if b.speedup > 1.0 {
+            report.speedups.push(SpeedupRow {
+                name: match b.label {
+                    "SW SVt" => "sw_svt".to_string(),
+                    "HW SVt" => "hw_svt".to_string(),
+                    other => other.to_string(),
+                },
+                speedup: b.speedup,
+            });
+        }
+    }
+    report.results.push((
+        "bars".to_string(),
+        Json::Arr(
+            grid.bars
+                .iter()
+                .map(|b| {
+                    Json::obj([
+                        ("label", Json::from(b.label)),
+                        ("time_us", Json::Num(b.time_us)),
+                        ("speedup", Json::Num(b.speedup)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    let baseline = grid.memcached[0].1.throughput;
+    for (mode, p) in &grid.memcached {
+        if *mode != SwitchMode::Baseline {
+            report.speedups.push(SpeedupRow {
+                name: match mode.label() {
+                    "SW SVt" => "sw_svt_memcached".to_string(),
+                    "HW SVt" => "hw_svt_memcached".to_string(),
+                    other => other.to_string(),
+                },
+                speedup: p.throughput / baseline,
+            });
+        }
+        report.results.push((
+            format!(
+                "memcached_{}",
+                mode.label().replace(' ', "_").to_lowercase()
+            ),
+            Json::obj([
+                ("n_vcpus", Json::Num(p.n_vcpus as f64)),
+                ("completed", Json::Num(p.completed as f64)),
+                ("throughput_rps", Json::Num(p.throughput)),
+                ("avg_ns", Json::Num(p.avg_ns)),
+                ("p99_ns", Json::Num(p.p99_ns)),
+            ]),
+        ));
+    }
+    report
+}
+
 /// Runs the SMP scaling sweep — every [`SwitchMode`] at every vCPU count
 /// — as one `modes × counts` grid across `jobs` workers, returning one
 /// point series per mode in mode order.
@@ -105,11 +214,23 @@ pub fn smp_series(
     seed: u64,
     jobs: usize,
 ) -> Vec<(SwitchMode, Vec<SmpPoint>)> {
+    smp_series_on(ArchId::X86, vcpu_counts, rate_qps, requests, seed, jobs)
+}
+
+/// [`smp_series`] on an explicit ISA backend.
+pub fn smp_series_on(
+    arch: ArchId,
+    vcpu_counts: &[usize],
+    rate_qps: f64,
+    requests: u64,
+    seed: u64,
+    jobs: usize,
+) -> Vec<(SwitchMode, Vec<SmpPoint>)> {
     let modes = SwitchMode::ALL;
     let points = svt_sim::sweep(modes.len() * vcpu_counts.len(), jobs, |i| {
         let mode = modes[i / vcpu_counts.len()];
         let n = vcpu_counts[i % vcpu_counts.len()];
-        memcached_smp_seeded(mode, n, rate_qps, requests, seed)
+        memcached_smp_seeded_on(mode, arch, n, rate_qps, requests, seed)
     });
     modes
         .iter()
@@ -121,9 +242,21 @@ pub fn smp_series(
 /// Builds the SMP scaling run report from a merged series (the first
 /// series must be the baseline, as [`smp_series`] returns it).
 pub fn smp_report(series: &[(SwitchMode, Vec<SmpPoint>)], seed: u64) -> RunReport {
+    smp_report_on(ArchId::X86, series, seed)
+}
+
+/// [`smp_report`] on an explicit ISA backend: the embedded cost model is
+/// the backend's, and non-x86 reports record the backend under `arch`
+/// (the x86 report's bytes are exactly the pre-arch-layer ones).
+pub fn smp_report_on(arch: ArchId, series: &[(SwitchMode, Vec<SmpPoint>)], seed: u64) -> RunReport {
     let mut report = RunReport::new("smp", "Sharded memcached scaling over 1-8 vCPUs");
     report.machine = Some(machine_json());
-    report.cost_model = Some(cost_model_json(&CostModel::default()));
+    report.cost_model = Some(cost_model_json(&arch.cost_model()));
+    if arch != ArchId::X86 {
+        report
+            .results
+            .push(("arch".to_string(), Json::from(arch.label())));
+    }
     report.results.push(("seed".to_string(), Json::from(seed)));
     let baseline = &series[0].1;
     for (mode, points) in series {

@@ -1,0 +1,140 @@
+//! The arch-layer refactor's two load-bearing claims, as tests.
+//!
+//! **x86 is byte-frozen.** The `tests/golden/` files were generated at
+//! the pre-refactor tree (`cargo run -p svt-bench --example golden_gen`);
+//! regenerating the same grids through the arch-neutral call paths must
+//! reproduce them byte for byte — the x86 backend is now "one backend
+//! among N" without a single report byte moving. The builders here are
+//! the ones the binaries' `--json` flag writes through, so equality of
+//! `to_json().pretty()` is equality of the emitted files.
+//!
+//! **riscv is deterministic.** The H-extension backend runs through the
+//! same sweep engine, so its reports must also merge byte-identically at
+//! any worker count.
+
+use svt_arch::ArchId;
+use svt_bench::{
+    faults_campaign, faults_report, fig6_report, riscv_grid, riscv_report, smp_report,
+    smp_report_on, smp_series, smp_series_on, FAULTS_DEFAULT_SEED, FAULTS_MODES, SERVE_RATE_QPS,
+};
+use svt_core::SwitchMode;
+use svt_workloads::{fig6_bars_on, fig6_grid, DEFAULT_LANE_SEED};
+
+/// Byte-compares a freshly built report against a committed golden file.
+fn assert_matches_golden(report: &svt_obs::RunReport, golden: &str, name: &str) {
+    let fresh = report.to_json().pretty();
+    assert_eq!(
+        fresh, golden,
+        "{name}: x86 report bytes drifted from the pre-refactor golden file \
+         (tests/golden/{name}_x86.json); if the change is intentional, regenerate \
+         with `cargo run -p svt-bench --example golden_gen` and commit the diff"
+    );
+}
+
+#[test]
+fn x86_fig6_report_matches_pre_refactor_golden_bytes() {
+    let report = fig6_report(&fig6_grid(30, 1), DEFAULT_LANE_SEED);
+    assert_matches_golden(&report, include_str!("golden/fig6_x86.json"), "fig6");
+}
+
+#[test]
+fn x86_smp_report_matches_pre_refactor_golden_bytes() {
+    let series = smp_series(&[1, 2], SERVE_RATE_QPS, 60, DEFAULT_LANE_SEED, 1);
+    let report = smp_report(&series, DEFAULT_LANE_SEED);
+    assert_matches_golden(&report, include_str!("golden/smp_x86.json"), "smp");
+}
+
+#[test]
+fn x86_faults_report_matches_pre_refactor_golden_bytes() {
+    let cells = faults_campaign(&FAULTS_MODES, &[0.0, 0.05], 60, FAULTS_DEFAULT_SEED, 1);
+    let report = faults_report(&cells, FAULTS_DEFAULT_SEED);
+    assert_matches_golden(&report, include_str!("golden/faults_x86.json"), "faults");
+}
+
+/// The explicit-arch entry points with `ArchId::X86` are the same code
+/// path the legacy entry points delegate to — same grid, same bytes.
+#[test]
+fn x86_series_is_identical_through_the_arch_entry_points() {
+    let legacy = smp_series(&[1, 2], SERVE_RATE_QPS, 60, DEFAULT_LANE_SEED, 1);
+    let explicit = smp_series_on(
+        ArchId::X86,
+        &[1, 2],
+        SERVE_RATE_QPS,
+        60,
+        DEFAULT_LANE_SEED,
+        1,
+    );
+    assert_eq!(
+        smp_report(&legacy, DEFAULT_LANE_SEED).to_json().pretty(),
+        smp_report_on(ArchId::X86, &explicit, DEFAULT_LANE_SEED)
+            .to_json()
+            .pretty()
+    );
+}
+
+#[test]
+fn riscv_report_is_byte_identical_across_worker_counts() {
+    let a = riscv_grid(20, 40, DEFAULT_LANE_SEED, 1);
+    let b = riscv_grid(20, 40, DEFAULT_LANE_SEED, 4);
+    assert_eq!(a, b, "riscv grid drifted between --jobs 1 and --jobs 4");
+    assert_eq!(
+        riscv_report(&a, DEFAULT_LANE_SEED).to_json().pretty(),
+        riscv_report(&b, DEFAULT_LANE_SEED).to_json().pretty()
+    );
+}
+
+#[test]
+fn riscv_smp_report_is_byte_identical_across_worker_counts() {
+    let a = smp_series_on(
+        ArchId::Riscv,
+        &[1, 2],
+        SERVE_RATE_QPS,
+        40,
+        DEFAULT_LANE_SEED,
+        1,
+    );
+    let b = smp_series_on(
+        ArchId::Riscv,
+        &[1, 2],
+        SERVE_RATE_QPS,
+        40,
+        DEFAULT_LANE_SEED,
+        4,
+    );
+    assert_eq!(
+        smp_report_on(ArchId::Riscv, &a, DEFAULT_LANE_SEED)
+            .to_json()
+            .pretty(),
+        smp_report_on(ArchId::Riscv, &b, DEFAULT_LANE_SEED)
+            .to_json()
+            .pretty()
+    );
+}
+
+/// The riscv fig6-style bars carry the paper's qualitative result onto
+/// the second backend: both SVt engines beat the baseline, and the bars
+/// are deterministic across worker counts.
+#[test]
+fn riscv_bars_show_svt_speedups_and_merge_deterministically() {
+    let a = fig6_bars_on(ArchId::Riscv, 20, 1);
+    let b = fig6_bars_on(ArchId::Riscv, 20, 4);
+    assert_eq!(a, b);
+    let bar = |label: &str| a.iter().find(|x| x.label == label).unwrap();
+    assert!(
+        bar("SW SVt").speedup > 1.0,
+        "SW SVt must beat the riscv baseline, got {:.3}x",
+        bar("SW SVt").speedup
+    );
+    assert!(
+        bar("HW SVt").speedup > 1.0,
+        "HW SVt must beat the riscv baseline, got {:.3}x",
+        bar("HW SVt").speedup
+    );
+    // A memcached pass through every engine completes watchdog-clean on
+    // the new backend (the ci.sh riscv smoke runs this same grid).
+    let grid = riscv_grid(20, 40, DEFAULT_LANE_SEED, 2);
+    assert_eq!(grid.memcached.len(), SwitchMode::ALL.len());
+    for (mode, p) in &grid.memcached {
+        assert!(p.completed > 0, "{mode}: no requests completed on riscv");
+    }
+}

@@ -12,10 +12,10 @@
 //! This is the upper bound the paper positions SVt against: SVt trades a
 //! little of this performance for far simpler hardware.
 
+use svt_arch::{ExitReason, VmcsField};
 use svt_cpu::{CtxId, CtxtLevel, Gpr};
 use svt_hv::{Machine, Reflector};
 use svt_sim::CostPart;
-use svt_vmx::{ExitReason, VmcsField};
 
 const CTX_L0: CtxId = CtxId(0);
 const CTX_L1: CtxId = CtxId(1);
@@ -101,7 +101,7 @@ impl Reflector for BypassReflector {
     fn reflect(&mut self, m: &mut Machine, exit: ExitReason) {
         // Hardware wrote the exit information into L1's descriptor at trap
         // time; nothing reaches L0 on this path.
-        let (code, qual) = exit.encode();
+        let (code, qual) = m.arch.encode(exit);
         m.vmcs12_mut().write(VmcsField::ExitReason, code);
         m.vmcs12_mut().write(VmcsField::ExitQualification, qual);
         self.run_l1(m, exit);

@@ -9,11 +9,11 @@
 //! context state*, since that state never leaves the per-context register
 //! files.
 
+use svt_arch::{ExitReason, VmcsField};
 use svt_cpu::{CtxId, CtxtLevel, Gpr};
 use svt_hv::{Machine, Reflector};
 use svt_obs::{MetricKey, ObsLevel};
 use svt_sim::CostPart;
-use svt_vmx::{ExitReason, VmcsField};
 
 /// Hardware context assignments (the example of § 4).
 const CTX_L0: CtxId = CtxId(0);

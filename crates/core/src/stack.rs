@@ -1,5 +1,6 @@
 //! Convenience constructors for the three switch engines.
 
+use svt_arch::ArchId;
 use svt_hv::{BaselineReflector, Level, Machine, MachineConfig, Reflector};
 
 use crate::hw::HwSvtReflector;
@@ -51,6 +52,14 @@ pub fn nested_machine(mode: SwitchMode) -> Machine {
     machine_with(mode, MachineConfig::at_level(Level::L2))
 }
 
+/// [`nested_machine`] on an explicit ISA backend, with the backend's
+/// calibrated cost model and shadowing capability.
+/// `nested_machine_on(mode, ArchId::X86)` is identical to
+/// `nested_machine(mode)`.
+pub fn nested_machine_on(mode: SwitchMode, arch: ArchId) -> Machine {
+    machine_with(mode, MachineConfig::at_level_on(Level::L2, arch))
+}
+
 /// A machine with an explicit configuration and the given switch engine.
 pub fn machine_with(mode: SwitchMode, cfg: MachineConfig) -> Machine {
     Machine::with_reflector(cfg, mode.reflector())
@@ -68,6 +77,11 @@ pub fn machine_with(mode: SwitchMode, cfg: MachineConfig) -> Machine {
 /// Panics if `n_vcpus` is zero or exceeds the machine's physical cores.
 pub fn smp_machine(mode: SwitchMode, n_vcpus: usize) -> Machine {
     smp_machine_with(mode, MachineConfig::at_level(Level::L2), n_vcpus)
+}
+
+/// [`smp_machine`] on an explicit ISA backend.
+pub fn smp_machine_on(mode: SwitchMode, arch: ArchId, n_vcpus: usize) -> Machine {
+    smp_machine_with(mode, MachineConfig::at_level_on(Level::L2, arch), n_vcpus)
 }
 
 /// [`smp_machine`] with an explicit configuration.
@@ -100,5 +114,21 @@ mod tests {
             nested_machine(SwitchMode::Baseline).reflector_name(),
             "baseline"
         );
+    }
+
+    #[test]
+    fn arch_constructors_pick_backend_defaults() {
+        let x86 = nested_machine_on(SwitchMode::Baseline, ArchId::X86);
+        assert_eq!(x86.arch, ArchId::X86);
+        assert!(x86.shadowing);
+        let rv = nested_machine_on(SwitchMode::SwSvt, ArchId::Riscv);
+        assert_eq!(rv.arch, ArchId::Riscv);
+        assert!(!rv.shadowing, "CVA6 has no VMCS-shadowing analogue");
+        assert_eq!(rv.cost, svt_sim::CostModel::cva6());
+        // Every engine boots the nested stack on the riscv backend.
+        for mode in SwitchMode::ALL {
+            let m = nested_machine_on(mode, ArchId::Riscv);
+            assert_eq!(m.level(), Level::L2);
+        }
     }
 }

@@ -22,12 +22,12 @@
 //! transition is counted in the metrics registry and visible on the
 //! causal graph.
 
+use svt_arch::ExitReason;
 use svt_cpu::Gpr;
 use svt_hv::{Level, Machine, MachineEvent, Reflector};
 use svt_mem::{CommandRing, Hpa};
 use svt_obs::{MetricKey, ObsLevel};
 use svt_sim::{CostPart, FaultKind, Placement, SimDuration};
-use svt_vmx::ExitReason;
 
 use crate::commands::{Command, ProtocolError, CMD_VM_RESUME, CMD_VM_TRAP, PAYLOAD_LEN};
 use crate::degrade::{transition_label, DegradeFsm, SvtHealth, Transition};
@@ -544,9 +544,9 @@ impl SwSvtReflector {
                     + m.cost.gpr_thunk();
                 m.clock.charge(c);
                 m.clock.pop_part(CostPart::L0Handler);
-                m.l1.apic.inject(svt_vmx::VECTOR_IPI);
+                m.l1.apic.inject(svt_arch::VECTOR_IPI);
                 let v = m.l1.apic.ack();
-                debug_assert_eq!(v, Some(svt_vmx::VECTOR_IPI));
+                debug_assert_eq!(v, Some(svt_arch::VECTOR_IPI));
                 m.l1.apic.eoi();
                 // The blocked window is bounded by the fixed inject+yield
                 // cost; the histogram lets tests assert that bound.
@@ -673,7 +673,7 @@ impl Reflector for SwSvtReflector {
         m.clock.push_part(CostPart::Transform);
         let c = m.cost.transform_fixed;
         m.clock.charge(c);
-        for f in svt_vmx::VmcsField::ENTRY_FIELDS {
+        for f in svt_arch::VmcsField::ENTRY_FIELDS {
             let v = m.vmcs12().read(f);
             let c = m.cost.vmwrite;
             m.clock.charge(c);
@@ -687,7 +687,7 @@ impl Reflector for SwSvtReflector {
         self.ensure_init(m);
         self.retried_this_trap = false;
         self.fell_back_mid_trap = false;
-        let (code, qual) = exit.encode();
+        let (code, qual) = m.arch.encode(exit);
 
         // L0 sends CMD_VM_TRAP with the registers and trap id (Fig. 5,
         // step 2), then monitors the response ring.
@@ -778,7 +778,7 @@ impl Reflector for SwSvtReflector {
         if self.fallback_active {
             // Classic path: two vmreads of vmcs01' (shadow-satisfied when
             // shadowing is on, full traps otherwise).
-            let field = |s: &mut Self, m: &mut Machine, f: svt_vmx::VmcsField| {
+            let field = |s: &mut Self, m: &mut Machine, f: svt_arch::VmcsField| {
                 if m.shadowing {
                     let c = m.cost.vmread;
                     m.clock.charge(c);
@@ -789,8 +789,8 @@ impl Reflector for SwSvtReflector {
                     s.l1_exit_roundtrip(m, ExitReason::Vmread { field: f }, 0)
                 }
             };
-            let code = field(self, m, svt_vmx::VmcsField::ExitReason);
-            let qual = field(self, m, svt_vmx::VmcsField::ExitQualification);
+            let code = field(self, m, svt_arch::VmcsField::ExitReason);
+            let qual = field(self, m, svt_arch::VmcsField::ExitQualification);
             return (code, qual);
         }
         // The trap identifier arrived in the CMD_VM_TRAP payload.

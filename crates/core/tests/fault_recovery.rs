@@ -4,11 +4,11 @@
 //! by the exactly-once check, and so on. Budget-pinned [`FaultPlan`]s
 //! (rate 1.0, budget n) make every count exact rather than statistical.
 
+use svt_arch::{IcrCommand, MSR_X2APIC_EOI, MSR_X2APIC_ICR, VECTOR_IPI};
 use svt_core::{nested_machine, smp_machine, SwitchMode};
 use svt_hv::{GuestCtx, GuestOp, GuestProgram, Machine, OpLoop};
 use svt_obs::MetricKey;
 use svt_sim::{FaultKind, FaultPlan, SimDuration, SimTime};
-use svt_vmx::{IcrCommand, MSR_X2APIC_EOI, MSR_X2APIC_ICR, VECTOR_IPI};
 
 /// A warmed-up single-vCPU SW-SVt machine: the first trap has paired the
 /// rings and primed every counter, so later assertions are pure deltas.

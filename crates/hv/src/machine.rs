@@ -19,16 +19,16 @@
 //! The *logic* here is shared by all switch engines; the *mechanics* of
 //! moving between levels live behind the [`Reflector`] trait.
 
+use svt_arch::{
+    Access, ArchId, DeliveryMode, EptFault, ExitReason, IcrCommand, VmcsField, MSR_TSC_DEADLINE,
+    MSR_X2APIC_EOI, MSR_X2APIC_ICR, VECTOR_TIMER,
+};
 use svt_cpu::{Gpr, SmtCore};
 use svt_mem::{Gpa, GuestMemory};
 use svt_obs::{MetricKey, Obs, ObsLevel};
 use svt_sim::{
     assign_svt_cores, Clock, CostModel, CostPart, CpuLoc, EventQueue, FaultKind, FaultPlan,
     MachineSpec, SimDuration, SimTime,
-};
-use svt_vmx::{
-    Access, DeliveryMode, EptFault, ExitReason, IcrCommand, VmcsField, MSR_TSC_DEADLINE,
-    MSR_X2APIC_EOI, MSR_X2APIC_ICR, VECTOR_TIMER,
 };
 
 use crate::device::{Completion, DeviceModel, DeviceOutcome};
@@ -133,6 +133,10 @@ pub struct Machine {
     pub l1: L1State,
     /// Whether hardware VMCS shadowing is enabled.
     pub shadowing: bool,
+    /// The ISA backend in effect: selects exit-reason encodings,
+    /// profiling tags and the guest-op→trap mapping. All reflection
+    /// engines are backend-neutral and consult this.
+    pub arch: ArchId,
     /// Architectural event trace (disabled by default).
     pub tracer: Tracer,
     /// Structured observability: typed metrics plus trap-lifecycle spans
@@ -186,6 +190,7 @@ impl Machine {
             cost: cfg.cost,
             spec: cfg.spec,
             shadowing: cfg.shadowing,
+            arch: cfg.arch,
             tracer: Tracer::default(),
             obs: Obs::new(),
             faults: FaultPlan::none(),
@@ -285,32 +290,32 @@ impl Machine {
     }
 
     /// The running vCPU's vmcs01.
-    pub fn vmcs01(&self) -> &svt_vmx::Vmcs {
+    pub fn vmcs01(&self) -> &svt_arch::Vmcs {
         &self.vcpus[self.cur].vmcs01
     }
 
     /// The running vCPU's vmcs01, mutably.
-    pub fn vmcs01_mut(&mut self) -> &mut svt_vmx::Vmcs {
+    pub fn vmcs01_mut(&mut self) -> &mut svt_arch::Vmcs {
         &mut self.vcpus[self.cur].vmcs01
     }
 
     /// The running vCPU's vmcs12 shadow.
-    pub fn vmcs12(&self) -> &svt_vmx::Vmcs {
+    pub fn vmcs12(&self) -> &svt_arch::Vmcs {
         &self.vcpus[self.cur].vmcs12
     }
 
     /// The running vCPU's vmcs12 shadow, mutably.
-    pub fn vmcs12_mut(&mut self) -> &mut svt_vmx::Vmcs {
+    pub fn vmcs12_mut(&mut self) -> &mut svt_arch::Vmcs {
         &mut self.vcpus[self.cur].vmcs12
     }
 
     /// The running vCPU's vmcs02.
-    pub fn vmcs02(&self) -> &svt_vmx::Vmcs {
+    pub fn vmcs02(&self) -> &svt_arch::Vmcs {
         &self.vcpus[self.cur].vmcs02
     }
 
     /// The running vCPU's vmcs02, mutably.
-    pub fn vmcs02_mut(&mut self) -> &mut svt_vmx::Vmcs {
+    pub fn vmcs02_mut(&mut self) -> &mut svt_arch::Vmcs {
         &mut self.vcpus[self.cur].vmcs02
     }
 
@@ -722,9 +727,9 @@ impl Machine {
                 let c = self.cost.ipi_deliver + self.cost.guest_irq_entry;
                 self.clock.charge(c);
                 self.clock.pop_part(CostPart::L0Handler);
-                self.l1.apic.inject(svt_vmx::VECTOR_IPI);
+                self.l1.apic.inject(svt_arch::VECTOR_IPI);
                 let v = self.l1.apic.ack();
-                debug_assert_eq!(v, Some(svt_vmx::VECTOR_IPI));
+                debug_assert_eq!(v, Some(svt_arch::VECTOR_IPI));
                 self.l1.apic.eoi();
                 self.clock.count("l1_ipi_direct");
             }
@@ -1031,7 +1036,8 @@ impl Machine {
                 let c = self.cost.cpuid_exec;
                 self.clock.charge(c);
                 self.clock.pop_part(CostPart::L1Guest);
-                self.single_exit(ExitReason::Cpuid, 0);
+                let reason = self.arch.cpuid_exit();
+                self.single_exit(reason, 0);
             }
             GuestOp::MsrWrite { msr, value } => {
                 if self.l0.policy01.msr_exits(msr) {
@@ -1065,7 +1071,10 @@ impl Machine {
                     self.single_exit(ExitReason::EptMisconfig { gpa }, 0);
                 }
             }
-            GuestOp::Vmcall(nr) => self.single_exit(ExitReason::Vmcall { nr }, 0),
+            GuestOp::Vmcall(nr) => {
+                let reason = self.arch.hypercall_exit(nr);
+                self.single_exit(reason, 0);
+            }
             GuestOp::Hlt => {
                 self.single_exit(ExitReason::Hlt, 0);
                 self.vstate_mut().halted = true;
@@ -1076,15 +1085,14 @@ impl Machine {
 
     /// One single-level exit round: guest → L0 → guest.
     fn single_exit(&mut self, reason: ExitReason, value: u64) {
+        let tag = self.arch.tag(reason);
         self.clock.count("l1_direct_exit");
-        self.obs.metrics.inc(
-            MetricKey::new("vm_exit")
-                .level(ObsLevel::L1)
-                .exit(reason.tag()),
-        );
+        self.obs
+            .metrics
+            .inc(MetricKey::new("vm_exit").level(ObsLevel::L1).exit(tag));
         let trap_begin = self.clock.now();
         self.obs.spans.begin_trap();
-        self.clock.push_tag(reason.tag());
+        self.clock.push_tag(tag);
         self.clock.push_part(CostPart::SwitchL0L1);
         let c = self.cost.vm_exit_hw + self.cost.gpr_thunk();
         self.clock.charge(c);
@@ -1094,7 +1102,7 @@ impl Machine {
         let c = self.cost.l0_exit_decode + self.cost.l0_run_loop + self.cost.l0_mmu_sync;
         self.clock.charge(c);
         match reason {
-            ExitReason::Cpuid => {
+            ExitReason::Cpuid | ExitReason::VirtInstr => {
                 let c = self.cost.l0_cpuid_emulate;
                 self.clock.charge(c);
                 self.pending_result = Some(cpuid_value(self.vstate().gprs.get(Gpr::Rax)));
@@ -1133,7 +1141,7 @@ impl Machine {
                     }
                 }
             }
-            ExitReason::Hlt | ExitReason::Vmcall { .. } => {
+            ExitReason::Hlt | ExitReason::Vmcall { .. } | ExitReason::SbiCall { .. } => {
                 let c = self.cost.l0_exit_decode;
                 self.clock.charge(c);
             }
@@ -1147,14 +1155,14 @@ impl Machine {
         let c = self.cost.gpr_thunk() + self.cost.vm_entry_hw;
         self.clock.charge(c);
         self.clock.pop_part(CostPart::SwitchL0L1);
-        self.clock.pop_tag(reason.tag());
+        self.clock.pop_tag(tag);
         let now = self.clock.now();
         self.obs
             .span("single_trap", "lifecycle", ObsLevel::L1, trap_begin, now);
         self.obs.metrics.observe(
             MetricKey::new("trap_latency_ps")
                 .level(ObsLevel::L1)
-                .exit(reason.tag()),
+                .exit(tag),
             now.saturating_since(trap_begin).as_ps(),
         );
     }
@@ -1173,9 +1181,13 @@ impl Machine {
                 let c = self.cost.cpuid_exec;
                 self.clock.charge(c);
                 self.clock.pop_part(CostPart::L2Guest);
-                self.nested_reflect(r, ExitReason::Cpuid);
+                let reason = self.arch.cpuid_exit();
+                self.nested_reflect(r, reason);
             }
-            GuestOp::Vmcall(nr) => self.nested_reflect(r, ExitReason::Vmcall { nr }),
+            GuestOp::Vmcall(nr) => {
+                let reason = self.arch.hypercall_exit(nr);
+                self.nested_reflect(r, reason);
+            }
             GuestOp::MsrWrite { msr, value } => {
                 if self.l0.policy02.msr_exits(msr) {
                     self.pending_msr = Some(value);
@@ -1223,14 +1235,15 @@ impl Machine {
 
     /// A nested exit L0 handles without reflecting to L1.
     fn nested_l0_direct(&mut self, r: &mut dyn Reflector, reason: ExitReason) {
+        let tag = self.arch.tag(reason);
         self.clock.count("l2_exit_chain");
         self.obs.metrics.inc(
             MetricKey::new("l0_direct_exit")
                 .level(ObsLevel::L2)
-                .exit(reason.tag())
+                .exit(tag)
                 .reflector(r.name()),
         );
-        self.clock.push_tag(reason.tag());
+        self.clock.push_tag(tag);
         r.l2_trap(self);
         self.clock.push_part(CostPart::L0Handler);
         let c = self.cost.l0_exit_decode + self.cost.l0_run_loop + self.cost.l0_mmu_sync;
@@ -1246,7 +1259,7 @@ impl Machine {
                 if self.l0.ept01.translate(g1, Access::Read).is_ok() {
                     self.l0
                         .ept02
-                        .map_page(page, g1.page(), svt_vmx::EptPerms::RWX);
+                        .map_page(page, g1.page(), svt_arch::EptPerms::RWX);
                 } else if matches!(
                     self.l0.ept01.translate(g1, Access::Read),
                     Err(EptFault::Misconfig { .. })
@@ -1266,23 +1279,24 @@ impl Machine {
         self.clock.charge(c);
         self.clock.pop_part(CostPart::L0Handler);
         r.l2_resume(self);
-        self.clock.pop_tag(reason.tag());
+        self.clock.pop_tag(tag);
     }
 
     /// The full Algorithm 1 chain for one reflected nested exit.
     pub(crate) fn nested_reflect(&mut self, r: &mut dyn Reflector, reason: ExitReason) {
+        let tag = self.arch.tag(reason);
         self.clock.count("l2_exit_chain");
         self.tracer
-            .record(self.clock.now(), TraceEvent::Exit(Level::L2, reason.tag()));
+            .record(self.clock.now(), TraceEvent::Exit(Level::L2, tag));
         self.obs.metrics.inc(
             MetricKey::new("vm_exit")
                 .level(ObsLevel::L2)
-                .exit(reason.tag())
+                .exit(tag)
                 .reflector(r.name()),
         );
         self.obs.spans.begin_trap();
         let trap_begin = self.clock.now();
-        self.clock.push_tag(reason.tag());
+        self.clock.push_tag(tag);
         r.l2_trap(self); // part 1 (first half)
         self.obs.span(
             "l2_exit",
@@ -1291,14 +1305,12 @@ impl Machine {
             trap_begin,
             self.clock.now(),
         );
-        self.tracer.record(
-            self.clock.now(),
-            TraceEvent::Reflect(Level::L0, reason.tag()),
-        );
+        self.tracer
+            .record(self.clock.now(), TraceEvent::Reflect(Level::L0, tag));
         r.reflect(self, reason); // parts 2 + 3 + 4 + 5
         let resume_begin = self.clock.now();
         r.l2_resume(self); // part 1 (second half)
-        self.clock.pop_tag(reason.tag());
+        self.clock.pop_tag(tag);
         let now = self.clock.now();
         self.obs
             .span("l2_resume", "trap", ObsLevel::L2, resume_begin, now);
@@ -1312,7 +1324,7 @@ impl Machine {
         self.obs.metrics.observe(
             MetricKey::new("trap_latency_ps")
                 .level(ObsLevel::L2)
-                .exit(reason.tag())
+                .exit(tag)
                 .reflector(r.name()),
             now.saturating_since(trap_begin).as_ps(),
         );
@@ -1385,7 +1397,7 @@ impl Machine {
     // VMCS plumbing
     // ------------------------------------------------------------------
 
-    fn vmcs_mut_internal(&mut self, id: VmcsId) -> &mut svt_vmx::Vmcs {
+    fn vmcs_mut_internal(&mut self, id: VmcsId) -> &mut svt_arch::Vmcs {
         let v = &mut self.vcpus[self.cur];
         match id {
             VmcsId::V01 => &mut v.vmcs01,
@@ -1486,7 +1498,7 @@ impl Machine {
         self.clock.push_part(CostPart::L0Handler);
         let c = self.cost.l0_inject_fixed;
         self.clock.charge(c);
-        let (code, qual) = reason.encode();
+        let (code, qual) = self.arch.encode(reason);
         let values = [code, qual, 0, 0, 0, 0, 2, 0];
         for (f, v) in VmcsField::INJECT_FIELDS.iter().zip(values) {
             self.vm_write(VmcsId::V12, *f, v);
@@ -1527,11 +1539,11 @@ impl Machine {
         // Learn the exit information (vmcs01' reads, or the SW-SVt ring
         // command payload).
         let (code, qual) = r.l1_read_exit_info(self);
-        let decoded = ExitReason::decode(code, qual);
+        let decoded = self.arch.decode(code, qual);
         debug_assert_eq!(decoded, Some(exit), "exit info round trip");
 
         match exit {
-            ExitReason::Cpuid => {
+            ExitReason::Cpuid | ExitReason::VirtInstr => {
                 let leaf = r.l2_gpr_read(self, Gpr::Rax);
                 let c = self.cost.cpuid_emulate;
                 self.clock.charge(c);
@@ -1645,7 +1657,7 @@ impl Machine {
                 self.clock.charge(c);
                 self.l1_advance_rip(r);
             }
-            ExitReason::Vmcall { .. } => {
+            ExitReason::Vmcall { .. } | ExitReason::SbiCall { .. } => {
                 let c = self.cost.cpuid_emulate;
                 self.clock.charge(c);
                 self.pending_result = Some(0);
@@ -1687,7 +1699,7 @@ impl Machine {
         self.obs.metrics.inc(
             MetricKey::new("l1_handler_runs")
                 .level(ObsLevel::L1)
-                .exit(exit.tag()),
+                .exit(self.arch.tag(exit)),
         );
     }
 
@@ -1791,14 +1803,13 @@ impl Machine {
 
     /// L0-side work of one L1 exit. Returns the result value for reads.
     pub fn l0_handle_l1_exit(&mut self, exit: ExitReason, value: u64) -> u64 {
+        let tag = self.arch.tag(exit);
         self.clock.count("l1_exit");
         self.tracer
-            .record(self.clock.now(), TraceEvent::L1Exit(Level::L1, exit.tag()));
-        self.obs.metrics.inc(
-            MetricKey::new("l1_exit")
-                .level(ObsLevel::L1)
-                .exit(exit.tag()),
-        );
+            .record(self.clock.now(), TraceEvent::L1Exit(Level::L1, tag));
+        self.obs
+            .metrics
+            .inc(MetricKey::new("l1_exit").level(ObsLevel::L1).exit(tag));
         match exit {
             ExitReason::Vmread { field } => {
                 let c = self.cost.l0_exit_decode + self.cost.l0_vmrw_emulate;
@@ -1830,7 +1841,7 @@ impl Machine {
                 self.clock.charge(c);
                 0
             }
-            ExitReason::Vmcall { .. } => {
+            ExitReason::Vmcall { .. } | ExitReason::SbiCall { .. } => {
                 let c = self.cost.l0_exit_decode + self.cost.l0_run_loop;
                 self.clock.charge(c);
                 0
@@ -1905,7 +1916,7 @@ impl Machine {
             .filter(|f| {
                 matches!(
                     f.group(),
-                    svt_vmx::FieldGroup::Guest | svt_vmx::FieldGroup::Control
+                    svt_arch::FieldGroup::Guest | svt_arch::FieldGroup::Control
                 )
             })
             .collect();

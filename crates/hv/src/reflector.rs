@@ -13,9 +13,9 @@
 
 use std::fmt;
 
+use svt_arch::ExitReason;
 use svt_cpu::Gpr;
 use svt_obs::ObsLevel;
-use svt_vmx::ExitReason;
 
 use crate::machine::Machine;
 use crate::state::Level;
@@ -70,7 +70,7 @@ pub trait Reflector: fmt::Debug {
     /// on, full traps otherwise); SW SVt reads them from the received
     /// command instead.
     fn l1_read_exit_info(&mut self, m: &mut Machine) -> (u64, u64) {
-        let field = |s: &mut Self, m: &mut Machine, f: svt_vmx::VmcsField| {
+        let field = |s: &mut Self, m: &mut Machine, f: svt_arch::VmcsField| {
             if m.shadowing {
                 let c = m.cost.vmread;
                 m.clock.charge(c);
@@ -81,8 +81,8 @@ pub trait Reflector: fmt::Debug {
                 s.l1_exit_roundtrip(m, ExitReason::Vmread { field: f }, 0)
             }
         };
-        let code = field(self, m, svt_vmx::VmcsField::ExitReason);
-        let qual = field(self, m, svt_vmx::VmcsField::ExitQualification);
+        let code = field(self, m, svt_arch::VmcsField::ExitReason);
+        let qual = field(self, m, svt_arch::VmcsField::ExitQualification);
         (code, qual)
     }
 

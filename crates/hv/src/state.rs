@@ -5,9 +5,9 @@
 //! shadow of the `vmcs01'` L1 built for L2) and `vmcs02` (what L2 really
 //! runs on), plus the two EPT hierarchies and their composition.
 
+use svt_arch::{ArchId, Ept, EptPerms, ExecPolicy, IcrCommand, LocalApic, Vmcs, VmcsField};
 use svt_cpu::GprState;
 use svt_sim::SimTime;
-use svt_vmx::{Ept, EptPerms, ExecPolicy, IcrCommand, LocalApic, Vmcs, VmcsField};
 
 /// A virtualization level of the running stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -162,8 +162,11 @@ pub struct MachineConfig {
     /// Pages identity-mapped in each EPT level.
     pub mapped_pages: u64,
     /// Whether hardware VMCS shadowing is enabled (ablation knob; the
-    /// paper's platform has it on).
+    /// paper's VT-x platform has it on, the CVA6 H-extension has no
+    /// shadowing hardware at all).
     pub shadowing: bool,
+    /// The ISA backend this machine simulates.
+    pub arch: ArchId,
 }
 
 impl MachineConfig {
@@ -176,6 +179,20 @@ impl MachineConfig {
             ram_size: 1 << 30,
             mapped_pages: 4096,
             shadowing: true,
+            arch: ArchId::X86,
+        }
+    }
+
+    /// Like [`MachineConfig::at_level`] but on the given backend, with
+    /// the backend's calibrated cost model and shadowing capability.
+    /// `at_level_on(level, ArchId::X86)` is identical to
+    /// `at_level(level)`.
+    pub fn at_level_on(level: Level, arch: ArchId) -> Self {
+        MachineConfig {
+            cost: arch.cost_model(),
+            shadowing: arch.default_shadowing(),
+            arch,
+            ..MachineConfig::at_level(level)
         }
     }
 }
@@ -209,7 +226,7 @@ mod tests {
         let mut l0 = L0State::new(8);
         let mut l1 = L1State::new(8, true);
         let mut vmcs02 = Vmcs::new(
-            svt_vmx::VmcsRole::Host { guest_level: 2 },
+            svt_arch::VmcsRole::Host { guest_level: 2 },
             svt_mem::Gpa(0x3000),
         );
         l1.policy12.trap_msr(0x77);
@@ -221,8 +238,8 @@ mod tests {
         assert_eq!(l0.ept02.len(), 8);
         assert!(matches!(
             l0.ept02
-                .translate(svt_mem::Gpa(3 * svt_mem::PAGE_SIZE), svt_vmx::Access::Read),
-            Err(svt_vmx::EptFault::Misconfig { .. })
+                .translate(svt_mem::Gpa(3 * svt_mem::PAGE_SIZE), svt_arch::Access::Read),
+            Err(svt_arch::EptFault::Misconfig { .. })
         ));
     }
 

@@ -11,11 +11,11 @@
 
 use std::collections::VecDeque;
 
+use svt_arch::{Vmcs, VmcsRole};
 use svt_cpu::SmtCore;
 use svt_mem::Gpa;
 use svt_obs::CausalEventId;
 use svt_sim::{Clock, CpuLoc, EventId, SimTime};
-use svt_vmx::{Vmcs, VmcsRole};
 
 use crate::reflector::Reflector;
 use crate::state::{MachineEvent, VcpuState};

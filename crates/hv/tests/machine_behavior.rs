@@ -2,13 +2,13 @@
 //! single-level and native paths, EPT-violation lazy fill, halt/wake,
 //! timers, devices and error paths.
 
+use svt_arch::{MSR_TSC_DEADLINE, MSR_X2APIC_EOI, VECTOR_TIMER};
 use svt_hv::{
     Completion, DeviceModel, DeviceOutcome, GuestCtx, GuestOp, GuestProgram, Level, Machine,
     MachineConfig, MachineError, OpLoop,
 };
 use svt_mem::{Gpa, GuestMemory};
 use svt_sim::{SimDuration, SimTime};
-use svt_vmx::{MSR_TSC_DEADLINE, MSR_X2APIC_EOI, VECTOR_TIMER};
 
 /// A program driven by a scripted list of operations.
 #[derive(Debug)]
@@ -122,7 +122,7 @@ fn ept_violation_is_filled_by_l0_without_reflection() {
     assert!(m
         .l0
         .ept02
-        .translate(Gpa(5 * svt_mem::PAGE_SIZE), svt_vmx::Access::Write)
+        .translate(Gpa(5 * svt_mem::PAGE_SIZE), svt_arch::Access::Write)
         .is_ok());
 }
 
@@ -238,7 +238,7 @@ fn untracked_msr_does_not_exit() {
     let base = m.clock.snapshot();
     let mut prog = Script::new(vec![
         GuestOp::MsrWrite {
-            msr: svt_vmx::MSR_EFER,
+            msr: svt_arch::MSR_EFER,
             value: 1,
         },
         GuestOp::Done,

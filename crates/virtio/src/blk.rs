@@ -56,7 +56,7 @@ impl BlkConfig {
     pub fn from_cost(cost: &svt_sim::CostModel) -> Self {
         BlkConfig {
             mmio_base: BLK_MMIO_BASE,
-            irq_vector: svt_vmx::VECTOR_VIRTIO,
+            irq_vector: svt_arch::VECTOR_VIRTIO,
             kick_service: cost.blk_backend_service / 2,
             completion_service: cost.blk_backend_service,
             write_extra_service: cost.blk_write_extra_service,
@@ -334,7 +334,7 @@ mod tests {
         let out = blk.mmio_write(BLK_MMIO_BASE, 1, &mut mem, at);
         let (at2, tok2) = out.schedule[0];
         let comp = blk.complete(tok2, &mut mem, at2).unwrap();
-        assert_eq!(comp.vector, svt_vmx::VECTOR_VIRTIO);
+        assert_eq!(comp.vector, svt_arch::VECTOR_VIRTIO);
         assert_eq!(q.driver_take_used(&mem).unwrap(), Some((head_r, 513)));
         let mut buf = [0u8; 17];
         mem.read(Hpa(DATA), &mut buf).unwrap();

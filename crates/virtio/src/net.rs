@@ -72,7 +72,7 @@ impl NetConfig {
     pub fn rr(cost: &svt_sim::CostModel, reply_len: u32) -> Self {
         NetConfig {
             mmio_base: NET_MMIO_BASE,
-            irq_vector: svt_vmx::VECTOR_VIRTIO,
+            irq_vector: svt_arch::VECTOR_VIRTIO,
             wire_latency: cost.wire_latency,
             line_rate_mbps: 10_000,
             kick_service: cost.virtio_backend_service,
@@ -355,7 +355,7 @@ mod tests {
             "{reply_at}"
         );
         let comp = net.complete(tok, &mut mem, reply_at).unwrap();
-        assert_eq!(comp.vector, svt_vmx::VECTOR_VIRTIO);
+        assert_eq!(comp.vector, svt_arch::VECTOR_VIRTIO);
         // The RX used ring now carries the reply.
         assert_eq!(rxd.driver_take_used(&mem).unwrap().map(|(_, l)| l), Some(1));
         assert_eq!(net.stats().rx_packets, 1);
@@ -386,7 +386,7 @@ mod tests {
         assert_eq!(out.schedule.len(), 2);
         let (at, tok) = out.schedule[0];
         let comp = net.complete(tok, &mut mem, at).unwrap();
-        assert_eq!(comp.vector, svt_vmx::VECTOR_VIRTIO);
+        assert_eq!(comp.vector, svt_arch::VECTOR_VIRTIO);
         // Four TX buffers reclaimed by the first ACK.
         let mut reclaimed = 0;
         while txd.driver_take_used(&mem).unwrap().is_some() {

@@ -1,17 +1,12 @@
-//! VT-x-like hardware virtualization model.
+//! x86 VT-x backend facade.
 //!
-//! The single-level hardware virtualization substrate the paper's nested
-//! stack is built on (§ 2.1):
-//!
-//! * [`Vmcs`]/[`VmcsField`] — VM state descriptors with the field
-//!   classification that drives shadowing and transformation costs;
-//! * [`ExitReason`] — every trap the hardware can raise, with the
-//!   encode/decode path through the exit-information fields;
-//! * [`ExecPolicy`] — which guest operations trap, including the nested
-//!   policy merge L0 performs when building vmcs02;
-//! * [`Ept`] — extended page tables with MMIO-misconfig marking and the
-//!   two-level composition (`ept02 = ept12 ∘ ept01`);
-//! * [`LocalApic`] — per-vCPU interrupts and the TSC-deadline timer.
+//! The VT-x model this crate originally housed now lives in the
+//! ISA-neutral [`svt_arch`] crate, where it is one backend
+//! ([`svt_arch::ArchId::X86`]) among N. This facade re-exports the whole
+//! surface so existing `svt_vmx::` paths keep compiling; new code —
+//! anything outside the x86 backend itself and bench glue — should
+//! depend on `svt-arch` directly (`scripts/ci.sh` enforces the
+//! layering).
 //!
 //! # Examples
 //!
@@ -35,19 +30,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod apic;
-mod controls;
-mod ept;
-mod exit;
-mod fields;
-mod vmcs;
-
-pub use apic::{
-    DeliveryMode, IcrCommand, LocalApic, MSR_APIC_BASE, MSR_EFER, MSR_SPEC_CTRL, MSR_TSC_DEADLINE,
-    MSR_X2APIC_EOI, MSR_X2APIC_ICR, VECTOR_IPI, VECTOR_TIMER, VECTOR_VIRTIO,
+pub use svt_arch::{
+    Access, ArchId, DeliveryMode, Ept, EptFault, EptPerms, ExecPolicy, ExitReason, FieldGroup,
+    IcrCommand, LocalApic, Vmcs, VmcsField, VmcsRole, MSR_APIC_BASE, MSR_EFER, MSR_SPEC_CTRL,
+    MSR_TSC_DEADLINE, MSR_X2APIC_EOI, MSR_X2APIC_ICR, VECTOR_IPI, VECTOR_TIMER, VECTOR_VIRTIO,
 };
-pub use controls::ExecPolicy;
-pub use ept::{Access, Ept, EptFault, EptPerms};
-pub use exit::ExitReason;
-pub use fields::{FieldGroup, VmcsField};
-pub use vmcs::{Vmcs, VmcsRole};

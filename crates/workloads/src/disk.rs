@@ -8,12 +8,12 @@
 
 use std::collections::HashMap;
 
+use svt_arch::{MSR_X2APIC_EOI, VECTOR_TIMER};
 use svt_hv::{GuestCtx, GuestOp, GuestProgram};
 use svt_mem::Hpa;
 use svt_sim::{DetRng, SimDuration, SimTime};
 use svt_stats::LatencyRecorder;
 use svt_virtio::{Virtqueue, BLK_T_IN, BLK_T_OUT};
-use svt_vmx::{MSR_X2APIC_EOI, VECTOR_TIMER};
 
 use crate::layout;
 use crate::server::VECTOR_BLK;
@@ -219,7 +219,7 @@ impl GuestProgram for DiskBench {
 
     fn interrupt(&mut self, vector: u8, ctx: &mut GuestCtx<'_>) {
         self.eoi_owed += 1;
-        if vector == VECTOR_BLK || vector == svt_vmx::VECTOR_VIRTIO {
+        if vector == VECTOR_BLK || vector == svt_arch::VECTOR_VIRTIO {
             while let Some((head, _)) = self.queue.driver_take_used(ctx.mem).expect("blk ring") {
                 if let Some(t0) = self.inflight.remove(&head) {
                     self.latency.record(ctx.now.since(t0).as_ns());

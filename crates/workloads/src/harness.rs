@@ -80,7 +80,7 @@ pub fn attach_loadgen_for_seeded(
     let lane = layout::lane(vcpu);
     let cfg = LoadGenConfig {
         mmio_base: lane.net_mmio,
-        irq_vector: svt_vmx::VECTOR_VIRTIO,
+        irq_vector: svt_arch::VECTOR_VIRTIO,
         wire_latency: cost.wire_latency,
         kick_service: cost.virtio_backend_service,
         completion_service: cost.virtio_backend_service,

@@ -56,8 +56,8 @@ pub use channel::{
 };
 pub use chaos::{memcached_chaos, ChaosPoint};
 pub use cpuid::{
-    cpuid_counted, cpuid_observed, cpuid_us, fig6, fig6_grid, fig6_jobs, table1, ExitAttribution,
-    Fig6Bar, Fig6Grid, Table1Row,
+    cpuid_counted, cpuid_observed, cpuid_observed_on, cpuid_us, cpuid_us_on, fig6, fig6_bars_on,
+    fig6_grid, fig6_jobs, table1, ExitAttribution, Fig6Bar, Fig6Grid, Table1Row,
 };
 pub use disk::{DiskBench, DiskMode};
 pub use fig10::{video_playback, PlaybackResult};
@@ -82,8 +82,9 @@ pub use server::{
 };
 pub use smp::{
     memcached_smp, memcached_smp_counted_seeded, memcached_smp_profiled,
-    memcached_smp_profiled_seeded, memcached_smp_seeded, tpcc_smp, tpcc_smp_profiled,
-    tpcc_smp_profiled_seeded, tpcc_smp_seeded, CausalProfile, SmpPoint,
+    memcached_smp_profiled_seeded, memcached_smp_profiled_seeded_on, memcached_smp_seeded,
+    memcached_smp_seeded_on, tpcc_smp, tpcc_smp_profiled, tpcc_smp_profiled_seeded,
+    tpcc_smp_seeded, CausalProfile, SmpPoint,
 };
 pub use stream::StreamSender;
 pub use telemetry::{memcached_telemetry, TelemetryOpts, TelemetryPoint};

@@ -12,11 +12,11 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use svt_arch::{MSR_TSC_DEADLINE, MSR_X2APIC_EOI, VECTOR_TIMER, VECTOR_VIRTIO};
 use svt_hv::{GuestCtx, GuestOp, GuestProgram};
 use svt_mem::{Gpa, GuestMemory, Hpa};
 use svt_sim::SimDuration;
 use svt_virtio::{Virtqueue, BLK_T_OUT};
-use svt_vmx::{MSR_TSC_DEADLINE, MSR_X2APIC_EOI, VECTOR_TIMER, VECTOR_VIRTIO};
 
 use crate::layout;
 use crate::loadgen::regs;

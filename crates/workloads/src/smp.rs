@@ -8,7 +8,8 @@
 //! SMP guests). Throughput is the sum over the per-vCPU load generators;
 //! with one vCPU the numbers are bit-identical to the single-vCPU runners.
 
-use svt_core::{smp_machine, SwitchMode};
+use svt_arch::ArchId;
+use svt_core::{smp_machine_on, SwitchMode};
 use svt_hv::GuestProgram;
 use svt_obs::{folded_stacks, CriticalPath};
 use svt_sim::{SimDuration, SimTime};
@@ -67,7 +68,16 @@ pub struct CausalProfile {
 /// Panics if `n_vcpus` is zero or exceeds the machine's physical cores,
 /// or if no lane completes any request.
 pub fn memcached_smp(mode: SwitchMode, n_vcpus: usize, rate_qps: f64, requests: u64) -> SmpPoint {
-    memcached_run(mode, n_vcpus, rate_qps, requests, false, DEFAULT_LANE_SEED).0
+    memcached_run(
+        mode,
+        ArchId::X86,
+        n_vcpus,
+        rate_qps,
+        requests,
+        false,
+        DEFAULT_LANE_SEED,
+    )
+    .0
 }
 
 /// [`memcached_smp`] with an explicit base seed for the per-lane request
@@ -83,7 +93,42 @@ pub fn memcached_smp_seeded(
     requests: u64,
     seed: u64,
 ) -> SmpPoint {
-    memcached_run(mode, n_vcpus, rate_qps, requests, false, seed).0
+    memcached_run(mode, ArchId::X86, n_vcpus, rate_qps, requests, false, seed).0
+}
+
+/// [`memcached_smp_seeded`] on an explicit ISA backend.
+///
+/// # Panics
+///
+/// As [`memcached_smp`].
+pub fn memcached_smp_seeded_on(
+    mode: SwitchMode,
+    arch: ArchId,
+    n_vcpus: usize,
+    rate_qps: f64,
+    requests: u64,
+    seed: u64,
+) -> SmpPoint {
+    memcached_run(mode, arch, n_vcpus, rate_qps, requests, false, seed).0
+}
+
+/// [`memcached_smp_seeded_on`] with the causal event graph enabled;
+/// additionally returns the run's critical-path profile (including the
+/// watchdog verdicts the riscv CI smoke checks).
+///
+/// # Panics
+///
+/// As [`memcached_smp`].
+pub fn memcached_smp_profiled_seeded_on(
+    mode: SwitchMode,
+    arch: ArchId,
+    n_vcpus: usize,
+    rate_qps: f64,
+    requests: u64,
+    seed: u64,
+) -> (SmpPoint, CausalProfile) {
+    let (p, prof, _) = memcached_run(mode, arch, n_vcpus, rate_qps, requests, true, seed);
+    (p, prof.expect("profiled run harvests a causal profile"))
 }
 
 /// [`memcached_smp_seeded`] additionally returning the number of
@@ -100,7 +145,7 @@ pub fn memcached_smp_counted_seeded(
     requests: u64,
     seed: u64,
 ) -> (SmpPoint, u64) {
-    let (p, _, traps) = memcached_run(mode, n_vcpus, rate_qps, requests, false, seed);
+    let (p, _, traps) = memcached_run(mode, ArchId::X86, n_vcpus, rate_qps, requests, false, seed);
     (p, traps)
 }
 
@@ -132,12 +177,14 @@ pub fn memcached_smp_profiled_seeded(
     requests: u64,
     seed: u64,
 ) -> (SmpPoint, CausalProfile) {
-    let (p, prof, _) = memcached_run(mode, n_vcpus, rate_qps, requests, true, seed);
+    let (p, prof, _) = memcached_run(mode, ArchId::X86, n_vcpus, rate_qps, requests, true, seed);
     (p, prof.expect("profiled run harvests a causal profile"))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn memcached_run(
     mode: SwitchMode,
+    arch: ArchId,
     n_vcpus: usize,
     rate_qps: f64,
     requests: u64,
@@ -145,7 +192,7 @@ fn memcached_run(
     lane_seed: u64,
 ) -> (SmpPoint, Option<CausalProfile>, u64) {
     let mean = SimDuration::from_ns_f64(1e9 / rate_qps);
-    let mut m = smp_machine(mode, n_vcpus);
+    let mut m = smp_machine_on(mode, arch, n_vcpus);
     if profile {
         m.obs.spans.enable();
         m.obs.causal.enable();
@@ -241,7 +288,7 @@ fn tpcc_run(
     lane_seed: u64,
 ) -> (SmpPoint, Option<CausalProfile>) {
     let statements = transactions * 34;
-    let mut m = smp_machine(mode, n_vcpus);
+    let mut m = smp_machine_on(mode, ArchId::X86, n_vcpus);
     if profile {
         m.obs.spans.enable();
         m.obs.causal.enable();
@@ -368,6 +415,26 @@ mod tests {
                 p.throughput
             );
             prev = p.throughput;
+        }
+    }
+
+    #[test]
+    fn riscv_memcached_runs_all_engines_cleanly() {
+        for mode in SwitchMode::ALL {
+            let (p, prof) = memcached_smp_profiled_seeded_on(
+                mode,
+                ArchId::Riscv,
+                2,
+                2_000.0,
+                40,
+                DEFAULT_LANE_SEED,
+            );
+            assert!(p.completed > 0, "{mode}: no requests completed");
+            assert!(
+                prof.violations.is_empty(),
+                "{mode}: watchdogs tripped {:?}",
+                prof.violations
+            );
         }
     }
 

@@ -9,10 +9,10 @@
 
 use std::collections::HashMap;
 
+use svt_arch::{MSR_TSC_DEADLINE, MSR_X2APIC_EOI, VECTOR_TIMER, VECTOR_VIRTIO};
 use svt_hv::{GuestCtx, GuestOp, GuestProgram};
 use svt_sim::{SimDuration, SimTime};
 use svt_virtio::Virtqueue;
-use svt_vmx::{MSR_TSC_DEADLINE, MSR_X2APIC_EOI, VECTOR_TIMER, VECTOR_VIRTIO};
 
 use crate::layout;
 

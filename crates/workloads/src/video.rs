@@ -11,11 +11,11 @@
 
 use std::collections::HashMap;
 
+use svt_arch::{MSR_TSC_DEADLINE, MSR_X2APIC_EOI, VECTOR_TIMER};
 use svt_hv::{GuestCtx, GuestOp, GuestProgram};
 use svt_mem::Hpa;
 use svt_sim::{DetRng, SimDuration, SimTime};
 use svt_virtio::{Virtqueue, BLK_T_IN};
-use svt_vmx::{MSR_TSC_DEADLINE, MSR_X2APIC_EOI, VECTOR_TIMER};
 
 use crate::layout;
 use crate::server::VECTOR_BLK;
@@ -239,7 +239,7 @@ impl GuestProgram for VideoPlayer {
                     .norm_duration(self.cfg.decode_mean, self.cfg.decode_jitter);
                 self.pending.push(GuestOp::Compute(d));
             }
-            VECTOR_BLK | svt_vmx::VECTOR_VIRTIO => {
+            VECTOR_BLK | svt_arch::VECTOR_VIRTIO => {
                 while let Some((head, _)) = self.queue.driver_take_used(ctx.mem).expect("blk ring")
                 {
                     self.inflight.remove(&head);

@@ -3,6 +3,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> layering: no vmx dependency outside the x86 backend and bench glue"
+# The arch refactor's structural claim: hv, core, virtio and workloads
+# speak only the ISA-neutral svt-arch vocabulary. A svt_vmx reference (or
+# a svt-vmx Cargo dependency) reappearing in any of them is a layering
+# regression, even if it compiles.
+if grep -rn 'svt_vmx\|svt-vmx' \
+    crates/hv crates/core crates/virtio crates/workloads \
+    --include='*.rs' --include='*.toml'; then
+    echo "FAIL: vmx leaked back into an ISA-neutral crate (use svt_arch instead)"
+    exit 1
+fi
+echo "ok   crates/{hv,core,virtio,workloads} are vmx-free"
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -59,6 +72,52 @@ if ! cmp -s /tmp/fig6_j1.json /tmp/fig6_j2.json; then
     exit 1
 fi
 echo "ok   fig6 --jobs 1 and --jobs 2 reports are byte-identical"
+
+echo "==> riscv smoke: cpuid-analogue + memcached through all three engines"
+cargo run -q -p svt-bench --bin fig6 -- --arch riscv --json /tmp/fig6_riscv.json >/dev/null
+python3 - <<'PY'
+import json, sys
+
+rep = json.load(open("/tmp/fig6_riscv.json"))
+results = dict(rep.get("results", []))
+if results.get("arch") != "riscv":
+    sys.exit(f"FAIL: report arch {results.get('arch')!r} != 'riscv'")
+sp = {s["name"]: s["speedup"] for s in rep.get("speedups", [])}
+
+ok = True
+# The qualitative Fig. 6 result must carry to the H-extension backend:
+# both SVt engines beat the baseline on the trap micro-benchmark.
+for name in ("sw_svt", "hw_svt"):
+    got = sp.get(name)
+    if got is None or got <= 1.0:
+        print(f"FAIL {name}: riscv speedup {got} not > 1.0")
+        ok = False
+    else:
+        print(f"ok   {name}: {got:.2f}x over the riscv baseline")
+
+# And memcached must complete work under every engine.
+for eng in ("baseline", "sw_svt", "hw_svt"):
+    cell = results.get(f"memcached_{eng}")
+    if not cell or cell["completed"] <= 0:
+        print(f"FAIL memcached_{eng}: no completed requests on riscv")
+        ok = False
+    else:
+        print(f"ok   memcached_{eng}: {cell['completed']:.0f} requests, "
+              f"{cell['throughput_rps']:.0f} rps")
+sys.exit(0 if ok else 1)
+PY
+# Watchdog cleanliness of the riscv engines, asserted by the dedicated
+# causal-profile test (violations must be empty under every engine).
+cargo test -q -p svt-workloads riscv_memcached_runs_all_engines_cleanly -- --nocapture \
+    | tail -2
+# Determinism of the riscv path across worker counts.
+cargo run -q -p svt-bench --bin fig6 -- --arch riscv --jobs 2 --json /tmp/fig6_riscv_j2.json >/dev/null
+if ! cmp -s /tmp/fig6_riscv.json /tmp/fig6_riscv_j2.json; then
+    echo "FAIL: riscv fig6 report differs between default jobs and --jobs 2"
+    diff /tmp/fig6_riscv.json /tmp/fig6_riscv_j2.json | head -20
+    exit 1
+fi
+echo "ok   riscv fig6 report is byte-identical across worker counts"
 
 echo "==> selfperf smoke: wall-clock self-benchmark schema and speedup band"
 cargo run -q -p svt-bench --bin selfperf -- --smoke --json /tmp/selfperf.json >/dev/null

@@ -14,7 +14,9 @@
 //! * [`stats`] — the paper's measurement methodology;
 //! * [`mem`] — guest memory and shared-memory rings;
 //! * [`cpu`] — the SMT core with SVt extensions;
-//! * [`vmx`] — VMCS, exit reasons, EPT, APIC;
+//! * [`arch`] — the ISA-neutral arch layer: VMCS analogue, exit
+//!   reasons, EPT, APIC, and the x86/riscv backend dispatch;
+//! * [`vmx`] — the x86 backend facade (re-exports [`arch`]);
 //! * [`hv`] — the machine and the baseline nested hypervisor;
 //! * [`core`] — the SVt contribution (HW and SW engines);
 //! * [`virtio`] — virtqueues, virtio-net, virtio-blk;
@@ -47,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub use svt_arch as arch;
 pub use svt_core as core;
 pub use svt_cpu as cpu;
 pub use svt_hv as hv;
