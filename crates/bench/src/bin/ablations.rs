@@ -2,7 +2,9 @@
 //! VMCS shadowing, the SW-SVt channel wait mechanism and placement, and
 //! cross-context register access granularity.
 
-use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
+use svt_bench::{
+    cost_model_json, hostprof_begin, hostprof_finish, machine_json, print_header, rule, BenchCli,
+};
 use svt_core::{
     machine_with, BypassReflector, HwSvtReflector, SwSvtReflector, SwitchMode, WaitMode,
 };
@@ -21,7 +23,8 @@ fn cpuid_us(m: &mut Machine, iters: u64) -> f64 {
 
 fn main() {
     let cli = BenchCli::parse();
-    cli.handle_help("svt-bench ablations [--json r.json]");
+    cli.handle_help("svt-bench ablations [--json r.json] [--hostprof]");
+    hostprof_begin(&cli);
     cli.require_arch_x86("ablations");
     print_header("Ablations");
     let mut sections: Vec<(String, Vec<(String, f64)>)> = Vec::new();
@@ -124,5 +127,6 @@ fn main() {
             ),
         ));
     }
+    hostprof_finish(&cli, &mut report);
     cli.emit_report(&report);
 }

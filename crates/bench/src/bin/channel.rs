@@ -1,14 +1,17 @@
 //! Regenerates the 6.1 channel study: signaling latency by mechanism,
 //! placement and surrounding workload size.
 
-use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
+use svt_bench::{
+    cost_model_json, hostprof_begin, hostprof_finish, machine_json, print_header, rule, BenchCli,
+};
 use svt_obs::{Json, RunReport};
 use svt_sim::CostModel;
 use svt_workloads::{channel_study, default_workloads, simulate_channel_round_ns, Mechanism};
 
 fn main() {
     let cli = BenchCli::parse();
-    cli.handle_help("svt-bench channel [--json r.json]");
+    cli.handle_help("svt-bench channel [--json r.json] [--hostprof]");
+    hostprof_begin(&cli);
     cli.require_arch_x86("channel");
     print_header("Section 6.1 - SW SVt communication-channel study");
     let cost = CostModel::default();
@@ -72,5 +75,6 @@ fn main() {
     report
         .results
         .push(("cells".to_string(), Json::Arr(cell_rows)));
+    hostprof_finish(&cli, &mut report);
     cli.emit_report(&report);
 }

@@ -20,8 +20,8 @@
 //! cell never degrades).
 
 use svt_bench::{
-    faults_campaign, faults_report, print_header, rule, BenchCli, FAULTS_DEFAULT_SEED,
-    FAULTS_MODES, FAULTS_N_VCPUS, SERVE_RATE_QPS,
+    faults_campaign, faults_report, hostprof_begin, hostprof_finish, print_header, rule, BenchCli,
+    FAULTS_DEFAULT_SEED, FAULTS_MODES, FAULTS_N_VCPUS, SERVE_RATE_QPS,
 };
 use svt_core::SwitchMode;
 use svt_sim::FaultPlan;
@@ -30,9 +30,10 @@ use svt_workloads::{memcached_telemetry, TelemetryOpts};
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help(
-        "svt-bench faults [--smoke] [--json r.json] [--timeline t.json] [--dump d.json] \
-         [--dump-on-exit] [--seed n] [--jobs n]",
+        "svt-bench faults [--smoke] [--json r.json] [--hostprof] [--timeline t.json] \
+         [--dump d.json] [--dump-on-exit] [--seed n] [--jobs n]",
     );
+    hostprof_begin(&cli);
     cli.require_arch_x86("faults");
     let smoke = cli.flag("--smoke");
     let seed = cli.seed_or(FAULTS_DEFAULT_SEED);
@@ -100,5 +101,7 @@ fn main() {
             cli.emit_json("flight dump", path, &dump);
         }
     }
-    cli.emit_report(&faults_report(&cells, seed));
+    let mut report = faults_report(&cells, seed);
+    hostprof_finish(&cli, &mut report);
+    cli.emit_report(&report);
 }

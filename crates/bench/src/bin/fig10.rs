@@ -1,6 +1,8 @@
 //! Regenerates Fig. 10: video-playback dropped frames.
 
-use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
+use svt_bench::{
+    cost_model_json, hostprof_begin, hostprof_finish, machine_json, print_header, rule, BenchCli,
+};
 use svt_core::SwitchMode;
 use svt_obs::{Json, RunReport};
 use svt_sim::CostModel;
@@ -8,7 +10,8 @@ use svt_workloads::video_playback;
 
 fn main() {
     let cli = BenchCli::parse();
-    cli.handle_help("svt-bench fig10 [--quick] [--json r.json] [--seed n]");
+    cli.handle_help("svt-bench fig10 [--quick] [--json r.json] [--hostprof] [--seed n]");
+    hostprof_begin(&cli);
     cli.require_arch_x86("fig10");
     let quick = cli.flag("--quick");
     let secs = if quick { 60 } else { 300 };
@@ -58,5 +61,6 @@ fn main() {
     report
         .results
         .push(("playback_secs".to_string(), Json::from(secs)));
+    hostprof_finish(&cli, &mut report);
     cli.emit_report(&report);
 }

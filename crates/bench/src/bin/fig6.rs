@@ -11,11 +11,15 @@
 //! column, so the table prints without the paper reference.
 
 use svt_arch::ArchId;
-use svt_bench::{fig6_report, print_header, riscv_grid, riscv_report, rule, BenchCli};
+use svt_bench::{
+    fig6_report, hostprof_begin, hostprof_finish, print_header, riscv_grid, riscv_report, rule,
+    BenchCli,
+};
 
 fn main() {
     let cli = BenchCli::parse();
-    cli.handle_help("svt-bench fig6 [--json r.json] [--jobs n] [--arch x86|riscv]");
+    cli.handle_help("svt-bench fig6 [--json r.json] [--hostprof] [--jobs n] [--arch x86|riscv]");
+    hostprof_begin(&cli);
     if cli.arch() == ArchId::Riscv {
         return riscv_main(&cli);
     }
@@ -45,7 +49,8 @@ fn main() {
 
     // The cpuid micro-benchmark is load-free; the seed is recorded so
     // every bench report carries the same reproducibility field.
-    let report = fig6_report(&grid, cli.seed_or(svt_workloads::DEFAULT_LANE_SEED));
+    let mut report = fig6_report(&grid, cli.seed_or(svt_workloads::DEFAULT_LANE_SEED));
+    hostprof_finish(&cli, &mut report);
     cli.emit_report(&report);
 }
 
@@ -80,6 +85,7 @@ fn riscv_main(cli: &BenchCli) {
             p.p99_ns / 1_000.0
         );
     }
-    let report = riscv_report(&grid, seed);
+    let mut report = riscv_report(&grid, seed);
+    hostprof_finish(cli, &mut report);
     cli.emit_report(&report);
 }

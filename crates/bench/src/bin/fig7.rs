@@ -1,12 +1,16 @@
 //! Regenerates Fig. 7: I/O subsystem speedups.
 
-use svt_bench::{cost_model_json, machine_json, print_header, rule, vs_paper, BenchCli};
+use svt_bench::{
+    cost_model_json, hostprof_begin, hostprof_finish, machine_json, print_header, rule, vs_paper,
+    BenchCli,
+};
 use svt_obs::{Json, RunReport, SpeedupRow};
 use svt_sim::CostModel;
 
 fn main() {
     let cli = BenchCli::parse();
-    cli.handle_help("svt-bench fig7 [scale] [--json r.json]");
+    cli.handle_help("svt-bench fig7 [scale] [--json r.json] [--hostprof]");
+    hostprof_begin(&cli);
     cli.require_arch_x86("fig7");
     let scale = cli.positional_or(0, 1u64);
     print_header("Fig. 7 - speedup of SVt on various I/O subsystems");
@@ -64,5 +68,6 @@ fn main() {
     report
         .results
         .push(("benchmarks".to_string(), Json::Arr(bench_rows)));
+    hostprof_finish(&cli, &mut report);
     cli.emit_report(&report);
 }

@@ -1,6 +1,8 @@
 //! Regenerates Fig. 8: memcached latency under Facebook's ETC load.
 
-use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
+use svt_bench::{
+    cost_model_json, hostprof_begin, hostprof_finish, machine_json, print_header, rule, BenchCli,
+};
 use svt_core::SwitchMode;
 use svt_obs::{Json, RunReport, SpeedupRow};
 use svt_sim::CostModel;
@@ -8,7 +10,8 @@ use svt_workloads::{default_rates, fig8_series_seeded, DEFAULT_LANE_SEED, SLA_NS
 
 fn main() {
     let cli = BenchCli::parse();
-    cli.handle_help("svt-bench fig8 [--quick] [--json r.json] [--seed n]");
+    cli.handle_help("svt-bench fig8 [--quick] [--json r.json] [--hostprof] [--seed n]");
+    hostprof_begin(&cli);
     cli.require_arch_x86("fig8");
     let quick = cli.flag("--quick");
     let seed = cli.seed_or(DEFAULT_LANE_SEED);
@@ -77,5 +80,6 @@ fn main() {
     report
         .results
         .push(("sla_ns".to_string(), Json::Num(SLA_NS)));
+    hostprof_finish(&cli, &mut report);
     cli.emit_report(&report);
 }

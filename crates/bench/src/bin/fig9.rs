@@ -1,13 +1,17 @@
 //! Regenerates Fig. 9: TPC-C throughput.
 
-use svt_bench::{cost_model_json, machine_json, print_header, rule, vs_paper, BenchCli};
+use svt_bench::{
+    cost_model_json, hostprof_begin, hostprof_finish, machine_json, print_header, rule, vs_paper,
+    BenchCli,
+};
 use svt_core::SwitchMode;
 use svt_obs::{Json, RunReport, SpeedupRow};
 use svt_sim::CostModel;
 
 fn main() {
     let cli = BenchCli::parse();
-    cli.handle_help("svt-bench fig9 [--quick] [--json r.json] [--seed n]");
+    cli.handle_help("svt-bench fig9 [--quick] [--json r.json] [--hostprof] [--seed n]");
+    hostprof_begin(&cli);
     cli.require_arch_x86("fig9");
     let quick = cli.flag("--quick");
     let seed = cli.seed_or(svt_workloads::DEFAULT_LANE_SEED);
@@ -40,5 +44,6 @@ fn main() {
             ("txns", Json::from(txns)),
         ]),
     ));
+    hostprof_finish(&cli, &mut report);
     cli.emit_report(&report);
 }

@@ -1,0 +1,60 @@
+//! Host-cost self-profile: where the *simulator's own* time goes.
+//!
+//! The paper's argument is about shaving nanoseconds off the simulated
+//! trap path; this bin measures the host nanoseconds the simulator spends
+//! *producing* each simulated trap, attributed per subsystem (event pump,
+//! reflection emulation, ring protocol, telemetry, metrics, fault rolls),
+//! alongside deterministic allocation counters and trap-shape analytics.
+//!
+//! Three outputs size the optimization roadmap:
+//!
+//! * per-subsystem host ns/event — which subsystem a parallel scheduler
+//!   or a hot-path rewrite should attack first;
+//! * allocs/event and bytes/event — byte-identical at any `--jobs`, so
+//!   the perfgate holds them to exact bands;
+//! * the trap-shape census — "X% of traps replay Y distinct shapes" is
+//!   the memoization headroom a shape-keyed trap cache could capture.
+//!
+//! This bin installs the counting allocator, so the allocation columns
+//! are live (in bins without it they read zero). The profiler is armed
+//! unconditionally here; `--hostprof` on the other bins opts them in.
+
+use svt_bench::{
+    hostprof_campaign, hostprof_report, print_header, print_hostprof, rule, BenchCli,
+    HOSTPROF_N_VCPUS,
+};
+use svt_workloads::DEFAULT_LANE_SEED;
+
+#[global_allocator]
+static ALLOC: svt_obs::CountingAlloc = svt_obs::CountingAlloc;
+
+fn main() {
+    let cli = BenchCli::parse();
+    cli.handle_help(
+        "svt-bench hostprof [requests] [--json r.json] [--seed n] [--jobs n] \
+         [--arch x86|riscv]",
+    );
+    let arch = cli.arch();
+    let seed = cli.seed_or(DEFAULT_LANE_SEED);
+    let requests: u64 = cli.positional_or(0, 120);
+    print_header("Host-cost self-profile - per-subsystem wall/alloc attribution + trap shapes");
+    println!(
+        "workload: sharded memcached, {HOSTPROF_N_VCPUS} vCPUs x 3 engines, {requests} requests/lane, arch {arch}",
+    );
+    let run = hostprof_campaign(arch, requests, seed, cli.jobs);
+    print_hostprof(&run.agg);
+    println!();
+    rule();
+    let coverage = run.coverage();
+    println!(
+        "attribution coverage: {:.1}% of the sweep's {:.2} ms wall-clock \
+         (remainder = sweep-engine overhead outside machine runs)",
+        100.0 * coverage,
+        run.wall_ns as f64 / 1e6
+    );
+    println!(
+        "campaign: {} cells, {} workers, {} requests completed, {} traps profiled",
+        run.cells, run.jobs, run.completed, run.agg.events
+    );
+    cli.emit_report(&hostprof_report(&run, arch, seed));
+}

@@ -11,7 +11,7 @@
 //! measurably smaller.
 //!
 //! ```text
-//! svt-bench profile [workload] [vcpus] [--smoke] [--json r.json] [--trace t.json]
+//! svt-bench profile [workload] [vcpus] [--smoke] [--json r.json] [--hostprof] [--trace t.json]
 //! ```
 //!
 //! `workload` is `memcached`, `tpcc` or `all` (default); `--smoke`
@@ -20,7 +20,9 @@
 
 use std::collections::BTreeMap;
 
-use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
+use svt_bench::{
+    cost_model_json, hostprof_begin, hostprof_finish, machine_json, print_header, rule, BenchCli,
+};
 use svt_core::SwitchMode;
 use svt_obs::{fold_paths, CriticalPathRow, Json, ObsLevel, RunReport};
 use svt_sim::CostModel;
@@ -150,6 +152,7 @@ fn report_rows(report: &mut RunReport, workload: &str, run: &ConfigRun) {
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help("svt-bench profile [memcached|tpcc|all] [vcpus] [--smoke] [--jobs n]");
+    hostprof_begin(&cli);
     cli.require_arch_x86("profile");
     let smoke = cli.flag("--smoke");
     let workload = cli
@@ -233,5 +236,6 @@ fn main() {
     if let Some((_, _, sw)) = runs.last() {
         cli.emit_trace(&sw.profile.spans, &sw.profile.flows);
     }
+    hostprof_finish(&cli, &mut report);
     cli.emit_report(&report);
 }

@@ -22,12 +22,17 @@
 //! The measurement machinery lives in `svt_bench::selfperf_rows` so the
 //! gate re-runs exactly the grids the baseline was produced from.
 
-use svt_bench::{print_header, rule, selfperf_report, selfperf_rows, BenchCli};
+use svt_bench::{
+    hostprof_begin, hostprof_finish, print_header, rule, selfperf_report, selfperf_rows, BenchCli,
+};
 use svt_workloads::DEFAULT_LANE_SEED;
 
 fn main() {
     let cli = BenchCli::parse();
-    cli.handle_help("svt-bench selfperf [--smoke] [--json r.json] [--seed n] [--jobs n]");
+    cli.handle_help(
+        "svt-bench selfperf [--smoke] [--json r.json] [--hostprof] [--seed n] [--jobs n]",
+    );
+    hostprof_begin(&cli);
     cli.require_arch_x86("selfperf");
     let smoke = cli.flag("--smoke");
     let seed = cli.seed_or(DEFAULT_LANE_SEED);
@@ -54,8 +59,17 @@ fn main() {
     );
     rule();
     for r in &rows {
+        // A speedup ratio only means something when two worker counts
+        // actually competed; on a 1-core host (or --jobs 1) the two
+        // passes are the same configuration and the ratio is run-to-run
+        // noise, so the column says so instead of printing ~1.00x.
+        let speedup = if r.speedup_meaningful() {
+            format!("{:.2}x", r.speedup())
+        } else {
+            "n/a".to_string()
+        };
         println!(
-            "{:<10}{:>6}{:>6}{:>9}{:>13.2}{:>13.2}{:>12.0}{:>11.0}{:>8.2}x",
+            "{:<10}{:>6}{:>6}{:>9}{:>13.2}{:>13.2}{:>12.0}{:>11.0}{:>9}",
             r.name,
             r.cells,
             r.jobs,
@@ -64,10 +78,18 @@ fn main() {
             r.wall_ns_jn / 1e6,
             r.events_per_sec(r.wall_ns_jn),
             r.ns_per_event(r.wall_ns_jn),
-            r.speedup()
+            speedup
         );
     }
     rule();
+    if rows.iter().any(|r| !r.speedup_meaningful()) {
+        println!(
+            "speedup n/a: both passes ran one worker (host parallelism 1 or --jobs 1), \
+             so the j1/jN ratio measures noise, not parallelism"
+        );
+    }
 
-    cli.emit_report(&selfperf_report(&rows, seed, jobs_n));
+    let mut report = selfperf_report(&rows, seed, jobs_n);
+    hostprof_finish(&cli, &mut report);
+    cli.emit_report(&report);
 }

@@ -17,8 +17,8 @@
 
 use svt_arch::ArchId;
 use svt_bench::{
-    print_header, rule, smp_report_on, smp_series_on, BenchCli, SERVE_RATE_QPS, SMP_REQUESTS,
-    SMP_VCPU_COUNTS,
+    hostprof_begin, hostprof_finish, print_header, rule, smp_report_on, smp_series_on, BenchCli,
+    SERVE_RATE_QPS, SMP_REQUESTS, SMP_VCPU_COUNTS,
 };
 use svt_core::SwitchMode;
 use svt_sim::FaultPlan;
@@ -27,9 +27,10 @@ use svt_workloads::{memcached_telemetry, TelemetryOpts, DEFAULT_LANE_SEED};
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help(
-        "svt-bench smp [--json r.json] [--timeline t.json] [--dump d.json] [--dump-on-exit] \
-         [--seed n] [--jobs n] [--arch x86|riscv]",
+        "svt-bench smp [--json r.json] [--hostprof] [--timeline t.json] [--dump d.json] \
+         [--dump-on-exit] [--seed n] [--jobs n] [--arch x86|riscv]",
     );
+    hostprof_begin(&cli);
     let arch = cli.arch();
     let seed = cli.seed_or(DEFAULT_LANE_SEED);
     match arch {
@@ -93,5 +94,7 @@ fn main() {
             cli.emit_json("flight dump", path, &dump);
         }
     }
-    cli.emit_report(&smp_report_on(arch, &series, seed));
+    let mut report = smp_report_on(arch, &series, seed);
+    hostprof_finish(&cli, &mut report);
+    cli.emit_report(&report);
 }

@@ -2,7 +2,9 @@
 //! reproduction's measurement. Uses reduced iteration counts; the
 //! per-figure binaries produce the full-fidelity versions.
 
-use svt_bench::{cost_model_json, machine_json, print_header, rule, BenchCli};
+use svt_bench::{
+    cost_model_json, hostprof_begin, hostprof_finish, machine_json, print_header, rule, BenchCli,
+};
 use svt_core::SwitchMode;
 use svt_hv::Level;
 use svt_obs::{Json, RunReport, SpeedupRow};
@@ -10,7 +12,8 @@ use svt_sim::CostModel;
 
 fn main() {
     let cli = BenchCli::parse();
-    cli.handle_help("svt-bench summary [--json r.json] [--seed n]");
+    cli.handle_help("svt-bench summary [--json r.json] [--hostprof] [--seed n]");
+    hostprof_begin(&cli);
     cli.require_arch_x86("summary");
     let seed = cli.seed_or(svt_workloads::DEFAULT_LANE_SEED);
     print_header("SVt reproduction - headline summary (quick settings)");
@@ -117,5 +120,6 @@ fn main() {
         ]),
     ));
     println!("See EXPERIMENTS.md for full-fidelity runs and the deviation discussion.");
+    hostprof_finish(&cli, &mut report);
     cli.emit_report(&report);
 }

@@ -1,12 +1,16 @@
 //! Regenerates Table 1: the time breakdown of one `cpuid` in a nested VM.
 
-use svt_bench::{cost_model_json, machine_json, print_header, rule, vs_paper, BenchCli};
+use svt_bench::{
+    cost_model_json, hostprof_begin, hostprof_finish, machine_json, print_header, rule, vs_paper,
+    BenchCli,
+};
 use svt_obs::{Json, PartRow, RunReport};
 use svt_sim::CostModel;
 
 fn main() {
     let cli = BenchCli::parse();
-    cli.handle_help("svt-bench table1 [--json r.json]");
+    cli.handle_help("svt-bench table1 [--json r.json] [--hostprof]");
+    hostprof_begin(&cli);
     cli.require_arch_x86("table1");
     print_header("Table 1 - cpuid breakdown in a nested VM (baseline)");
     let rows = svt_workloads::table1(200);
@@ -48,5 +52,6 @@ fn main() {
             paper_us: Some(r.paper_us),
         });
     }
+    hostprof_finish(&cli, &mut report);
     cli.emit_report(&report);
 }

@@ -4,7 +4,7 @@
 //! KVM +2432, other +227 LOC). The reproduction's equivalent is the size
 //! of the SVt contribution crate relative to the substrate it modifies.
 
-use svt_bench::{machine_json, print_header, rule, BenchCli};
+use svt_bench::{hostprof_begin, hostprof_finish, machine_json, print_header, rule, BenchCli};
 use svt_obs::{Json, RunReport};
 
 fn count_rust_loc(dir: &str) -> usize {
@@ -29,7 +29,8 @@ fn count_rust_loc(dir: &str) -> usize {
 
 fn main() {
     let cli = BenchCli::parse();
-    cli.handle_help("svt-bench table3 [--json r.json]");
+    cli.handle_help("svt-bench table3 [--json r.json] [--hostprof]");
+    hostprof_begin(&cli);
     cli.require_arch_x86("table3");
     print_header("Table 3 analogue - lines of code of this reproduction");
     println!("Paper's prototype patch: QEMU +654, Linux/KVM +2432, Linux/other +227");
@@ -68,5 +69,6 @@ fn main() {
         Json::from(cli.seed_or(svt_workloads::DEFAULT_LANE_SEED)),
     ));
     report.results.push(("crates".to_string(), Json::Arr(rows)));
+    hostprof_finish(&cli, &mut report);
     cli.emit_report(&report);
 }

@@ -17,16 +17,20 @@
 //!   cell;
 //! * `--json <path>` writes the full run report embedding both.
 
-use svt_bench::{print_header, rule, timeline_cells, timeline_report, timelines_json, BenchCli};
+use svt_bench::{
+    hostprof_begin, hostprof_finish, print_header, rule, timeline_cells, timeline_report,
+    timelines_json, BenchCli,
+};
 use svt_sim::SimDuration;
 use svt_workloads::DEFAULT_LANE_SEED;
 
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help(
-        "svt-bench timeline [cadence_us] [--smoke] [--json r.json] [--timeline t.json] \
-         [--dump d.json] [--dump-on-exit] [--seed n] [--jobs n]",
+        "svt-bench timeline [cadence_us] [--smoke] [--json r.json] [--hostprof] \
+         [--timeline t.json] [--dump d.json] [--dump-on-exit] [--seed n] [--jobs n]",
     );
+    hostprof_begin(&cli);
     cli.require_arch_x86("timeline");
     let smoke = cli.flag("--smoke");
     let seed = cli.seed_or(DEFAULT_LANE_SEED);
@@ -75,5 +79,7 @@ fn main() {
             .unwrap_or(svt_obs::Json::Null);
         cli.emit_json("flight dump", path, &dump);
     }
-    cli.emit_report(&timeline_report(&cells, seed, cadence));
+    let mut report = timeline_report(&cells, seed, cadence);
+    hostprof_finish(&cli, &mut report);
+    cli.emit_report(&report);
 }

@@ -147,6 +147,14 @@ impl BenchCli {
         self.flag("--dump-on-exit")
     }
 
+    /// Whether `--hostprof` was given: arm the host-cost self-profiler
+    /// (per-subsystem wall/alloc attribution + trap-shape analytics) for
+    /// every machine the bench constructs, print the summary table and
+    /// attach the `hostprof` report section.
+    pub fn hostprof(&self) -> bool {
+        self.flag("--hostprof")
+    }
+
     /// The ISA backend requested with `--arch`, defaulting to
     /// [`svt_arch::ArchId::X86`] so that committed baseline reports stay
     /// valid. An unrecognized spelling is reported on stderr and exits
@@ -191,7 +199,7 @@ impl BenchCli {
         println!("usage: {usage}");
         println!();
         println!("standard flags (every svt-bench binary):");
-        println!("  --json <path>   write the machine-readable run report (schema v2)");
+        println!("  --json <path>   write the machine-readable run report (schema v3)");
         println!("  --trace <path>  write a Chrome trace of the run's spans, if recorded");
         println!("  --seed <n>      deterministic seed for load generators / fault plans");
         println!("  --jobs <n>      sweep worker threads (env fallback SVT_JOBS, default =");
@@ -203,6 +211,11 @@ impl BenchCli {
         println!("  --timeline <path>  write the windowed time-series export, if sampled");
         println!("  --dump <path>   write flight-recorder crash dumps, if recorded");
         println!("  --dump-on-exit  trip the flight recorder at end of run regardless");
+        println!("  --hostprof      profile the simulator itself: per-subsystem host");
+        println!("                  wall/alloc attribution + trap-shape analytics,");
+        println!("                  printed and attached to the report (alloc counters");
+        println!("                  need a bin with the counting allocator installed,");
+        println!("                  e.g. the hostprof and perfgate bins)");
         println!("  --help          this message");
         std::process::exit(0);
     }

@@ -194,18 +194,28 @@ pub fn gate_selfperf(
             bands.max_slowdown,
         ));
 
-        let (bv, fv) = (
-            num_field(b, "speedup", what)?,
-            num_field(f, "speedup", what)?,
-        );
-        deltas.push(WorkloadDelta::wall_clock(
-            name,
-            "speedup",
-            bv,
-            fv,
-            bv / fv,
-            bands.max_slowdown,
-        ));
+        // On single-core hosts (or one-cell grids) the jobs-1-vs-N
+        // "speedup" is pure measurement noise around 1.0 — either run
+        // marking it not meaningful skips the comparison entirely.
+        let meaningful = |row: &Json| {
+            row.get("speedup_meaningful")
+                .and_then(Json::as_bool)
+                .unwrap_or(true)
+        };
+        if meaningful(b) && meaningful(f) {
+            let (bv, fv) = (
+                num_field(b, "speedup", what)?,
+                num_field(f, "speedup", what)?,
+            );
+            deltas.push(WorkloadDelta::wall_clock(
+                name,
+                "speedup",
+                bv,
+                fv,
+                bv / fv,
+                bands.max_slowdown,
+            ));
+        }
     }
     Ok(deltas)
 }
@@ -250,6 +260,95 @@ pub fn gate_fig6(
             ok: drift <= bands.fig6_drift,
         });
     }
+    Ok(deltas)
+}
+
+fn exact_delta(name: &str, metric: &'static str, bv: f64, fv: f64) -> WorkloadDelta {
+    WorkloadDelta {
+        name: name.to_string(),
+        metric,
+        baseline: bv,
+        fresh: fv,
+        ratio: (fv - bv).abs(),
+        band: 0.0,
+        ok: fv == bv,
+    }
+}
+
+/// Gates a fresh hostprof report against the committed baseline.
+///
+/// Two regimes, matching the report's split:
+///
+/// * **Deterministic counters** — total/per-subsystem allocation and byte
+///   counts, profiled events, and the trap-shape census (distinct shapes,
+///   shape total) are pure functions of workload + seed and must match
+///   **exactly** (band 0): any drift is a behavior change — an allocation
+///   added to a hot path, a trap taking a different emulation path.
+/// * **Wall-clock** — host ns/event is held to [`GateBands::max_slowdown`]
+///   like every other wall metric.
+pub fn gate_hostprof(
+    baseline: &Json,
+    fresh: &Json,
+    bands: &GateBands,
+) -> Result<Vec<WorkloadDelta>, String> {
+    let bh = baseline
+        .get("hostprof")
+        .filter(|j| **j != Json::Null)
+        .ok_or("baseline hostprof: missing `hostprof` section")?;
+    let fh = fresh
+        .get("hostprof")
+        .filter(|j| **j != Json::Null)
+        .ok_or("fresh hostprof: missing `hostprof` section")?;
+    let mut deltas = Vec::new();
+    for metric in [
+        "events",
+        "total_allocs",
+        "total_bytes",
+        "distinct_shapes",
+        "shape_total",
+    ] {
+        let bv = num_field(bh, metric, "baseline hostprof")?;
+        let fv = num_field(fh, metric, "fresh hostprof")?;
+        deltas.push(exact_delta("hostprof", metric, bv, fv));
+    }
+    let base_parts = bh
+        .get("parts")
+        .and_then(Json::as_arr)
+        .ok_or("baseline hostprof: missing `parts` array")?;
+    let fresh_parts = fh
+        .get("parts")
+        .and_then(Json::as_arr)
+        .ok_or("fresh hostprof: missing `parts` array")?;
+    for b in base_parts {
+        let name = str_field(b, "part", "baseline hostprof part")?;
+        let f = fresh_parts
+            .iter()
+            .find(|r| r.get("part").and_then(Json::as_str) == Some(name))
+            .ok_or_else(|| format!("fresh hostprof run is missing part `{name}`"))?;
+        let what = &format!("hostprof part `{name}`");
+        deltas.push(exact_delta(
+            name,
+            "allocs",
+            num_field(b, "allocs", what)?,
+            num_field(f, "allocs", what)?,
+        ));
+        deltas.push(exact_delta(
+            name,
+            "bytes",
+            num_field(b, "bytes", what)?,
+            num_field(f, "bytes", what)?,
+        ));
+    }
+    let bv = num_field(bh, "wall_ns_per_event", "baseline hostprof")?;
+    let fv = num_field(fh, "wall_ns_per_event", "fresh hostprof")?;
+    deltas.push(WorkloadDelta::wall_clock(
+        "hostprof",
+        "wall_ns_per_event",
+        bv,
+        fv,
+        fv / bv,
+        bands.max_slowdown,
+    ));
     Ok(deltas)
 }
 
@@ -332,6 +431,82 @@ mod tests {
         let deltas = gate_fig6(&base, &drifted, &GateBands::default()).unwrap();
         assert!(!gate_passes(&deltas));
         assert!(!deltas[0].ok && deltas[1].ok);
+    }
+
+    fn hostprof_doc(allocs: f64, wall_ns_per_event: f64) -> Json {
+        Json::obj([(
+            "hostprof",
+            Json::obj([
+                ("events", Json::Num(100.0)),
+                ("total_allocs", Json::Num(allocs)),
+                ("total_bytes", Json::Num(4096.0)),
+                ("distinct_shapes", Json::Num(5.0)),
+                ("shape_total", Json::Num(100.0)),
+                ("wall_ns_per_event", Json::Num(wall_ns_per_event)),
+                (
+                    "parts",
+                    Json::Arr(vec![Json::obj([
+                        ("part", Json::from("reflection")),
+                        ("allocs", Json::Num(allocs)),
+                        ("bytes", Json::Num(4096.0)),
+                    ])]),
+                ),
+            ]),
+        )])
+    }
+
+    #[test]
+    fn hostprof_identical_runs_and_wall_noise_pass() {
+        let base = hostprof_doc(480.0, 3000.0);
+        let deltas = gate_hostprof(&base, &base, &GateBands::default()).unwrap();
+        assert!(gate_passes(&deltas), "{}", delta_table(&deltas));
+        // Wall noise inside the 1.8x band passes; the counters still
+        // matched exactly.
+        let noisy = hostprof_doc(480.0, 4500.0);
+        let deltas = gate_hostprof(&base, &noisy, &GateBands::default()).unwrap();
+        assert!(gate_passes(&deltas), "{}", delta_table(&deltas));
+    }
+
+    #[test]
+    fn hostprof_single_alloc_drift_fails() {
+        // The alloc counters are deterministic, so even one extra
+        // allocation trips the exact (band-0) comparison.
+        let base = hostprof_doc(480.0, 3000.0);
+        let drifted = hostprof_doc(481.0, 3000.0);
+        let deltas = gate_hostprof(&base, &drifted, &GateBands::default()).unwrap();
+        assert!(!gate_passes(&deltas));
+        let bad: Vec<_> = deltas.iter().filter(|d| !d.ok).collect();
+        assert_eq!(bad.len(), 2, "total and per-part allocs both trip");
+        assert!(bad.iter().all(|d| d.band == 0.0));
+    }
+
+    #[test]
+    fn hostprof_2x_wall_regression_fails() {
+        let base = hostprof_doc(480.0, 3000.0);
+        let slow = hostprof_doc(480.0, 6000.0);
+        let deltas = gate_hostprof(&base, &slow, &GateBands::default()).unwrap();
+        assert!(!gate_passes(&deltas));
+        let bad: Vec<_> = deltas.iter().filter(|d| !d.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "wall_ns_per_event");
+    }
+
+    #[test]
+    fn meaningless_speedup_rows_are_skipped() {
+        let mark = |doc: Json, meaningful: bool| -> Json {
+            let s = doc.to_string().replace(
+                "\"speedup\"",
+                &format!("\"speedup_meaningful\": {meaningful}, \"speedup\""),
+            );
+            Json::parse(&s).unwrap()
+        };
+        let base = mark(selfperf_doc(8500.0, 117_000.0, 0.98), false);
+        // A "speedup" change on a single-worker host is noise; with the
+        // row marked not meaningful the gate never compares it.
+        let fresh = mark(selfperf_doc(8500.0, 117_000.0, 0.49), false);
+        let deltas = gate_selfperf(&base, &fresh, &GateBands::default()).unwrap();
+        assert_eq!(deltas.len(), 2, "{}", delta_table(&deltas));
+        assert!(gate_passes(&deltas));
     }
 
     #[test]

@@ -11,16 +11,19 @@ mod gate;
 mod runs;
 
 pub use cli::{BenchCli, EmitError};
-pub use gate::{delta_table, gate_fig6, gate_passes, gate_selfperf, GateBands, WorkloadDelta};
+pub use gate::{
+    delta_table, gate_fig6, gate_hostprof, gate_passes, gate_selfperf, GateBands, WorkloadDelta,
+};
 pub use runs::{
-    fault_cell_json, faults_campaign, faults_report, fig6_report, riscv_grid, riscv_report,
-    selfperf_measure, selfperf_report, selfperf_rows, smp_report, smp_report_on, smp_series,
-    smp_series_on, timeline_cells, timeline_report, timelines_json, FaultCell, RiscvGrid,
-    SelfperfRow, TimelineCell, FAULTS_DEFAULT_SEED, FAULTS_MODES, FAULTS_N_VCPUS, RISCV_SMP_VCPUS,
+    fault_cell_json, faults_campaign, faults_report, fig6_report, hostprof_campaign,
+    hostprof_report, riscv_grid, riscv_report, selfperf_measure, selfperf_report, selfperf_rows,
+    smp_report, smp_report_on, smp_series, smp_series_on, timeline_cells, timeline_report,
+    timelines_json, FaultCell, HostprofRun, RiscvGrid, SelfperfRow, TimelineCell,
+    FAULTS_DEFAULT_SEED, FAULTS_MODES, FAULTS_N_VCPUS, HOSTPROF_N_VCPUS, RISCV_SMP_VCPUS,
     SELFPERF_FAULT_RATES, SELFPERF_FIG6_GRID, SELFPERF_SMP_VCPUS, SERVE_RATE_QPS, SMP_REQUESTS,
     SMP_VCPU_COUNTS, TIMELINE_FAULT_RATE, TIMELINE_N_VCPUS,
 };
-use svt_obs::Json;
+use svt_obs::{hostprof, HostAgg, HostPart, Json, RunReport};
 use svt_sim::{CostModel, MachineSpec, VmSpec};
 
 /// Prints the standard header with the simulated platform (Table 4).
@@ -87,6 +90,109 @@ pub fn cost_model_json(cost: &CostModel) -> Json {
             .map(|(name, v)| (name.to_string(), Json::Num(v)))
             .collect(),
     )
+}
+
+/// Arms the host-cost self-profiler when `--hostprof` was given: every
+/// machine built from here on attributes its own host time (and, in bins
+/// with [`svt_obs::CountingAlloc`] installed, allocations) per subsystem.
+/// Drains any stale aggregate so the bench starts from zero. Call right
+/// after `handle_help`.
+pub fn hostprof_begin(cli: &BenchCli) {
+    if !cli.hostprof() {
+        return;
+    }
+    hostprof::set_enabled(true);
+    let _ = hostprof::take_global();
+}
+
+/// Collects the host-cost self-profile at the end of a `--hostprof` run:
+/// disarms the profiler, drains the process-wide aggregate, prints the
+/// per-subsystem summary and attaches the `hostprof` section to `report`.
+/// A no-op without `--hostprof`; warns when the flag was given but no
+/// profiled machine ran.
+pub fn hostprof_finish(cli: &BenchCli, report: &mut RunReport) {
+    if !cli.hostprof() {
+        return;
+    }
+    hostprof::set_enabled(false);
+    match hostprof::take_global() {
+        Some(agg) => {
+            print_hostprof(&agg);
+            report.hostprof = Some(agg.to_json());
+        }
+        None => eprintln!("warning: --hostprof given but no profiled machine run finished"),
+    }
+}
+
+/// Prints the per-subsystem host-cost table and trap-shape analytics.
+pub fn print_hostprof(agg: &HostAgg) {
+    let events = agg.events.max(1) as f64;
+    let sim_ns = agg.sim_ns.max(1) as f64;
+    let total_wall = agg.total_wall_ns();
+    println!();
+    println!(
+        "host-cost self-profile ({} traps over {} machine runs)",
+        agg.events, agg.runs
+    );
+    rule();
+    println!(
+        "{:<14} {:>12} {:>9} {:>12} {:>12} {:>12}",
+        "subsystem", "wall ms", "wall %", "ns/event", "allocs/evt", "bytes/evt"
+    );
+    for p in HostPart::ALL {
+        let i = p as usize;
+        if agg.wall_ns[i] == 0 && agg.allocs[i] == 0 {
+            continue;
+        }
+        println!(
+            "{:<14} {:>12.2} {:>8.1}% {:>12.0} {:>12.3} {:>12.1}",
+            p.label(),
+            agg.wall_ns[i] as f64 / 1e6,
+            100.0 * agg.wall_ns[i] as f64 / total_wall.max(1) as f64,
+            agg.wall_ns[i] as f64 / events,
+            agg.allocs[i] as f64 / events,
+            agg.bytes[i] as f64 / events,
+        );
+    }
+    rule();
+    println!(
+        "{:<14} {:>12.2} {:>8.1}% {:>12.0} {:>12.3} {:>12.1}",
+        "total",
+        total_wall as f64 / 1e6,
+        100.0,
+        total_wall as f64 / events,
+        agg.total_allocs() as f64 / events,
+        agg.total_bytes() as f64 / events,
+    );
+    println!(
+        "host ns per simulated ns: {:.2}  (simulated {:.2} ms)",
+        total_wall as f64 / sim_ns,
+        sim_ns / 1e6
+    );
+    println!();
+    println!(
+        "trap shapes: {} distinct over {} traps, repeat ratio {:.4}",
+        agg.distinct_shapes(),
+        agg.shape_total(),
+        agg.repeat_ratio()
+    );
+    println!(
+        "  (memoization headroom: a {}-entry shape-keyed cache could serve {:.1}% of traps)",
+        agg.distinct_shapes(),
+        100.0 * agg.repeat_ratio()
+    );
+    println!(
+        "{:<18} {:>10} {:>8} {:>14}",
+        "top shapes", "count", "share", "mean host ns"
+    );
+    for (key, s) in agg.top_shapes(8) {
+        println!(
+            "  {key:016x} {:>10} {:>7.1}% {:>14.0}",
+            s.count,
+            100.0 * s.count as f64 / agg.shape_total().max(1) as f64,
+            s.host_ns as f64 / s.count.max(1) as f64,
+        );
+    }
 }
 
 /// Times `f` over `iters` iterations of wall-clock and prints a one-line

@@ -14,7 +14,7 @@ use std::time::Instant;
 use svt_arch::ArchId;
 use svt_core::SwitchMode;
 use svt_hv::Level;
-use svt_obs::{ExitRow, Json, PartRow, RunReport, SpeedupRow};
+use svt_obs::{ExitRow, HostAgg, Json, PartRow, RunReport, SpeedupRow};
 use svt_sim::{CostModel, FaultPlan, SimDuration};
 use svt_workloads::{
     cpuid_counted, fig6_bars_on, memcached_chaos, memcached_smp_counted_seeded,
@@ -435,6 +435,15 @@ impl SelfperfRow {
     pub fn speedup(&self) -> f64 {
         self.wall_ns_j1 / self.wall_ns_jn
     }
+
+    /// Whether [`SelfperfRow::speedup`] measures anything: comparing a
+    /// 1-worker pass against an N-worker pass is pure noise when the
+    /// parallel pass also ran one worker (single-core host, or a
+    /// one-cell grid). Consumers must not read a ~0.98x "slowdown" on
+    /// such hosts as a regression.
+    pub fn speedup_meaningful(&self) -> bool {
+        self.jobs > 1 && svt_sim::host_parallelism() > 1
+    }
 }
 
 /// Runs one workload grid at `--jobs 1` and at `jobs_n`, timing each
@@ -575,11 +584,137 @@ pub fn selfperf_report(rows: &[SelfperfRow], seed: u64, jobs_requested: usize) -
                             Json::Num(r.ns_per_event(r.wall_ns_jn)),
                         ),
                         ("speedup", Json::Num(r.speedup())),
+                        ("speedup_meaningful", Json::from(r.speedup_meaningful())),
                     ])
                 })
                 .collect(),
         ),
     ));
+    report
+}
+
+// ----------------------------------------------------------------------
+// The hostprof campaign (the `hostprof` binary, the perfgate hostprof
+// stage, and the shape-stability test).
+// ----------------------------------------------------------------------
+
+/// vCPUs of every hostprof-campaign cell (the selfperf smp shape).
+pub const HOSTPROF_N_VCPUS: usize = 4;
+
+/// One host-profiled campaign: the aggregate plus the independently
+/// measured sweep wall-clock it must explain.
+#[derive(Debug, Clone)]
+pub struct HostprofRun {
+    /// The merged per-subsystem aggregate (deterministic counters +
+    /// host-noisy wall columns).
+    pub agg: HostAgg,
+    /// Wall-clock of the whole sweep, measured *outside* the profiler —
+    /// the denominator of the attribution-coverage check.
+    pub wall_ns: u64,
+    /// Grid cells swept (one per engine).
+    pub cells: usize,
+    /// Workers the sweep actually used.
+    pub jobs: usize,
+    /// Requests the grid completed (the workload-level denominator;
+    /// `agg.events` counts the profiled traps themselves).
+    pub completed: u64,
+}
+
+impl HostprofRun {
+    /// Fraction of the sweep's wall-clock the attribution rows explain.
+    /// The un-attributed remainder is sweep-engine overhead (thread
+    /// spawn, work claiming, result merging) outside any machine run.
+    pub fn coverage(&self) -> f64 {
+        self.agg.total_wall_ns() as f64 / self.wall_ns.max(1) as f64
+    }
+}
+
+/// Runs the smp workload grid (all three engines) with the host-cost
+/// profiler armed and returns the drained aggregate. The deterministic
+/// fields of the result (allocs, bytes, events, shapes) are identical at
+/// any `jobs` and for a fixed `arch`+`seed`; the wall columns are host
+/// noise. Allocation columns are all-zero unless the calling binary
+/// installs [`svt_obs::CountingAlloc`].
+///
+/// # Panics
+///
+/// Panics if no profiled machine run finished (the profiler was disarmed
+/// concurrently, or the workload ran no machine).
+pub fn hostprof_campaign(
+    arch: ArchId,
+    requests: u64,
+    seed: u64,
+    jobs: Option<usize>,
+) -> HostprofRun {
+    let cells = SwitchMode::ALL.len();
+    let jobs = svt_sim::resolve_jobs_for(jobs, cells);
+    // Warm one cell unprofiled: lazy init and cold caches would otherwise
+    // land in the first cell's attribution.
+    black_box(memcached_smp_counted_seeded(
+        SwitchMode::ALL[0],
+        HOSTPROF_N_VCPUS,
+        SERVE_RATE_QPS,
+        requests.min(20),
+        seed,
+    ));
+    svt_obs::hostprof::set_enabled(true);
+    let _ = svt_obs::hostprof::take_global();
+    let start = Instant::now();
+    let completed: u64 = svt_sim::sweep(cells, jobs, |i| {
+        let p = memcached_smp_seeded_on(
+            SwitchMode::ALL[i],
+            arch,
+            HOSTPROF_N_VCPUS,
+            SERVE_RATE_QPS,
+            requests,
+            seed,
+        );
+        black_box(p.completed)
+    })
+    .iter()
+    .sum();
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    svt_obs::hostprof::set_enabled(false);
+    let agg = svt_obs::hostprof::take_global()
+        .expect("hostprof campaign finished without a profiled machine run");
+    HostprofRun {
+        agg,
+        wall_ns,
+        cells,
+        jobs,
+        completed,
+    }
+}
+
+/// Builds the hostprof run report: identity, campaign geometry, the
+/// coverage check, and the full `hostprof` section.
+pub fn hostprof_report(run: &HostprofRun, arch: ArchId, seed: u64) -> RunReport {
+    let mut report = RunReport::new(
+        "hostprof",
+        "Host-cost self-profile: per-subsystem wall/alloc attribution + trap shapes",
+    );
+    report.machine = Some(machine_json());
+    report.cost_model = Some(cost_model_json(&arch.cost_model()));
+    report
+        .results
+        .push(("arch".to_string(), Json::from(arch.label())));
+    report.results.push(("seed".to_string(), Json::from(seed)));
+    report
+        .results
+        .push(("cells".to_string(), Json::from(run.cells as u64)));
+    report
+        .results
+        .push(("jobs".to_string(), Json::from(run.jobs as u64)));
+    report
+        .results
+        .push(("completed_requests".to_string(), Json::from(run.completed)));
+    report
+        .results
+        .push(("sweep_wall_ns".to_string(), Json::from(run.wall_ns)));
+    report
+        .results
+        .push(("coverage".to_string(), Json::from(run.coverage())));
+    report.hostprof = Some(run.agg.to_json());
     report
 }
 

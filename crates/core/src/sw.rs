@@ -26,7 +26,7 @@ use svt_arch::ExitReason;
 use svt_cpu::Gpr;
 use svt_hv::{Level, Machine, MachineEvent, Reflector};
 use svt_mem::{CommandRing, Hpa};
-use svt_obs::{MetricKey, ObsLevel};
+use svt_obs::{HostPart, MetricKey, ObsLevel};
 use svt_sim::{CostPart, FaultKind, Placement, SimDuration};
 
 use crate::commands::{Command, ProtocolError, CMD_VM_RESUME, CMD_VM_TRAP, PAYLOAD_LEN};
@@ -384,6 +384,10 @@ impl SwSvtReflector {
     ) -> Result<Command, ProtocolError> {
         let begin = m.clock.now();
         m.clock.push_part(CostPart::Channel);
+        m.obs.hostprof.enter(HostPart::RingProtocol);
+        m.obs
+            .hostprof
+            .shape_fold(0x5256 << 8 | (ring_is_cmd as u64) << 4 | want_kind as u64);
         if steal > SimDuration::ZERO {
             // A busy-polling L0 sibling stole cycles from the handler.
             m.clock.charge(steal);
@@ -492,6 +496,7 @@ impl SwSvtReflector {
             // Leave nothing behind for the fallback path to trip over.
             self.drain_ring(m, ring_is_cmd);
         }
+        m.obs.hostprof.exit(HostPart::RingProtocol);
         m.clock.pop_part(CostPart::Channel);
         self.push_protocol(m, false);
         let span_name = if ring_is_cmd {
@@ -619,6 +624,10 @@ impl Default for SwSvtReflector {
 impl Reflector for SwSvtReflector {
     fn name(&self) -> &'static str {
         "sw-svt"
+    }
+
+    fn health(&self) -> &'static str {
+        self.fsm.state().name()
     }
 
     // L2 runs on the same hardware thread as L0: the pre-existing VM trap

@@ -25,7 +25,7 @@ use svt_arch::{
 };
 use svt_cpu::{Gpr, SmtCore};
 use svt_mem::{Gpa, GuestMemory};
-use svt_obs::{MetricKey, Obs, ObsLevel};
+use svt_obs::{HostPart, MetricKey, Obs, ObsLevel};
 use svt_sim::{
     assign_svt_cores, Clock, CostModel, CostPart, CpuLoc, EventQueue, FaultKind, FaultPlan,
     MachineSpec, SimDuration, SimTime,
@@ -176,6 +176,13 @@ impl std::fmt::Debug for Machine {
 impl Machine {
     /// Builds a machine with one vCPU driven by an explicit switch engine.
     pub fn with_reflector(cfg: MachineConfig, reflector: Box<dyn Reflector>) -> Self {
+        // Open the host-profiling window before anything allocates:
+        // construction and boot (memory, EPT webs, vmcs setup, device
+        // attach) are attributed to `HostPart::Boot` until the run loop
+        // takes over.
+        let mut hostprof = svt_obs::HostProf::default();
+        hostprof.run_begin();
+        hostprof.enter(HostPart::Boot);
         let smt = cfg.spec.smt_per_core.max(3) as usize;
         let loc = assign_svt_cores(&cfg.spec, 1)
             .map(|v| v[0])
@@ -206,6 +213,7 @@ impl Machine {
             pending_result: None,
             pending_work: None,
         };
+        m.obs.hostprof = hostprof;
         if m.level == Level::L2 {
             m.boot_nested();
         }
@@ -425,6 +433,29 @@ impl Machine {
         progs: &mut [&mut dyn GuestProgram],
         deadline: SimTime,
     ) -> Result<RunReport, MachineError> {
+        if !self.obs.hostprof.is_enabled() {
+            return self.run_smp_inner(progs, deadline);
+        }
+        // Host-profiled run: everything between here and `run_end` is
+        // attributed to exactly one `HostPart` (Scheduler by default).
+        // The construction-time window (if still open) stops charging
+        // Boot here; a re-run on a finished machine opens a fresh window.
+        self.obs.hostprof.end_boot();
+        self.obs.hostprof.run_begin();
+        let out = self.run_smp_inner(progs, deadline);
+        let sim_end = (0..self.vcpus.len())
+            .map(|i| self.local_now(i))
+            .max()
+            .unwrap_or(self.clock.now());
+        self.obs.hostprof.run_end(sim_end.as_ns() as u64);
+        out
+    }
+
+    fn run_smp_inner(
+        &mut self,
+        progs: &mut [&mut dyn GuestProgram],
+        deadline: SimTime,
+    ) -> Result<RunReport, MachineError> {
         assert_eq!(
             progs.len(),
             self.vcpus.len(),
@@ -506,6 +537,7 @@ impl Machine {
         if !causal && !timeline && !flight {
             return;
         }
+        self.obs.hostprof.enter(HostPart::Causal);
         let now = (0..self.vcpus.len())
             .map(|i| self.local_now(i))
             .max()
@@ -520,6 +552,7 @@ impl Machine {
         if flight {
             self.obs.watch_flight(now);
         }
+        self.obs.hostprof.exit(HostPart::Causal);
     }
 
     /// Machine-wide per-[`CostPart`] attribution totals: the active clock
@@ -550,11 +583,13 @@ impl Machine {
         if !self.obs.timeline.due(now) {
             return;
         }
+        self.obs.hostprof.enter(HostPart::Telemetry);
         let parts = self.total_part_time();
         self.obs.sample_timeline(now, &parts);
         if self.obs.flight.is_enabled() {
             self.obs.watch_flight(now);
         }
+        self.obs.hostprof.exit(HostPart::Telemetry);
     }
 
     /// Runs the current vCPU until it finishes, halts, or passes the
@@ -571,11 +606,14 @@ impl Machine {
                 return SliceOutcome::Deadline;
             }
             self.telemetry_tick();
+            self.obs.hostprof.enter(HostPart::EventPump);
             self.drain_inbox(r);
             self.pump(r);
+            self.obs.hostprof.exit(HostPart::EventPump);
             if self.vstate().halted {
                 return SliceOutcome::Halted;
             }
+            self.obs.hostprof.enter(HostPart::GuestStep);
             // Deliver any pending virtual interrupts to the guest program.
             while let Some(v) = self.vstate_mut().apic.ack() {
                 self.clock.push_part(self.guest_part());
@@ -604,9 +642,11 @@ impl Machine {
             };
             report.steps += 1;
             if op == GuestOp::Done {
+                self.obs.hostprof.exit(HostPart::GuestStep);
                 return SliceOutcome::Finished;
             }
             self.exec_op(r, prog, op);
+            self.obs.hostprof.exit(HostPart::GuestStep);
         }
     }
 
@@ -827,13 +867,16 @@ impl Machine {
     /// instant. On a hit the injection is counted in the metrics registry
     /// (dimension: fault kind); fault-free plans never draw from the RNG.
     pub fn roll_fault(&mut self, kind: FaultKind) -> bool {
-        if !self.faults.roll_at(self.clock.now(), kind) {
-            return false;
+        self.obs.hostprof.enter(HostPart::Faults);
+        let hit = self.faults.roll_at(self.clock.now(), kind);
+        if hit {
+            self.obs.hostprof.shape_fold(0xFA00 | kind as u64);
+            self.obs
+                .metrics
+                .inc(MetricKey::new("fault_injected").exit(kind.name()));
         }
-        self.obs
-            .metrics
-            .inc(MetricKey::new("fault_injected").exit(kind.name()));
-        true
+        self.obs.hostprof.exit(HostPart::Faults);
+        hit
     }
 
     // ------------------------------------------------------------------
@@ -1086,6 +1129,10 @@ impl Machine {
     /// One single-level exit round: guest → L0 → guest.
     fn single_exit(&mut self, reason: ExitReason, value: u64) {
         let tag = self.arch.tag(reason);
+        self.obs.hostprof.enter(HostPart::Reflection);
+        self.obs.hostprof.trap_begin();
+        self.obs.hostprof.shape_fold_str("single");
+        self.obs.hostprof.shape_fold_str(tag);
         self.clock.count("l1_direct_exit");
         self.obs
             .metrics
@@ -1156,6 +1203,9 @@ impl Machine {
         self.clock.charge(c);
         self.clock.pop_part(CostPart::SwitchL0L1);
         self.clock.pop_tag(tag);
+        self.obs.hostprof.trap_end();
+        self.obs.hostprof.exit(HostPart::Reflection);
+        self.obs.hostprof.enter(HostPart::Metrics);
         let now = self.clock.now();
         self.obs
             .span("single_trap", "lifecycle", ObsLevel::L1, trap_begin, now);
@@ -1165,6 +1215,7 @@ impl Machine {
                 .exit(tag),
             now.saturating_since(trap_begin).as_ps(),
         );
+        self.obs.hostprof.exit(HostPart::Metrics);
     }
 
     // ---- Nested (program at L2) ----------------------------------------
@@ -1236,6 +1287,11 @@ impl Machine {
     /// A nested exit L0 handles without reflecting to L1.
     fn nested_l0_direct(&mut self, r: &mut dyn Reflector, reason: ExitReason) {
         let tag = self.arch.tag(reason);
+        self.obs.hostprof.enter(HostPart::Reflection);
+        self.obs.hostprof.trap_begin();
+        self.obs.hostprof.shape_fold_str("l0-direct");
+        self.obs.hostprof.shape_fold_str(tag);
+        self.obs.hostprof.shape_fold_str(r.name());
         self.clock.count("l2_exit_chain");
         self.obs.metrics.inc(
             MetricKey::new("l0_direct_exit")
@@ -1280,11 +1336,19 @@ impl Machine {
         self.clock.pop_part(CostPart::L0Handler);
         r.l2_resume(self);
         self.clock.pop_tag(tag);
+        self.obs.hostprof.trap_end();
+        self.obs.hostprof.exit(HostPart::Reflection);
     }
 
     /// The full Algorithm 1 chain for one reflected nested exit.
     pub(crate) fn nested_reflect(&mut self, r: &mut dyn Reflector, reason: ExitReason) {
         let tag = self.arch.tag(reason);
+        self.obs.hostprof.enter(HostPart::Reflection);
+        self.obs.hostprof.trap_begin();
+        self.obs.hostprof.shape_fold_str("reflect");
+        self.obs.hostprof.shape_fold_str(tag);
+        self.obs.hostprof.shape_fold_str(r.name());
+        self.obs.hostprof.shape_fold_str(r.health());
         self.clock.count("l2_exit_chain");
         self.tracer
             .record(self.clock.now(), TraceEvent::Exit(Level::L2, tag));
@@ -1311,6 +1375,9 @@ impl Machine {
         let resume_begin = self.clock.now();
         r.l2_resume(self); // part 1 (second half)
         self.clock.pop_tag(tag);
+        self.obs.hostprof.trap_end();
+        self.obs.hostprof.exit(HostPart::Reflection);
+        self.obs.hostprof.enter(HostPart::Metrics);
         let now = self.clock.now();
         self.obs
             .span("l2_resume", "trap", ObsLevel::L2, resume_begin, now);
@@ -1328,6 +1395,7 @@ impl Machine {
                 .reflector(r.name()),
             now.saturating_since(trap_begin).as_ps(),
         );
+        self.obs.hostprof.exit(HostPart::Metrics);
     }
 
     /// L0's first leg: decode the exit and decide to reflect (Algorithm 1
@@ -1408,6 +1476,9 @@ impl Machine {
 
     /// A charged `vmread`.
     pub fn vm_read(&mut self, id: VmcsId, f: VmcsField) -> u64 {
+        self.obs
+            .hostprof
+            .shape_fold_vmcs(id as u64, f.index(), false);
         let c = self.cost.vmread;
         self.clock.charge(c);
         self.clock.count("vmread");
@@ -1416,6 +1487,9 @@ impl Machine {
 
     /// A charged `vmwrite`.
     pub fn vm_write(&mut self, id: VmcsId, f: VmcsField, v: u64) {
+        self.obs
+            .hostprof
+            .shape_fold_vmcs(id as u64, f.index(), true);
         let c = self.cost.vmwrite;
         self.clock.charge(c);
         self.clock.count("vmwrite");
@@ -1804,6 +1878,7 @@ impl Machine {
     /// L0-side work of one L1 exit. Returns the result value for reads.
     pub fn l0_handle_l1_exit(&mut self, exit: ExitReason, value: u64) -> u64 {
         let tag = self.arch.tag(exit);
+        self.obs.hostprof.shape_fold_str(tag);
         self.clock.count("l1_exit");
         self.tracer
             .record(self.clock.now(), TraceEvent::L1Exit(Level::L1, tag));

@@ -26,6 +26,13 @@ pub trait Reflector: fmt::Debug {
     /// Human-readable engine name ("baseline", "hw-svt", "sw-svt").
     fn name(&self) -> &'static str;
 
+    /// Current degradation health ("healthy" unless the engine runs a
+    /// degrade FSM). Folded into host-profiler trap shapes so a degraded
+    /// ring round-trip never shares a fingerprint with a healthy one.
+    fn health(&self) -> &'static str {
+        "healthy"
+    }
+
     /// Hardware mechanics of a trap from L2 into L0 (Table 1 part ①,
     /// first half). Guest state must be made available to L0.
     fn l2_trap(&mut self, m: &mut Machine);

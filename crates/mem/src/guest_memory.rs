@@ -4,9 +4,9 @@
 //! only what the experiments actually touch. All multi-byte accessors are
 //! little-endian, matching the modeled x86 platform.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use svt_sim::FnvHashMap;
 
 use crate::addr::{Hpa, PAGE_SIZE};
 
@@ -48,7 +48,7 @@ impl Error for OutOfRange {}
 #[derive(Debug, Clone, Default)]
 pub struct GuestMemory {
     size: u64,
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: FnvHashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
 }
 
 impl GuestMemory {
@@ -57,7 +57,7 @@ impl GuestMemory {
     pub fn new(size: u64) -> Self {
         GuestMemory {
             size,
-            pages: HashMap::new(),
+            pages: FnvHashMap::default(),
         }
     }
 

@@ -97,6 +97,14 @@ impl Json {
         }
     }
 
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// The value as a float, if numeric.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

@@ -28,6 +28,7 @@ mod causal;
 mod chrome;
 mod flight;
 mod hist;
+pub mod hostprof;
 mod json;
 mod key;
 mod registry;
@@ -43,6 +44,7 @@ pub use causal::{
 pub use chrome::{chrome_trace, chrome_trace_with_flows, lane_tid};
 pub use flight::{FlightRecorder, DEFAULT_FLIGHT_K};
 pub use hist::LogHistogram;
+pub use hostprof::{CountingAlloc, HostAgg, HostPart, HostProf, HostScope, ShapeStat};
 pub use json::{Json, JsonError};
 pub use key::{MetricKey, ObsLevel};
 pub use registry::MetricsRegistry;
@@ -69,6 +71,8 @@ pub struct Obs {
     /// Crash-dump flight recorder (per-vCPU causal tails + protocol
     /// state).
     pub flight: FlightRecorder,
+    /// Host-cost self-profiler (wall/alloc attribution + trap shapes).
+    pub hostprof: HostProf,
 }
 
 impl Obs {

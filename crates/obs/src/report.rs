@@ -15,8 +15,9 @@ use crate::json::Json;
 /// changes so trajectory tooling can dispatch.
 ///
 /// History: 1 = initial layout; 2 = added the `critical_path` section
-/// ([`CriticalPathRow`]).
-pub const REPORT_SCHEMA_VERSION: u32 = 2;
+/// ([`CriticalPathRow`]); 3 = added the `hostprof` section (host-cost
+/// self-profile: per-subsystem wall/alloc attribution + trap shapes).
+pub const REPORT_SCHEMA_VERSION: u32 = 3;
 
 /// One row of a per-`CostPart` breakdown.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +94,8 @@ pub struct RunReport {
     pub results: Vec<(String, Json)>,
     /// The metrics registry export, if the bench collected one.
     pub metrics: Option<Json>,
+    /// The host-cost self-profile (`--hostprof`), if the bench ran one.
+    pub hostprof: Option<Json>,
 }
 
 impl RunReport {
@@ -173,6 +176,7 @@ impl RunReport {
                 ),
             ),
             ("metrics", self.metrics.clone().unwrap_or(Json::Null)),
+            ("hostprof", self.hostprof.clone().unwrap_or(Json::Null)),
         ])
     }
 

@@ -12,7 +12,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use svt_obs::{Obs, ObsLevel};
+use svt_obs::{HostPart, Obs, ObsLevel};
 use svt_sim::SimTime;
 
 /// Generous per-op ceiling. An early-return branch costs single-digit
@@ -96,5 +96,44 @@ fn disabled_timeline_and_flight_gates_are_an_early_return() {
         "disabled timeline/flight gates cost {ns_per_op:.1} ns/op (bound \
          {MAX_DISABLED_NS_PER_OP} ns) — something heavier than an early return guards the \
          telemetry hot path"
+    );
+}
+
+#[test]
+fn disabled_hostprof_sites_are_an_early_return() {
+    // An un-armed profiler, as every machine gets when `--hostprof` was
+    // not given: `run_begin` refuses to open a window, so every
+    // subsequent site must be a single `running`/`shape_open` test.
+    let mut obs = Obs::new();
+    assert!(!obs.hostprof.is_enabled());
+    obs.hostprof.run_begin();
+    assert!(!obs.hostprof.is_running());
+
+    for i in 0..10_000u64 {
+        obs.hostprof.shape_fold(black_box(i));
+    }
+
+    let start = Instant::now();
+    for i in 0..ITERS {
+        let w = black_box(i);
+        obs.hostprof.enter(HostPart::Reflection);
+        obs.hostprof.trap_begin();
+        obs.hostprof.shape_fold(w);
+        obs.hostprof.shape_fold_vmcs(w, 17, false);
+        obs.hostprof.trap_end();
+        obs.hostprof.exit(HostPart::Reflection);
+    }
+    let elapsed = start.elapsed();
+
+    // Nothing may have been profiled...
+    obs.hostprof.run_end(1);
+    assert!(svt_obs::hostprof::take_global().is_none());
+
+    // ...and the six per-trap sites must have stayed branch-cheap.
+    let ns_per_op = elapsed.as_nanos() as f64 / (ITERS * 6) as f64;
+    assert!(
+        ns_per_op < MAX_DISABLED_NS_PER_OP,
+        "disabled hostprof sites cost {ns_per_op:.1} ns/op (bound {MAX_DISABLED_NS_PER_OP} ns) — \
+         something heavier than an early return is on the un-profiled trap path"
     );
 }

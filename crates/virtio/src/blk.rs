@@ -7,7 +7,7 @@
 //! decouple the evaluation from storage technology; the RAM disk's
 //! per-sector media time plays that role here.
 
-use std::collections::HashMap;
+use svt_sim::FnvHashMap;
 
 use svt_hv::{Completion, DeviceModel, DeviceOutcome};
 use svt_mem::{Gpa, GuestMemory, Hpa};
@@ -94,10 +94,10 @@ pub struct BlkStats {
 pub struct VirtioBlk {
     cfg: BlkConfig,
     queue: Virtqueue,
-    disk: HashMap<u64, Box<[u8; SECTOR_SIZE as usize]>>,
+    disk: FnvHashMap<u64, Box<[u8; SECTOR_SIZE as usize]>>,
     media_free_at: SimTime,
     next_token: u64,
-    pending: HashMap<u64, BlkRequest>,
+    pending: FnvHashMap<u64, BlkRequest>,
     stats: BlkStats,
     kicks: u64,
     irqs: u64,
@@ -109,10 +109,10 @@ impl VirtioBlk {
         VirtioBlk {
             cfg,
             queue,
-            disk: HashMap::new(),
+            disk: FnvHashMap::default(),
             media_free_at: SimTime::ZERO,
             next_token: 0,
-            pending: HashMap::new(),
+            pending: FnvHashMap::default(),
             stats: BlkStats::default(),
             kicks: 0,
             irqs: 0,

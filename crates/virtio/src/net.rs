@@ -8,7 +8,7 @@
 //! kick/completion performs against the backend's hypervisor) form the
 //! exit profile that Fig. 7's network rows are built from.
 
-use std::collections::HashMap;
+use svt_sim::FnvHashMap;
 
 use svt_hv::{Completion, DeviceModel, DeviceOutcome};
 use svt_mem::{Gpa, GuestMemory, Hpa};
@@ -122,7 +122,7 @@ pub struct VirtioNet {
     rx: Virtqueue,
     wire_free_at: SimTime,
     next_token: u64,
-    pending: HashMap<u64, Pending>,
+    pending: FnvHashMap<u64, Pending>,
     ack_backlog: Vec<u16>,
     stats: NetStats,
     kicks: u64,
@@ -138,7 +138,7 @@ impl VirtioNet {
             rx,
             wire_free_at: SimTime::ZERO,
             next_token: 0,
-            pending: HashMap::new(),
+            pending: FnvHashMap::default(),
             ack_backlog: Vec::new(),
             stats: NetStats::default(),
             kicks: 0,

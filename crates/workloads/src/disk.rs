@@ -6,7 +6,7 @@
 //! the bandwidth benchmark keeps a queue depth of 4 KB requests in
 //! flight, as the paper's fio runs.
 
-use std::collections::HashMap;
+use svt_sim::FnvHashMap;
 
 use svt_arch::{MSR_X2APIC_EOI, VECTOR_TIMER};
 use svt_hv::{GuestCtx, GuestOp, GuestProgram};
@@ -41,8 +41,8 @@ pub struct DiskBench {
     queue: Virtqueue,
     rng: DetRng,
     slots: Vec<u64>,
-    inflight: HashMap<u16, SimTime>,
-    slot_of: HashMap<u16, u64>,
+    inflight: FnvHashMap<u16, SimTime>,
+    slot_of: FnvHashMap<u16, u64>,
     submitted: u64,
     completed: u64,
     completions_pending: u32,
@@ -79,8 +79,8 @@ impl DiskBench {
             slots: (0..8)
                 .map(|i| layout::BLK_BUFS.0 + i * layout::BUF_SIZE * 4)
                 .collect(),
-            inflight: HashMap::new(),
-            slot_of: HashMap::new(),
+            inflight: FnvHashMap::default(),
+            slot_of: FnvHashMap::default(),
             submitted: 0,
             completed: 0,
             completions_pending: 0,

@@ -6,7 +6,7 @@
 //! SIGMETRICS'12): GET-dominated (~95 %), small keys, and a heavy-tailed
 //! value-size distribution with Zipf-like key popularity.
 
-use std::collections::HashMap;
+use svt_sim::FnvHashMap;
 
 use svt_mem::GuestMemory;
 use svt_sim::{DetRng, SimDuration};
@@ -33,7 +33,7 @@ pub const OP_SET: u32 = 1;
 /// ```
 #[derive(Debug)]
 pub struct KvStore {
-    shards: Vec<HashMap<u64, Vec<u8>>>,
+    shards: Vec<FnvHashMap<u64, Vec<u8>>>,
 }
 
 impl KvStore {
@@ -45,7 +45,7 @@ impl KvStore {
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0);
         KvStore {
-            shards: (0..shards).map(|_| HashMap::new()).collect(),
+            shards: (0..shards).map(|_| FnvHashMap::default()).collect(),
         }
     }
 
@@ -66,7 +66,7 @@ impl KvStore {
 
     /// Number of stored items.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(HashMap::len).sum()
+        self.shards.iter().map(FnvHashMap::len).sum()
     }
 
     /// Whether the store is empty.

@@ -10,8 +10,8 @@
 //! latency, exactly as mutilate does.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
+use svt_sim::FnvHashMap;
 
 use svt_hv::{Completion, DeviceModel, DeviceOutcome};
 use svt_mem::{Gpa, GuestMemory, Hpa};
@@ -149,7 +149,7 @@ pub struct LoadGenNet {
     rx: Virtqueue,
     rng: DetRng,
     stats: Rc<RefCell<LoadStats>>,
-    pending_arrivals: HashMap<u64, Request>,
+    pending_arrivals: FnvHashMap<u64, Request>,
     next_token: u64,
     started: bool,
 }
@@ -173,7 +173,7 @@ impl LoadGenNet {
                 rx,
                 rng: DetRng::seed(seed),
                 stats: Rc::clone(&stats),
-                pending_arrivals: HashMap::new(),
+                pending_arrivals: FnvHashMap::default(),
                 next_token: 0,
                 started: false,
             },

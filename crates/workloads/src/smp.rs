@@ -225,7 +225,14 @@ fn memcached_run(
     let prof = profile.then(|| harvest_profile(&m));
     let traps =
         m.obs.metrics.counter_total("vm_exit") + m.obs.metrics.counter_total("l0_direct_exit");
-    (collect(n_vcpus, &stats), prof, traps)
+    let point = collect(n_vcpus, &stats);
+    // Guest memory, EPT webs and the kv shards are freed after `run_end`
+    // closed the machine's profiling window; attribute that to Teardown.
+    svt_obs::hostprof::charge_block(svt_obs::HostPart::Teardown, move || {
+        drop(servers);
+        drop(m);
+    });
+    (point, prof, traps)
 }
 
 /// Sharded TPC-C: per-vCPU closed-loop clients, each lane persisting its
@@ -320,7 +327,12 @@ fn tpcc_run(
     }
     run_servers(&mut m, &mut servers, SimTime::MAX);
     let prof = profile.then(|| harvest_profile(&m));
-    (collect(n_vcpus, &stats), prof)
+    let point = collect(n_vcpus, &stats);
+    svt_obs::hostprof::charge_block(svt_obs::HostPart::Teardown, move || {
+        drop(servers);
+        drop(m);
+    });
+    (point, prof)
 }
 
 /// Extracts the causal products after a profiled run. `run_smp` has

@@ -8,8 +8,8 @@
 //! sysbench-TPCC on PostgreSQL.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
+use svt_sim::FnvHashMap;
 
 use svt_mem::GuestMemory;
 use svt_sim::{DetRng, SimDuration};
@@ -80,10 +80,10 @@ pub struct TpccDb {
     warehouses: u64,
     districts_per_wh: u64,
     /// district id -> next order number.
-    next_order: HashMap<u64, u64>,
-    customers: HashMap<u64, Customer>,
-    stock: HashMap<u64, i64>,
-    orders: HashMap<(u64, u64), Order>,
+    next_order: FnvHashMap<u64, u64>,
+    customers: FnvHashMap<u64, Customer>,
+    stock: FnvHashMap<u64, i64>,
+    orders: FnvHashMap<(u64, u64), Order>,
     undelivered: Vec<(u64, u64)>,
     committed: u64,
 }
@@ -93,7 +93,7 @@ impl TpccDb {
     /// 3 000 customers per warehouse; 100 000 stocked items).
     pub fn new(warehouses: u64) -> Self {
         let districts_per_wh = 10;
-        let mut customers = HashMap::new();
+        let mut customers = FnvHashMap::default();
         for c in 0..warehouses * 3000 {
             customers.insert(
                 c,
@@ -103,11 +103,11 @@ impl TpccDb {
                 },
             );
         }
-        let mut stock = HashMap::new();
+        let mut stock = FnvHashMap::default();
         for i in 0..100_000u64 {
             stock.insert(i, 100);
         }
-        let mut next_order = HashMap::new();
+        let mut next_order = FnvHashMap::default();
         for d in 0..warehouses * districts_per_wh {
             next_order.insert(d, 1);
         }
@@ -117,7 +117,7 @@ impl TpccDb {
             next_order,
             customers,
             stock,
-            orders: HashMap::new(),
+            orders: FnvHashMap::default(),
             undelivered: Vec::new(),
             committed: 0,
         }

@@ -9,7 +9,7 @@
 //! interference the paper attributes to `EPT_MISCONFIG` and `MSR_WRITE`
 //! handling (§ 6.3.3).
 
-use std::collections::HashMap;
+use svt_sim::FnvHashMap;
 
 use svt_arch::{MSR_TSC_DEADLINE, MSR_X2APIC_EOI, VECTOR_TIMER};
 use svt_hv::{GuestCtx, GuestOp, GuestProgram};
@@ -81,7 +81,7 @@ pub struct VideoPlayer {
     frames_played: u64,
     frames_dropped: u64,
     burst_remaining: u32,
-    inflight: HashMap<u16, ()>,
+    inflight: FnvHashMap<u16, ()>,
     init_done: bool,
     total_frames: u64,
     max_lateness: SimDuration,
@@ -103,7 +103,7 @@ impl VideoPlayer {
             frames_played: 0,
             frames_dropped: 0,
             burst_remaining: 0,
-            inflight: HashMap::new(),
+            inflight: FnvHashMap::default(),
             init_done: false,
             total_frames,
             max_lateness: SimDuration::ZERO,

@@ -170,10 +170,10 @@ import json, sys
 
 rep = json.load(open("/tmp/profile.json"))
 
-# The report schema must be the causal-profiling one (v2: critical_path
-# rows + folded stacks in results).
-if rep.get("schema_version") != 2:
-    sys.exit(f"FAIL: schema_version {rep.get('schema_version')} != 2")
+# The report schema must be current (v3: hostprof section added; v2
+# introduced the critical_path rows + folded stacks checked below).
+if rep.get("schema_version") != 3:
+    sys.exit(f"FAIL: schema_version {rep.get('schema_version')} != 3")
 
 rows = rep.get("critical_path", [])
 if not rows:
@@ -298,6 +298,76 @@ if ! cmp -s /tmp/tl_j1.json /tmp/tl_j4.json; then
     exit 1
 fi
 echo "ok   timeline --jobs 1 and --jobs 4 exports are byte-identical"
+
+echo "==> hostprof smoke: attribution coverage and alloc determinism"
+# Release build: the coverage claim is about the optimized simulator, and
+# the committed BENCH_hostprof.json baseline is release-built too.
+cargo run -q --release -p svt-bench --bin hostprof -- 60 --jobs 1 --json /tmp/hostprof_j1.json >/dev/null
+cargo run -q --release -p svt-bench --bin hostprof -- 60 --jobs 2 --json /tmp/hostprof_j2.json >/dev/null
+python3 - <<'PY'
+import json, sys
+
+reps = {}
+for jobs in (1, 2):
+    rep = json.load(open(f"/tmp/hostprof_j{jobs}.json"))
+    if rep.get("schema_version") != 3:
+        sys.exit(f"FAIL: schema_version {rep.get('schema_version')} != 3")
+    if not rep.get("hostprof"):
+        sys.exit(f"FAIL: --jobs {jobs} report has no hostprof section")
+    reps[jobs] = rep
+
+ok = True
+hp = reps[1]["hostprof"]
+results = dict(reps[1].get("results", []))
+
+# The per-subsystem rows must explain >=90% of the sweep's measured
+# wall-clock, or the attributor is missing a hot path.
+cov = results.get("coverage", 0)
+if cov < 0.90:
+    print(f"FAIL: attribution covers {100*cov:.1f}% of wall time (< 90%)")
+    ok = False
+else:
+    print(f"ok   attribution covers {100*cov:.1f}% of the sweep's wall-clock")
+
+# The trap-shape census must be non-degenerate and show the steady-state
+# repetition the memoization roadmap item is sized from.
+if hp["events"] <= 0 or hp["distinct_shapes"] <= 0:
+    print(f"FAIL: degenerate census ({hp['events']} events, "
+          f"{hp['distinct_shapes']} shapes)")
+    ok = False
+rr = hp["repeat_ratio"]
+if rr < 0.9:
+    print(f"FAIL: repeat ratio {rr:.4f} < 0.9 — shape keys fragmented")
+    ok = False
+else:
+    print(f"ok   {hp['distinct_shapes']} shapes over {hp['shape_total']} traps, "
+          f"repeat ratio {rr:.4f}")
+
+# Allocation attribution is deterministic: every counter the perfgate
+# holds to exact bands must be byte-identical at --jobs 1 vs --jobs 2.
+det = []
+for jobs in (1, 2):
+    h = reps[jobs]["hostprof"]
+    det.append(json.dumps({
+        "events": h["events"],
+        "total_allocs": h["total_allocs"],
+        "total_bytes": h["total_bytes"],
+        "distinct_shapes": h["distinct_shapes"],
+        "shape_total": h["shape_total"],
+        "parts": [[p["part"], p["allocs"], p["bytes"]] for p in h["parts"]],
+        "shapes": sorted([s["shape"], s["count"]] for s in h["top_shapes"]),
+    }, sort_keys=True))
+if det[0] != det[1]:
+    print("FAIL: deterministic hostprof counters differ between --jobs 1 and 2")
+    ok = False
+elif hp["total_allocs"] <= 0:
+    print("FAIL: counting allocator recorded nothing")
+    ok = False
+else:
+    print(f"ok   alloc counters byte-identical at --jobs 1 vs 2 "
+          f"({hp['total_allocs']} allocs, {hp['total_bytes']} bytes)")
+sys.exit(0 if ok else 1)
+PY
 
 echo "==> perfgate: fresh release run vs committed BENCH_*.json baselines"
 # The committed baselines are release-build, full-size runs, so the gate
