@@ -258,6 +258,72 @@ impl LocalApic {
     pub fn is_idle(&self) -> bool {
         self.irr.iter().all(|w| *w == 0) && self.isr.is_empty()
     }
+
+    /// Serializes the APIC for `svt_sim::snapshot`.
+    pub fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        for word in self.irr {
+            w.u64(word);
+        }
+        w.usize(self.isr.len());
+        for v in &self.isr {
+            w.u8(*v);
+        }
+        match self.tsc_deadline {
+            Some(t) => {
+                w.u8(1);
+                w.u64(t.as_ps());
+            }
+            None => w.u8(0),
+        }
+        w.u64(self.late_timer_fires);
+        w.u64(self.delivered);
+        w.u64(self.coalesced);
+    }
+
+    /// Restores state written by [`LocalApic::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation or a malformed option tag.
+    pub fn snap_load(&mut self, r: &mut svt_sim::SnapReader<'_>) -> Result<(), svt_sim::SnapError> {
+        for word in self.irr.iter_mut() {
+            *word = r.u64()?;
+        }
+        let n = r.usize()?;
+        self.isr.clear();
+        for _ in 0..n {
+            self.isr.push(r.u8()?);
+        }
+        self.tsc_deadline = match r.u8()? {
+            0 => None,
+            1 => Some(SimTime::from_ps(r.u64()?)),
+            b => {
+                return Err(svt_sim::SnapError::BadValue {
+                    what: "tsc deadline tag",
+                    got: b as u64,
+                })
+            }
+        };
+        self.late_timer_fires = r.u64()?;
+        self.delivered = r.u64()?;
+        self.coalesced = r.u64()?;
+        Ok(())
+    }
+
+    /// Folds the full APIC state into a fingerprint.
+    pub fn snap_fingerprint(&self, fp: &mut svt_sim::snapshot::Fingerprint) {
+        for word in self.irr {
+            fp.fold(word);
+        }
+        fp.fold(self.isr.len() as u64);
+        for v in &self.isr {
+            fp.fold(*v as u64);
+        }
+        fp.fold(self.tsc_deadline.map_or(u64::MAX, |t| t.as_ps()));
+        fp.fold(self.late_timer_fires);
+        fp.fold(self.delivered);
+        fp.fold(self.coalesced);
+    }
 }
 
 #[cfg(test)]

@@ -215,6 +215,79 @@ impl Ept {
         }
         out
     }
+
+    /// Serializes the table for `svt_sim::snapshot`. `BTreeMap` iteration
+    /// is already sorted, so identical tables serialize identically.
+    pub fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        w.u64(self.generation);
+        w.usize(self.entries.len());
+        for (&page, entry) in &self.entries {
+            w.u64(page);
+            match entry {
+                Entry::Mmio => w.u8(0),
+                Entry::Mapped { target_page, perms } => {
+                    w.u8(1);
+                    w.u64(*target_page);
+                    w.u8((perms.r as u8) | (perms.w as u8) << 1 | (perms.x as u8) << 2);
+                }
+            }
+        }
+    }
+
+    /// Restores state written by [`Ept::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation or a malformed entry tag.
+    pub fn snap_load(&mut self, r: &mut svt_sim::SnapReader<'_>) -> Result<(), svt_sim::SnapError> {
+        self.generation = r.u64()?;
+        let n = r.usize()?;
+        self.entries.clear();
+        for _ in 0..n {
+            let page = r.u64()?;
+            let entry = match r.u8()? {
+                0 => Entry::Mmio,
+                1 => {
+                    let target_page = r.u64()?;
+                    let bits = r.u8()?;
+                    Entry::Mapped {
+                        target_page,
+                        perms: EptPerms {
+                            r: bits & 1 != 0,
+                            w: bits & 2 != 0,
+                            x: bits & 4 != 0,
+                        },
+                    }
+                }
+                b => {
+                    return Err(svt_sim::SnapError::BadValue {
+                        what: "EPT entry tag",
+                        got: b as u64,
+                    })
+                }
+            };
+            self.entries.insert(page, entry);
+        }
+        Ok(())
+    }
+
+    /// Folds generation and every entry into a fingerprint.
+    pub fn snap_fingerprint(&self, fp: &mut svt_sim::snapshot::Fingerprint) {
+        fp.fold(self.generation);
+        fp.fold(self.entries.len() as u64);
+        for (&page, entry) in &self.entries {
+            fp.fold(page);
+            match entry {
+                Entry::Mmio => {
+                    fp.fold(u64::MAX);
+                }
+                Entry::Mapped { target_page, perms } => {
+                    fp.fold(*target_page);
+                    fp.fold(((perms.r as u64) | (perms.w as u64) << 1 | (perms.x as u64) << 2) + 1);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

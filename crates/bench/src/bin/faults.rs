@@ -20,8 +20,8 @@
 //! cell never degrades).
 
 use svt_bench::{
-    faults_campaign, faults_report, hostprof_begin, hostprof_finish, print_header, rule, BenchCli,
-    FAULTS_DEFAULT_SEED, FAULTS_MODES, FAULTS_N_VCPUS, SERVE_RATE_QPS,
+    faults_campaign_ckpt, faults_report, guard, hostprof_begin, hostprof_finish, print_header,
+    rule, BenchCli, FAULTS_DEFAULT_SEED, FAULTS_MODES, FAULTS_N_VCPUS, SERVE_RATE_QPS,
 };
 use svt_core::SwitchMode;
 use svt_sim::FaultPlan;
@@ -31,8 +31,9 @@ fn main() {
     let cli = BenchCli::parse();
     cli.handle_help(
         "svt-bench faults [--smoke] [--json r.json] [--hostprof] [--timeline t.json] \
-         [--dump d.json] [--dump-on-exit] [--seed n] [--jobs n]",
+         [--dump d.json] [--dump-on-exit] [--seed n] [--jobs n] [--checkpoint-dir d] [--resume]",
     );
+    guard::install(&cli, "faults");
     hostprof_begin(&cli);
     cli.require_arch_x86("faults");
     let smoke = cli.flag("--smoke");
@@ -52,7 +53,15 @@ fn main() {
     );
     rule();
 
-    let cells = faults_campaign(&FAULTS_MODES, rates, requests, seed, cli.jobs());
+    let ckpt = cli.checkpoint("faults", seed);
+    let cells = faults_campaign_ckpt(
+        &FAULTS_MODES,
+        rates,
+        requests,
+        seed,
+        cli.jobs(),
+        ckpt.as_ref().map(|c| (c, cli.resume())),
+    );
     for chunk in cells.chunks(rates.len()) {
         for c in chunk {
             let p = &c.point;

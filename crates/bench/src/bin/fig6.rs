@@ -12,19 +12,25 @@
 
 use svt_arch::ArchId;
 use svt_bench::{
-    fig6_report, hostprof_begin, hostprof_finish, print_header, riscv_grid, riscv_report, rule,
-    BenchCli,
+    fig6_report, guard, hostprof_begin, hostprof_finish, print_header, riscv_grid_ckpt,
+    riscv_report, rule, BenchCli,
 };
 
 fn main() {
     let cli = BenchCli::parse();
-    cli.handle_help("svt-bench fig6 [--json r.json] [--hostprof] [--jobs n] [--arch x86|riscv]");
+    cli.handle_help(
+        "svt-bench fig6 [--json r.json] [--hostprof] [--jobs n] [--arch x86|riscv] \
+         [--checkpoint-dir d] [--resume]",
+    );
+    guard::install(&cli, "fig6");
     hostprof_begin(&cli);
     if cli.arch() == ArchId::Riscv {
         return riscv_main(&cli);
     }
     print_header("Fig. 6 - execution time of a cpuid instruction");
-    let grid = svt_workloads::fig6_grid(200, cli.jobs());
+    let ckpt = cli.checkpoint("fig6", cli.seed_or(svt_workloads::DEFAULT_LANE_SEED));
+    let grid =
+        svt_workloads::fig6_grid_ckpt(200, cli.jobs(), ckpt.as_ref().map(|c| (c, cli.resume())));
     println!(
         "{:<10}{:>12}{:>14}{:>16}",
         "System", "Time [us]", "Speedup", "Paper speedup"
@@ -59,7 +65,14 @@ fn main() {
 fn riscv_main(cli: &BenchCli) {
     print_header("Fig. 6 (riscv) - trap-and-emulate latency on the H-extension backend");
     let seed = cli.seed_or(svt_workloads::DEFAULT_LANE_SEED);
-    let grid = riscv_grid(200, 60, seed, cli.jobs());
+    let ckpt = cli.checkpoint("fig6", seed);
+    let grid = riscv_grid_ckpt(
+        200,
+        60,
+        seed,
+        cli.jobs(),
+        ckpt.as_ref().map(|c| (c, cli.resume())),
+    );
     println!("{:<10}{:>12}{:>10}", "System", "Time [us]", "Speedup");
     rule();
     for b in &grid.bars {

@@ -23,15 +23,18 @@
 //! gate re-runs exactly the grids the baseline was produced from.
 
 use svt_bench::{
-    hostprof_begin, hostprof_finish, print_header, rule, selfperf_report, selfperf_rows, BenchCli,
+    guard, hostprof_begin, hostprof_finish, print_header, rule, selfperf_report,
+    selfperf_rows_ckpt, BenchCli,
 };
 use svt_workloads::DEFAULT_LANE_SEED;
 
 fn main() {
     let cli = BenchCli::parse();
     cli.handle_help(
-        "svt-bench selfperf [--smoke] [--json r.json] [--hostprof] [--seed n] [--jobs n]",
+        "svt-bench selfperf [--smoke] [--json r.json] [--hostprof] [--seed n] [--jobs n] \
+         [--checkpoint-dir d] [--resume]",
     );
+    guard::install(&cli, "selfperf");
     hostprof_begin(&cli);
     cli.require_arch_x86("selfperf");
     let smoke = cli.flag("--smoke");
@@ -43,7 +46,13 @@ fn main() {
     println!("host parallelism {host}, comparing --jobs 1 vs --jobs {jobs_n} (clamped per grid)");
     rule();
 
-    let rows = selfperf_rows(smoke, seed, cli.jobs);
+    let ckpt = cli.checkpoint("selfperf", seed);
+    let rows = selfperf_rows_ckpt(
+        smoke,
+        seed,
+        cli.jobs,
+        ckpt.as_ref().map(|c| (c, cli.resume())),
+    );
 
     println!(
         "{:<10}{:>6}{:>6}{:>9}{:>13}{:>13}{:>12}{:>11}{:>9}",

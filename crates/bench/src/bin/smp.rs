@@ -17,8 +17,8 @@
 
 use svt_arch::ArchId;
 use svt_bench::{
-    hostprof_begin, hostprof_finish, print_header, rule, smp_report_on, smp_series_on, BenchCli,
-    SERVE_RATE_QPS, SMP_REQUESTS, SMP_VCPU_COUNTS,
+    guard, hostprof_begin, hostprof_finish, print_header, rule, smp_report_on, smp_series_on_ckpt,
+    BenchCli, SERVE_RATE_QPS, SMP_REQUESTS, SMP_VCPU_COUNTS,
 };
 use svt_core::SwitchMode;
 use svt_sim::FaultPlan;
@@ -28,8 +28,10 @@ fn main() {
     let cli = BenchCli::parse();
     cli.handle_help(
         "svt-bench smp [--json r.json] [--hostprof] [--timeline t.json] [--dump d.json] \
-         [--dump-on-exit] [--seed n] [--jobs n] [--arch x86|riscv]",
+         [--dump-on-exit] [--seed n] [--jobs n] [--arch x86|riscv] [--checkpoint-dir d] \
+         [--resume]",
     );
+    guard::install(&cli, "smp");
     hostprof_begin(&cli);
     let arch = cli.arch();
     let seed = cli.seed_or(DEFAULT_LANE_SEED);
@@ -39,13 +41,15 @@ fn main() {
             print_header("SMP scaling (riscv) - sharded memcached on the H-extension backend")
         }
     }
-    let series = smp_series_on(
+    let ckpt = cli.checkpoint("smp", seed);
+    let series = smp_series_on_ckpt(
         arch,
         &SMP_VCPU_COUNTS,
         SERVE_RATE_QPS,
         SMP_REQUESTS,
         seed,
         cli.jobs(),
+        ckpt.as_ref().map(|c| (c, cli.resume())),
     );
     println!(
         "{:<10}{:>8}{:>14}{:>14}{:>12}",

@@ -20,6 +20,11 @@
 //! * `--timeline <path>` / `--dump <path>` / `--dump-on-exit` — windowed
 //!   time-series export and flight-recorder crash dumps, on binaries
 //!   that sample them;
+//! * `--checkpoint-dir <path>` / `--resume` — crash-safe campaigns:
+//!   journal each completed grid cell to a checkpoint directory
+//!   (atomic write-temp-then-rename), and on `--resume` replay the
+//!   journal and recompute only the missing cells. The merged report is
+//!   byte-identical to an uninterrupted run at any `--jobs`;
 //! * `--help` — usage plus this standard-flag reference;
 //! * bare `--flags` (e.g. `--quick`, `--smoke`) and positional values,
 //!   exposed through [`BenchCli::flag`] and [`BenchCli::positional`].
@@ -46,6 +51,9 @@ pub struct BenchCli {
     /// Destination of flight-recorder crash dumps (`--dump`), if
     /// requested.
     pub dump: Option<PathBuf>,
+    /// Campaign checkpoint directory (`--checkpoint-dir`), if given —
+    /// completed grid cells journal here so a killed sweep can resume.
+    pub checkpoint_dir: Option<PathBuf>,
     /// Wall-clock noise band override (`--band`), if given — the maximum
     /// fresh-vs-baseline regression ratio `perfgate` tolerates.
     pub band: Option<f64>,
@@ -90,6 +98,10 @@ impl BenchCli {
                 cli.dump = it.next().map(PathBuf::from);
             } else if let Some(p) = a.strip_prefix("--dump=") {
                 cli.dump = Some(PathBuf::from(p));
+            } else if a == "--checkpoint-dir" {
+                cli.checkpoint_dir = it.next().map(PathBuf::from);
+            } else if let Some(p) = a.strip_prefix("--checkpoint-dir=") {
+                cli.checkpoint_dir = Some(PathBuf::from(p));
             } else if a == "--band" {
                 cli.band = it.next().and_then(|s| s.parse().ok());
             } else if let Some(p) = a.strip_prefix("--band=") {
@@ -145,6 +157,43 @@ impl BenchCli {
     /// recording trip an unconditional end-of-run dump).
     pub fn dump_on_exit(&self) -> bool {
         self.flag("--dump-on-exit")
+    }
+
+    /// Whether `--resume` was given: replay the checkpoint journal and
+    /// recompute only the cells it is missing.
+    pub fn resume(&self) -> bool {
+        self.flag("--resume")
+    }
+
+    /// Opens the campaign checkpoint requested with `--checkpoint-dir`.
+    /// The campaign tag folds the bench name, seed and ISA backend —
+    /// deliberately *not* `--jobs`, since resume must be byte-identical
+    /// at any worker count — so a directory can never silently satisfy a
+    /// different campaign's cells. Returns `None` when no checkpoint
+    /// directory was requested (a bare `--resume` is called out); a
+    /// directory that cannot be created reports on stderr and exits
+    /// nonzero.
+    pub fn checkpoint(&self, bench: &str, seed: u64) -> Option<svt_sim::checkpoint::Checkpoint> {
+        let Some(dir) = &self.checkpoint_dir else {
+            if self.resume() {
+                eprintln!("warning: --resume without --checkpoint-dir has nothing to replay");
+            }
+            return None;
+        };
+        let mut tag = svt_sim::snapshot::Fingerprint::new();
+        tag.fold_bytes(bench.as_bytes());
+        tag.fold(seed);
+        tag.fold_bytes(self.arch().label().as_bytes());
+        match svt_sim::checkpoint::Checkpoint::create(dir, tag.value()) {
+            Ok(ckpt) => Some(ckpt),
+            Err(e) => {
+                eprintln!(
+                    "error: creating checkpoint directory {} failed: {e}",
+                    dir.display()
+                );
+                std::process::exit(1);
+            }
+        }
     }
 
     /// Whether `--hostprof` was given: arm the host-cost self-profiler
@@ -211,6 +260,11 @@ impl BenchCli {
         println!("  --timeline <path>  write the windowed time-series export, if sampled");
         println!("  --dump <path>   write flight-recorder crash dumps, if recorded");
         println!("  --dump-on-exit  trip the flight recorder at end of run regardless");
+        println!("  --checkpoint-dir <path>  journal completed grid cells here (atomic");
+        println!("                  write-temp-then-rename) so a killed campaign can resume");
+        println!("  --resume        replay the checkpoint journal, recomputing only the");
+        println!("                  missing or corrupted cells; the merged report is");
+        println!("                  byte-identical to an uninterrupted run at any --jobs");
         println!("  --hostprof      profile the simulator itself: per-subsystem host");
         println!("                  wall/alloc attribution + trap-shape analytics,");
         println!("                  printed and attached to the report (alloc counters");
@@ -284,7 +338,8 @@ impl BenchCli {
             return Ok(());
         };
         let json = chrome_trace_with_flows(spans, flows);
-        std::fs::write(path, json.pretty()).map_err(|e| EmitError::new("chrome trace", path, e))?;
+        svt_sim::snapshot::atomic_write(path, json.pretty().as_bytes())
+            .map_err(|e| EmitError::new("chrome trace", path, e))?;
         self.trace_written.set(true);
         println!("chrome trace written to {}", path.display());
         Ok(())
@@ -310,7 +365,8 @@ impl BenchCli {
         path: &std::path::Path,
         doc: &svt_obs::Json,
     ) -> Result<(), EmitError> {
-        std::fs::write(path, doc.pretty()).map_err(|e| EmitError::new(what, path, e))?;
+        svt_sim::snapshot::atomic_write(path, doc.pretty().as_bytes())
+            .map_err(|e| EmitError::new(what, path, e))?;
         println!("{what} written to {}", path.display());
         Ok(())
     }

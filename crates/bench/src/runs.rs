@@ -15,9 +15,10 @@ use svt_arch::ArchId;
 use svt_core::SwitchMode;
 use svt_hv::Level;
 use svt_obs::{ExitRow, HostAgg, Json, PartRow, RunReport, SpeedupRow};
+use svt_sim::checkpoint::Checkpoint;
 use svt_sim::{CostModel, FaultPlan, SimDuration};
 use svt_workloads::{
-    cpuid_counted, fig6_bars_on, memcached_chaos, memcached_smp_counted_seeded,
+    cpuid_counted, fig6_bars_on_ckpt, memcached_chaos, memcached_smp_counted_seeded,
     memcached_smp_seeded_on, memcached_telemetry, ChaosPoint, Fig6Bar, Fig6Grid, SmpPoint,
     TelemetryOpts, TelemetryPoint,
 };
@@ -117,8 +118,21 @@ pub struct RiscvGrid {
 /// through every engine, all on [`ArchId::Riscv`] with the
 /// CVA6-calibrated cost model.
 pub fn riscv_grid(iters: u64, requests: u64, seed: u64, jobs: usize) -> RiscvGrid {
-    let bars = fig6_bars_on(ArchId::Riscv, iters, jobs);
-    let memcached = svt_sim::sweep(SwitchMode::ALL.len(), jobs, |i| {
+    riscv_grid_ckpt(iters, requests, seed, jobs, None)
+}
+
+/// [`riscv_grid`] with optional campaign checkpointing: the bar cells
+/// journal under the `bars` scope and the memcached cells under
+/// `memcached`, and `(ckpt, true)` resumes from the journal.
+pub fn riscv_grid_ckpt(
+    iters: u64,
+    requests: u64,
+    seed: u64,
+    jobs: usize,
+    ckpt: Option<(&Checkpoint, bool)>,
+) -> RiscvGrid {
+    let bars = fig6_bars_on_ckpt(ArchId::Riscv, iters, jobs, ckpt);
+    let run = |i: usize| {
         let mode = SwitchMode::ALL[i];
         let p = memcached_smp_seeded_on(
             mode,
@@ -129,7 +143,31 @@ pub fn riscv_grid(iters: u64, requests: u64, seed: u64, jobs: usize) -> RiscvGri
             seed,
         );
         (mode, p)
-    });
+    };
+    let memcached = match ckpt {
+        Some((c, resume)) => c.sweep(
+            "memcached",
+            SwitchMode::ALL.len(),
+            jobs,
+            resume,
+            run,
+            |(_, p), w| p.snap_save(w),
+            |r| {
+                // The mode is a pure function of the grid index, but the
+                // sweep's load closure has no index; recover it from the
+                // point's position via a second pass below.
+                SmpPoint::snap_load(r).map(|p| (SwitchMode::Baseline, p))
+            },
+        ),
+        None => svt_sim::sweep(SwitchMode::ALL.len(), jobs, run),
+    };
+    // Grid-index-derived fields (the mode tag) are reattached after the
+    // merge so journaled and fresh cells agree by construction.
+    let memcached = memcached
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, p))| (SwitchMode::ALL[i], p))
+        .collect();
     RiscvGrid { bars, memcached }
 }
 
@@ -226,12 +264,42 @@ pub fn smp_series_on(
     seed: u64,
     jobs: usize,
 ) -> Vec<(SwitchMode, Vec<SmpPoint>)> {
+    smp_series_on_ckpt(arch, vcpu_counts, rate_qps, requests, seed, jobs, None)
+}
+
+/// [`smp_series_on`] with optional campaign checkpointing: each
+/// `mode × vCPUs` cell journals under the `smp` scope as it completes,
+/// and `(ckpt, true)` resumes from the journal, recomputing only the
+/// missing or corrupted cells.
+#[allow(clippy::too_many_arguments)]
+pub fn smp_series_on_ckpt(
+    arch: ArchId,
+    vcpu_counts: &[usize],
+    rate_qps: f64,
+    requests: u64,
+    seed: u64,
+    jobs: usize,
+    ckpt: Option<(&Checkpoint, bool)>,
+) -> Vec<(SwitchMode, Vec<SmpPoint>)> {
     let modes = SwitchMode::ALL;
-    let points = svt_sim::sweep(modes.len() * vcpu_counts.len(), jobs, |i| {
+    let run = |i: usize| {
         let mode = modes[i / vcpu_counts.len()];
         let n = vcpu_counts[i % vcpu_counts.len()];
         memcached_smp_seeded_on(mode, arch, n, rate_qps, requests, seed)
-    });
+    };
+    let cells = modes.len() * vcpu_counts.len();
+    let points = match ckpt {
+        Some((c, resume)) => c.sweep(
+            "smp",
+            cells,
+            jobs,
+            resume,
+            run,
+            |p, w| p.snap_save(w),
+            SmpPoint::snap_load,
+        ),
+        None => svt_sim::sweep(cells, jobs, run),
+    };
     modes
         .iter()
         .zip(points.chunks(vcpu_counts.len()))
@@ -323,7 +391,27 @@ pub fn faults_campaign(
     seed: u64,
     jobs: usize,
 ) -> Vec<FaultCell> {
-    let cells = svt_sim::sweep(modes.len() * rates.len(), jobs, |i| {
+    faults_campaign_ckpt(modes, rates, requests, seed, jobs, None)
+}
+
+/// [`faults_campaign`] with optional campaign checkpointing: each
+/// `mode × rate` cell journals under the `faults` scope as it completes,
+/// and `(ckpt, true)` resumes from the journal. Watchdog verdicts are
+/// part of the journaled payload, so replayed cells re-assert the
+/// zero-violation contract exactly as fresh ones do.
+///
+/// # Panics
+///
+/// Panics if any cell (fresh or replayed) reports a watchdog violation.
+pub fn faults_campaign_ckpt(
+    modes: &[SwitchMode],
+    rates: &[f64],
+    requests: u64,
+    seed: u64,
+    jobs: usize,
+    ckpt: Option<(&Checkpoint, bool)>,
+) -> Vec<FaultCell> {
+    let run = |i: usize| {
         let rate = rates[i % rates.len()];
         let plan = if rate == 0.0 {
             FaultPlan::none()
@@ -337,7 +425,20 @@ pub fn faults_campaign(
             requests,
             plan,
         )
-    });
+    };
+    let n = modes.len() * rates.len();
+    let cells = match ckpt {
+        Some((c, resume)) => c.sweep(
+            "faults",
+            n,
+            jobs,
+            resume,
+            run,
+            |p, w| p.snap_save(w),
+            ChaosPoint::snap_load,
+        ),
+        None => svt_sim::sweep(n, jobs, run),
+    };
     let cells: Vec<FaultCell> = cells
         .into_iter()
         .enumerate()
@@ -444,6 +545,34 @@ impl SelfperfRow {
     pub fn speedup_meaningful(&self) -> bool {
         self.jobs > 1 && svt_sim::host_parallelism() > 1
     }
+
+    /// Serializes the row for campaign checkpoints. Wall-clock columns
+    /// journal too: a resumed selfperf replays the measured times of the
+    /// completed workloads rather than re-measuring them.
+    pub fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        w.str(self.name);
+        w.usize(self.cells);
+        w.usize(self.jobs);
+        w.u64(self.traps);
+        w.f64(self.wall_ns_j1);
+        w.f64(self.wall_ns_jn);
+    }
+
+    /// Decodes a row written by [`SelfperfRow::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors on truncated or corrupted payloads.
+    pub fn snap_load(r: &mut svt_sim::SnapReader<'_>) -> Result<SelfperfRow, svt_sim::SnapError> {
+        Ok(SelfperfRow {
+            name: svt_sim::snapshot::intern_static(r.str()?),
+            cells: r.usize()?,
+            jobs: r.usize()?,
+            traps: r.u64()?,
+            wall_ns_j1: r.f64()?,
+            wall_ns_jn: r.f64()?,
+        })
+    }
 }
 
 /// Runs one workload grid at `--jobs 1` and at `jobs_n`, timing each
@@ -486,55 +615,114 @@ where
 /// returns the measured rows. `jobs` is the `--jobs` request; each
 /// workload clamps it to its own cell count.
 pub fn selfperf_rows(smoke: bool, seed: u64, jobs: Option<usize>) -> Vec<SelfperfRow> {
+    selfperf_rows_ckpt(smoke, seed, jobs, None)
+}
+
+/// Replays a journaled selfperf row, or measures it and journals the
+/// result. Unlike the simulated-time campaigns, the journaled unit is a
+/// whole measured workload — checkpointing *inside* the timed sweeps
+/// would poison the wall-clock columns they exist to measure.
+fn selfperf_row_journaled<F>(
+    ckpt: Option<(&Checkpoint, bool)>,
+    idx: usize,
+    measure: F,
+) -> SelfperfRow
+where
+    F: FnOnce() -> SelfperfRow,
+{
+    if let Some((c, true)) = ckpt {
+        match c.load_cell("selfperf", idx) {
+            Ok(Some(payload)) => {
+                let mut r = svt_sim::SnapReader::new(&payload);
+                match SelfperfRow::snap_load(&mut r).and_then(|row| r.finish().map(|()| row)) {
+                    Ok(row) => return row,
+                    Err(e) => {
+                        eprintln!(
+                            "checkpoint: selfperf row {idx} undecodable ({e:?}); re-measuring"
+                        )
+                    }
+                }
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("checkpoint: selfperf row {idx} rejected ({e:?}); re-measuring"),
+        }
+    }
+    let row = measure();
+    if let Some((c, _)) = ckpt {
+        let mut w = svt_sim::SnapWriter::new();
+        row.snap_save(&mut w);
+        if let Err(e) = c.store_cell("selfperf", idx, &w.into_vec()) {
+            eprintln!("checkpoint: journaling selfperf row {idx} failed ({e}); continuing");
+        }
+    }
+    row
+}
+
+/// [`selfperf_rows`] with optional campaign checkpointing: each measured
+/// workload row journals under the `selfperf` scope as it completes, and
+/// `(ckpt, true)` replays completed rows (including their wall-clock
+/// columns) instead of re-measuring them.
+pub fn selfperf_rows_ckpt(
+    smoke: bool,
+    seed: u64,
+    jobs: Option<usize>,
+    ckpt: Option<(&Checkpoint, bool)>,
+) -> Vec<SelfperfRow> {
     let fig6_iters: u64 = if smoke { 50 } else { 200 };
     let smp_requests: u64 = if smoke { 60 } else { 150 };
     let faults_requests: u64 = if smoke { 60 } else { 100 };
     vec![
-        selfperf_measure(
-            "fig6",
-            SELFPERF_FIG6_GRID.len(),
-            svt_sim::resolve_jobs_for(jobs, SELFPERF_FIG6_GRID.len()),
-            |i| {
-                let (level, mode) = SELFPERF_FIG6_GRID[i];
-                cpuid_counted(level, mode, fig6_iters).1
-            },
-        ),
-        selfperf_measure(
-            "smp",
-            SwitchMode::ALL.len(),
-            svt_sim::resolve_jobs_for(jobs, SwitchMode::ALL.len()),
-            |i| {
-                memcached_smp_counted_seeded(
-                    SwitchMode::ALL[i],
-                    SELFPERF_SMP_VCPUS,
-                    SERVE_RATE_QPS,
-                    smp_requests,
-                    seed,
-                )
-                .1
-            },
-        ),
-        selfperf_measure(
-            "faults",
-            FAULTS_MODES.len() * SELFPERF_FAULT_RATES.len(),
-            svt_sim::resolve_jobs_for(jobs, FAULTS_MODES.len() * SELFPERF_FAULT_RATES.len()),
-            |i| {
-                let rate = SELFPERF_FAULT_RATES[i % SELFPERF_FAULT_RATES.len()];
-                let plan = if rate == 0.0 {
-                    FaultPlan::none()
-                } else {
-                    FaultPlan::uniform(FAULTS_DEFAULT_SEED, rate)
-                };
-                memcached_chaos(
-                    FAULTS_MODES[i / SELFPERF_FAULT_RATES.len()],
-                    FAULTS_N_VCPUS,
-                    SERVE_RATE_QPS,
-                    faults_requests,
-                    plan,
-                )
-                .traps
-            },
-        ),
+        selfperf_row_journaled(ckpt, 0, || {
+            selfperf_measure(
+                "fig6",
+                SELFPERF_FIG6_GRID.len(),
+                svt_sim::resolve_jobs_for(jobs, SELFPERF_FIG6_GRID.len()),
+                |i| {
+                    let (level, mode) = SELFPERF_FIG6_GRID[i];
+                    cpuid_counted(level, mode, fig6_iters).1
+                },
+            )
+        }),
+        selfperf_row_journaled(ckpt, 1, || {
+            selfperf_measure(
+                "smp",
+                SwitchMode::ALL.len(),
+                svt_sim::resolve_jobs_for(jobs, SwitchMode::ALL.len()),
+                |i| {
+                    memcached_smp_counted_seeded(
+                        SwitchMode::ALL[i],
+                        SELFPERF_SMP_VCPUS,
+                        SERVE_RATE_QPS,
+                        smp_requests,
+                        seed,
+                    )
+                    .1
+                },
+            )
+        }),
+        selfperf_row_journaled(ckpt, 2, || {
+            selfperf_measure(
+                "faults",
+                FAULTS_MODES.len() * SELFPERF_FAULT_RATES.len(),
+                svt_sim::resolve_jobs_for(jobs, FAULTS_MODES.len() * SELFPERF_FAULT_RATES.len()),
+                |i| {
+                    let rate = SELFPERF_FAULT_RATES[i % SELFPERF_FAULT_RATES.len()];
+                    let plan = if rate == 0.0 {
+                        FaultPlan::none()
+                    } else {
+                        FaultPlan::uniform(FAULTS_DEFAULT_SEED, rate)
+                    };
+                    memcached_chaos(
+                        FAULTS_MODES[i / SELFPERF_FAULT_RATES.len()],
+                        FAULTS_N_VCPUS,
+                        SERVE_RATE_QPS,
+                        faults_requests,
+                        plan,
+                    )
+                    .traps
+                },
+            )
+        }),
     ]
 }
 

@@ -816,4 +816,116 @@ impl Reflector for SwSvtReflector {
     fn l2_gpr_write(&mut self, m: &mut Machine, r: Gpr, v: u64) {
         m.vcpu2_mut().gprs.set(r, v);
     }
+
+    // Serializes the full protocol state: channel configuration (shape-
+    // checked on restore — wait mode and placement are construction-time
+    // choices, not restorable), lazily-created ring geometry (so a
+    // restored engine neither re-initializes the rings nor re-charges the
+    // pairing hypercall), the last accepted command, the § 5.3 blocked
+    // counter, the sequence-number stream, the degradation policy and the
+    // per-trap retry/fallback flags.
+    fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        w.u8(wait_code(self.wait));
+        w.u8(placement_code(self.placement));
+        match (&self.cmd_ring, &self.resp_ring) {
+            (Some(cmd), Some(resp)) => {
+                w.u8(1);
+                cmd.snap_save(w);
+                resp.snap_save(w);
+            }
+            _ => w.u8(0),
+        }
+        match &self.last_cmd {
+            Some(cmd) => {
+                w.u8(1);
+                w.bytes(&cmd.encode());
+            }
+            None => w.u8(0),
+        }
+        w.u64(self.svt_blocked_count);
+        w.u64(self.next_seq);
+        self.fsm.snap_save(w);
+        w.bool(self.retried_this_trap);
+        w.bool(self.fell_back_mid_trap);
+        w.bool(self.fallback_active);
+    }
+
+    fn snap_load(&mut self, r: &mut svt_sim::SnapReader<'_>) -> Result<(), svt_sim::SnapError> {
+        let wait = r.u8()?;
+        if wait != wait_code(self.wait) {
+            return Err(svt_sim::SnapError::ShapeMismatch {
+                what: "SW-SVt wait mode",
+                snapshot: u64::from(wait),
+                live: u64::from(wait_code(self.wait)),
+            });
+        }
+        let placement = r.u8()?;
+        if placement != placement_code(self.placement) {
+            return Err(svt_sim::SnapError::ShapeMismatch {
+                what: "SW-SVt placement",
+                snapshot: u64::from(placement),
+                live: u64::from(placement_code(self.placement)),
+            });
+        }
+        match r.u8()? {
+            0 => {
+                self.cmd_ring = None;
+                self.resp_ring = None;
+            }
+            1 => {
+                self.cmd_ring = Some(CommandRing::snap_load(r)?);
+                self.resp_ring = Some(CommandRing::snap_load(r)?);
+            }
+            got => {
+                return Err(svt_sim::SnapError::BadValue {
+                    what: "SW-SVt ring tag",
+                    got: u64::from(got),
+                })
+            }
+        }
+        self.last_cmd = match r.u8()? {
+            0 => None,
+            1 => {
+                let payload = r.bytes()?;
+                Some(
+                    Command::decode(payload).ok_or(svt_sim::SnapError::BadValue {
+                        what: "SW-SVt command payload",
+                        got: payload.len() as u64,
+                    })?,
+                )
+            }
+            got => {
+                return Err(svt_sim::SnapError::BadValue {
+                    what: "SW-SVt command tag",
+                    got: u64::from(got),
+                })
+            }
+        };
+        self.svt_blocked_count = r.u64()?;
+        self.next_seq = r.u64()?;
+        self.fsm.snap_load(r)?;
+        self.retried_this_trap = r.bool()?;
+        self.fell_back_mid_trap = r.bool()?;
+        self.fallback_active = r.bool()?;
+        Ok(())
+    }
+}
+
+/// Stable wire code of a wait mode (shape dimension of the snapshot).
+fn wait_code(w: WaitMode) -> u8 {
+    match w {
+        WaitMode::Mwait => 0,
+        WaitMode::Poll => 1,
+        WaitMode::Mutex => 2,
+    }
+}
+
+/// Stable wire code of a thread placement (shape dimension).
+fn placement_code(p: Placement) -> u8 {
+    match p {
+        Placement::SameThread => 0,
+        Placement::SmtSibling => 1,
+        Placement::SameNodeCrossCore => 2,
+        Placement::CrossNode => 3,
+    }
 }

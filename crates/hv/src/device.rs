@@ -83,6 +83,22 @@ pub trait DeviceModel: fmt::Debug {
     fn obs_counters(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
+
+    /// Serializes the device's mutable state for `svt_sim::snapshot`.
+    /// Stateless device models (the default) write nothing; devices with
+    /// in-flight state (queue cursors, pending tables, token counters)
+    /// override both this and [`DeviceModel::snap_load`] symmetrically.
+    fn snap_save(&self, _w: &mut svt_sim::SnapWriter) {}
+
+    /// Restores state written by [`DeviceModel::snap_save`] into a device
+    /// of the same kind.
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation or malformed device state.
+    fn snap_load(&mut self, _r: &mut svt_sim::SnapReader<'_>) -> Result<(), svt_sim::SnapError> {
+        Ok(())
+    }
 }
 
 /// Checks whether `gpa` falls into any of the device's ranges.

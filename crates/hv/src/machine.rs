@@ -160,6 +160,25 @@ pub struct Machine {
     pending_msr: Option<u64>,
     pending_result: Option<u64>,
     pending_work: Option<IrqWork>,
+    sentinel: Option<DivergenceSentinel>,
+}
+
+/// Periodic state-hash sampler for cross-run divergence detection.
+///
+/// When enabled, the machine folds its complete state fingerprint every
+/// `every` of simulated time (checked at the per-step telemetry hook, so
+/// samples land on the first step at or after each boundary). Two runs of
+/// the same campaign cell — uninterrupted vs resumed, `--jobs 1` vs
+/// `--jobs N` — must produce identical sample trajectories; the first
+/// differing entry localizes a nondeterminism to within one window.
+#[derive(Debug, Clone)]
+struct DivergenceSentinel {
+    /// Sampling period in simulated time.
+    every: SimDuration,
+    /// Next window boundary.
+    next: SimTime,
+    /// `(boundary picoseconds, state fingerprint)` per crossed window.
+    samples: Vec<(u64, u64)>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -212,6 +231,7 @@ impl Machine {
             pending_msr: None,
             pending_result: None,
             pending_work: None,
+            sentinel: None,
         };
         m.obs.hostprof = hostprof;
         if m.level == Level::L2 {
@@ -371,6 +391,364 @@ impl Machine {
         self.devices.push(Some(dev));
         self.device_affinity.push(vcpu);
         self.devices.len() - 1
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Serializes the machine's complete mutable state into a sealed,
+    /// versioned, checksummed snapshot blob.
+    ///
+    /// The blob carries everything a deterministic continuation needs:
+    /// per-vCPU VMCS webs, engine protocol state, clocks with full cost
+    /// attribution, the event queue, guest memory, device state, fault-plan
+    /// RNG streams and the observability cursors. Restoring it into a
+    /// machine built from the same [`MachineConfig`] (same engines, vCPUs
+    /// and devices) and running the same remaining programs is
+    /// byte-identical to never having snapshotted — the property the
+    /// round-trip tests in `tests/` assert on both ISA backends.
+    ///
+    /// Call between runs, not from inside a run loop.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = svt_sim::SnapWriter::new();
+        self.snap_save_payload(&mut w);
+        svt_sim::snapshot::seal(
+            svt_sim::snapshot::SNAP_VERSION,
+            self.state_fingerprint(),
+            w.into_vec(),
+        )
+    }
+
+    /// Restores a snapshot produced by [`Machine::snapshot`] into this
+    /// machine, which must have the same fixed shape (ISA backend, level,
+    /// vCPU count, engine kinds, device count).
+    ///
+    /// The envelope checksum is verified before any state is touched; the
+    /// state fingerprint recorded at save time is re-derived from the
+    /// restored state and cross-checked afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`svt_sim::SnapError`] on a corrupted or truncated blob, a
+    /// version/shape mismatch, or a fingerprint disagreement. On error the
+    /// machine may be partially overwritten and must be discarded.
+    pub fn restore(&mut self, blob: &[u8]) -> Result<(), svt_sim::SnapError> {
+        let (stored, payload) = svt_sim::snapshot::open(blob, svt_sim::snapshot::SNAP_VERSION)?;
+        let mut r = svt_sim::SnapReader::new(payload);
+        self.snap_load_payload(&mut r)?;
+        r.finish()?;
+        let computed = self.state_fingerprint();
+        if computed != stored {
+            return Err(svt_sim::SnapError::FingerprintMismatch { stored, computed });
+        }
+        Ok(())
+    }
+
+    /// FNV-folded fingerprint of the machine's semantic state: clocks,
+    /// cores, memory, hypervisor webs, per-vCPU state and metrics. Two
+    /// machines that would behave identically from here on fold to the
+    /// same value; the divergence sentinel and the snapshot envelope both
+    /// use it.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut fp = svt_sim::snapshot::Fingerprint::new();
+        fp.fold(arch_snap_code(self.arch) as u64);
+        fp.fold(self.level.snap_code() as u64);
+        fp.fold(self.shadowing as u64);
+        fp.fold(self.cur as u64);
+        self.clock.snap_fingerprint(&mut fp);
+        self.core.snap_fingerprint(&mut fp);
+        self.ram.snap_fingerprint(&mut fp);
+        self.l0.snap_fingerprint(&mut fp);
+        self.l1.snap_fingerprint(&mut fp);
+        for v in &self.vcpus {
+            v.snap_fingerprint(&mut fp);
+        }
+        fp.fold(self.events.len() as u64);
+        fp.fold(self.events.scheduled());
+        self.faults.snap_fingerprint(&mut fp);
+        fp.fold(self.pending_msr.unwrap_or(u64::MAX));
+        fp.fold(self.pending_result.unwrap_or(u64::MAX));
+        self.obs.metrics.snap_fingerprint(&mut fp);
+        fp.value()
+    }
+
+    /// Enables the divergence sentinel: the machine folds
+    /// [`Machine::state_fingerprint`] every `every` of simulated time.
+    /// Samples accumulate in [`Machine::sentinel_samples`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero period.
+    pub fn enable_sentinel(&mut self, every: SimDuration) {
+        assert!(every > SimDuration::ZERO, "zero sentinel period");
+        self.sentinel = Some(DivergenceSentinel {
+            every,
+            next: self.clock.now() + every,
+            samples: Vec::new(),
+        });
+    }
+
+    /// The sentinel's `(boundary picoseconds, fingerprint)` samples so
+    /// far. Empty when the sentinel was never enabled.
+    pub fn sentinel_samples(&self) -> &[(u64, u64)] {
+        self.sentinel.as_ref().map_or(&[], |s| &s.samples)
+    }
+
+    /// Cold path of the sentinel check: called from the telemetry hook
+    /// only when a sentinel is installed.
+    #[cold]
+    fn sentinel_tick(&mut self) {
+        let now = self.clock.now();
+        let due = matches!(self.sentinel.as_ref(), Some(s) if now >= s.next);
+        if !due {
+            return;
+        }
+        let fp = self.state_fingerprint();
+        let s = self.sentinel.as_mut().expect("sentinel just checked");
+        let boundary = s.next;
+        while s.next <= now {
+            s.next += s.every;
+        }
+        s.samples.push((boundary.as_ps(), fp));
+    }
+
+    fn snap_save_payload(&self, w: &mut svt_sim::SnapWriter) {
+        w.u8(arch_snap_code(self.arch));
+        w.u8(self.level.snap_code());
+        w.bool(self.shadowing);
+        w.usize(self.vcpus.len());
+        w.usize(self.devices.len());
+        w.usize(self.cur);
+        self.clock.snap_save(w);
+        self.core.snap_save(w);
+        self.ram.snap_save(w);
+        self.events.snap_save(w, |ev, w| ev.snap_save(w));
+        self.l0.snap_save(w);
+        self.l1.snap_save(w);
+        self.faults.snap_save(w);
+        for v in &self.vcpus {
+            v.snap_save(w);
+        }
+        for &a in &self.device_affinity {
+            w.usize(a);
+        }
+        for slot in &self.devices {
+            let mut sub = svt_sim::SnapWriter::new();
+            if let Some(dev) = slot.as_ref() {
+                dev.snap_save(&mut sub);
+            }
+            w.bytes(&sub.into_vec());
+        }
+        match self.pending_mmio {
+            Some(op) => {
+                w.u8(1);
+                w.u64(op.gpa.0);
+                w.bool(op.write);
+                w.u64(op.value);
+            }
+            None => w.u8(0),
+        }
+        w.opt_u64(self.pending_msr);
+        w.opt_u64(self.pending_result);
+        match &self.pending_work {
+            None => w.u8(0),
+            Some(IrqWork::Completion { device, completion }) => {
+                w.u8(1);
+                w.usize(*device);
+                w.u8(completion.vector);
+                w.u64(completion.service.as_ps());
+                w.u32(completion.backend_l1_exits);
+                w.usize(completion.schedule.len());
+                for (t, token) in &completion.schedule {
+                    w.u64(t.as_ps());
+                    w.u64(*token);
+                }
+            }
+            Some(IrqWork::Timer) => w.u8(2),
+            Some(IrqWork::Ipi) => w.u8(3),
+        }
+        w.bool(self.record_schedule);
+        w.usize(self.schedule_trace.len());
+        for &i in &self.schedule_trace {
+            w.u32(i);
+        }
+        match &self.sentinel {
+            Some(s) => {
+                w.u8(1);
+                w.u64(s.every.as_ps());
+                w.u64(s.next.as_ps());
+                w.usize(s.samples.len());
+                for &(at, fp) in &s.samples {
+                    w.u64(at);
+                    w.u64(fp);
+                }
+            }
+            None => w.u8(0),
+        }
+        self.obs.snap_save(w);
+    }
+
+    fn snap_load_payload(
+        &mut self,
+        r: &mut svt_sim::SnapReader<'_>,
+    ) -> Result<(), svt_sim::SnapError> {
+        let arch = r.u8()?;
+        if arch != arch_snap_code(self.arch) {
+            return Err(svt_sim::SnapError::ShapeMismatch {
+                what: "ISA backend",
+                snapshot: arch as u64,
+                live: arch_snap_code(self.arch) as u64,
+            });
+        }
+        let level = r.u8()?;
+        if level != self.level.snap_code() {
+            return Err(svt_sim::SnapError::ShapeMismatch {
+                what: "program level",
+                snapshot: level as u64,
+                live: self.level.snap_code() as u64,
+            });
+        }
+        let shadowing = r.bool()?;
+        if shadowing != self.shadowing {
+            return Err(svt_sim::SnapError::ShapeMismatch {
+                what: "VMCS shadowing",
+                snapshot: shadowing as u64,
+                live: self.shadowing as u64,
+            });
+        }
+        let n_vcpus = r.usize()?;
+        if n_vcpus != self.vcpus.len() {
+            return Err(svt_sim::SnapError::ShapeMismatch {
+                what: "vCPU count",
+                snapshot: n_vcpus as u64,
+                live: self.vcpus.len() as u64,
+            });
+        }
+        let n_devices = r.usize()?;
+        if n_devices != self.devices.len() {
+            return Err(svt_sim::SnapError::ShapeMismatch {
+                what: "device count",
+                snapshot: n_devices as u64,
+                live: self.devices.len() as u64,
+            });
+        }
+        let cur = r.usize()?;
+        if cur >= n_vcpus {
+            return Err(svt_sim::SnapError::BadValue {
+                what: "current vCPU",
+                got: cur as u64,
+            });
+        }
+        self.cur = cur;
+        self.clock.snap_load(r)?;
+        self.core.snap_load(r)?;
+        self.ram.snap_load(r)?;
+        self.events.snap_load(r, MachineEvent::snap_load)?;
+        self.l0.snap_load(r)?;
+        self.l1.snap_load(r)?;
+        self.faults.snap_load(r)?;
+        for v in self.vcpus.iter_mut() {
+            v.snap_load(r)?;
+        }
+        for a in self.device_affinity.iter_mut() {
+            let idx = r.usize()?;
+            if idx >= n_vcpus {
+                return Err(svt_sim::SnapError::BadValue {
+                    what: "device affinity",
+                    got: idx as u64,
+                });
+            }
+            *a = idx;
+        }
+        for slot in self.devices.iter_mut() {
+            let blob = r.bytes()?;
+            let mut sub = svt_sim::SnapReader::new(blob);
+            if let Some(dev) = slot.as_mut() {
+                dev.snap_load(&mut sub)?;
+            }
+            sub.finish()?;
+        }
+        self.pending_mmio = match r.u8()? {
+            0 => None,
+            1 => Some(MmioOp {
+                gpa: Gpa(r.u64()?),
+                write: r.bool()?,
+                value: r.u64()?,
+            }),
+            t => {
+                return Err(svt_sim::SnapError::BadValue {
+                    what: "pending MMIO tag",
+                    got: t as u64,
+                })
+            }
+        };
+        self.pending_msr = r.opt_u64()?;
+        self.pending_result = r.opt_u64()?;
+        self.pending_work = match r.u8()? {
+            0 => None,
+            1 => {
+                let device = r.usize()?;
+                let vector = r.u8()?;
+                let service = SimDuration::from_ps(r.u64()?);
+                let backend_l1_exits = r.u32()?;
+                let n = r.usize()?;
+                let mut schedule = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let t = SimTime::from_ps(r.u64()?);
+                    schedule.push((t, r.u64()?));
+                }
+                Some(IrqWork::Completion {
+                    device,
+                    completion: Completion {
+                        vector,
+                        service,
+                        backend_l1_exits,
+                        schedule,
+                    },
+                })
+            }
+            2 => Some(IrqWork::Timer),
+            3 => Some(IrqWork::Ipi),
+            t => {
+                return Err(svt_sim::SnapError::BadValue {
+                    what: "pending IRQ-work tag",
+                    got: t as u64,
+                })
+            }
+        };
+        self.record_schedule = r.bool()?;
+        self.schedule_trace.clear();
+        let n = r.usize()?;
+        for _ in 0..n {
+            self.schedule_trace.push(r.u32()?);
+        }
+        self.sentinel = match r.u8()? {
+            0 => None,
+            1 => {
+                let every = SimDuration::from_ps(r.u64()?);
+                let next = SimTime::from_ps(r.u64()?);
+                let n = r.usize()?;
+                let mut samples = Vec::with_capacity(n.min(65536));
+                for _ in 0..n {
+                    let at = r.u64()?;
+                    samples.push((at, r.u64()?));
+                }
+                Some(DivergenceSentinel {
+                    every,
+                    next,
+                    samples,
+                })
+            }
+            t => {
+                return Err(svt_sim::SnapError::BadValue {
+                    what: "sentinel tag",
+                    got: t as u64,
+                })
+            }
+        };
+        self.obs.snap_load(r)?;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -579,6 +957,9 @@ impl Machine {
     /// polling only run once a window boundary has been crossed.
     #[inline]
     fn telemetry_tick(&mut self) {
+        if self.sentinel.is_some() {
+            self.sentinel_tick();
+        }
         let now = self.clock.now();
         if !self.obs.timeline.due(now) {
             return;
@@ -2017,6 +2398,14 @@ impl Machine {
         self.vcpus[self.cur].vmcs02.set_launched();
         self.vcpus[self.cur].vmcs12.set_launched();
         self.vcpus[self.cur].reflector = Some(r);
+    }
+}
+
+/// Stable one-byte wire code for an ISA backend in snapshots.
+fn arch_snap_code(arch: ArchId) -> u8 {
+    match arch {
+        ArchId::X86 => 0,
+        ArchId::Riscv => 1,
     }
 }
 

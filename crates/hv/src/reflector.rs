@@ -98,6 +98,22 @@ pub trait Reflector: fmt::Debug {
 
     /// L1 writes one of L2's general-purpose registers.
     fn l2_gpr_write(&mut self, m: &mut Machine, r: Gpr, v: u64);
+
+    /// Serializes the engine's mutable state for `svt_sim::snapshot`.
+    /// Stateless engines (the default) write nothing; engines with
+    /// protocol state (ring geometry, degrade FSM, retry flags) override
+    /// both this and [`Reflector::snap_load`] symmetrically.
+    fn snap_save(&self, _w: &mut svt_sim::SnapWriter) {}
+
+    /// Restores state written by [`Reflector::snap_save`] into an engine
+    /// of the same kind.
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation or malformed engine state.
+    fn snap_load(&mut self, _r: &mut svt_sim::SnapReader<'_>) -> Result<(), svt_sim::SnapError> {
+        Ok(())
+    }
 }
 
 /// The prevailing single-hardware-thread mechanics: every level switch

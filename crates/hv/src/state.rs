@@ -39,6 +39,25 @@ impl Level {
             Level::L2 => svt_obs::ObsLevel::L2,
         }
     }
+
+    /// Stable wire code for `svt_sim::snapshot`.
+    pub fn snap_code(self) -> u8 {
+        match self {
+            Level::L0 => 0,
+            Level::L1 => 1,
+            Level::L2 => 2,
+        }
+    }
+
+    /// Inverse of [`Level::snap_code`].
+    pub fn from_snap_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Level::L0),
+            1 => Some(Level::L1),
+            2 => Some(Level::L2),
+            _ => None,
+        }
+    }
 }
 
 /// Events on the machine's physical event queue.
@@ -72,6 +91,66 @@ pub enum MachineEvent {
     },
 }
 
+impl MachineEvent {
+    /// Serializes the event for `svt_sim::snapshot`.
+    pub fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        match *self {
+            MachineEvent::DeviceComplete { device, token } => {
+                w.u8(0);
+                w.usize(device);
+                w.u64(token);
+            }
+            MachineEvent::PhysTimer { vcpu } => {
+                w.u8(1);
+                w.usize(vcpu);
+            }
+            MachineEvent::IpiToL1Main => w.u8(2),
+            MachineEvent::Ipi { to, cmd, seq } => {
+                w.u8(3);
+                w.usize(to);
+                w.u64(cmd.encode());
+                w.u64(seq);
+            }
+        }
+    }
+
+    /// Deserializes an event written by [`MachineEvent::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation or an unknown tag/ICR encoding.
+    pub fn snap_load(r: &mut svt_sim::SnapReader<'_>) -> Result<Self, svt_sim::SnapError> {
+        let tag = r.u8()?;
+        Ok(match tag {
+            0 => MachineEvent::DeviceComplete {
+                device: r.usize()?,
+                token: r.u64()?,
+            },
+            1 => MachineEvent::PhysTimer { vcpu: r.usize()? },
+            2 => MachineEvent::IpiToL1Main,
+            3 => {
+                let to = r.usize()?;
+                let icr = r.u64()?;
+                let cmd = IcrCommand::decode(icr).ok_or(svt_sim::SnapError::BadValue {
+                    what: "ICR command",
+                    got: icr,
+                })?;
+                MachineEvent::Ipi {
+                    to,
+                    cmd,
+                    seq: r.u64()?,
+                }
+            }
+            _ => {
+                return Err(svt_sim::SnapError::BadValue {
+                    what: "machine event tag",
+                    got: tag as u64,
+                })
+            }
+        })
+    }
+}
+
 /// L0 (host hypervisor) state shared by every vCPU of the L1 guest and
 /// its nested L2. The per-vCPU VMCS sets live in [`crate::Vcpu`].
 #[derive(Debug, Clone)]
@@ -100,6 +179,61 @@ impl L0State {
             ept02: Ept::new(),
             phys_timer: None,
         }
+    }
+
+    /// Serializes L0's state for `svt_sim::snapshot`.
+    pub fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        self.policy01.snap_save(w);
+        self.policy02.snap_save(w);
+        self.ept01.snap_save(w);
+        self.ept02.snap_save(w);
+        snap_save_opt_time(w, self.phys_timer);
+    }
+
+    /// Restores state written by [`L0State::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation or malformed payload.
+    pub fn snap_load(&mut self, r: &mut svt_sim::SnapReader<'_>) -> Result<(), svt_sim::SnapError> {
+        self.policy01.snap_load(r)?;
+        self.policy02.snap_load(r)?;
+        self.ept01.snap_load(r)?;
+        self.ept02.snap_load(r)?;
+        self.phys_timer = snap_load_opt_time(r)?;
+        Ok(())
+    }
+
+    /// Folds L0's state into a machine fingerprint.
+    pub fn snap_fingerprint(&self, fp: &mut svt_sim::snapshot::Fingerprint) {
+        self.ept01.snap_fingerprint(fp);
+        self.ept02.snap_fingerprint(fp);
+        fp.fold(self.phys_timer.map_or(u64::MAX, |t| t.as_ps()));
+    }
+}
+
+/// Writes an optional timestamp as a tag byte plus picoseconds.
+pub(crate) fn snap_save_opt_time(w: &mut svt_sim::SnapWriter, t: Option<SimTime>) {
+    match t {
+        Some(t) => {
+            w.u8(1);
+            w.u64(t.as_ps());
+        }
+        None => w.u8(0),
+    }
+}
+
+/// Inverse of [`snap_save_opt_time`].
+pub(crate) fn snap_load_opt_time(
+    r: &mut svt_sim::SnapReader<'_>,
+) -> Result<Option<SimTime>, svt_sim::SnapError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(SimTime::from_ps(r.u64()?))),
+        t => Err(svt_sim::SnapError::BadValue {
+            what: "optional time tag",
+            got: t as u64,
+        }),
     }
 }
 
@@ -132,6 +266,37 @@ impl L1State {
             is_hypervisor,
         }
     }
+
+    /// Serializes L1's state for `svt_sim::snapshot`.
+    pub fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        self.policy12.snap_save(w);
+        self.ept12.snap_save(w);
+        self.apic.snap_save(w);
+        snap_save_opt_time(w, self.l2_deadline);
+        w.bool(self.is_hypervisor);
+    }
+
+    /// Restores state written by [`L1State::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation or malformed payload.
+    pub fn snap_load(&mut self, r: &mut svt_sim::SnapReader<'_>) -> Result<(), svt_sim::SnapError> {
+        self.policy12.snap_load(r)?;
+        self.ept12.snap_load(r)?;
+        self.apic.snap_load(r)?;
+        self.l2_deadline = snap_load_opt_time(r)?;
+        self.is_hypervisor = r.bool()?;
+        Ok(())
+    }
+
+    /// Folds L1's state into a machine fingerprint.
+    pub fn snap_fingerprint(&self, fp: &mut svt_sim::snapshot::Fingerprint) {
+        self.ept12.snap_fingerprint(fp);
+        self.apic.snap_fingerprint(fp);
+        fp.fold(self.l2_deadline.map_or(u64::MAX, |t| t.as_ps()));
+        fp.fold(self.is_hypervisor as u64);
+    }
 }
 
 /// The measured guest's virtual CPU.
@@ -146,6 +311,43 @@ pub struct VcpuState {
     pub halted: bool,
     /// Current instruction pointer (advanced by emulated instructions).
     pub rip: u64,
+}
+
+impl VcpuState {
+    /// Serializes the vCPU's architectural state for `svt_sim::snapshot`.
+    pub fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        self.apic.snap_save(w);
+        for (_, v) in self.gprs.iter() {
+            w.u64(v);
+        }
+        w.bool(self.halted);
+        w.u64(self.rip);
+    }
+
+    /// Restores state written by [`VcpuState::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation or malformed payload.
+    pub fn snap_load(&mut self, r: &mut svt_sim::SnapReader<'_>) -> Result<(), svt_sim::SnapError> {
+        self.apic.snap_load(r)?;
+        for g in svt_cpu::Gpr::ALL {
+            self.gprs.set(g, r.u64()?);
+        }
+        self.halted = r.bool()?;
+        self.rip = r.u64()?;
+        Ok(())
+    }
+
+    /// Folds the vCPU's architectural state into a machine fingerprint.
+    pub fn snap_fingerprint(&self, fp: &mut svt_sim::snapshot::Fingerprint) {
+        self.apic.snap_fingerprint(fp);
+        for (_, v) in self.gprs.iter() {
+            fp.fold(v);
+        }
+        fp.fold(self.halted as u64);
+        fp.fold(self.rip);
+    }
 }
 
 /// Initial configuration of a [`crate::Machine`].

@@ -113,6 +113,39 @@ impl CommandRing {
         SLOTS_OFF + self.slot_size as u64 * self.num_slots as u64
     }
 
+    /// Base address of the ring in guest memory.
+    pub fn base(&self) -> Hpa {
+        self.base
+    }
+
+    /// Serializes the ring geometry for `svt_sim::snapshot`. Only the
+    /// geometry lives in the struct — indices and slot contents are in
+    /// guest memory and ride in the RAM pages of the snapshot.
+    pub fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        w.u64(self.base.0);
+        w.u32(self.slot_size);
+        w.u32(self.num_slots);
+    }
+
+    /// Reconstructs a ring from [`CommandRing::snap_save`] output.
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation or geometry the constructor would
+    /// reject.
+    pub fn snap_load(r: &mut svt_sim::SnapReader<'_>) -> Result<Self, svt_sim::SnapError> {
+        let base = Hpa(r.u64()?);
+        let slot_size = r.u32()?;
+        let num_slots = r.u32()?;
+        if slot_size < 8 || num_slots < 2 {
+            return Err(svt_sim::SnapError::BadValue {
+                what: "command ring geometry",
+                got: ((slot_size as u64) << 32) | num_slots as u64,
+            });
+        }
+        Ok(CommandRing::new(base, slot_size, num_slots))
+    }
+
     /// Maximum payload bytes per command.
     pub fn max_payload(&self) -> usize {
         self.slot_size as usize - 4

@@ -46,6 +46,12 @@ impl EventId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds an id from [`EventId::raw`] output (snapshot restore
+    /// only — ids are opaque otherwise).
+    pub fn from_raw(v: u64) -> Self {
+        EventId(v)
+    }
 }
 
 /// Inline happens-before predecessor list.
@@ -343,6 +349,31 @@ impl CausalGraph {
     /// Sets the vCPU lane subsequent events are stamped with.
     pub fn set_vcpu(&mut self, vcpu: u32) {
         self.cur_vcpu = vcpu;
+    }
+
+    /// Serializes the id-allocation *cursor* for `svt_sim::snapshot`.
+    /// Retained events are process-local debug artifacts and are not
+    /// carried; restoring the cursor keeps subsequently allocated event
+    /// ids identical between a restored run and its uninterrupted twin.
+    pub fn snap_cursor_save(&self, w: &mut svt_sim::SnapWriter) {
+        w.bool(self.enabled);
+        w.u64(self.next_id);
+        w.u32(self.cur_vcpu);
+    }
+
+    /// Restores the cursor written by [`CausalGraph::snap_cursor_save`].
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation.
+    pub fn snap_cursor_load(
+        &mut self,
+        r: &mut svt_sim::SnapReader<'_>,
+    ) -> Result<(), svt_sim::SnapError> {
+        self.enabled = r.bool()?;
+        self.next_id = r.u64()?;
+        self.cur_vcpu = r.u32()?;
+        Ok(())
     }
 
     /// Number of retained events.

@@ -244,7 +244,7 @@ impl FlightRecorder {
             ("counters", Json::Obj(counters)),
         ]);
         if let Some(path) = &self.dump_path {
-            if let Err(e) = std::fs::write(path, dump.pretty()) {
+            if let Err(e) = svt_sim::snapshot::atomic_write(path, dump.pretty().as_bytes()) {
                 let msg = format!("flight dump write to {} failed: {e}", path.display());
                 eprintln!("svt-obs: {msg}");
                 if self.write_error.is_none() {
@@ -252,8 +252,34 @@ impl FlightRecorder {
                 }
             }
         }
+        publish_global(&dump);
         self.last_dump = Some(dump);
     }
+}
+
+/// The most recent flight dump produced by *any* recorder in the
+/// process, pre-rendered to JSON text. Crash guards (panic hooks, signal
+/// handlers) persist this at exit time — they cannot reach into the
+/// machines owned by sweep worker threads, but every trip publishes
+/// here.
+static LAST_GLOBAL_DUMP: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+
+/// Publishes a dump to the process-global last-dump slot (see
+/// [`latest_global_dump`]). Called on every trip; harmless to call
+/// directly with a synthesized dump.
+pub fn publish_global(dump: &Json) {
+    let text = dump.pretty();
+    let mut guard = LAST_GLOBAL_DUMP.lock().unwrap_or_else(|e| e.into_inner());
+    *guard = Some(text);
+}
+
+/// The most recent flight dump any recorder in the process produced, as
+/// pretty-printed JSON text, if any trip has happened.
+pub fn latest_global_dump() -> Option<String> {
+    LAST_GLOBAL_DUMP
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
 }
 
 #[cfg(test)]

@@ -89,6 +89,42 @@ impl LogHistogram {
         self.count
     }
 
+    /// Serializes the histogram for `svt_sim::snapshot`.
+    pub fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        w.usize(self.buckets.len());
+        for &b in &self.buckets {
+            w.u64(b);
+        }
+        w.u64(self.count);
+        w.u64(self.sum as u64);
+        w.u64((self.sum >> 64) as u64);
+        w.u64(self.min);
+        w.u64(self.max);
+    }
+
+    /// Deserializes a histogram written by [`LogHistogram::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation.
+    pub fn snap_load(r: &mut svt_sim::SnapReader<'_>) -> Result<Self, svt_sim::SnapError> {
+        let n = r.usize()?;
+        let mut buckets = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            buckets.push(r.u64()?);
+        }
+        let count = r.u64()?;
+        let lo = r.u64()? as u128;
+        let hi = r.u64()? as u128;
+        Ok(LogHistogram {
+            buckets,
+            count,
+            sum: lo | (hi << 64),
+            min: r.u64()?,
+            max: r.u64()?,
+        })
+    }
+
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0

@@ -114,6 +114,80 @@ impl MetricKey {
         self.vcpu = Some(vcpu);
         self
     }
+
+    /// Serializes the key for `svt_sim::snapshot`.
+    pub fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        w.str(self.name);
+        match self.level {
+            Some(l) => w.u8(1 + l.tid() as u8),
+            None => w.u8(0),
+        }
+        match self.exit_reason {
+            Some(s) => {
+                w.u8(1);
+                w.str(s);
+            }
+            None => w.u8(0),
+        }
+        match self.reflector {
+            Some(s) => {
+                w.u8(1);
+                w.str(s);
+            }
+            None => w.u8(0),
+        }
+        match self.vcpu {
+            Some(v) => {
+                w.u8(1);
+                w.u32(v);
+            }
+            None => w.u8(0),
+        }
+    }
+
+    /// Deserializes a key written by [`MetricKey::snap_save`]. Name and
+    /// dimension strings are re-interned into leaked statics (the key
+    /// universe is the fixed set of in-tree metric names, so the interner
+    /// stays bounded).
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation or an unknown level code.
+    pub fn snap_load(r: &mut svt_sim::SnapReader<'_>) -> Result<Self, svt_sim::SnapError> {
+        let name = svt_sim::snapshot::intern_static(r.str()?);
+        let level = match r.u8()? {
+            0 => None,
+            1 => Some(ObsLevel::L0),
+            2 => Some(ObsLevel::L1),
+            3 => Some(ObsLevel::L2),
+            4 => Some(ObsLevel::Machine),
+            t => {
+                return Err(svt_sim::SnapError::BadValue {
+                    what: "metric key level",
+                    got: t as u64,
+                })
+            }
+        };
+        let exit_reason = match r.u8()? {
+            0 => None,
+            _ => Some(svt_sim::snapshot::intern_static(r.str()?)),
+        };
+        let reflector = match r.u8()? {
+            0 => None,
+            _ => Some(svt_sim::snapshot::intern_static(r.str()?)),
+        };
+        let vcpu = match r.u8()? {
+            0 => None,
+            _ => Some(r.u32()?),
+        };
+        Ok(MetricKey {
+            name,
+            level,
+            exit_reason,
+            reflector,
+            vcpu,
+        })
+    }
 }
 
 impl fmt::Display for MetricKey {

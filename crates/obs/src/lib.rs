@@ -42,7 +42,7 @@ pub use causal::{
     WATCHDOGS,
 };
 pub use chrome::{chrome_trace, chrome_trace_with_flows, lane_tid};
-pub use flight::{FlightRecorder, DEFAULT_FLIGHT_K};
+pub use flight::{latest_global_dump, publish_global, FlightRecorder, DEFAULT_FLIGHT_K};
 pub use hist::LogHistogram;
 pub use hostprof::{CountingAlloc, HostAgg, HostPart, HostProf, HostScope, ShapeStat};
 pub use json::{Json, JsonError};
@@ -104,6 +104,29 @@ impl Obs {
         if cat != "lifecycle" {
             self.causal.span_close(name, level, begin, end);
         }
+    }
+
+    /// Serializes the deterministic observability state for
+    /// `svt_sim::snapshot`: the full metrics registry plus the timeline
+    /// and causal-graph cursors. Recorded spans, retained causal events,
+    /// flight-recorder tails and host-profiler accumulators are
+    /// process-local debug artifacts and are not carried.
+    pub fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        self.metrics.snap_save(w);
+        self.timeline.snap_cursor_save(w);
+        self.causal.snap_cursor_save(w);
+    }
+
+    /// Restores state written by [`Obs::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation or malformed payload.
+    pub fn snap_load(&mut self, r: &mut svt_sim::SnapReader<'_>) -> Result<(), svt_sim::SnapError> {
+        self.metrics.snap_load(r)?;
+        self.timeline.snap_cursor_load(r)?;
+        self.causal.snap_cursor_load(r)?;
+        Ok(())
     }
 
     /// End-of-run bookkeeping: runs the causal graph's stale-entry sweep

@@ -213,6 +213,78 @@ impl MetricsRegistry {
             .sum()
     }
 
+    /// Serializes all three categories in key order for
+    /// `svt_sim::snapshot`. Loading the result into a fresh registry and
+    /// saving again yields identical bytes: iteration is key-sorted and
+    /// intern ids are not part of the wire format.
+    pub fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        let counters: Vec<_> = self.counters_sorted();
+        w.usize(counters.len());
+        for (k, n) in counters {
+            k.snap_save(w);
+            w.u64(n);
+        }
+        let gauges: Vec<_> = self.gauges_sorted();
+        w.usize(gauges.len());
+        for (k, v) in gauges {
+            k.snap_save(w);
+            w.f64(v);
+        }
+        let hists: Vec<_> = self.histograms_sorted();
+        w.usize(hists.len());
+        for (k, h) in hists {
+            k.snap_save(w);
+            h.snap_save(w);
+        }
+    }
+
+    /// Replaces this registry's contents with state written by
+    /// [`MetricsRegistry::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation or malformed keys.
+    pub fn snap_load(&mut self, r: &mut svt_sim::SnapReader<'_>) -> Result<(), svt_sim::SnapError> {
+        self.clear();
+        let n = r.usize()?;
+        for _ in 0..n {
+            let k = MetricKey::snap_load(r)?;
+            let v = r.u64()?;
+            self.add(k, v);
+        }
+        let n = r.usize()?;
+        for _ in 0..n {
+            let k = MetricKey::snap_load(r)?;
+            let v = r.f64()?;
+            self.set_gauge(k, v);
+        }
+        let n = r.usize()?;
+        for _ in 0..n {
+            let k = MetricKey::snap_load(r)?;
+            let h = LogHistogram::snap_load(r)?;
+            let id = self.intern(k);
+            *self.hists.ensure(id, &self.keys, LogHistogram::default) = h;
+        }
+        Ok(())
+    }
+
+    /// Folds every counter, gauge and histogram summary into a machine
+    /// fingerprint, in key order.
+    pub fn snap_fingerprint(&self, fp: &mut svt_sim::snapshot::Fingerprint) {
+        for (k, n) in self.iter_counters_sorted() {
+            fp.fold_bytes(k.name.as_bytes());
+            fp.fold(n);
+        }
+        for (k, v) in self.iter_gauges_sorted() {
+            fp.fold_bytes(k.name.as_bytes());
+            fp.fold(v.to_bits());
+        }
+        for (k, h) in self.iter_histograms_sorted() {
+            fp.fold_bytes(k.name.as_bytes());
+            fp.fold(h.count());
+        }
+    }
+
     /// Drops all recorded metrics.
     pub fn clear(&mut self) {
         self.ids.clear();

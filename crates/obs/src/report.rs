@@ -180,9 +180,12 @@ impl RunReport {
         ])
     }
 
-    /// Writes the report, pretty-printed, to `path`.
+    /// Writes the report, pretty-printed, to `path` atomically
+    /// (write-temp-then-rename, see [`svt_sim::snapshot::atomic_write`]):
+    /// a crash or kill mid-write leaves either the old report or the
+    /// complete new one, never a torn file.
     pub fn write_file(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.to_json().pretty())
+        svt_sim::snapshot::atomic_write(path, self.to_json().pretty().as_bytes())
     }
 }
 

@@ -15,6 +15,19 @@ use crate::time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
+impl EventId {
+    /// Raw id value, for snapshot serialization only — ids are opaque
+    /// otherwise.
+    pub fn as_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from [`EventId::as_raw`] output (snapshot restore).
+    pub fn from_raw(v: u64) -> Self {
+        EventId(v)
+    }
+}
+
 struct Entry<T> {
     at: SimTime,
     seq: u64,
@@ -187,6 +200,79 @@ impl<T> EventQueue<T> {
     /// simulator's unit of work.
     pub fn scheduled(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Serializes the queue for [`crate::snapshot`]; `f` serializes each
+    /// payload. Entries are written in `seq` order (unique, total), so
+    /// identical queues serialize identically regardless of heap layout.
+    pub fn snap_save(
+        &self,
+        w: &mut crate::snapshot::SnapWriter,
+        mut f: impl FnMut(&T, &mut crate::snapshot::SnapWriter),
+    ) {
+        w.u64(self.next_seq);
+        let mut entries: Vec<&Entry<T>> = self.heap.iter().collect();
+        entries.sort_by_key(|e| e.seq);
+        w.usize(entries.len());
+        for e in entries {
+            w.u64(e.at.as_ps());
+            w.u64(e.seq);
+            w.u64(e.id.0);
+            f(&e.payload, w);
+        }
+        let mut live: Vec<u64> = self.live.iter().map(|id| id.0).collect();
+        live.sort_unstable();
+        w.usize(live.len());
+        for id in live {
+            w.u64(id);
+        }
+        let mut cancelled: Vec<u64> = self.cancelled.iter().map(|id| id.0).collect();
+        cancelled.sort_unstable();
+        w.usize(cancelled.len());
+        for id in cancelled {
+            w.u64(id);
+        }
+    }
+
+    /// Restores state written by [`EventQueue::snap_save`]; `f` decodes
+    /// each payload. The rebuilt heap pops in exactly the original order
+    /// (ordering is `(at, seq)`, both serialized).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`crate::snapshot::SnapError`] on truncation or a payload
+    /// decode failure.
+    pub fn snap_load(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+        mut f: impl FnMut(&mut crate::snapshot::SnapReader<'_>) -> Result<T, crate::snapshot::SnapError>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        self.next_seq = r.u64()?;
+        let n = r.usize()?;
+        self.heap.clear();
+        for _ in 0..n {
+            let at = SimTime::from_ps(r.u64()?);
+            let seq = r.u64()?;
+            let id = EventId(r.u64()?);
+            let payload = f(r)?;
+            self.heap.push(Entry {
+                at,
+                seq,
+                id,
+                payload,
+            });
+        }
+        let n = r.usize()?;
+        self.live.clear();
+        for _ in 0..n {
+            self.live.insert(EventId(r.u64()?));
+        }
+        let n = r.usize()?;
+        self.cancelled.clear();
+        for _ in 0..n {
+            self.cancelled.push(EventId(r.u64()?));
+        }
+        Ok(())
     }
 
     /// Number of live scheduled events.

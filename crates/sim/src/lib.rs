@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 mod clock;
 mod cost;
 mod events;
@@ -38,6 +39,7 @@ mod faults;
 mod hash;
 mod rng;
 mod sched;
+pub mod snapshot;
 mod sweep;
 mod time;
 mod topology;
@@ -49,6 +51,7 @@ pub use faults::{FaultKind, FaultPlan};
 pub use hash::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use rng::DetRng;
 pub use sched::{assign_svt_cores, pick_min_local_time, SchedError, VcpuScheduler, VcpuStatus};
+pub use snapshot::{SnapError, SnapReader, SnapWriter};
 pub use sweep::{host_parallelism, resolve_jobs, resolve_jobs_for, sweep};
 pub use time::{SimDuration, SimTime};
 pub use topology::{CpuLoc, MachineSpec, Placement, VmSpec};

@@ -51,6 +51,36 @@ impl DetRng {
         }
     }
 
+    /// Serializes the generator mid-stream for [`crate::snapshot`]: a
+    /// restored generator continues the exact bit stream.
+    pub fn snap_save(&self, w: &mut crate::snapshot::SnapWriter) {
+        for s in self.state {
+            w.u64(s);
+        }
+    }
+
+    /// Folds the stream position into a machine fingerprint.
+    pub fn snap_fingerprint(&self, fp: &mut crate::snapshot::Fingerprint) {
+        for s in self.state {
+            fp.fold(s);
+        }
+    }
+
+    /// Restores state written by [`DetRng::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`crate::snapshot::SnapError`] on truncation.
+    pub fn snap_load(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        for s in self.state.iter_mut() {
+            *s = r.u64()?;
+        }
+        Ok(())
+    }
+
     /// Next raw 64-bit value (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;

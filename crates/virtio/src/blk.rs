@@ -101,6 +101,10 @@ pub struct VirtioBlk {
     stats: BlkStats,
     kicks: u64,
     irqs: u64,
+    /// Guest-memory faults the device absorbed instead of panicking
+    /// (bad buffer addresses in a request). Surfaced via
+    /// `obs_counters` so the watchdog layer can flag a wedged driver.
+    io_errors: u64,
 }
 
 impl VirtioBlk {
@@ -116,6 +120,7 @@ impl VirtioBlk {
             stats: BlkStats::default(),
             kicks: 0,
             irqs: 0,
+            io_errors: 0,
         }
     }
 
@@ -161,7 +166,14 @@ impl VirtioBlk {
         })
     }
 
-    fn execute(&mut self, req: &BlkRequest, mem: &mut GuestMemory) -> u32 {
+    /// Moves the request's data between guest buffers and the RAM disk.
+    /// A bad buffer address is a *request* failure, not a simulator
+    /// fault: the error propagates so `complete` can report status 1.
+    fn execute(
+        &mut self,
+        req: &BlkRequest,
+        mem: &mut GuestMemory,
+    ) -> Result<u32, svt_mem::OutOfRange> {
         let mut moved = 0u32;
         let mut sector = req.sector;
         for &(addr, len) in &req.data {
@@ -170,7 +182,7 @@ impl VirtioBlk {
                 let n = (len as u64 - off).min(SECTOR_SIZE) as usize;
                 if req.write {
                     let mut buf = vec![0u8; n];
-                    mem.read(Hpa(addr + off), &mut buf).expect("buffer in RAM");
+                    mem.read(Hpa(addr + off), &mut buf)?;
                     let entry = self
                         .disk
                         .entry(sector)
@@ -178,15 +190,14 @@ impl VirtioBlk {
                     entry[..n].copy_from_slice(&buf);
                 } else {
                     let data = self.sector(sector);
-                    mem.write(Hpa(addr + off), &data[..n])
-                        .expect("buffer in RAM");
+                    mem.write(Hpa(addr + off), &data[..n])?;
                 }
                 sector += 1;
                 off += n as u64;
                 moved += n as u32;
             }
         }
-        moved
+        Ok(moved)
     }
 }
 
@@ -211,12 +222,22 @@ impl DeviceModel for VirtioBlk {
             backend_l1_exits: self.cfg.kick_backend_exits,
             schedule: Vec::new(),
         };
-        while let Some(chain) = self.queue.device_pop(mem).expect("queue in RAM") {
+        loop {
+            let chain = match self.queue.device_pop(mem) {
+                Ok(Some(c)) => c,
+                Ok(None) => break,
+                Err(_) => {
+                    // The ring itself is unreachable: stop servicing the
+                    // kick; the error counter flags the wedged queue.
+                    self.io_errors += 1;
+                    break;
+                }
+            };
             let Some(req) = self.parse(mem, &chain) else {
                 // Malformed request: fail it immediately with status 1.
-                self.queue
-                    .device_push_used(mem, chain.head, 0)
-                    .expect("used in RAM");
+                if self.queue.device_push_used(mem, chain.head, 0).is_err() {
+                    self.io_errors += 1;
+                }
                 continue;
             };
             let sectors = req
@@ -249,13 +270,22 @@ impl DeviceModel for VirtioBlk {
 
     fn complete(&mut self, token: u64, mem: &mut GuestMemory, _now: SimTime) -> Option<Completion> {
         let req = self.pending.remove(&token)?;
-        let moved = self.execute(&req, mem);
-        mem.write(Hpa(req.status_addr), &[0u8])
-            .expect("status in RAM");
+        // A bad buffer address fails the request (virtio status 1), it
+        // does not crash the device model.
+        let (moved, status) = match self.execute(&req, mem) {
+            Ok(m) => (m, 0u8),
+            Err(_) => {
+                self.io_errors += 1;
+                (0, 1u8)
+            }
+        };
+        if mem.write(Hpa(req.status_addr), &[status]).is_err() {
+            self.io_errors += 1;
+        }
         let written = if req.write { 1 } else { moved + 1 };
-        self.queue
-            .device_push_used(mem, req.head, written)
-            .expect("used in RAM");
+        if self.queue.device_push_used(mem, req.head, written).is_err() {
+            self.io_errors += 1;
+        }
         let mut service = self.cfg.completion_service;
         let mut exits = self.cfg.completion_backend_exits;
         if req.write {
@@ -283,7 +313,110 @@ impl DeviceModel for VirtioBlk {
             ("blk_writes", self.stats.writes),
             ("blk_bytes", self.stats.bytes),
             ("blk_inflight", self.pending.len() as u64),
+            ("blk_io_errors", self.io_errors),
         ]
+    }
+
+    // Serializes the device's full mutable state: queue cursors, the
+    // RAM-disk store (sorted by sector for determinism), the media-time
+    // horizon, the in-flight request table (sorted by token) and the
+    // statistics. The MMIO base is construction config, shape-checked.
+    fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        w.u64(self.cfg.mmio_base.0);
+        self.queue.snap_save(w);
+        let mut sectors: Vec<u64> = self.disk.keys().copied().collect();
+        sectors.sort_unstable();
+        w.usize(sectors.len());
+        for s in sectors {
+            w.u64(s);
+            w.bytes(&self.disk[&s][..]);
+        }
+        w.u64(self.media_free_at.as_ps());
+        w.u64(self.next_token);
+        let mut tokens: Vec<u64> = self.pending.keys().copied().collect();
+        tokens.sort_unstable();
+        w.usize(tokens.len());
+        for t in tokens {
+            let req = &self.pending[&t];
+            w.u64(t);
+            w.u16(req.head);
+            w.bool(req.write);
+            w.u64(req.sector);
+            w.usize(req.data.len());
+            for &(addr, len) in &req.data {
+                w.u64(addr);
+                w.u32(len);
+            }
+            w.u64(req.status_addr);
+        }
+        w.u64(self.stats.reads);
+        w.u64(self.stats.writes);
+        w.u64(self.stats.bytes);
+        w.u64(self.kicks);
+        w.u64(self.irqs);
+        w.u64(self.io_errors);
+    }
+
+    fn snap_load(&mut self, r: &mut svt_sim::SnapReader<'_>) -> Result<(), svt_sim::SnapError> {
+        let base = r.u64()?;
+        if base != self.cfg.mmio_base.0 {
+            return Err(svt_sim::SnapError::ShapeMismatch {
+                what: "virtio-blk MMIO base",
+                snapshot: base,
+                live: self.cfg.mmio_base.0,
+            });
+        }
+        self.queue.snap_load(r)?;
+        self.disk.clear();
+        let n = r.usize()?;
+        for _ in 0..n {
+            let sector = r.u64()?;
+            let data = r.bytes()?;
+            if data.len() != SECTOR_SIZE as usize {
+                return Err(svt_sim::SnapError::BadValue {
+                    what: "RAM-disk sector size",
+                    got: data.len() as u64,
+                });
+            }
+            let mut s = Box::new([0u8; SECTOR_SIZE as usize]);
+            s.copy_from_slice(data);
+            self.disk.insert(sector, s);
+        }
+        self.media_free_at = SimTime::from_ps(r.u64()?);
+        self.next_token = r.u64()?;
+        self.pending.clear();
+        let n = r.usize()?;
+        for _ in 0..n {
+            let token = r.u64()?;
+            let head = r.u16()?;
+            let write = r.bool()?;
+            let sector = r.u64()?;
+            let nbuf = r.usize()?;
+            let mut data = Vec::with_capacity(nbuf);
+            for _ in 0..nbuf {
+                let addr = r.u64()?;
+                let len = r.u32()?;
+                data.push((addr, len));
+            }
+            let status_addr = r.u64()?;
+            self.pending.insert(
+                token,
+                BlkRequest {
+                    head,
+                    write,
+                    sector,
+                    data,
+                    status_addr,
+                },
+            );
+        }
+        self.stats.reads = r.u64()?;
+        self.stats.writes = r.u64()?;
+        self.stats.bytes = r.u64()?;
+        self.kicks = r.u64()?;
+        self.irqs = r.u64()?;
+        self.io_errors = r.u64()?;
+        Ok(())
     }
 }
 

@@ -27,4 +27,4 @@ pub use net::{
     NetConfig, NetStats, PeerMode, VirtioNet, NET_MMIO_BASE, REG_RX_NOTIFY, REG_STATUS,
     REG_TX_NOTIFY,
 };
-pub use queue::{DescChain, Descriptor, Virtqueue, DESC_F_NEXT, DESC_F_WRITE};
+pub use queue::{DescChain, Descriptor, QueueError, Virtqueue, DESC_F_NEXT, DESC_F_WRITE};

@@ -127,6 +127,10 @@ pub struct VirtioNet {
     stats: NetStats,
     kicks: u64,
     irqs: u64,
+    /// Guest-memory faults the device absorbed instead of panicking.
+    /// Surfaced via `obs_counters` so the watchdog layer can flag a
+    /// wedged driver.
+    io_errors: u64,
 }
 
 impl VirtioNet {
@@ -143,6 +147,7 @@ impl VirtioNet {
             stats: NetStats::default(),
             kicks: 0,
             irqs: 0,
+            io_errors: 0,
         }
     }
 
@@ -169,7 +174,17 @@ impl VirtioNet {
             backend_l1_exits: self.cfg.kick_backend_exits,
             schedule: Vec::new(),
         };
-        while let Some(chain) = self.tx.device_pop(mem).expect("tx queue in RAM") {
+        loop {
+            let chain = match self.tx.device_pop(mem) {
+                Ok(Some(c)) => c,
+                Ok(None) => break,
+                Err(_) => {
+                    // The TX ring is unreachable: stop servicing the
+                    // kick; the error counter flags the wedged queue.
+                    self.io_errors += 1;
+                    break;
+                }
+            };
             let len = chain.total_len();
             self.stats.tx_packets += 1;
             self.stats.tx_bytes += len;
@@ -179,9 +194,9 @@ impl VirtioNet {
             match self.cfg.peer {
                 PeerMode::Echo { reply_len, think } => {
                     // TX buffer reclaimed immediately (no TX interrupt).
-                    self.tx
-                        .device_push_used(mem, chain.head, 0)
-                        .expect("tx used in RAM");
+                    if self.tx.device_push_used(mem, chain.head, 0).is_err() {
+                        self.io_errors += 1;
+                    }
                     let reply_at = done
                         + self.cfg.wire_latency
                         + think
@@ -260,19 +275,37 @@ impl DeviceModel for VirtioNet {
         let pending = self.pending.remove(&token)?;
         match pending {
             Pending::RxDeliver { reply_len } => {
-                let Some(chain) = self.rx.device_pop(mem).expect("rx queue in RAM") else {
-                    self.stats.rx_dropped += 1;
-                    return None;
+                let chain = match self.rx.device_pop(mem) {
+                    Ok(Some(c)) => c,
+                    Ok(None) => {
+                        self.stats.rx_dropped += 1;
+                        return None;
+                    }
+                    Err(_) => {
+                        // Unreachable RX ring: the reply is dropped, the
+                        // error counter flags the wedged queue.
+                        self.io_errors += 1;
+                        self.stats.rx_dropped += 1;
+                        return None;
+                    }
                 };
                 // Write a payload marker into the posted buffer.
                 if let Some(d) = chain.descs.first() {
                     let n = (reply_len as usize).min(8).min(d.len as usize);
-                    mem.write(Hpa(d.addr), &0x5654_5654u64.to_le_bytes()[..n])
-                        .expect("rx buffer in RAM");
+                    if mem
+                        .write(Hpa(d.addr), &0x5654_5654u64.to_le_bytes()[..n])
+                        .is_err()
+                    {
+                        self.io_errors += 1;
+                    }
                 }
-                self.rx
+                if self
+                    .rx
                     .device_push_used(mem, chain.head, reply_len)
-                    .expect("rx used in RAM");
+                    .is_err()
+                {
+                    self.io_errors += 1;
+                }
                 self.stats.rx_packets += 1;
                 self.irqs += 1;
                 Some(Completion {
@@ -284,9 +317,9 @@ impl DeviceModel for VirtioNet {
             }
             Pending::TxAck { heads } => {
                 for head in heads {
-                    self.tx
-                        .device_push_used(mem, head, 0)
-                        .expect("tx used in RAM");
+                    if self.tx.device_push_used(mem, head, 0).is_err() {
+                        self.io_errors += 1;
+                    }
                 }
                 self.stats.rx_packets += 1;
                 self.irqs += 1;
@@ -308,7 +341,103 @@ impl DeviceModel for VirtioNet {
             ("net_rx_packets", self.stats.rx_packets),
             ("net_rx_dropped", self.stats.rx_dropped),
             ("net_inflight", self.pending.len() as u64),
+            ("net_io_errors", self.io_errors),
         ]
+    }
+
+    // Serializes the device's full mutable state: both queue cursors, the
+    // wire horizon, the in-flight table (sorted by token), the delayed-ACK
+    // backlog and the statistics. The MMIO base is construction config,
+    // shape-checked.
+    fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        w.u64(self.cfg.mmio_base.0);
+        self.tx.snap_save(w);
+        self.rx.snap_save(w);
+        w.u64(self.wire_free_at.as_ps());
+        w.u64(self.next_token);
+        let mut tokens: Vec<u64> = self.pending.keys().copied().collect();
+        tokens.sort_unstable();
+        w.usize(tokens.len());
+        for t in tokens {
+            w.u64(t);
+            match &self.pending[&t] {
+                Pending::RxDeliver { reply_len } => {
+                    w.u8(0);
+                    w.u32(*reply_len);
+                }
+                Pending::TxAck { heads } => {
+                    w.u8(1);
+                    w.usize(heads.len());
+                    for &h in heads {
+                        w.u16(h);
+                    }
+                }
+            }
+        }
+        w.usize(self.ack_backlog.len());
+        for &h in &self.ack_backlog {
+            w.u16(h);
+        }
+        w.u64(self.stats.tx_packets);
+        w.u64(self.stats.tx_bytes);
+        w.u64(self.stats.rx_packets);
+        w.u64(self.stats.rx_dropped);
+        w.u64(self.kicks);
+        w.u64(self.irqs);
+        w.u64(self.io_errors);
+    }
+
+    fn snap_load(&mut self, r: &mut svt_sim::SnapReader<'_>) -> Result<(), svt_sim::SnapError> {
+        let base = r.u64()?;
+        if base != self.cfg.mmio_base.0 {
+            return Err(svt_sim::SnapError::ShapeMismatch {
+                what: "virtio-net MMIO base",
+                snapshot: base,
+                live: self.cfg.mmio_base.0,
+            });
+        }
+        self.tx.snap_load(r)?;
+        self.rx.snap_load(r)?;
+        self.wire_free_at = SimTime::from_ps(r.u64()?);
+        self.next_token = r.u64()?;
+        self.pending.clear();
+        let n = r.usize()?;
+        for _ in 0..n {
+            let token = r.u64()?;
+            let pending = match r.u8()? {
+                0 => Pending::RxDeliver {
+                    reply_len: r.u32()?,
+                },
+                1 => {
+                    let nh = r.usize()?;
+                    let mut heads = Vec::with_capacity(nh);
+                    for _ in 0..nh {
+                        heads.push(r.u16()?);
+                    }
+                    Pending::TxAck { heads }
+                }
+                got => {
+                    return Err(svt_sim::SnapError::BadValue {
+                        what: "virtio-net pending tag",
+                        got: u64::from(got),
+                    })
+                }
+            };
+            self.pending.insert(token, pending);
+        }
+        self.ack_backlog.clear();
+        let n = r.usize()?;
+        for _ in 0..n {
+            self.ack_backlog.push(r.u16()?);
+        }
+        self.stats.tx_packets = r.u64()?;
+        self.stats.tx_bytes = r.u64()?;
+        self.stats.rx_packets = r.u64()?;
+        self.stats.rx_dropped = r.u64()?;
+        self.kicks = r.u64()?;
+        self.irqs = r.u64()?;
+        self.io_errors = r.u64()?;
+        Ok(())
     }
 }
 

@@ -6,6 +6,9 @@
 //! models) operate on the same bytes in simulated guest RAM — nothing is
 //! shortcut through Rust state.
 
+use std::error::Error;
+use std::fmt;
+
 use svt_mem::{GuestMemory, Hpa, OutOfRange};
 
 /// Descriptor flag: the chain continues at `next`.
@@ -14,6 +17,48 @@ pub const DESC_F_NEXT: u16 = 1;
 pub const DESC_F_WRITE: u16 = 2;
 
 const DESC_SIZE: u64 = 16;
+
+/// Why a virtqueue operation was refused. Every variant is a *runtime*
+/// error: a guest that overruns its own queue gets the request rejected
+/// (and can observe it through the inflight counters), never a panic in
+/// the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueError {
+    /// The ring's guest memory is out of range.
+    Memory(OutOfRange),
+    /// A chain with no buffers was submitted.
+    EmptyChain,
+    /// The queue has fewer free descriptors than the chain needs.
+    Exhausted {
+        /// Free descriptors available.
+        free: u16,
+        /// Descriptors the chain needs.
+        need: u16,
+    },
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::Memory(e) => write!(f, "virtqueue memory access: {e}"),
+            QueueError::EmptyChain => write!(f, "empty descriptor chain"),
+            QueueError::Exhausted { free, need } => {
+                write!(
+                    f,
+                    "virtqueue exhausted: {free} free descriptors, need {need}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for QueueError {}
+
+impl From<OutOfRange> for QueueError {
+    fn from(e: OutOfRange) -> Self {
+        QueueError::Memory(e)
+    }
+}
 
 /// One descriptor as read from the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,22 +218,25 @@ impl Virtqueue {
     ///
     /// # Errors
     ///
-    /// Propagates guest-memory range errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the queue has fewer free descriptors than buffers (the
-    /// driver's responsibility to avoid, as in real virtio).
+    /// [`QueueError::EmptyChain`] for a zero-buffer chain,
+    /// [`QueueError::Exhausted`] when fewer free descriptors remain than
+    /// the chain needs, and [`QueueError::Memory`] for guest-memory range
+    /// errors. All are runtime errors: an overrunning driver gets the
+    /// request refused, not a simulator panic.
     pub fn driver_add(
         &mut self,
         mem: &mut GuestMemory,
         buffers: &[(u64, u32, bool)],
-    ) -> Result<u16, OutOfRange> {
-        assert!(!buffers.is_empty(), "empty chain");
-        assert!(
-            self.free_count as usize >= buffers.len(),
-            "virtqueue exhausted"
-        );
+    ) -> Result<u16, QueueError> {
+        if buffers.is_empty() {
+            return Err(QueueError::EmptyChain);
+        }
+        if (self.free_count as usize) < buffers.len() {
+            return Err(QueueError::Exhausted {
+                free: self.free_count,
+                need: buffers.len() as u16,
+            });
+        }
         let head = self.free_head;
         let mut idx = head;
         for (i, &(addr, len, write)) in buffers.iter().enumerate() {
@@ -312,6 +360,42 @@ impl Virtqueue {
     pub fn free_descriptors(&self) -> u16 {
         self.free_count
     }
+
+    /// Serializes the private progress counters for `svt_sim::snapshot`.
+    /// The authoritative ring bytes live in guest memory and ride in the
+    /// RAM pages of the snapshot; only the cached cursors travel here.
+    pub fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        w.u64(self.base.0);
+        w.u16(self.size);
+        w.u16(self.free_head);
+        w.u16(self.free_count);
+        w.u16(self.last_avail);
+        w.u16(self.last_used);
+    }
+
+    /// Restores cursors written by [`Virtqueue::snap_save`] into a queue
+    /// of identical geometry.
+    ///
+    /// # Errors
+    ///
+    /// Typed `SnapError` on truncation or a geometry mismatch (different
+    /// base address or size — construction-time configuration).
+    pub fn snap_load(&mut self, r: &mut svt_sim::SnapReader<'_>) -> Result<(), svt_sim::SnapError> {
+        let base = r.u64()?;
+        let size = r.u16()?;
+        if base != self.base.0 || size != self.size {
+            return Err(svt_sim::SnapError::ShapeMismatch {
+                what: "virtqueue geometry",
+                snapshot: base | (u64::from(size) << 48),
+                live: self.base.0 | (u64::from(self.size) << 48),
+            });
+        }
+        self.free_head = r.u16()?;
+        self.free_count = r.u16()?;
+        self.last_avail = r.u16()?;
+        self.last_used = r.u16()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -394,12 +478,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "virtqueue exhausted")]
-    fn exhaustion_panics() {
+    fn exhaustion_is_a_typed_error() {
         let (mut mem, mut q) = setup();
-        for _ in 0..9 {
+        for _ in 0..8 {
             q.driver_add(&mut mem, &[(0x8000, 8, false)]).unwrap();
         }
+        assert_eq!(
+            q.driver_add(&mut mem, &[(0x8000, 8, false)]),
+            Err(QueueError::Exhausted { free: 0, need: 1 })
+        );
+        assert_eq!(q.driver_add(&mut mem, &[]), Err(QueueError::EmptyChain));
+    }
+
+    #[test]
+    fn cursor_snapshot_round_trips() {
+        let (mut mem, mut q) = setup();
+        q.driver_add(&mut mem, &[(0x8000, 8, false)]).unwrap();
+        q.device_pop(&mem).unwrap().unwrap();
+        let mut w = svt_sim::SnapWriter::new();
+        q.snap_save(&mut w);
+        let buf = w.into_vec();
+        let mut fresh = Virtqueue::new(Hpa(0x1000), 8);
+        let mut r = svt_sim::SnapReader::new(&buf);
+        fresh.snap_load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fresh.free_descriptors(), q.free_descriptors());
+        // Geometry mismatch is a shape error, not a panic.
+        let mut other = Virtqueue::new(Hpa(0x2000), 8);
+        let mut r = svt_sim::SnapReader::new(&buf);
+        assert!(matches!(
+            other.snap_load(&mut r),
+            Err(svt_sim::SnapError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

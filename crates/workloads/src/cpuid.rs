@@ -120,10 +120,34 @@ pub fn fig6_jobs(iters: u64, jobs: usize) -> Vec<Fig6Bar> {
 /// across `jobs` sweep workers with grid-order merge (byte-identical at
 /// any worker count).
 pub fn fig6_bars_on(arch: ArchId, iters: u64, jobs: usize) -> Vec<Fig6Bar> {
-    let times = svt_sim::sweep(FIG6_CELLS.len(), jobs, |i| {
+    fig6_bars_on_ckpt(arch, iters, jobs, None)
+}
+
+/// [`fig6_bars_on`] with optional campaign checkpointing: each bar cell
+/// journals to `ckpt` under the `bars` scope, and `(ckpt, true)` resumes
+/// from the journal, recomputing only the cells it is missing.
+pub fn fig6_bars_on_ckpt(
+    arch: ArchId,
+    iters: u64,
+    jobs: usize,
+    ckpt: Option<(&svt_sim::checkpoint::Checkpoint, bool)>,
+) -> Vec<Fig6Bar> {
+    let run = |i: usize| {
         let (_, level, mode) = FIG6_CELLS[i];
         cpuid_us_on(level, mode, arch, iters)
-    });
+    };
+    let times = match ckpt {
+        Some((c, resume)) => c.sweep(
+            "bars",
+            FIG6_CELLS.len(),
+            jobs,
+            resume,
+            run,
+            |t, w| w.f64(*t),
+            |r| r.f64(),
+        ),
+        None => svt_sim::sweep(FIG6_CELLS.len(), jobs, run),
+    };
     bars_from_times(&times)
 }
 
@@ -148,13 +172,99 @@ enum GridCell {
     Observed(Box<(Vec<ExitAttribution>, Json)>),
 }
 
+fn grid_cell_save(c: &GridCell, w: &mut svt_sim::SnapWriter) {
+    match c {
+        GridCell::Bar(t) => {
+            w.u8(0);
+            w.f64(*t);
+        }
+        GridCell::Table(rows) => {
+            w.u8(1);
+            w.usize(rows.len());
+            for row in rows {
+                w.usize(row.part);
+                w.str(&row.label);
+                w.f64(row.time_us);
+                w.f64(row.percent);
+                w.f64(row.paper_us);
+            }
+        }
+        GridCell::Observed(obs) => {
+            let (exits, metrics) = &**obs;
+            w.u8(2);
+            w.usize(exits.len());
+            for e in exits {
+                w.str(e.reason);
+                w.f64(e.time_ns);
+                w.u64(e.count);
+            }
+            // The metrics export round-trips through its own canonical
+            // JSON text (parse(pretty(j)) == j).
+            w.str(&metrics.pretty());
+        }
+    }
+}
+
+fn grid_cell_load(r: &mut svt_sim::SnapReader<'_>) -> Result<GridCell, svt_sim::SnapError> {
+    match r.u8()? {
+        0 => Ok(GridCell::Bar(r.f64()?)),
+        1 => {
+            let len = r.usize()?;
+            let mut rows = Vec::with_capacity(len.min(64));
+            for _ in 0..len {
+                rows.push(Table1Row {
+                    part: r.usize()?,
+                    label: r.str()?.to_string(),
+                    time_us: r.f64()?,
+                    percent: r.f64()?,
+                    paper_us: r.f64()?,
+                });
+            }
+            Ok(GridCell::Table(rows))
+        }
+        2 => {
+            let len = r.usize()?;
+            let mut exits = Vec::with_capacity(len.min(64));
+            for _ in 0..len {
+                exits.push(ExitAttribution {
+                    reason: svt_sim::snapshot::intern_static(r.str()?),
+                    time_ns: r.f64()?,
+                    count: r.u64()?,
+                });
+            }
+            let text = r.str()?;
+            let metrics = Json::parse(text).map_err(|_| svt_sim::SnapError::BadValue {
+                what: "fig6 metrics JSON",
+                got: text.len() as u64,
+            })?;
+            Ok(GridCell::Observed(Box::new((exits, metrics))))
+        }
+        tag => Err(svt_sim::SnapError::BadValue {
+            what: "fig6 grid-cell tag",
+            got: tag as u64,
+        }),
+    }
+}
+
 /// Runs the full Fig. 6 grid — five bar cells plus the Table 1 and
 /// observed-attribution cells — across `jobs` sweep workers. All seven
 /// cells build independent machines, and the merge is in grid order, so
 /// the grid is byte-identical for every `jobs` value.
 pub fn fig6_grid(iters: u64, jobs: usize) -> Fig6Grid {
+    fig6_grid_ckpt(iters, jobs, None)
+}
+
+/// [`fig6_grid`] with optional campaign checkpointing: each of the seven
+/// grid cells journals to `ckpt` under the `fig6` scope as it completes,
+/// and `(ckpt, true)` resumes from the journal, recomputing only missing
+/// or corrupted cells. The merged grid is byte-identical either way.
+pub fn fig6_grid_ckpt(
+    iters: u64,
+    jobs: usize,
+    ckpt: Option<(&svt_sim::checkpoint::Checkpoint, bool)>,
+) -> Fig6Grid {
     let n_bars = FIG6_CELLS.len();
-    let mut cells = svt_sim::sweep(n_bars + 2, jobs, |i| {
+    let run = |i: usize| {
         if i < n_bars {
             let (_, level, mode) = FIG6_CELLS[i];
             GridCell::Bar(cpuid_us(level, mode, iters))
@@ -163,7 +273,19 @@ pub fn fig6_grid(iters: u64, jobs: usize) -> Fig6Grid {
         } else {
             GridCell::Observed(Box::new(cpuid_observed(SwitchMode::Baseline, iters)))
         }
-    });
+    };
+    let mut cells = match ckpt {
+        Some((c, resume)) => c.sweep(
+            "fig6",
+            n_bars + 2,
+            jobs,
+            resume,
+            run,
+            grid_cell_save,
+            grid_cell_load,
+        ),
+        None => svt_sim::sweep(n_bars + 2, jobs, run),
+    };
     let Some(GridCell::Observed(observed)) = cells.pop() else {
         unreachable!("last grid cell is the observed run")
     };

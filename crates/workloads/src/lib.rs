@@ -57,7 +57,8 @@ pub use channel::{
 pub use chaos::{memcached_chaos, ChaosPoint};
 pub use cpuid::{
     cpuid_counted, cpuid_observed, cpuid_observed_on, cpuid_us, cpuid_us_on, fig6, fig6_bars_on,
-    fig6_grid, fig6_jobs, table1, ExitAttribution, Fig6Bar, Fig6Grid, Table1Row,
+    fig6_bars_on_ckpt, fig6_grid, fig6_grid_ckpt, fig6_jobs, table1, ExitAttribution, Fig6Bar,
+    Fig6Grid, Table1Row,
 };
 pub use disk::{DiskBench, DiskMode};
 pub use fig10::{video_playback, PlaybackResult};

@@ -37,6 +37,33 @@ pub struct SmpPoint {
     pub p99_ns: f64,
 }
 
+impl SmpPoint {
+    /// Serializes the point for campaign checkpoints (bit-exact floats,
+    /// see `svt_sim::snapshot`).
+    pub fn snap_save(&self, w: &mut svt_sim::SnapWriter) {
+        w.usize(self.n_vcpus);
+        w.u64(self.completed);
+        w.f64(self.throughput);
+        w.f64(self.avg_ns);
+        w.f64(self.p99_ns);
+    }
+
+    /// Decodes a point written by [`SmpPoint::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors on truncated or corrupted payloads.
+    pub fn snap_load(r: &mut svt_sim::SnapReader<'_>) -> Result<SmpPoint, svt_sim::SnapError> {
+        Ok(SmpPoint {
+            n_vcpus: r.usize()?,
+            completed: r.u64()?,
+            throughput: r.f64()?,
+            avg_ns: r.f64()?,
+            p99_ns: r.f64()?,
+        })
+    }
+}
+
 /// Causal-profiling products of one SMP run: the per-request critical
 /// paths extracted from the machine's causal event graph, their folded
 /// (FlameGraph-style) rendering, and the watchdog verdicts.

@@ -254,6 +254,49 @@ if sw[0]["total_injected"] == 0:
 sys.exit(0 if ok else 1)
 PY
 
+echo "==> crash-safe campaigns: SIGKILL mid-campaign, resume byte-identical"
+# The faults binary (not cargo-run: SIGKILLing cargo would orphan the
+# child mid-write and let it race the resume) is killed partway through
+# a checkpointed campaign; the resume — at a different worker count —
+# must replay whatever cells were journaled, recompute the rest, and
+# produce a report byte-identical to an uninterrupted run. One
+# surviving cell gets its envelope deliberately corrupted first: the
+# checksum must catch it and the cell must be recomputed and repaired,
+# never trusted, never a crash.
+CKPT=/tmp/svt_ckpt
+rm -rf "$CKPT"; mkdir -p "$CKPT"
+cargo build -q -p svt-bench --bin faults
+cargo run -q -p svt-bench --bin faults -- --smoke --json /tmp/faults_fresh.json >/dev/null
+target/debug/faults --smoke --json /tmp/faults_killed.json \
+    --checkpoint-dir "$CKPT" >/dev/null &
+CAMPAIGN=$!
+sleep 0.4
+kill -9 "$CAMPAIGN" 2>/dev/null || true
+wait "$CAMPAIGN" 2>/dev/null || true
+n_cells=$(find "$CKPT" -name 'faults-*.cell' | wc -l)
+echo "     campaign killed with $n_cells/4 cells journaled"
+first=$(find "$CKPT" -name 'faults-*.cell' | sort | head -1)
+if [ -n "$first" ]; then
+    printf 'garbage' | dd of="$first" bs=1 seek=3 conv=notrunc status=none
+    echo "     corrupted $(basename "$first") (envelope bit rot)"
+fi
+target/debug/faults --smoke --json /tmp/faults_resumed.json \
+    --checkpoint-dir "$CKPT" --resume --jobs 3 >/dev/null
+if ! cmp -s /tmp/faults_fresh.json /tmp/faults_resumed.json; then
+    echo "FAIL: resumed faults report differs from an uninterrupted run"
+    diff /tmp/faults_fresh.json /tmp/faults_resumed.json | head -20
+    exit 1
+fi
+echo "ok   resumed report byte-identical to the uninterrupted run (bad cell repaired)"
+# A second resume replays the now-complete, repaired journal.
+target/debug/faults --smoke --json /tmp/faults_resumed2.json \
+    --checkpoint-dir "$CKPT" --resume --jobs 1 >/dev/null
+if ! cmp -s /tmp/faults_fresh.json /tmp/faults_resumed2.json; then
+    echo "FAIL: second resume at --jobs 1 differs from the uninterrupted run"
+    exit 1
+fi
+echo "ok   second resume (--jobs 1, full journal) byte-identical too"
+
 echo "==> flight-recorder smoke: forced fallback produces a parseable crash dump"
 cargo run -q -p svt-bench --bin faults -- --smoke --dump /tmp/flight.json >/dev/null
 python3 - <<'PY'

@@ -1,0 +1,48 @@
+//! Microbench: the disabled divergence-sentinel gate must be a cheap
+//! early return.
+//!
+//! The machine consults the sentinel on every telemetry tick of every
+//! trap, sentinel or no sentinel — the disabled probe is an `Option`
+//! discriminant test and nothing else. Like the `ObsLevel` gates in
+//! `crates/obs/tests/disabled_overhead.rs`, this pins that cost to
+//! "one branch" territory with a deliberately generous bound (debug
+//! builds, noisy CI hosts): the regression it catches is fingerprint
+//! folding or sample allocation leaking in front of the `is_some`
+//! check, a 100× blowup, not a 2× one.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use svt::core::{smp_machine, SwitchMode};
+
+/// Generous per-op ceiling, matching the obs disabled-path gates.
+const MAX_DISABLED_NS_PER_OP: f64 = 250.0;
+
+const ITERS: u64 = 1_000_000;
+
+#[test]
+fn disabled_sentinel_gate_is_an_early_return() {
+    let m = smp_machine(SwitchMode::SwSvt, 2);
+    assert!(m.sentinel_samples().is_empty());
+
+    // Warm up so cache effects don't bill the measurement.
+    for _ in 0..10_000u64 {
+        black_box(m.sentinel_samples().len());
+    }
+
+    let start = Instant::now();
+    for i in 0..ITERS {
+        black_box(i);
+        // The public probe is the same `Option` discriminant test the
+        // run loop's telemetry tick performs when no sentinel is armed.
+        black_box(m.sentinel_samples().is_empty());
+    }
+    let elapsed = start.elapsed();
+
+    let ns_per_op = elapsed.as_nanos() as f64 / ITERS as f64;
+    assert!(
+        ns_per_op < MAX_DISABLED_NS_PER_OP,
+        "disabled sentinel gate costs {ns_per_op:.1} ns/op (bound {MAX_DISABLED_NS_PER_OP} ns) — \
+         something heavier than an early return guards the un-sentineled trap path"
+    );
+}
